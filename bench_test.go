@@ -1,0 +1,463 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. One family per figure:
+//
+//	BenchmarkFig1Top500        — Figure 1 data pipeline
+//	BenchmarkFig2Create        — create one work unit per thread
+//	BenchmarkFig3Join          — join one work unit per thread
+//	BenchmarkFig4ForLoop       — 1,000-iteration parallel for
+//	BenchmarkFig5TaskSingle    — tasks created in a single region
+//	BenchmarkFig6TaskParallel  — tasks created in a parallel region
+//	BenchmarkFig7NestedFor     — nested parallel for
+//	BenchmarkFig8NestedTask    — nested task parallelism
+//	BenchmarkTableRendering    — Tables I and II
+//
+// plus the ablation families for the design decisions DESIGN.md calls
+// out (pool configuration, creation policy, shepherd layout, task
+// cutoff, work-unit kind, and the raw-goroutine comparison).
+//
+// Figure-quality sweeps (full thread axis, paper-sized workloads, RSD
+// reporting) are produced by cmd/lwtbench; these benchmarks use reduced
+// sizes so the whole suite runs in minutes.
+package lwt_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/argobots"
+	"repro/internal/microbench"
+	"repro/internal/omplwt"
+	"repro/internal/openmp"
+	"repro/internal/queue"
+	"repro/internal/semantics"
+	"repro/internal/top500"
+	"repro/internal/ult"
+)
+
+// benchParams are reduced workload sizes preserving the paper's ratios.
+func benchParams() microbench.Params {
+	return microbench.Params{
+		ForIters: 1000, Tasks: 500,
+		NestedOuter: 20, NestedInner: 20,
+		Parents: 50, Children: 4,
+		Reps: 1,
+	}
+}
+
+// benchThreads is the reduced thread axis for the per-figure benchmarks.
+func benchThreads() []int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 2 {
+		return []int{1}
+	}
+	return []int{2, n}
+}
+
+// benchPattern runs one figure's pattern across systems and thread
+// counts as sub-benchmarks.
+func benchPattern(b *testing.B, run func(sys microbench.System, prm microbench.Params)) {
+	prm := benchParams()
+	for _, spec := range microbench.PaperSystems() {
+		for _, n := range benchThreads() {
+			b.Run(fmt.Sprintf("%s/threads=%d", spec.Name, n), func(b *testing.B) {
+				sys := spec.Make()
+				sys.Setup(n)
+				defer sys.Teardown()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run(sys, prm)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig1Top500(b *testing.B) {
+	d := top500.Historical()
+	for i := 0; i < b.N; i++ {
+		if out := top500.Render(d); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig2Create(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		create, _ := sys.CreateJoin()
+		_ = create
+	})
+}
+
+func BenchmarkFig3Join(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		_, join := sys.CreateJoin()
+		_ = join
+	})
+}
+
+func BenchmarkFig4ForLoop(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		sys.ForLoop(prm.ForIters)
+	})
+}
+
+func BenchmarkFig5TaskSingle(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		sys.TaskSingle(prm.Tasks)
+	})
+}
+
+func BenchmarkFig6TaskParallel(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		sys.TaskParallel(prm.Tasks)
+	})
+}
+
+func BenchmarkFig7NestedFor(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		sys.NestedFor(prm.NestedOuter, prm.NestedInner)
+	})
+}
+
+func BenchmarkFig8NestedTask(b *testing.B) {
+	benchPattern(b, func(sys microbench.System, prm microbench.Params) {
+		sys.NestedTask(prm.Parents, prm.Children)
+	})
+}
+
+func BenchmarkTableRendering(b *testing.B) {
+	b.Run("TableI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(semantics.RenderTableI()) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	})
+	b.Run("TableII", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(semantics.RenderTableII()) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	})
+}
+
+// --- Ablations (design decisions of DESIGN.md §5) ---
+
+// benchOne benchmarks a single system on one pattern at one thread count.
+func benchOne(b *testing.B, sys microbench.System, n int, run func(sys microbench.System)) {
+	sys.Setup(n)
+	defer sys.Teardown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(sys)
+	}
+}
+
+// BenchmarkAblationArgobotsPools compares Argobots private pools (the
+// paper's pick) against a single shared pool on the task-single pattern.
+func BenchmarkAblationArgobotsPools(b *testing.B) {
+	prm := benchParams()
+	for _, cfg := range []struct{ name, backend string }{
+		{"private", "argobots"},
+		{"shared", "argobots-shared"},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchOne(b, microbench.NewLWT(cfg.backend, true, cfg.name), 4,
+				func(sys microbench.System) { sys.TaskSingle(prm.Tasks) })
+		})
+	}
+}
+
+// BenchmarkAblationTaskletVsULT quantifies the stackless-vs-stackful gap
+// the paper reports as roughly 2x (§IX-B).
+func BenchmarkAblationTaskletVsULT(b *testing.B) {
+	prm := benchParams()
+	for _, cfg := range []struct {
+		name     string
+		tasklets bool
+	}{
+		{"tasklet", true},
+		{"ult", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchOne(b, microbench.NewLWT("argobots", cfg.tasklets, cfg.name), 4,
+				func(sys microbench.System) { sys.TaskSingle(prm.Tasks) })
+		})
+	}
+}
+
+// BenchmarkAblationMassiveThreadsPolicy compares work-first and
+// help-first creation (§VIII-B2) on the recursion-shaped nested tasks.
+func BenchmarkAblationMassiveThreadsPolicy(b *testing.B) {
+	prm := benchParams()
+	for _, cfg := range []struct{ name, backend string }{
+		{"work-first", "massivethreads"},
+		{"help-first", "massivethreads-helpfirst"},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchOne(b, microbench.NewLWT(cfg.backend, false, cfg.name), 4,
+				func(sys microbench.System) { sys.NestedTask(prm.Parents, prm.Children) })
+		})
+	}
+}
+
+// BenchmarkAblationQthreadsConfig compares the shepherd layouts of
+// §VIII-B3: one shepherd per CPU vs one per node.
+func BenchmarkAblationQthreadsConfig(b *testing.B) {
+	prm := benchParams()
+	for _, cfg := range []struct{ name, backend string }{
+		{"per-cpu", "qthreads"},
+		{"per-node", "qthreads-pernode"},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchOne(b, microbench.NewLWT(cfg.backend, false, cfg.name), 4,
+				func(sys microbench.System) { sys.TaskSingle(prm.Tasks) })
+		})
+	}
+}
+
+// BenchmarkAblationOpenMPCutoff isolates the task cutoff of §VII-B by
+// running the gcc single-region pattern with the cutoff on and off.
+func BenchmarkAblationOpenMPCutoff(b *testing.B) {
+	const tasks = 2000
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"cutoff-on", false},
+		{"cutoff-off", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := openmp.New(openmp.Config{
+				Flavor: openmp.GCC, NumThreads: 4,
+				WaitPolicy: openmp.Passive, DisableCutoff: cfg.disable,
+			})
+			defer rt.Close()
+			rt.Parallel(func(tc *openmp.TeamCtx) {}) // warm the pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Parallel(func(tc *openmp.TeamCtx) {
+					tc.Single(func() {
+						for j := 0; j < tasks; j++ {
+							tc.Task(func() {})
+						}
+					})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkDirectivesOnLWT is the paper's conclusion measured (§X): the
+// same OpenMP-shaped program run on the Pthreads-style runtimes (gcc,
+// icc emulations) versus the directive layer over LWT backends. The LWT
+// substrate should win the task-parallel and nested patterns, as the
+// paper predicts for OpenMP-over-LWT.
+func BenchmarkDirectivesOnLWT(b *testing.B) {
+	const tasks = 500
+	const outer, inner = 10, 50
+	type variant struct {
+		name string
+		mkT  func(b *testing.B) func() // task-single pattern runner
+		mkN  func(b *testing.B) func() // nested-for pattern runner
+	}
+	ompVariant := func(flavor openmp.Flavor) variant {
+		return variant{
+			name: "pthreads-" + flavor.String(),
+			mkT: func(b *testing.B) func() {
+				rt := openmp.New(openmp.Config{Flavor: flavor, NumThreads: 4, WaitPolicy: openmp.Passive})
+				b.Cleanup(rt.Close)
+				rt.Parallel(func(tc *openmp.TeamCtx) {})
+				return func() {
+					rt.Parallel(func(tc *openmp.TeamCtx) {
+						tc.Single(func() {
+							for i := 0; i < tasks; i++ {
+								tc.Task(func() {})
+							}
+						})
+					})
+				}
+			},
+			mkN: func(b *testing.B) func() {
+				rt := openmp.New(openmp.Config{Flavor: flavor, NumThreads: 4, WaitPolicy: openmp.Passive})
+				b.Cleanup(rt.Close)
+				rt.Parallel(func(tc *openmp.TeamCtx) {})
+				return func() {
+					rt.Parallel(func(tc *openmp.TeamCtx) {
+						lo, hi := openmp.ChunkRange(outer, tc.NumThreads(), tc.TID())
+						for i := lo; i < hi; i++ {
+							tc.ParallelFor(inner, func(j int) {})
+						}
+					})
+				}
+			},
+		}
+	}
+	lwtVariant := func(backend string) variant {
+		return variant{
+			name: "lwt-" + backend,
+			mkT: func(b *testing.B) func() {
+				rt := omplwt.MustNew(backend, 4)
+				b.Cleanup(rt.Close)
+				return func() {
+					rt.Parallel(func(rg *omplwt.Region, tid int) {
+						rg.Single(tid, func() {
+							for i := 0; i < tasks; i++ {
+								rg.Task(func() {})
+							}
+						})
+					})
+				}
+			},
+			mkN: func(b *testing.B) func() {
+				rt := omplwt.MustNew(backend, 4)
+				b.Cleanup(rt.Close)
+				return func() {
+					rt.Parallel(func(rg *omplwt.Region, tid int) {
+						lo, hi := 0, 0
+						base, rem := outer/4, outer%4
+						lo = tid*base + min(tid, rem)
+						hi = lo + base
+						if tid < rem {
+							hi++
+						}
+						for i := lo; i < hi; i++ {
+							rg.ParallelFor(inner, omplwt.Static, 0, func(j int) {})
+						}
+					})
+				}
+			},
+		}
+	}
+	variants := []variant{
+		ompVariant(openmp.GCC),
+		ompVariant(openmp.ICC),
+		lwtVariant("argobots"),
+		lwtVariant("qthreads"),
+	}
+	for _, v := range variants {
+		b.Run("task-single/"+v.name, func(b *testing.B) {
+			run := v.mkT(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+	for _, v := range variants {
+		b.Run("nested-for/"+v.name, func(b *testing.B) {
+			run := v.mkN(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIdlePolicy compares the busy-wait idle policy the C
+// libraries default to against parked idle streams, once at core-bounded
+// stream counts and once oversubscribed — the regime where EXPERIMENTS.md
+// notes this model's busy-wait diverges from the paper's 72-HT testbed.
+func BenchmarkAblationIdlePolicy(b *testing.B) {
+	const tasks = 300
+	over := runtime.NumCPU() + 8
+	for _, cfg := range []struct {
+		name    string
+		streams int
+		parking bool
+	}{
+		{"busy-wait/fit", 4, false},
+		{"parking/fit", 4, true},
+		{fmt.Sprintf("busy-wait/over-%d", over), over, false},
+		{fmt.Sprintf("parking/over-%d", over), over, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := argobots.Init(argobots.Config{XStreams: cfg.streams, IdleParking: cfg.parking})
+			defer rt.Finalize()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tks := make([]*argobots.Task, tasks)
+				for j := range tks {
+					tks[j] = rt.TaskCreate(func() {})
+				}
+				for _, tk := range tks {
+					rt.TaskFree(tk)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDequeLocking compares the mutex-protected deque the
+// paper describes for MassiveThreads (§III-C: steals "require mutex
+// protection") against a Chase-Lev lock-free deque under an owner plus
+// three thieves.
+func BenchmarkAblationDequeLocking(b *testing.B) {
+	type dq interface {
+		PushBottom(ult.Unit)
+		PopBottom() ult.Unit
+		StealTop() ult.Unit
+	}
+	run := func(b *testing.B, d dq) {
+		const batch = 256
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						d.StealTop()
+					}
+				}
+			}()
+		}
+		unit := ult.NewTasklet(func() {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				d.PushBottom(unit)
+			}
+			for j := 0; j < batch; j++ {
+				if d.PopBottom() == nil {
+					break // thieves got there first
+				}
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	b.Run("mutex", func(b *testing.B) { run(b, queue.NewDeque(256)) })
+	b.Run("lock-free", func(b *testing.B) { run(b, queue.NewLockFree(256)) })
+}
+
+// BenchmarkAblationRawGoroutines compares the 2016 global-queue Go model
+// against the real Go scheduler on the same pattern, quantifying what the
+// single shared queue costs.
+func BenchmarkAblationRawGoroutines(b *testing.B) {
+	prm := benchParams()
+	for _, cfg := range []struct {
+		name string
+		mk   func() microbench.System
+	}{
+		{"global-queue-model", func() microbench.System { return microbench.NewLWT("go", false, "model") }},
+		{"native-goroutines", microbench.NewNativeGo},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchOne(b, cfg.mk(), 4,
+				func(sys microbench.System) { sys.TaskSingle(prm.Tasks) })
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Command lwtbench regenerates the performance figures of the paper
+// (Figures 2–8): each run sweeps the selected microbenchmark pattern over
+// a thread-count axis for every system in the figure legend and prints
+// the series as a table.
+//
+// Usage:
+//
+//	lwtbench -fig 4                  # Figure 4 at laptop scale
+//	lwtbench -fig 7 -paper           # paper-sized workload (slow)
+//	lwtbench -fig 2 -threads 16 -reps 100
+//	lwtbench -fig 5 -systems "gcc,Argobots Tasklet,Go"
+//	lwtbench -all                    # every figure, laptop scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/microbench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2-8)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	maxThreads := flag.Int("threads", 0, "max thread count (0 = 2x CPUs)")
+	reps := flag.Int("reps", 0, "repetitions per point (0 = preset default)")
+	paper := flag.Bool("paper", false, "use the paper's full workload sizes (1000x1000 nested, 500 reps)")
+	systems := flag.String("systems", "", "comma-separated legend names (default: all)")
+	flag.Parse()
+
+	if !*all && (*fig < 2 || *fig > 8) {
+		fmt.Fprintln(os.Stderr, "lwtbench: pass -fig 2..8 or -all")
+		os.Exit(2)
+	}
+
+	prm := microbench.QuickParams()
+	if *paper {
+		prm = microbench.PaperParams()
+	}
+	if *reps > 0 {
+		prm.Reps = *reps
+	}
+	threads := microbench.ThreadCounts(*maxThreads)
+
+	specs := microbench.PaperSystems()
+	if *systems != "" {
+		specs = specs[:0]
+		for _, name := range strings.Split(*systems, ",") {
+			name = strings.TrimSpace(name)
+			s, ok := microbench.FindSpec(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lwtbench: unknown system %q\n", name)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	figs := []int{*fig}
+	if *all {
+		figs = []int{2, 3, 4, 5, 6, 7, 8}
+	}
+	titles := map[int]string{
+		2: "Figure 2: time of creating one work unit for each thread",
+		3: "Figure 3: time of joining one work unit for each thread",
+		4: fmt.Sprintf("Figure 4: execution time of a %d-iteration for loop", prm.ForIters),
+		5: fmt.Sprintf("Figure 5: execution time of %d tasks created in a single region", prm.Tasks),
+		6: fmt.Sprintf("Figure 6: execution time of %d tasks created in a parallel region", prm.Tasks),
+		7: fmt.Sprintf("Figure 7: nested parallel for, %dx%d iterations", prm.NestedOuter, prm.NestedInner),
+		8: fmt.Sprintf("Figure 8: %d nested tasks (%d parents x %d children)", prm.Parents*prm.Children, prm.Parents, prm.Children),
+	}
+
+	for _, f := range figs {
+		var series []microbench.Series
+		for _, spec := range specs {
+			series = append(series, microbench.Sweep(spec, microbench.Pattern(f), threads, prm))
+		}
+		fmt.Print(microbench.RenderTable(titles[f], series))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,54 @@
+// Command lwtinfo renders the paper's semantic analysis: Table I (the
+// execution and scheduling functionality of each LWT library) and
+// Table II (the reduced function set the microbenchmarks need), plus the
+// live capability report of every registered unified-API backend.
+//
+// Usage:
+//
+//	lwtinfo [-table 1|2|all] [-backends]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/semantics"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 2 or all")
+	backends := flag.Bool("backends", false, "also print live backend capabilities")
+	flag.Parse()
+
+	switch *table {
+	case "1":
+		fmt.Println("Table I: execution and scheduling functionality of the LWT libraries")
+		fmt.Print(semantics.RenderTableI())
+	case "2":
+		fmt.Println("Table II: most used functions in the microbenchmark implementations")
+		fmt.Print(semantics.RenderTableII())
+	case "all":
+		fmt.Println("Table I: execution and scheduling functionality of the LWT libraries")
+		fmt.Print(semantics.RenderTableI())
+		fmt.Println()
+		fmt.Println("Table II: most used functions in the microbenchmark implementations")
+		fmt.Print(semantics.RenderTableII())
+	default:
+		fmt.Fprintf(os.Stderr, "lwtinfo: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	if *backends {
+		fmt.Println()
+		fmt.Println("Registered unified-API backends (live capabilities):")
+		for _, name := range core.Backends() {
+			r := core.MustNew(name, 2)
+			c := r.Caps()
+			r.Finalize()
+			fmt.Printf("  %-26s levels=%d units=%d tasklets=%-5v yield-to=%-5v global-queue=%-5v stackable-sched=%v\n",
+				name, c.HierarchyLevels, c.WorkUnitTypes, c.Tasklets, c.YieldTo, c.GlobalQueue, c.StackableScheduler)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command lwttrace runs one of the paper's microbenchmark patterns with
+// scheduling-event tracing enabled and prints the aggregate time
+// breakdown (optionally exporting a Chrome trace-event JSON for
+// chrome://tracing / Perfetto). It makes claims like §IX-D's "Converse
+// Threads expends up to 75 % of its execution time in performing barrier
+// and yield operations" directly observable.
+//
+// Usage:
+//
+//	lwttrace -runtime argobots -tasks 1000 -threads 4
+//	lwttrace -runtime converse -tasks 1000 -threads 4 -chrome trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/argobots"
+	"repro/internal/converse"
+	"repro/internal/trace"
+)
+
+func main() {
+	rtName := flag.String("runtime", "argobots", "runtime to trace: argobots or converse")
+	threads := flag.Int("threads", 4, "execution streams / processors")
+	tasks := flag.Int("tasks", 1000, "work units to create")
+	chrome := flag.String("chrome", "", "write Chrome trace-event JSON to this file")
+	flag.Parse()
+
+	rec := trace.NewRecorder(1 << 20)
+	switch *rtName {
+	case "argobots":
+		runArgobots(rec, *threads, *tasks)
+	case "converse":
+		runConverse(rec, *threads, *tasks)
+	default:
+		fmt.Fprintf(os.Stderr, "lwttrace: unknown runtime %q\n", *rtName)
+		os.Exit(2)
+	}
+
+	events := rec.Events()
+	sum := trace.Summarize(events)
+	fmt.Print(sum.Render())
+	fmt.Printf("sync share (barrier+yield): %.1f%%\n",
+		100*sum.Fraction(trace.KindBarrier, trace.KindYield))
+	if rec.Dropped() > 0 {
+		fmt.Printf("(%d events dropped past recorder capacity)\n", rec.Dropped())
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lwttrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, events); err != nil {
+			fmt.Fprintf(os.Stderr, "lwttrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s\n", *chrome)
+	}
+}
+
+// runArgobots traces the Figure 5 pattern (tasks from a single creator).
+func runArgobots(rec *trace.Recorder, threads, tasks int) {
+	rt := argobots.Init(argobots.Config{XStreams: threads, Tracer: rec})
+	defer rt.Finalize()
+	tks := make([]*argobots.Task, tasks)
+	for i := range tks {
+		tks[i] = rt.TaskCreate(func() {})
+	}
+	for _, tk := range tks {
+		if err := rt.TaskFree(tk); err != nil {
+			fmt.Fprintf(os.Stderr, "lwttrace: join: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runConverse traces the two-step Message pattern with its barrier join.
+func runConverse(rec *trace.Recorder, threads, tasks int) {
+	rt := converse.Init(threads)
+	rt.SetTracer(rec)
+	defer rt.Finalize()
+	for i := 0; i < tasks; i++ {
+		rt.SyncSend(i%threads, func(*converse.Proc) {})
+	}
+	rt.Barrier()
+}

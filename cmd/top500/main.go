@@ -1,0 +1,37 @@
+// Command top500 regenerates Figure 1 of the paper: the percentage of
+// Top500 systems per cores-per-socket class for each November list from
+// 2001 to 2015, printed as the data table behind the stacked-bar chart.
+//
+// Usage:
+//
+//	top500 [-year 2015]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/top500"
+)
+
+func main() {
+	year := flag.Int("year", 0, "print a single year's shares (0 = all years)")
+	flag.Parse()
+
+	d := top500.Historical()
+	if *year == 0 {
+		fmt.Println("Figure 1: Top500 systems by cores per socket (November lists)")
+		fmt.Print(top500.Render(d))
+		return
+	}
+	shares := d.Shares(*year)
+	if len(shares) == 0 {
+		fmt.Fprintf(os.Stderr, "top500: no data for %d (have 2001-2015)\n", *year)
+		os.Exit(2)
+	}
+	fmt.Printf("November %d list by cores per socket:\n", *year)
+	for _, b := range top500.Buckets() {
+		fmt.Printf("  %-6s %6.1f%%\n", b, shares[b])
+	}
+}

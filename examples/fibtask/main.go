@@ -1,0 +1,70 @@
+// Fibtask: recursive divide-and-conquer task parallelism — the workload
+// class the paper's §VII-D (nested task parallelism) and MassiveThreads'
+// work-first design (§III-C) target. Computes Fibonacci numbers by
+// spawning a ULT per recursive call down to a sequential cutoff, then
+// compares the LWT backends on the same tree.
+//
+//	go run ./examples/fibtask -n 24 -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	lwt "repro"
+)
+
+// fibSeq is the sequential baseline below the spawn cutoff.
+func fibSeq(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+// fibTask spawns the left branch as a child ULT and recurses into the
+// right branch itself — the classic work-first decomposition.
+func fibTask(c lwt.Ctx, n, cutoff int, out *uint64) {
+	if n < cutoff {
+		*out = fibSeq(n)
+		return
+	}
+	var left, right uint64
+	h := c.ULTCreate(func(cc lwt.Ctx) { fibTask(cc, n-1, cutoff, &left) })
+	fibTask(c, n-2, cutoff, &right)
+	c.Join(h)
+	*out = left + right
+}
+
+func main() {
+	n := flag.Int("n", 24, "Fibonacci index")
+	cutoff := flag.Int("cutoff", 12, "sequential cutoff")
+	threads := flag.Int("threads", 4, "number of executors")
+	flag.Parse()
+
+	want := fibSeq(*n)
+	fmt.Printf("fib(%d) = %d, spawn cutoff %d, %d threads\n", *n, want, *cutoff, *threads)
+
+	// The recursion-oriented backends first, then the rest.
+	for _, backend := range []string{
+		"massivethreads", "massivethreads-helpfirst", "argobots", "qthreads", "go",
+	} {
+		r, err := lwt.New(backend, *threads)
+		if err != nil {
+			log.Fatalf("fibtask: %v", err)
+		}
+		var got uint64
+		t0 := time.Now()
+		root := r.ULTCreate(func(c lwt.Ctx) { fibTask(c, *n, *cutoff, &got) })
+		r.Join(root)
+		dt := time.Since(t0)
+		r.Finalize()
+		status := "ok"
+		if got != want {
+			status = fmt.Sprintf("WRONG (got %d)", got)
+		}
+		fmt.Printf("  %-26s %10v  %s\n", backend, dt, status)
+	}
+}

@@ -1,0 +1,96 @@
+// Nestedscale: the paper's nested parallel-for pattern (§VII-C,
+// Listing 3, Figure 7) as an application — scaling every row of a matrix
+// with an outer parallel loop over rows and an inner parallel loop over
+// columns. This is the scenario where the paper measures LWT runtimes
+// beating the Intel OpenMP runtime by factors of 48–130, because work
+// units are so much cheaper than nested thread teams.
+//
+//	go run ./examples/nestedscale -rows 200 -cols 200 -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	lwt "repro"
+)
+
+// chunk computes thread t's half-open share of n items over k threads.
+func chunk(n, k, t int) (lo, hi int) {
+	base, rem := n/k, n%k
+	lo = t*base + min(t, rem)
+	hi = lo + base
+	if t < rem {
+		hi++
+	}
+	return
+}
+
+// scaleNested multiplies every element of the rows-by-cols matrix m by a,
+// with nested work-unit parallelism over threads executors.
+func scaleNested(r *lwt.Runtime, m []float64, rows, cols, threads int, a float64) {
+	outer := make([]lwt.Handle, threads)
+	for t := 0; t < threads; t++ {
+		lo, hi := chunk(rows, threads, t)
+		outer[t] = r.ULTCreate(func(c lwt.Ctx) {
+			for i := lo; i < hi; i++ {
+				row := m[i*cols : (i+1)*cols]
+				// Inner parallel loop: one work unit per executor,
+				// exactly Listing 3's inner pragma.
+				inner := make([]lwt.Handle, threads)
+				for u := 0; u < threads; u++ {
+					ilo, ihi := chunk(cols, threads, u)
+					inner[u] = c.TaskletCreate(func() {
+						for j := ilo; j < ihi; j++ {
+							row[j] *= a
+						}
+					})
+				}
+				for _, h := range inner {
+					c.Join(h)
+				}
+			}
+		})
+	}
+	r.JoinAll(outer)
+}
+
+func main() {
+	rows := flag.Int("rows", 200, "matrix rows (outer loop)")
+	cols := flag.Int("cols", 200, "matrix columns (inner loop)")
+	threads := flag.Int("threads", 4, "number of executors")
+	flag.Parse()
+
+	fmt.Printf("scaling a %dx%d matrix, nested parallelism on %d threads\n",
+		*rows, *cols, *threads)
+
+	for _, backend := range []string{"argobots", "qthreads", "massivethreads", "go"} {
+		m := make([]float64, (*rows)*(*cols))
+		for i := range m {
+			m[i] = 1
+		}
+		r, err := lwt.New(backend, *threads)
+		if err != nil {
+			log.Fatalf("nestedscale: %v", err)
+		}
+		t0 := time.Now()
+		scaleNested(r, m, *rows, *cols, *threads, 3)
+		dt := time.Since(t0)
+		r.Finalize()
+
+		ok := true
+		for _, x := range m {
+			if x != 3 {
+				ok = false
+				break
+			}
+		}
+		status := "verified"
+		if !ok {
+			status = "FAILED VERIFICATION"
+		}
+		fmt.Printf("  %-16s %10v  %s\n", backend, dt, status)
+	}
+}

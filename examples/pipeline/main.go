@@ -1,0 +1,127 @@
+// Pipeline: cooperative multi-stage processing on ULTs — the style of
+// code that needs the yield operation of Table II. Three stages
+// (generate, transform, reduce) run as long-lived ULTs communicating
+// through bounded buffers; a stage that finds its buffer empty or full
+// yields to the scheduler instead of blocking, so a single executor can
+// interleave all stages — something stackless tasklets cannot express
+// (§III-B: only ULTs can yield and suspend).
+//
+//	go run ./examples/pipeline -items 10000 -threads 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	lwt "repro"
+)
+
+// buffer is a bounded FIFO shared by adjacent stages. Stages poll it and
+// yield when they cannot progress; the mutex only protects the slice.
+type buffer struct {
+	mu    sync.Mutex
+	items []int
+	cap   int
+	done  bool
+}
+
+func (b *buffer) push(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) >= b.cap {
+		return false
+	}
+	b.items = append(b.items, v)
+	return true
+}
+
+func (b *buffer) pop() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return 0, false
+	}
+	v := b.items[0]
+	b.items = b.items[1:]
+	return v, true
+}
+
+func (b *buffer) close() {
+	b.mu.Lock()
+	b.done = true
+	b.mu.Unlock()
+}
+
+func (b *buffer) closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done && len(b.items) == 0
+}
+
+func main() {
+	items := flag.Int("items", 10000, "items to push through the pipeline")
+	threads := flag.Int("threads", 2, "number of executors")
+	backend := flag.String("backend", "argobots", "unified-API backend")
+	flag.Parse()
+
+	r, err := lwt.New(*backend, *threads)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	ab := &buffer{cap: 64}
+	bc := &buffer{cap: 64}
+	var sum int64
+
+	t0 := time.Now()
+	gen := r.ULTCreate(func(c lwt.Ctx) {
+		for i := 1; i <= *items; {
+			if ab.push(i) {
+				i++
+			} else {
+				c.Yield() // buffer full: let downstream drain it
+			}
+		}
+		ab.close()
+	})
+	xform := r.ULTCreate(func(c lwt.Ctx) {
+		for !ab.closed() {
+			v, ok := ab.pop()
+			if !ok {
+				c.Yield() // buffer empty: let upstream refill it
+				continue
+			}
+			for !bc.push(v * v) {
+				c.Yield()
+			}
+		}
+		bc.close()
+	})
+	reduce := r.ULTCreate(func(c lwt.Ctx) {
+		for !bc.closed() {
+			v, ok := bc.pop()
+			if !ok {
+				c.Yield()
+				continue
+			}
+			sum += int64(v)
+		}
+	})
+
+	r.JoinAll([]lwt.Handle{gen, xform, reduce})
+	dt := time.Since(t0)
+	r.Finalize()
+
+	// Closed form of sum of squares 1..n.
+	n := int64(*items)
+	want := n * (n + 1) * (2*n + 1) / 6
+	status := "verified"
+	if sum != want {
+		status = fmt.Sprintf("FAILED (got %d, want %d)", sum, want)
+	}
+	fmt.Printf("pipeline on %s (%d threads): %d items, sum of squares = %d (%s) in %v\n",
+		*backend, *threads, *items, sum, status, dt)
+}

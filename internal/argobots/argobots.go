@@ -1,0 +1,425 @@
+// Package argobots emulates the Argobots programming model (§III-E of the
+// paper): execution streams (ES) that can be created dynamically, two work
+// unit types (ULTs and Tasklets), per-ES private pools or shared pools
+// chosen by the user, stackable schedulers, and the yield_to operation
+// that hands control to a named ULT without consulting the scheduler.
+//
+// The caller of Init becomes the primary ULT of ES 0, exactly as
+// ABT_init makes main() the primary ULT. Joins follow the Argobots
+// join-and-free discipline (ABT_thread_free in Table II): the joiner polls
+// the work unit's status — yielding between polls when it is itself a
+// ULT — and releases the unit's resources when done. The paper attributes
+// Argobots' best-in-class Figures 2–4 behaviour to the cheap status-check
+// join plus tasklets; both are reproduced here.
+package argobots
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/ult"
+)
+
+// PoolKind selects how work-unit pools map to execution streams
+// (§VIII-B4: "the work unit pools can be private for each thread or shared
+// among all of them").
+type PoolKind int
+
+const (
+	// PrivatePools gives each ES its own pool; creators deal work units
+	// round-robin into the target pools. This is the configuration the
+	// paper's evaluation selects for every test (§IX-E).
+	PrivatePools PoolKind = iota
+	// SharedPool uses one pool for all ESs, serializing every push and
+	// pop on its lock.
+	SharedPool
+)
+
+// String names the pool configuration.
+func (k PoolKind) String() string {
+	if k == SharedPool {
+		return "shared"
+	}
+	return "private"
+}
+
+// Config parameterizes Init.
+type Config struct {
+	// XStreams is the initial number of execution streams (≥ 1). ES 0
+	// hosts the primary ULT.
+	XStreams int
+	// Pools selects private-per-ES or shared pools.
+	Pools PoolKind
+	// Tracer, when non-nil, records scheduling events (dispatches,
+	// tasklet executions, idle spins) for offline analysis.
+	Tracer *trace.Recorder
+	// IdleParking makes idle execution streams park on a condition
+	// variable instead of busy-yielding — the passive analogue of
+	// OMP_WAIT_POLICY for LWT executors. Busy-wait (the default,
+	// matching the C library) wins when streams ≤ cores; parking avoids
+	// the oversubscription collapse when streams exceed cores (see
+	// EXPERIMENTS.md "Known divergences" and
+	// BenchmarkAblationIdlePolicy).
+	IdleParking bool
+}
+
+// Runtime is an initialized Argobots instance.
+type Runtime struct {
+	cfg      Config
+	mu       sync.Mutex // guards xstreams growth (dynamic ES creation)
+	xstreams []*XStream
+	shared   *sched.Stack // non-nil in SharedPool mode
+	rr       atomic.Pointer[sched.RoundRobin]
+	primary  *ult.ULT
+	parker   *ult.Parker // non-nil when IdleParking is on
+	shutdown atomic.Bool
+	wg       sync.WaitGroup
+	finished atomic.Bool
+}
+
+// XStream is one execution stream: an executor plus its (stackable)
+// scheduler over a pool.
+type XStream struct {
+	rt    *Runtime
+	exec  *ult.Executor
+	sched *sched.Stack
+}
+
+// ID returns the execution stream's rank.
+func (x *XStream) ID() int { return x.exec.ID() }
+
+// Stats exposes the stream's executor counters.
+func (x *XStream) Stats() *ult.ExecStats { return x.exec.Stats() }
+
+// Thread is a handle on an Argobots ULT.
+type Thread struct {
+	u  *ult.ULT
+	rt *Runtime
+}
+
+// Task is a handle on an Argobots Tasklet.
+type Task struct {
+	t  *ult.Tasklet
+	rt *Runtime
+}
+
+// Context is passed to ULT bodies; it exposes the cooperative operations
+// valid only while the ULT runs.
+type Context struct {
+	rt   *Runtime
+	self *ult.ULT
+}
+
+// Errors reported by the runtime.
+var (
+	// ErrFinalized is returned by operations on a finalized runtime.
+	ErrFinalized = errors.New("argobots: runtime finalized")
+)
+
+// Init starts the runtime with the given configuration and adopts the
+// calling goroutine as the primary ULT of ES 0 (ABT_init). It panics if
+// cfg.XStreams < 1.
+func Init(cfg Config) *Runtime {
+	if cfg.XStreams < 1 {
+		panic(fmt.Sprintf("argobots: XStreams = %d, need >= 1", cfg.XStreams))
+	}
+	rt := &Runtime{cfg: cfg}
+	if cfg.IdleParking {
+		rt.parker = ult.NewParker()
+	}
+	if cfg.Pools == SharedPool {
+		rt.shared = sched.NewStack(sched.NewFIFO())
+	}
+	rt.rr.Store(sched.NewRoundRobin(cfg.XStreams))
+	for i := 0; i < cfg.XStreams; i++ {
+		rt.addXStream(i)
+	}
+	rt.primary = ult.Adopt(rt.xstreams[0].exec)
+	for i, x := range rt.xstreams {
+		rt.wg.Add(1)
+		go x.loop(i == 0)
+	}
+	return rt
+}
+
+// addXStream creates the ES structure without starting its loop.
+func (rt *Runtime) addXStream(id int) *XStream {
+	x := &XStream{rt: rt, exec: ult.NewExecutor(id)}
+	if rt.shared != nil {
+		x.sched = rt.shared
+	} else {
+		x.sched = sched.NewStack(sched.NewFIFO())
+	}
+	rt.mu.Lock()
+	rt.xstreams = append(rt.xstreams, x)
+	rt.mu.Unlock()
+	return x
+}
+
+// XStreamCreate adds a new execution stream at run time — the dynamic
+// group control unique to Argobots in Table I — and starts it immediately.
+// It returns the new stream's rank.
+func (rt *Runtime) XStreamCreate() (int, error) {
+	if rt.finished.Load() {
+		return 0, ErrFinalized
+	}
+	rt.mu.Lock()
+	id := len(rt.xstreams)
+	rt.mu.Unlock()
+	x := rt.addXStream(id)
+	rt.rr.Store(sched.NewRoundRobin(id + 1))
+	rt.wg.Add(1)
+	go x.loop(false)
+	return id, nil
+}
+
+// NumXStreams reports the current number of execution streams.
+func (rt *Runtime) NumXStreams() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.xstreams)
+}
+
+// xstream returns the ES with the given rank.
+func (rt *Runtime) xstream(i int) *XStream {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.xstreams[i]
+}
+
+// pushTo inserts a ready unit into the pool serving ES es and wakes any
+// parked streams.
+func (rt *Runtime) pushTo(u ult.Unit, es int) {
+	ult.MarkReady(u)
+	if rt.shared != nil {
+		rt.shared.Push(u)
+	} else {
+		rt.xstream(es).sched.Push(u)
+	}
+	if rt.parker != nil {
+		rt.parker.Wake()
+	}
+}
+
+// nextES picks the round-robin target for a new unit.
+func (rt *Runtime) nextES() int {
+	if rt.shared != nil {
+		return 0
+	}
+	return rt.rr.Load().Next()
+}
+
+// ThreadCreate creates a ULT and makes it runnable (ABT_thread_create).
+// With private pools the unit is dealt round-robin across streams, as the
+// paper's microbenchmarks do.
+func (rt *Runtime) ThreadCreate(fn func(*Context)) *Thread {
+	return rt.ThreadCreateTo(fn, rt.nextES())
+}
+
+// ThreadCreateTo creates a ULT directly in the pool of ES es.
+func (rt *Runtime) ThreadCreateTo(fn func(*Context), es int) *Thread {
+	th := &Thread{rt: rt}
+	th.u = ult.New(func(self *ult.ULT) {
+		fn(&Context{rt: rt, self: self})
+	})
+	rt.pushTo(th.u, es)
+	return th
+}
+
+// TaskCreate creates a Tasklet and makes it runnable (ABT_task_create).
+// Tasklets are stackless and atomic: cheaper to create and run, but unable
+// to yield — the trade quantified in Figures 2 and 5.
+func (rt *Runtime) TaskCreate(fn func()) *Task {
+	return rt.TaskCreateTo(fn, rt.nextES())
+}
+
+// TaskCreateTo creates a Tasklet directly in the pool of ES es.
+func (rt *Runtime) TaskCreateTo(fn func(), es int) *Task {
+	tk := &Task{rt: rt, t: ult.NewTasklet(fn)}
+	rt.pushTo(tk.t, es)
+	return tk
+}
+
+// Yield yields the primary ULT (ABT_thread_yield from main). Must be
+// called from the goroutine that called Init.
+func (rt *Runtime) Yield() { rt.primary.Yield() }
+
+// ThreadFree joins the ULT and releases it (ABT_thread_free): the caller
+// polls the unit's status, yielding the primary between polls, and then
+// frees the structure. The paper singles out this join-and-free as the
+// reason Argobots' Figure 6 join is costlier than Qthreads' readFF while
+// remaining the best in Figure 3.
+func (rt *Runtime) ThreadFree(th *Thread) error {
+	for !th.u.Done() {
+		rt.Yield()
+	}
+	return th.u.Free()
+}
+
+// TaskFree joins a tasklet and releases it (ABT_task_free).
+func (rt *Runtime) TaskFree(tk *Task) error {
+	for !tk.t.Done() {
+		rt.Yield()
+	}
+	return tk.t.Free()
+}
+
+// Done reports whether the ULT has completed, without joining it.
+func (th *Thread) Done() bool { return th.u.Done() }
+
+// Done reports whether the tasklet has completed.
+func (tk *Task) Done() bool { return tk.t.Done() }
+
+// PushScheduler stacks policy p on top of ES es's scheduler (Argobots
+// stackable schedulers, Table I). New work created toward that ES flows
+// through p until PopScheduler.
+func (rt *Runtime) PushScheduler(es int, p sched.Policy) {
+	rt.xstream(es).sched.PushScheduler(p)
+}
+
+// PopScheduler removes the topmost stacked policy from ES es and returns
+// it (nil if only the base policy remains). Units still queued in the
+// popped policy are migrated back to the stream's scheduler so no work is
+// lost.
+func (rt *Runtime) PopScheduler(es int) sched.Policy {
+	x := rt.xstream(es)
+	p := x.sched.PopScheduler()
+	if p == nil {
+		return nil
+	}
+	for u := p.Pop(); u != nil; u = p.Pop() {
+		x.sched.Push(u)
+	}
+	return p
+}
+
+// Finalize shuts the runtime down (ABT_finalize). All created work units
+// must have been joined; Finalize stops the streams and returns when their
+// loops exit. The calling goroutine ceases to be the primary ULT.
+func (rt *Runtime) Finalize() {
+	if !rt.finished.CompareAndSwap(false, true) {
+		return
+	}
+	rt.shutdown.Store(true)
+	if rt.parker != nil {
+		rt.parker.Close()
+	}
+	rt.primary.Detach()
+	rt.wg.Wait()
+}
+
+// loop is the scheduling loop of one execution stream.
+func (x *XStream) loop(adopted bool) {
+	defer x.rt.wg.Done()
+	x.exec.PinIfRequested()
+	requeue := func(t *ult.ULT) {
+		x.sched.Push(t)
+		if x.rt.parker != nil {
+			x.rt.parker.Wake()
+		}
+	}
+	if adopted {
+		// Conceptually the primary ULT was dispatched by Init; wait
+		// for it to yield or detach before scheduling anything else.
+		if t, res := x.exec.AwaitHandback(); res == ult.DispatchYielded {
+			requeue(t)
+		}
+	}
+	tracer := x.rt.cfg.Tracer
+	for {
+		// A YieldTo hint bypasses the scheduler entirely.
+		if res, h, ok := x.exec.DispatchHint(); ok {
+			if res == ult.DispatchYielded {
+				requeue(h)
+			}
+			continue
+		}
+		// Capture the wake epoch before the pop: a push that lands
+		// after an empty pop advances it, so ParkIf cannot sleep
+		// through work (no lost wakeups).
+		var epoch uint64
+		if x.rt.parker != nil {
+			epoch = x.rt.parker.Epoch()
+		}
+		u := x.sched.Pop()
+		if u == nil {
+			if x.rt.shutdown.Load() {
+				return
+			}
+			tracer.Instant(x.exec.ID(), trace.KindIdle, 0)
+			if x.rt.parker != nil {
+				// Passive idle policy: sleep until work is pushed.
+				x.rt.parker.ParkIf(epoch)
+				continue
+			}
+			x.exec.NoteIdle()
+			continue
+		}
+		kind := trace.KindDispatch
+		if u.Kind() == ult.KindTasklet {
+			kind = trace.KindTasklet
+		}
+		tracer.Span(x.exec.ID(), kind, u.ID(), func() {
+			x.exec.RunUnit(u, requeue)
+		})
+	}
+}
+
+// --- Context: operations valid inside a running ULT ---
+
+// Runtime returns the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// Yield returns control to the stream's scheduler (ABT_thread_yield).
+func (c *Context) Yield() { c.self.Yield() }
+
+// YieldTo hands control directly to the target ULT, skipping the
+// scheduler (ABT_thread_yield_to) — the operation only Argobots offers in
+// Table I. If the target is not runnable the call degrades to Yield.
+func (c *Context) YieldTo(target *Thread) { c.self.YieldTo(target.u) }
+
+// Join waits for the target ULT by polling its status and yielding
+// between polls.
+func (c *Context) Join(th *Thread) {
+	for !th.u.Done() {
+		c.self.Yield()
+	}
+}
+
+// JoinFree joins the target and frees it (worker-side ABT_thread_free).
+func (c *Context) JoinFree(th *Thread) error {
+	c.Join(th)
+	return th.u.Free()
+}
+
+// JoinTask waits for a tasklet by polling and yielding.
+func (c *Context) JoinTask(tk *Task) {
+	for !tk.t.Done() {
+		c.self.Yield()
+	}
+}
+
+// ThreadCreate creates a ULT from inside a ULT (nested parallelism).
+func (c *Context) ThreadCreate(fn func(*Context)) *Thread {
+	return c.rt.ThreadCreate(fn)
+}
+
+// ThreadCreateTo creates a ULT into the pool of ES es from inside a ULT.
+func (c *Context) ThreadCreateTo(fn func(*Context), es int) *Thread {
+	return c.rt.ThreadCreateTo(fn, es)
+}
+
+// TaskCreate creates a tasklet from inside a ULT.
+func (c *Context) TaskCreate(fn func()) *Task { return c.rt.TaskCreate(fn) }
+
+// TaskCreateTo creates a tasklet into the pool of ES es from inside a ULT.
+func (c *Context) TaskCreateTo(fn func(), es int) *Task {
+	return c.rt.TaskCreateTo(fn, es)
+}
+
+// SelfID returns the running ULT's unit ID.
+func (c *Context) SelfID() uint64 { return c.self.ID() }

@@ -1,0 +1,160 @@
+package argobots
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ULT-aware synchronization primitives, mirroring the Argobots API
+// surface (ABT_mutex, ABT_cond, ABT_eventual, ABT_barrier). Unlike
+// OS-level primitives, these must never block the executor an ULT runs
+// on — a blocked executor would stall every queued work unit behind it —
+// so every wait is cooperative: the caller yields between polls. Any
+// context with a Yield method participates: both *Context (inside a ULT)
+// and *Runtime (the primary ULT) qualify.
+
+// Yielder is anything that can cooperatively give up control: *Context
+// inside a ULT, *Runtime for the primary.
+type Yielder interface {
+	// Yield returns control to the scheduler.
+	Yield()
+}
+
+var (
+	_ Yielder = (*Context)(nil)
+	_ Yielder = (*Runtime)(nil)
+)
+
+// Mutex is a ULT-level mutual-exclusion lock (ABT_mutex). Contended
+// lockers yield rather than block the executor.
+//
+// The zero value is an unlocked mutex.
+type Mutex struct {
+	locked atomic.Bool
+	// Contended counts lock acquisitions that had to yield at least
+	// once.
+	contended atomic.Uint64
+}
+
+// Lock acquires the mutex, yielding through y while contended.
+func (m *Mutex) Lock(y Yielder) {
+	if m.locked.CompareAndSwap(false, true) {
+		return
+	}
+	m.contended.Add(1)
+	for !m.locked.CompareAndSwap(false, true) {
+		y.Yield()
+	}
+}
+
+// TryLock acquires the mutex without waiting; it reports success.
+func (m *Mutex) TryLock() bool {
+	return m.locked.CompareAndSwap(false, true)
+}
+
+// Unlock releases the mutex. Unlocking an unlocked mutex panics, as the
+// misuse it signals is always a bug.
+func (m *Mutex) Unlock() {
+	if !m.locked.CompareAndSwap(true, false) {
+		panic("argobots: Unlock of unlocked Mutex")
+	}
+}
+
+// Contended reports how many Lock calls had to wait.
+func (m *Mutex) Contended() uint64 { return m.contended.Load() }
+
+// Cond is a ULT-level condition variable (ABT_cond) built on a
+// generation counter: waiters observe the generation, release the mutex,
+// and yield until the generation moves. Signal and Broadcast both
+// advance the generation, so Signal may wake more than one waiter —
+// waiters must re-check their predicate, as with any condition variable.
+type Cond struct {
+	gen atomic.Uint64
+}
+
+// Wait atomically releases m, waits for a signal, and reacquires m.
+// Must be called with m held.
+func (c *Cond) Wait(m *Mutex, y Yielder) {
+	gen := c.gen.Load()
+	m.Unlock()
+	for c.gen.Load() == gen {
+		y.Yield()
+	}
+	m.Lock(y)
+}
+
+// Signal wakes waiting ULTs (at least one; possibly all — re-check the
+// predicate).
+func (c *Cond) Signal() { c.gen.Add(1) }
+
+// Broadcast wakes all waiting ULTs.
+func (c *Cond) Broadcast() { c.gen.Add(1) }
+
+// Eventual is a write-once value ULTs can wait on (ABT_eventual) — the
+// LWT analogue of a future.
+type Eventual struct {
+	mu    sync.Mutex
+	val   any
+	ready atomic.Bool
+}
+
+// Set publishes the value. Setting twice panics: an eventual is
+// write-once.
+func (e *Eventual) Set(v any) {
+	e.mu.Lock()
+	if e.ready.Load() {
+		e.mu.Unlock()
+		panic("argobots: Eventual set twice")
+	}
+	e.val = v
+	e.mu.Unlock()
+	e.ready.Store(true)
+}
+
+// Ready reports whether the value has been published.
+func (e *Eventual) Ready() bool { return e.ready.Load() }
+
+// Wait yields until the value is published and returns it.
+func (e *Eventual) Wait(y Yielder) any {
+	for !e.ready.Load() {
+		y.Yield()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.val
+}
+
+// Barrier is a ULT-level rendezvous (ABT_barrier): parties ULTs meet,
+// yielding while they wait, then all proceed. It is reusable
+// (sense-reversing).
+type Barrier struct {
+	parties int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+}
+
+// NewBarrier creates a barrier for n parties. It panics if n < 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("argobots: barrier needs at least one party")
+	}
+	b := &Barrier{parties: int32(n)}
+	b.count.Store(int32(n))
+	return b
+}
+
+// Wait blocks (cooperatively) until all parties arrive.
+func (b *Barrier) Wait(y Yielder) {
+	sense := b.sense.Load()
+	if b.count.Add(-1) == 0 {
+		b.count.Store(b.parties)
+		b.sense.Add(1)
+		return
+	}
+	for b.sense.Load() == sense {
+		y.Yield()
+	}
+}
+
+// Parties reports the number of participants.
+func (b *Barrier) Parties() int { return int(b.parties) }

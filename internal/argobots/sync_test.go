@@ -1,0 +1,206 @@
+package argobots
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMutexMutualExclusionAcrossULTs(t *testing.T) {
+	rt := Init(Config{XStreams: 4})
+	defer rt.Finalize()
+	var m Mutex
+	counter := 0 // protected by m only
+	const ults, iters = 16, 200
+	ths := make([]*Thread, ults)
+	for i := range ths {
+		ths[i] = rt.ThreadCreate(func(c *Context) {
+			for j := 0; j < iters; j++ {
+				m.Lock(c)
+				counter++
+				m.Unlock()
+			}
+		})
+	}
+	for _, th := range ths {
+		rt.ThreadFree(th)
+	}
+	if counter != ults*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, ults*iters)
+	}
+	t.Logf("contended acquisitions: %d", m.Contended())
+}
+
+func TestMutexTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock failed on an unlocked mutex")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded on a locked mutex")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed after Unlock")
+	}
+	m.Unlock()
+}
+
+func TestMutexUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	var m Mutex
+	m.Unlock()
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	rt := Init(Config{XStreams: 2})
+	defer rt.Finalize()
+	var m Mutex
+	var c Cond
+	ready := false
+
+	waiter := rt.ThreadCreate(func(ctx *Context) {
+		m.Lock(ctx)
+		for !ready {
+			c.Wait(&m, ctx)
+		}
+		m.Unlock()
+	})
+	setter := rt.ThreadCreate(func(ctx *Context) {
+		m.Lock(ctx)
+		ready = true
+		m.Unlock()
+		c.Signal()
+	})
+	rt.ThreadFree(setter)
+	rt.ThreadFree(waiter)
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	rt := Init(Config{XStreams: 4})
+	defer rt.Finalize()
+	var m Mutex
+	var c Cond
+	released := 0
+	go4 := false
+
+	const waiters = 8
+	ths := make([]*Thread, waiters)
+	for i := range ths {
+		ths[i] = rt.ThreadCreate(func(ctx *Context) {
+			m.Lock(ctx)
+			for !go4 {
+				c.Wait(&m, ctx)
+			}
+			released++
+			m.Unlock()
+		})
+	}
+	setter := rt.ThreadCreate(func(ctx *Context) {
+		m.Lock(ctx)
+		go4 = true
+		m.Unlock()
+		c.Broadcast()
+	})
+	rt.ThreadFree(setter)
+	for _, th := range ths {
+		rt.ThreadFree(th)
+	}
+	if released != waiters {
+		t.Fatalf("released = %d, want %d", released, waiters)
+	}
+}
+
+func TestEventualFuture(t *testing.T) {
+	rt := Init(Config{XStreams: 2})
+	defer rt.Finalize()
+	var ev Eventual
+	if ev.Ready() {
+		t.Fatal("fresh eventual is ready")
+	}
+	var got atomic.Int64
+	consumer := rt.ThreadCreate(func(c *Context) {
+		got.Store(int64(ev.Wait(c).(int)))
+	})
+	producer := rt.ThreadCreate(func(c *Context) {
+		ev.Set(42)
+	})
+	rt.ThreadFree(producer)
+	rt.ThreadFree(consumer)
+	if got.Load() != 42 {
+		t.Fatalf("eventual delivered %d, want 42", got.Load())
+	}
+	// Waiting again returns immediately with the same value.
+	if v := ev.Wait(rt).(int); v != 42 {
+		t.Fatalf("re-wait = %d", v)
+	}
+}
+
+func TestEventualDoubleSetPanics(t *testing.T) {
+	var ev Eventual
+	ev.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Set did not panic")
+		}
+	}()
+	ev.Set(2)
+}
+
+func TestULTBarrierRendezvous(t *testing.T) {
+	rt := Init(Config{XStreams: 4})
+	defer rt.Finalize()
+	const parties, rounds = 6, 10
+	b := NewBarrier(parties)
+	if b.Parties() != parties {
+		t.Fatalf("Parties = %d", b.Parties())
+	}
+	var phase atomic.Int32
+	var violations atomic.Int32
+	ths := make([]*Thread, parties)
+	for i := range ths {
+		ths[i] = rt.ThreadCreate(func(c *Context) {
+			for r := 0; r < rounds; r++ {
+				if int(phase.Load()) > r {
+					violations.Add(1)
+				}
+				b.Wait(c)
+				phase.CompareAndSwap(int32(r), int32(r+1))
+				b.Wait(c)
+			}
+		})
+	}
+	for _, th := range ths {
+		rt.ThreadFree(th)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d barrier phase violations", violations.Load())
+	}
+	if phase.Load() != rounds {
+		t.Fatalf("phases = %d, want %d", phase.Load(), rounds)
+	}
+}
+
+func TestBarrierPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestPrimaryParticipatesInSync(t *testing.T) {
+	// The primary ULT (via *Runtime as Yielder) can share primitives
+	// with worker ULTs.
+	rt := Init(Config{XStreams: 2})
+	defer rt.Finalize()
+	var ev Eventual
+	rt.ThreadCreate(func(c *Context) { ev.Set("from-worker") })
+	if got := ev.Wait(rt).(string); got != "from-worker" {
+		t.Fatalf("primary received %q", got)
+	}
+}

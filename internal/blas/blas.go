@@ -1,0 +1,84 @@
+// Package blas provides the BLAS-1 kernels the paper's evaluation uses as
+// work-unit bodies (§IX, Listing 5): Sscal — chosen because it "matches
+// perfectly the fine-grained approach of LWT and is highly parallelizable"
+// — plus the small companions (axpy, dot, asum) the examples use to build
+// realistic vector workloads.
+package blas
+
+// Sscal multiplies every component of v by a, in place (Listing 5).
+func Sscal(v []float32, a float32) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// SscalRange applies Sscal to the half-open index range [lo, hi) of v —
+// the per-thread chunk of the for-loop microbenchmark (§VIII-A1).
+func SscalRange(v []float32, a float32, lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(v) {
+		hi = len(v)
+	}
+	for i := lo; i < hi; i++ {
+		v[i] *= a
+	}
+}
+
+// SscalElem scales a single element — the per-task granularity of the
+// task-parallel microbenchmarks ("one task is created for each vector
+// element", §IX).
+func SscalElem(v []float32, a float32, i int) {
+	v[i] *= a
+}
+
+// Saxpy computes y ← a·x + y elementwise. It panics if the slices have
+// different lengths.
+func Saxpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: Saxpy length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Sdot returns the dot product of x and y. It panics on length mismatch.
+func Sdot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("blas: Sdot length mismatch")
+	}
+	var s float32
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Sasum returns the sum of absolute values of v.
+func Sasum(v []float32) float32 {
+	var s float32
+	for _, x := range v {
+		if x < 0 {
+			s -= x
+		} else {
+			s += x
+		}
+	}
+	return s
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float32, x float32) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Iota fills v with 0, 1, 2, ... — a convenient deterministic test vector.
+func Iota(v []float32) {
+	for i := range v {
+		v[i] = float32(i)
+	}
+}

@@ -1,0 +1,171 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float32) bool {
+	return math.Abs(float64(a-b)) <= 1e-4*(1+math.Abs(float64(b)))
+}
+
+func TestSscal(t *testing.T) {
+	v := []float32{1, 2, 3, 4}
+	Sscal(v, 2.5)
+	want := []float32{2.5, 5, 7.5, 10}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("v = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestSscalEmpty(t *testing.T) {
+	Sscal(nil, 3) // must not panic
+	Sscal([]float32{}, 3)
+}
+
+func TestSscalRangeClamps(t *testing.T) {
+	v := []float32{1, 1, 1, 1}
+	SscalRange(v, 2, -3, 2)
+	if v[0] != 2 || v[1] != 2 || v[2] != 1 || v[3] != 1 {
+		t.Fatalf("v = %v after clamped-low range", v)
+	}
+	SscalRange(v, 3, 3, 99)
+	if v[3] != 3 {
+		t.Fatalf("v = %v after clamped-high range", v)
+	}
+}
+
+func TestSscalElem(t *testing.T) {
+	v := []float32{1, 2, 3}
+	SscalElem(v, 10, 1)
+	if v[0] != 1 || v[1] != 20 || v[2] != 3 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+// Property: scaling the whole vector elementwise equals scaling it with
+// one call — the equivalence the task-parallel microbenchmarks rely on.
+func TestSscalElementwiseEquivalence(t *testing.T) {
+	f := func(raw []float32, a float32) bool {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		whole := make([]float32, len(raw))
+		perElem := make([]float32, len(raw))
+		copy(whole, raw)
+		copy(perElem, raw)
+		Sscal(whole, a)
+		for i := range perElem {
+			SscalElem(perElem, a, i)
+		}
+		for i := range whole {
+			na, nb := math.IsNaN(float64(whole[i])), math.IsNaN(float64(perElem[i]))
+			if na || nb {
+				if na != nb {
+					return false
+				}
+				continue
+			}
+			if whole[i] != perElem[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunked range scaling covers exactly the whole vector.
+func TestSscalRangeChunksEquivalence(t *testing.T) {
+	f := func(n16 uint16, k8 uint8) bool {
+		n := int(n16%500) + 1
+		k := int(k8%8) + 1
+		whole := make([]float32, n)
+		chunked := make([]float32, n)
+		Iota(whole)
+		Iota(chunked)
+		Sscal(whole, 3)
+		for tid := 0; tid < k; tid++ {
+			lo := tid * n / k
+			hi := (tid + 1) * n / k
+			SscalRange(chunked, 3, lo, hi)
+		}
+		for i := range whole {
+			if whole[i] != chunked[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaxpy(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	Saxpy(2, x, y)
+	want := []float32{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestSaxpyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Saxpy accepted mismatched lengths")
+		}
+	}()
+	Saxpy(1, []float32{1}, []float32{1, 2})
+}
+
+func TestSdot(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{4, 5, 6}
+	if got := Sdot(x, y); !almostEq(got, 32) {
+		t.Fatalf("Sdot = %v, want 32", got)
+	}
+}
+
+func TestSdotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sdot accepted mismatched lengths")
+		}
+	}()
+	Sdot([]float32{1, 2}, []float32{1})
+}
+
+func TestSasum(t *testing.T) {
+	if got := Sasum([]float32{-1, 2, -3}); !almostEq(got, 6) {
+		t.Fatalf("Sasum = %v, want 6", got)
+	}
+	if got := Sasum(nil); got != 0 {
+		t.Fatalf("Sasum(nil) = %v", got)
+	}
+}
+
+func TestFillAndIota(t *testing.T) {
+	v := make([]float32, 4)
+	Fill(v, 7)
+	for _, x := range v {
+		if x != 7 {
+			t.Fatalf("Fill: v = %v", v)
+		}
+	}
+	Iota(v)
+	for i, x := range v {
+		if x != float32(i) {
+			t.Fatalf("Iota: v = %v", v)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package converse
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Converse client-server (CCS) module. §III-B notes that "several
+// Converse Threads modules (e.g., client-server) have been implemented"
+// for the Charm++ interaction; this file reproduces that module's shape:
+// named handlers registered on the runtime, invoked on a chosen processor
+// by request Messages, with replies the client can wait on while driving
+// its own scheduler (return mode).
+
+// Handler is a registered client-server entry point. It runs as a
+// Message on the target processor and returns the reply payload.
+type Handler func(pc *Proc, payload []byte) []byte
+
+// Reply is a pending CCS response.
+type Reply struct {
+	mu   sync.Mutex
+	data []byte
+	done atomic.Bool
+}
+
+// Done reports whether the reply has arrived.
+func (r *Reply) Done() bool { return r.done.Load() }
+
+// payload returns the reply data once done.
+func (r *Reply) payload() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data
+}
+
+// complete stores the reply and marks it done.
+func (r *Reply) complete(data []byte) {
+	r.mu.Lock()
+	r.data = data
+	r.mu.Unlock()
+	r.done.Store(true)
+}
+
+// RegisterHandler installs a named handler. Registering the same name
+// twice panics (handler tables are static in CCS).
+func (rt *Runtime) RegisterHandler(name string, h Handler) {
+	rt.handlersMu.Lock()
+	defer rt.handlersMu.Unlock()
+	if rt.handlers == nil {
+		rt.handlers = make(map[string]Handler)
+	}
+	if _, dup := rt.handlers[name]; dup {
+		panic(fmt.Sprintf("converse: handler %q registered twice", name))
+	}
+	rt.handlers[name] = h
+}
+
+// handler looks a handler up.
+func (rt *Runtime) handler(name string) (Handler, bool) {
+	rt.handlersMu.Lock()
+	defer rt.handlersMu.Unlock()
+	h, ok := rt.handlers[name]
+	return h, ok
+}
+
+// SendRequest sends a CCS request to the named handler on processor
+// proc. The handler runs as a Message there; the returned Reply
+// completes with its result. An unknown handler completes the reply with
+// nil immediately.
+func (rt *Runtime) SendRequest(proc int, name string, payload []byte) *Reply {
+	r := &Reply{}
+	h, ok := rt.handler(name)
+	if !ok {
+		r.complete(nil)
+		return r
+	}
+	rt.SyncSend(proc, func(pc *Proc) {
+		// A panicking handler (contained by the substrate) must still
+		// release the client: complete with nil on abnormal exit.
+		defer func() {
+			if !r.Done() {
+				r.complete(nil)
+			}
+		}()
+		r.complete(h(pc, payload))
+	})
+	return r
+}
+
+// WaitReply blocks the master on a reply, driving processor 0's queue in
+// return mode while waiting (the master may itself be the target).
+func (rt *Runtime) WaitReply(r *Reply) []byte {
+	for !r.Done() {
+		if !rt.Yield() {
+			osYield()
+		}
+	}
+	return r.payload()
+}
+
+// Broadcast sends the request to every processor and returns the replies
+// indexed by processor rank, waiting for all of them.
+func (rt *Runtime) Broadcast(name string, payload []byte) [][]byte {
+	replies := make([]*Reply, rt.NumProcs())
+	for p := range replies {
+		replies[p] = rt.SendRequest(p, name, payload)
+	}
+	out := make([][]byte, len(replies))
+	for p, r := range replies {
+		out[p] = rt.WaitReply(r)
+	}
+	return out
+}

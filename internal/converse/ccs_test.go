@@ -1,0 +1,104 @@
+package converse
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCCSRequestReply(t *testing.T) {
+	rt := Init(3)
+	defer rt.Finalize()
+	rt.RegisterHandler("echo", func(pc *Proc, payload []byte) []byte {
+		return append([]byte("proc-says:"), payload...)
+	})
+	r := rt.SendRequest(1, "echo", []byte("hi"))
+	got := rt.WaitReply(r)
+	if !bytes.Equal(got, []byte("proc-says:hi")) {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestCCSRequestToMasterProcessor(t *testing.T) {
+	// The master drives processor 0 itself; WaitReply must process the
+	// local queue so a request addressed to proc 0 completes.
+	rt := Init(2)
+	defer rt.Finalize()
+	rt.RegisterHandler("id", func(pc *Proc, payload []byte) []byte {
+		return []byte{byte(pc.ID())}
+	})
+	r := rt.SendRequest(0, "id", nil)
+	got := rt.WaitReply(r)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("reply = %v, want [0]", got)
+	}
+}
+
+func TestCCSHandlerSeesProcessor(t *testing.T) {
+	rt := Init(4)
+	defer rt.Finalize()
+	rt.RegisterHandler("rank", func(pc *Proc, payload []byte) []byte {
+		return []byte{byte(pc.ID())}
+	})
+	for p := 0; p < 4; p++ {
+		got := rt.WaitReply(rt.SendRequest(p, "rank", nil))
+		if len(got) != 1 || int(got[0]) != p {
+			t.Fatalf("proc %d replied %v", p, got)
+		}
+	}
+}
+
+func TestCCSUnknownHandler(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	r := rt.SendRequest(1, "nope", nil)
+	if got := rt.WaitReply(r); got != nil {
+		t.Fatalf("unknown handler replied %v", got)
+	}
+}
+
+func TestCCSDuplicateRegistrationPanics(t *testing.T) {
+	rt := Init(1)
+	defer rt.Finalize()
+	rt.RegisterHandler("h", func(pc *Proc, p []byte) []byte { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate handler registration did not panic")
+		}
+	}()
+	rt.RegisterHandler("h", func(pc *Proc, p []byte) []byte { return nil })
+}
+
+func TestCCSBroadcastCollectsAll(t *testing.T) {
+	rt := Init(5)
+	defer rt.Finalize()
+	rt.RegisterHandler("double", func(pc *Proc, payload []byte) []byte {
+		return []byte(fmt.Sprintf("%d:%s", pc.ID(), payload))
+	})
+	replies := rt.Broadcast("double", []byte("x"))
+	if len(replies) != 5 {
+		t.Fatalf("replies = %d, want 5", len(replies))
+	}
+	for p, r := range replies {
+		want := fmt.Sprintf("%d:x", p)
+		if string(r) != want {
+			t.Fatalf("proc %d replied %q, want %q", p, r, want)
+		}
+	}
+}
+
+func TestCCSHandlerCanSpawnWork(t *testing.T) {
+	// A handler is a Message: it can create local ULTs and send further
+	// Messages, like any Converse module.
+	rt := Init(3)
+	defer rt.Finalize()
+	rt.RegisterHandler("fanout", func(pc *Proc, payload []byte) []byte {
+		pc.SyncSend((pc.ID()+1)%3, func(*Proc) {})
+		return []byte("ok")
+	})
+	got := rt.WaitReply(rt.SendRequest(1, "fanout", nil))
+	if string(got) != "ok" {
+		t.Fatalf("reply = %q", got)
+	}
+	rt.Barrier() // drain the fan-out messages before finalize
+}

@@ -1,0 +1,279 @@
+// Package converse emulates the Converse Threads programming model
+// (§III-B): Processors with private work-unit queues, two work-unit types
+// — ULTs (CthThread: migratable, yieldable, own stack) and Messages
+// (stackless, atomic) — where only Messages may be pushed into *other*
+// processors' queues, and a barrier-based join whose cost grows linearly
+// with the processor count (Figure 3).
+//
+// The master (the goroutine that called Init) drives processor 0 itself,
+// in Converse's "return mode": scheduling calls process the local queue
+// and return to the caller, which is the only mode that matches the
+// OpenMP master-thread pattern (§VIII-B1). Work distribution from the
+// master therefore uses SyncSend (CmiSyncSend) in round-robin, and joining
+// uses a broadcast barrier that the master reaches by draining its own
+// queue — reproducing both the linear join and the "extra yield calls"
+// overhead the paper measures in two-step scenarios (§IX-B, §IX-D).
+package converse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/barrier"
+	"repro/internal/queue"
+	"repro/internal/trace"
+	"repro/internal/ult"
+)
+
+// Runtime is an initialized Converse instance.
+type Runtime struct {
+	procs    []*Processor
+	shutdown atomic.Bool
+	wg       sync.WaitGroup
+	finished atomic.Bool
+	// yieldOps counts master scheduling steps taken outside barriers —
+	// the "extra yield calls" the paper attributes 70–75 % of Converse's
+	// time to in two-step patterns.
+	yieldOps atomic.Uint64
+	// barriers counts completed barrier episodes.
+	barriers atomic.Uint64
+	// syncNanos accumulates wall time the master spends inside Barrier
+	// and Yield — the synchronization share §IX-B/§IX-D quantify.
+	syncNanos atomic.Int64
+
+	// handlers is the CCS handler table (see ccs.go).
+	handlersMu sync.Mutex
+	handlers   map[string]Handler
+
+	// tracer, when non-nil, records the master's barrier and yield
+	// spans for offline analysis of the sync share (§IX-D).
+	tracer *trace.Recorder
+}
+
+// SetTracer installs a trace recorder on the runtime's master-side
+// operations (Barrier, Yield). Pass nil to disable.
+func (rt *Runtime) SetTracer(r *trace.Recorder) { rt.tracer = r }
+
+// osYield gives the OS scheduler a chance while the master busy-waits.
+func osYield() { runtime.Gosched() }
+
+// Processor is one Converse processor: an executor plus its private queue.
+// Processor 0 has no scheduling goroutine; the master drives it.
+type Processor struct {
+	id   int
+	rt   *Runtime
+	exec *ult.Executor
+	q    *queue.FIFO
+}
+
+// ID returns the processor's rank.
+func (p *Processor) ID() int { return p.id }
+
+// QueueStats exposes the processor queue's counters.
+func (p *Processor) QueueStats() *queue.Stats { return p.q.Stats() }
+
+// Cth is a handle on a Converse ULT (CthThread).
+type Cth struct {
+	u *ult.ULT
+}
+
+// Done reports whether the ULT completed.
+func (c *Cth) Done() bool { return c.u.Done() }
+
+// Proc is the processor context passed to Message bodies: Messages are
+// atomic (no yield), but they may create local ULTs and send further
+// Messages.
+type Proc struct {
+	p *Processor
+}
+
+// CthCtx is the context passed to ULT bodies.
+type CthCtx struct {
+	p    *Processor
+	self *ult.ULT
+}
+
+// Init starts nprocs processors (ConverseInit). Processors 1..nprocs-1
+// get scheduler goroutines; processor 0 is driven by the caller. It
+// panics if nprocs < 1.
+func Init(nprocs int) *Runtime {
+	if nprocs < 1 {
+		panic(fmt.Sprintf("converse: nprocs = %d, need >= 1", nprocs))
+	}
+	rt := &Runtime{}
+	for i := 0; i < nprocs; i++ {
+		rt.procs = append(rt.procs, &Processor{
+			id:   i,
+			rt:   rt,
+			exec: ult.NewExecutor(i),
+			q:    queue.NewFIFO(64),
+		})
+	}
+	for _, p := range rt.procs[1:] {
+		rt.wg.Add(1)
+		go p.loop()
+	}
+	return rt
+}
+
+// NumProcs reports the processor count.
+func (rt *Runtime) NumProcs() int { return len(rt.procs) }
+
+// YieldOps reports how many master scheduling steps ran outside barriers.
+func (rt *Runtime) YieldOps() uint64 { return rt.yieldOps.Load() }
+
+// Barriers reports how many barrier episodes completed.
+func (rt *Runtime) Barriers() uint64 { return rt.barriers.Load() }
+
+// SyncSend enqueues a Message into the named processor's queue
+// (CmiSyncSend) — the only remote insertion Converse allows, and the
+// mechanism the master uses to distribute work round-robin (§VIII-B1).
+// The Message body receives its processor context.
+func (rt *Runtime) SyncSend(proc int, fn func(*Proc)) {
+	p := rt.procs[proc]
+	m := ult.NewTasklet(func() { fn(&Proc{p: p}) })
+	ult.MarkReady(m)
+	p.q.Push(m)
+}
+
+// CthCreate creates a ULT in processor 0's queue — from the master, the
+// local processor (CthCreate cannot target remote processors).
+func (rt *Runtime) CthCreate(fn func(*CthCtx)) *Cth {
+	return rt.procs[0].cthCreate(fn)
+}
+
+func (p *Processor) cthCreate(fn func(*CthCtx)) *Cth {
+	c := &Cth{}
+	c.u = ult.New(func(self *ult.ULT) {
+		fn(&CthCtx{p: p, self: self})
+	})
+	ult.MarkReady(c.u)
+	p.q.Push(c.u)
+	return c
+}
+
+// Yield runs one unit from processor 0's queue if there is one (CthYield
+// from the master in return mode). It reports whether a unit ran. These
+// are the "extra yield calls" of §IX-B: two-step algorithms need them so
+// the master's own Messages make progress.
+func (rt *Runtime) Yield() bool {
+	rt.yieldOps.Add(1)
+	t0 := time.Now()
+	ran := rt.procs[0].runOne()
+	d := time.Since(t0)
+	rt.syncNanos.Add(int64(d))
+	rt.tracer.Record(trace.Event{Exec: 0, Kind: trace.KindYield, Start: t0, Dur: d})
+	return ran
+}
+
+// SyncTime reports the cumulative wall time the master has spent inside
+// Barrier and Yield. Comparing it against total execution time reproduces
+// the paper's observation that Converse spends 70–75 % of two-step
+// patterns in synchronization.
+func (rt *Runtime) SyncTime() time.Duration {
+	return time.Duration(rt.syncNanos.Load())
+}
+
+// Scheduler drains processor 0's queue and returns when it is empty —
+// Converse's return mode (CsdScheduler in return mode, §VIII-B1).
+func (rt *Runtime) Scheduler() {
+	p := rt.procs[0]
+	for p.runOne() {
+		rt.yieldOps.Add(1)
+	}
+}
+
+// Barrier broadcasts a barrier Message to every processor and drives
+// processor 0 until the barrier completes. Every processor must execute
+// its barrier Message before anyone proceeds, so the cost is linear in
+// the processor count — the join behaviour Figure 3 shows for Converse.
+func (rt *Runtime) Barrier() {
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		rt.syncNanos.Add(int64(d))
+		rt.tracer.Record(trace.Event{Exec: 0, Kind: trace.KindBarrier, Start: t0, Dur: d})
+	}()
+	n := len(rt.procs)
+	bar := barrier.NewCentral(n)
+	for i := 1; i < n; i++ {
+		rt.SyncSend(i, func(*Proc) { bar.Wait() })
+	}
+	// The master reaches the barrier through its own queue: everything
+	// queued locally before the barrier runs first (queue flush).
+	p := rt.procs[0]
+	for p.runOne() {
+	}
+	bar.Wait()
+	rt.barriers.Add(1)
+}
+
+// Finalize stops the remote processors (ConverseExit).
+func (rt *Runtime) Finalize() {
+	if !rt.finished.CompareAndSwap(false, true) {
+		return
+	}
+	rt.shutdown.Store(true)
+	rt.wg.Wait()
+}
+
+// runOne executes a single unit from the processor's queue, requeueing a
+// yielded ULT behind the current tail. It reports whether a unit ran.
+func (p *Processor) runOne() bool {
+	if res, h, ok := p.exec.DispatchHint(); ok {
+		if res == ult.DispatchYielded {
+			p.q.Push(h)
+		}
+		return true
+	}
+	u := p.q.Pop()
+	if u == nil {
+		return false
+	}
+	res := p.exec.RunUnit(u, func(t *ult.ULT) { p.q.Push(t) })
+	return res != ult.DispatchSkipped
+}
+
+// loop is the scheduling goroutine of processors 1..n-1.
+func (p *Processor) loop() {
+	defer p.rt.wg.Done()
+	for {
+		if !p.runOne() {
+			if p.rt.shutdown.Load() {
+				return
+			}
+			p.exec.NoteIdle()
+		}
+	}
+}
+
+// --- Proc: operations valid inside a Message body ---
+
+// ID reports the processor executing the Message.
+func (pc *Proc) ID() int { return pc.p.id }
+
+// CthCreate creates a local ULT from inside a Message.
+func (pc *Proc) CthCreate(fn func(*CthCtx)) *Cth { return pc.p.cthCreate(fn) }
+
+// SyncSend sends a Message to another processor from inside a Message.
+func (pc *Proc) SyncSend(proc int, fn func(*Proc)) { pc.p.rt.SyncSend(proc, fn) }
+
+// --- CthCtx: operations valid inside a ULT body ---
+
+// ID reports the processor executing the ULT.
+func (cc *CthCtx) ID() int { return cc.p.id }
+
+// Yield re-enters the local scheduler (CthYield).
+func (cc *CthCtx) Yield() { cc.self.Yield() }
+
+// YieldTo hands control directly to another local ULT (CthYieldTo).
+func (cc *CthCtx) YieldTo(target *Cth) { cc.self.YieldTo(target.u) }
+
+// CthCreate creates another local ULT from inside a ULT.
+func (cc *CthCtx) CthCreate(fn func(*CthCtx)) *Cth { return cc.p.cthCreate(fn) }
+
+// SyncSend sends a Message to another processor from inside a ULT.
+func (cc *CthCtx) SyncSend(proc int, fn func(*Proc)) { cc.p.rt.SyncSend(proc, fn) }

@@ -1,0 +1,66 @@
+package converse
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTwoStepSyncOverheadDominates validates §IX-B/§IX-D quantitatively:
+// in two-step patterns (work distributed as Messages, joined through the
+// barrier with extra yields) the master spends the majority of the total
+// wall time inside synchronization operations — the paper reports 70 %
+// (task parallel region) to 75 % (nested tasks) for Converse Threads.
+func TestTwoStepSyncOverheadDominates(t *testing.T) {
+	rt := Init(4)
+	defer rt.Finalize()
+
+	var ran atomic.Int64
+	const outer, inner = 40, 10
+	t0 := time.Now()
+	// Step 1: distribute outer Messages that create the inner ones.
+	for i := 0; i < outer; i++ {
+		rt.SyncSend(i%4, func(pc *Proc) {
+			for j := 0; j < inner; j++ {
+				pc.SyncSend((pc.ID()+1)%4, func(*Proc) { ran.Add(1) })
+			}
+		})
+	}
+	// Extra yields so locally queued work progresses (the two-step
+	// algorithm's hallmark), then the barrier join.
+	for ran.Load() < outer*inner {
+		rt.Yield()
+	}
+	rt.Barrier()
+	total := time.Since(t0)
+
+	if ran.Load() != outer*inner {
+		t.Fatalf("ran = %d, want %d", ran.Load(), outer*inner)
+	}
+	sync := rt.SyncTime()
+	if sync <= 0 || sync > total {
+		t.Fatalf("sync time %v outside (0, %v]", sync, total)
+	}
+	frac := float64(sync) / float64(total)
+	// The paper's 70-75 % is machine-specific; assert the qualitative
+	// claim: synchronization dominates (> 50 %).
+	if frac < 0.5 {
+		t.Fatalf("sync fraction = %.2f, want > 0.5 (paper: 0.70-0.75)", frac)
+	}
+	t.Logf("sync fraction = %.2f (paper reports 0.70-0.75)", frac)
+}
+
+func TestSyncTimeMonotonic(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	before := rt.SyncTime()
+	rt.SyncSend(1, func(*Proc) {})
+	rt.Barrier()
+	after := rt.SyncTime()
+	if after < before {
+		t.Fatalf("SyncTime went backwards: %v -> %v", before, after)
+	}
+	if after == 0 {
+		t.Fatal("Barrier recorded no sync time")
+	}
+}

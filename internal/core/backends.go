@@ -1,0 +1,467 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/argobots"
+	"repro/internal/converse"
+	"repro/internal/gothreads"
+	"repro/internal/massivethreads"
+	"repro/internal/qthreads"
+)
+
+// The registered backends. Variants the paper evaluates separately
+// (MassiveThreads' two policies, Argobots' pool configurations) register
+// under their own names so experiments can select them directly.
+func init() {
+	Register("argobots", func() Backend { return &argoBackend{pools: argobots.PrivatePools} })
+	Register("argobots-shared", func() Backend { return &argoBackend{pools: argobots.SharedPool} })
+	Register("qthreads", func() Backend { return &qtBackend{} })
+	Register("qthreads-pernode", func() Backend { return &qtBackend{perNode: true} })
+	Register("massivethreads", func() Backend { return &mtBackend{policy: massivethreads.WorkFirst} })
+	Register("massivethreads-helpfirst", func() Backend { return &mtBackend{policy: massivethreads.HelpFirst} })
+	Register("converse", func() Backend { return &cvBackend{} })
+	Register("go", func() Backend { return &goBackend{} })
+}
+
+// --- Argobots ---
+
+type argoBackend struct {
+	rt    *argobots.Runtime
+	pools argobots.PoolKind
+}
+
+type argoULT struct{ th *argobots.Thread }
+
+func (h *argoULT) Done() bool { return h.th.Done() }
+
+type argoTasklet struct{ tk *argobots.Task }
+
+func (h *argoTasklet) Done() bool { return h.tk.Done() }
+
+type argoCtx struct {
+	b *argoBackend
+	c *argobots.Context
+}
+
+func (b *argoBackend) Name() string {
+	if b.pools == argobots.SharedPool {
+		return "argobots-shared"
+	}
+	return "argobots"
+}
+
+func (b *argoBackend) Init(nthreads int) error {
+	b.rt = argobots.Init(argobots.Config{XStreams: nthreads, Pools: b.pools})
+	return nil
+}
+
+func (b *argoBackend) ULTCreate(fn func(Ctx)) Handle {
+	return &argoULT{th: b.rt.ThreadCreate(func(c *argobots.Context) {
+		fn(&argoCtx{b: b, c: c})
+	})}
+}
+
+func (b *argoBackend) TaskletCreate(fn func()) Handle {
+	return &argoTasklet{tk: b.rt.TaskCreate(fn)}
+}
+
+func (b *argoBackend) Yield() { b.rt.Yield() }
+
+func (b *argoBackend) Join(h Handle) {
+	// Argobots joins are join-and-free (ABT_thread_free / ABT_task_free).
+	switch v := h.(type) {
+	case *argoULT:
+		_ = b.rt.ThreadFree(v.th)
+	case *argoTasklet:
+		_ = b.rt.TaskFree(v.tk)
+	default:
+		joinPoll(h, b.Yield)
+	}
+}
+
+func (b *argoBackend) Finalize() { b.rt.Finalize() }
+
+func (b *argoBackend) Caps() Capabilities {
+	return Capabilities{
+		HierarchyLevels: 2, WorkUnitTypes: 2, Tasklets: true,
+		GroupControl: true, YieldTo: true,
+		GlobalQueue: b.pools == argobots.SharedPool, PrivateQueues: b.pools == argobots.PrivatePools,
+		PluginScheduler: true, StackableScheduler: true, Yieldable: true,
+	}
+}
+
+func (c *argoCtx) Yield() { c.c.Yield() }
+
+func (c *argoCtx) ULTCreate(fn func(Ctx)) Handle {
+	return &argoULT{th: c.c.ThreadCreate(func(cc *argobots.Context) {
+		fn(&argoCtx{b: c.b, c: cc})
+	})}
+}
+
+func (c *argoCtx) TaskletCreate(fn func()) Handle {
+	return &argoTasklet{tk: c.c.TaskCreate(fn)}
+}
+
+func (c *argoCtx) Join(h Handle) { joinPoll(h, c.c.Yield) }
+
+// --- Qthreads ---
+
+type qtBackend struct {
+	rt      *qthreads.Runtime
+	perNode bool
+	rrNext  atomic.Uint64
+	n       int
+}
+
+type qtULT struct {
+	b  *qtBackend
+	th *qthreads.Thread
+}
+
+func (h *qtULT) Done() bool { return h.th.Done() }
+
+type qtCtx struct {
+	b *qtBackend
+	c *qthreads.Context
+}
+
+func (b *qtBackend) Name() string {
+	if b.perNode {
+		return "qthreads-pernode"
+	}
+	return "qthreads"
+}
+
+func (b *qtBackend) Init(nthreads int) error {
+	b.n = nthreads
+	var cfg qthreads.Config
+	if b.perNode {
+		cfg = qthreads.Config{Shepherds: 1, WorkersPerShepherd: nthreads}
+	} else {
+		cfg = qthreads.PerCPU(nthreads) // the paper's preferred layout
+	}
+	rt, err := qthreads.Init(cfg)
+	if err != nil {
+		return err
+	}
+	b.rt = rt
+	return nil
+}
+
+func (b *qtBackend) ULTCreate(fn func(Ctx)) Handle {
+	// Round-robin fork_to, the dispatch §VIII-B3 selects.
+	shep := int(b.rrNext.Add(1)-1) % b.rt.NumShepherds()
+	return &qtULT{b: b, th: b.rt.ForkTo(func(c *qthreads.Context) {
+		fn(&qtCtx{b: b, c: c})
+	}, shep)}
+}
+
+// TaskletCreate falls back to a ULT: Qthreads has no stackless unit
+// (Table I row "Tasklet Support").
+func (b *qtBackend) TaskletCreate(fn func()) Handle {
+	return b.ULTCreate(func(Ctx) { fn() })
+}
+
+// Yield from the main thread is a no-op scheduling hint: the Qthreads
+// main thread lives outside the runtime.
+func (b *qtBackend) Yield() { runtime.Gosched() }
+
+func (b *qtBackend) Join(h Handle) {
+	if v, ok := h.(*qtULT); ok {
+		b.rt.ReadFF(v.th) // qthread_readFF on the return-value word
+		return
+	}
+	joinPoll(h, b.Yield)
+}
+
+func (b *qtBackend) Finalize() { b.rt.Finalize() }
+
+func (b *qtBackend) Caps() Capabilities {
+	return Capabilities{
+		HierarchyLevels: 3, WorkUnitTypes: 1, Tasklets: false,
+		GroupControl: true, YieldTo: false,
+		GlobalQueue: false, PrivateQueues: true,
+		PluginScheduler: true, StackableScheduler: false, Yieldable: true,
+	}
+}
+
+func (c *qtCtx) Yield() { c.c.Yield() }
+
+func (c *qtCtx) ULTCreate(fn func(Ctx)) Handle {
+	return &qtULT{b: c.b, th: c.c.Fork(func(cc *qthreads.Context) {
+		fn(&qtCtx{b: c.b, c: cc})
+	})}
+}
+
+func (c *qtCtx) TaskletCreate(fn func()) Handle {
+	return c.ULTCreate(func(Ctx) { fn() })
+}
+
+func (c *qtCtx) Join(h Handle) {
+	if v, ok := h.(*qtULT); ok {
+		c.c.ReadFF(v.th)
+		return
+	}
+	joinPoll(h, c.c.Yield)
+}
+
+// --- MassiveThreads ---
+
+type mtBackend struct {
+	rt     *massivethreads.Runtime
+	policy massivethreads.Policy
+}
+
+type mtULT struct{ th *massivethreads.Thread }
+
+func (h *mtULT) Done() bool { return h.th.Done() }
+
+type mtCtx struct {
+	b *mtBackend
+	c *massivethreads.Context
+}
+
+func (b *mtBackend) Name() string {
+	if b.policy == massivethreads.HelpFirst {
+		return "massivethreads-helpfirst"
+	}
+	return "massivethreads"
+}
+
+func (b *mtBackend) Init(nthreads int) error {
+	b.rt = massivethreads.Init(nthreads, b.policy)
+	return nil
+}
+
+func (b *mtBackend) ULTCreate(fn func(Ctx)) Handle {
+	return &mtULT{th: b.rt.Create(func(c *massivethreads.Context) {
+		fn(&mtCtx{b: b, c: c})
+	})}
+}
+
+// TaskletCreate falls back to a ULT (no tasklet support, Table I).
+func (b *mtBackend) TaskletCreate(fn func()) Handle {
+	return b.ULTCreate(func(Ctx) { fn() })
+}
+
+func (b *mtBackend) Yield() { b.rt.Yield() }
+
+func (b *mtBackend) Join(h Handle) {
+	if v, ok := h.(*mtULT); ok {
+		b.rt.Join(v.th)
+		return
+	}
+	joinPoll(h, b.Yield)
+}
+
+func (b *mtBackend) Finalize() { b.rt.Finalize() }
+
+func (b *mtBackend) Caps() Capabilities {
+	return Capabilities{
+		HierarchyLevels: 2, WorkUnitTypes: 1, Tasklets: false,
+		GroupControl: true, YieldTo: false,
+		GlobalQueue: false, PrivateQueues: true,
+		PluginScheduler: true, StackableScheduler: false, Yieldable: true,
+	}
+}
+
+func (c *mtCtx) Yield() { c.c.Yield() }
+
+func (c *mtCtx) ULTCreate(fn func(Ctx)) Handle {
+	return &mtULT{th: c.c.Create(func(cc *massivethreads.Context) {
+		fn(&mtCtx{b: c.b, c: cc})
+	})}
+}
+
+func (c *mtCtx) TaskletCreate(fn func()) Handle {
+	return c.ULTCreate(func(Ctx) { fn() })
+}
+
+func (c *mtCtx) Join(h Handle) {
+	if v, ok := h.(*mtULT); ok {
+		c.c.Join(v.th)
+		return
+	}
+	joinPoll(h, c.c.Yield)
+}
+
+// --- Converse Threads ---
+
+type cvBackend struct {
+	rt     *converse.Runtime
+	rrNext atomic.Uint64
+	n      int
+}
+
+type cvULT struct{ c *converse.Cth }
+
+func (h *cvULT) Done() bool { return h.c.Done() }
+
+// cvMsg tracks a Message's completion with a flag the body sets.
+type cvMsg struct{ done atomic.Bool }
+
+func (h *cvMsg) Done() bool { return h.done.Load() }
+
+type cvCtx struct {
+	b *cvBackend
+	c *converse.CthCtx
+}
+
+func (b *cvBackend) Name() string { return "converse" }
+
+func (b *cvBackend) Init(nthreads int) error {
+	b.n = nthreads
+	b.rt = converse.Init(nthreads)
+	return nil
+}
+
+// ULTCreate is restricted to the local processor: CthCreate cannot target
+// remote queues (§VIII-B1's restriction on Converse in nested scenarios).
+func (b *cvBackend) ULTCreate(fn func(Ctx)) Handle {
+	return &cvULT{c: b.rt.CthCreate(func(cc *converse.CthCtx) {
+		fn(&cvCtx{b: b, c: cc})
+	})}
+}
+
+// TaskletCreate sends a Message round-robin — the only remote insertion
+// Converse offers, and what the paper's microbenchmarks use throughout.
+func (b *cvBackend) TaskletCreate(fn func()) Handle {
+	h := &cvMsg{}
+	proc := int(b.rrNext.Add(1)-1) % b.n
+	b.rt.SyncSend(proc, func(*converse.Proc) {
+		defer h.done.Store(true) // survive contained panics
+		fn()
+	})
+	return h
+}
+
+func (b *cvBackend) Yield() { b.rt.Yield() }
+
+// Join drives the local scheduler until the unit completes: the master
+// must keep processing its own queue (return mode) while remote
+// processors drain theirs.
+func (b *cvBackend) Join(h Handle) {
+	for !h.Done() {
+		if !b.rt.Yield() {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (b *cvBackend) Finalize() { b.rt.Finalize() }
+
+func (b *cvBackend) Caps() Capabilities {
+	return Capabilities{
+		HierarchyLevels: 2, WorkUnitTypes: 2, Tasklets: true,
+		GroupControl: true, YieldTo: false,
+		GlobalQueue: false, PrivateQueues: true,
+		PluginScheduler: true, StackableScheduler: false, Yieldable: true,
+	}
+}
+
+func (c *cvCtx) Yield() { c.c.Yield() }
+
+func (c *cvCtx) ULTCreate(fn func(Ctx)) Handle {
+	return &cvULT{c: c.c.CthCreate(func(cc *converse.CthCtx) {
+		fn(&cvCtx{b: c.b, c: cc})
+	})}
+}
+
+func (c *cvCtx) TaskletCreate(fn func()) Handle {
+	h := &cvMsg{}
+	proc := int(c.b.rrNext.Add(1)-1) % c.b.n
+	c.c.SyncSend(proc, func(*converse.Proc) {
+		defer h.done.Store(true) // survive contained panics
+		fn()
+	})
+	return h
+}
+
+func (c *cvCtx) Join(h Handle) { joinPoll(h, c.c.Yield) }
+
+// --- Go model ---
+
+type goBackend struct{ rt *gothreads.Runtime }
+
+type goULT struct {
+	b *goBackend
+	g *gothreads.G
+}
+
+func (h *goULT) Done() bool { return h.g.Done() }
+
+type goCtx struct {
+	b *goBackend
+	c *gothreads.Context
+}
+
+func (b *goBackend) Name() string { return "go" }
+
+func (b *goBackend) Init(nthreads int) error {
+	b.rt = gothreads.Init(nthreads)
+	return nil
+}
+
+func (b *goBackend) ULTCreate(fn func(Ctx)) Handle {
+	return &goULT{b: b, g: b.rt.Go(func(c *gothreads.Context) {
+		fn(&goCtx{b: b, c: c})
+	})}
+}
+
+// TaskletCreate falls back to a goroutine (single work-unit type).
+func (b *goBackend) TaskletCreate(fn func()) Handle {
+	return b.ULTCreate(func(Ctx) { fn() })
+}
+
+// Yield is absent from the Go model (Table I); the unified layer degrades
+// it to an OS-level scheduling hint.
+func (b *goBackend) Yield() { runtime.Gosched() }
+
+func (b *goBackend) Join(h Handle) {
+	if v, ok := h.(*goULT); ok {
+		b.rt.Join(v.g) // channel join
+		return
+	}
+	joinPoll(h, b.Yield)
+}
+
+func (b *goBackend) Finalize() { b.rt.Finalize() }
+
+func (b *goBackend) Caps() Capabilities {
+	return Capabilities{
+		HierarchyLevels: 2, WorkUnitTypes: 1, Tasklets: false,
+		GroupControl: true, YieldTo: false,
+		GlobalQueue: true, PrivateQueues: false,
+		PluginScheduler: false, StackableScheduler: false, Yieldable: false,
+	}
+}
+
+func (c *goCtx) Yield() {} // no yield in the Go model
+
+func (c *goCtx) ULTCreate(fn func(Ctx)) Handle {
+	return &goULT{b: c.b, g: c.c.Go(func(cc *gothreads.Context) {
+		fn(&goCtx{b: c.b, c: cc})
+	})}
+}
+
+func (c *goCtx) TaskletCreate(fn func()) Handle {
+	return c.ULTCreate(func(Ctx) { fn() })
+}
+
+func (c *goCtx) Join(h Handle) {
+	if v, ok := h.(*goULT); ok {
+		c.c.Join(v.g) // parks the goroutine, releases the thread
+		return
+	}
+	joinPoll(h, func() { runtime.Gosched() })
+}
+
+// joinPoll waits for completion by polling with the given yield between
+// checks — the generic cooperative join.
+func joinPoll(h Handle, yield func()) {
+	for !h.Done() {
+		yield()
+	}
+}

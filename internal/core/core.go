@@ -1,0 +1,184 @@
+// Package core implements the unified lightweight-thread API that the
+// paper identifies as its forward path: §VIII-C and Listing 4 show that a
+// reduced set of functions — initialization, ULT creation, tasklet
+// creation, yield, join, finalization (Table II) — suffices to implement
+// every parallel pattern studied, and §X announces "a common API for the
+// LWT libraries" as future work (the authors later shipped it as GLT).
+//
+// This package is that common API: one Runtime type whose operations are
+// the Table II rows, over a pluggable Backend implemented by each of the
+// emulated libraries. Features a backend lacks degrade the way the paper's
+// own microbenchmarks degrade them (tasklets fall back to ULTs, remote
+// creation falls back to local, yield falls back to a scheduler hint).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Handle is a joinable reference to a created work unit.
+type Handle interface {
+	// Done reports completion without blocking.
+	Done() bool
+}
+
+// Ctx is the execution context passed to ULT bodies: the cooperative
+// operations of Table II that are valid only inside a running work unit.
+type Ctx interface {
+	// Yield re-enters the backend's scheduler.
+	Yield()
+	// ULTCreate spawns a child ULT.
+	ULTCreate(fn func(Ctx)) Handle
+	// TaskletCreate spawns a child tasklet (or the backend's closest
+	// equivalent).
+	TaskletCreate(fn func()) Handle
+	// Join waits for a work unit created by this or any context.
+	Join(h Handle)
+}
+
+// Capabilities describes a backend in the vocabulary of Table I.
+type Capabilities struct {
+	// HierarchyLevels counts the execution hierarchy depth (Pthreads 1,
+	// Qthreads 3, the rest 2).
+	HierarchyLevels int
+	// WorkUnitTypes counts the distinct work-unit kinds.
+	WorkUnitTypes int
+	// Tasklets reports native stackless-work-unit support.
+	Tasklets bool
+	// GroupControl reports user control over the executor group size.
+	GroupControl bool
+	// YieldTo reports direct control transfer between ULTs.
+	YieldTo bool
+	// GlobalQueue reports a single shared work-unit queue.
+	GlobalQueue bool
+	// PrivateQueues reports per-executor work-unit queues.
+	PrivateQueues bool
+	// PluginScheduler reports user-replaceable scheduling policies.
+	PluginScheduler bool
+	// StackableScheduler reports run-time scheduler stacking.
+	StackableScheduler bool
+	// Yieldable reports whether any yield operation is exposed at all
+	// (Go's model exposes none).
+	Yieldable bool
+}
+
+// Backend is one LWT library behind the unified API.
+type Backend interface {
+	// Name returns the backend's registry key (e.g. "argobots").
+	Name() string
+	// Init starts the backend with nthreads executors.
+	Init(nthreads int) error
+	// ULTCreate creates a ULT from the main thread.
+	ULTCreate(fn func(Ctx)) Handle
+	// TaskletCreate creates a tasklet (or fallback) from the main thread.
+	TaskletCreate(fn func()) Handle
+	// Yield yields the main thread to the backend's scheduler.
+	Yield()
+	// Join waits, from the main thread, for a unit created on this
+	// backend.
+	Join(h Handle)
+	// Finalize stops the backend.
+	Finalize()
+	// Caps describes the backend per Table I.
+	Caps() Capabilities
+}
+
+// Factory constructs an uninitialized backend.
+type Factory func() Backend
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a backend factory under its name. Emulation adapters
+// call it from init; re-registration panics to catch name collisions.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: backend %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrUnknownBackend is returned by New for unregistered names.
+var ErrUnknownBackend = errors.New("core: unknown backend")
+
+// Runtime is an initialized unified-API instance (Listing 4's program
+// shape: initialization_function .. finalize_function).
+type Runtime struct {
+	b Backend
+}
+
+// New initializes backend name with nthreads executors.
+func New(name string, nthreads int) (*Runtime, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownBackend, name, Backends())
+	}
+	b := f()
+	if err := b.Init(nthreads); err != nil {
+		return nil, fmt.Errorf("core: init %q: %w", name, err)
+	}
+	return &Runtime{b: b}, nil
+}
+
+// MustNew is New for known-good arguments; it panics on error.
+func MustNew(name string, nthreads int) *Runtime {
+	r, err := New(name, nthreads)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Backend exposes the underlying backend.
+func (r *Runtime) Backend() Backend { return r.b }
+
+// Name returns the backend name.
+func (r *Runtime) Name() string { return r.b.Name() }
+
+// Caps returns the backend's Table I feature set.
+func (r *Runtime) Caps() Capabilities { return r.b.Caps() }
+
+// ULTCreate creates a ULT (Table II row "ULT creation").
+func (r *Runtime) ULTCreate(fn func(Ctx)) Handle { return r.b.ULTCreate(fn) }
+
+// TaskletCreate creates a tasklet or the backend's closest work unit
+// (Table II row "Tasklet creation").
+func (r *Runtime) TaskletCreate(fn func()) Handle { return r.b.TaskletCreate(fn) }
+
+// Yield yields the main thread (Table II row "Yield").
+func (r *Runtime) Yield() { r.b.Yield() }
+
+// Join waits for one work unit (Table II row "Join").
+func (r *Runtime) Join(h Handle) { r.b.Join(h) }
+
+// JoinAll joins a batch of work units in order — the join loop of
+// Listing 4.
+func (r *Runtime) JoinAll(hs []Handle) {
+	for _, h := range hs {
+		r.b.Join(h)
+	}
+}
+
+// Finalize stops the backend (Table II row "Finalization").
+func (r *Runtime) Finalize() { r.b.Finalize() }

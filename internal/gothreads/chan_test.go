@@ -1,0 +1,168 @@
+package gothreads
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestChanSendRecvFIFO(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	c := rt.NewChan(4)
+	var sum atomic.Int64
+	rt.GoNotify(func(ctx *Context) {
+		for i := uint64(1); i <= 100; i++ {
+			ctx.Send(c, i)
+		}
+		c.Close()
+	})
+	rt.GoNotify(func(ctx *Context) {
+		for {
+			v, ok := ctx.Recv(c)
+			if !ok {
+				return
+			}
+			sum.Add(int64(v))
+		}
+	})
+	rt.JoinAll(2)
+	if got := sum.Load(); got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+}
+
+func TestChanBlocksProducerOnSingleThread(t *testing.T) {
+	// One scheduler thread: the producer must suspend when the buffer
+	// fills, or the consumer could never run.
+	rt := Init(1)
+	defer rt.Finalize()
+	c := rt.NewChan(2)
+	const n = 50
+	var received atomic.Int64
+	rt.GoNotify(func(ctx *Context) {
+		for i := uint64(0); i < n; i++ {
+			ctx.Send(c, i)
+		}
+		c.Close()
+	})
+	rt.GoNotify(func(ctx *Context) {
+		for {
+			if _, ok := ctx.Recv(c); !ok {
+				return
+			}
+			received.Add(1)
+		}
+	})
+	rt.JoinAll(2)
+	if received.Load() != n {
+		t.Fatalf("received = %d, want %d", received.Load(), n)
+	}
+}
+
+func TestChanManyProducersOneConsumer(t *testing.T) {
+	rt := Init(4)
+	defer rt.Finalize()
+	c := rt.NewChan(8)
+	const producers, per = 4, 100
+	for p := 0; p < producers; p++ {
+		rt.GoNotify(func(ctx *Context) {
+			for i := 0; i < per; i++ {
+				ctx.Send(c, 1)
+			}
+		})
+	}
+	var got atomic.Int64
+	rt.GoNotify(func(ctx *Context) {
+		for got.Load() < producers*per {
+			v, ok := ctx.Recv(c)
+			if !ok {
+				return
+			}
+			got.Add(int64(v))
+		}
+	})
+	rt.JoinAll(producers + 1)
+	if got.Load() != producers*per {
+		t.Fatalf("received %d, want %d", got.Load(), producers*per)
+	}
+}
+
+func TestChanCloseDrains(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	c := rt.NewChan(4)
+	rt.GoNotify(func(ctx *Context) {
+		ctx.Send(c, 7)
+		ctx.Send(c, 8)
+		c.Close()
+	})
+	var vals []uint64
+	rt.GoNotify(func(ctx *Context) {
+		for {
+			v, ok := ctx.Recv(c)
+			if !ok {
+				return
+			}
+			vals = append(vals, v)
+		}
+	})
+	rt.JoinAll(2)
+	if len(vals) != 2 || vals[0] != 7 || vals[1] != 8 {
+		t.Fatalf("vals = %v, want [7 8]", vals)
+	}
+}
+
+func TestChanCloseWakesParkedReceiver(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	c := rt.NewChan(1)
+	var sawClosed atomic.Bool
+	rt.GoNotify(func(ctx *Context) {
+		if _, ok := ctx.Recv(c); !ok {
+			sawClosed.Store(true)
+		}
+	})
+	// Close from outside the model once the receiver had a chance to
+	// park; Close must wake it either way.
+	c.Close()
+	rt.JoinAll(1)
+	if !sawClosed.Load() {
+		t.Fatal("receiver did not observe close")
+	}
+}
+
+func TestChanDoubleClosePanics(t *testing.T) {
+	rt := Init(1)
+	defer rt.Finalize()
+	c := rt.NewChan(1)
+	c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double close did not panic")
+		}
+	}()
+	c.Close()
+}
+
+func TestChanLen(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	c := rt.NewChan(4)
+	if c.Len() != 0 {
+		t.Fatalf("fresh Len = %d", c.Len())
+	}
+	rt.GoNotify(func(ctx *Context) { ctx.Send(c, 1); ctx.Send(c, 2) })
+	rt.JoinAll(1)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestChanMinimumCapacity(t *testing.T) {
+	rt := Init(1)
+	defer rt.Finalize()
+	c := rt.NewChan(0)
+	if c.cap != 1 {
+		t.Fatalf("capacity floor = %d, want 1", c.cap)
+	}
+}

@@ -1,0 +1,201 @@
+// Package gothreads models the Go runtime as the paper describes it
+// (§III-F): a fixed set of threads all serving one global shared run
+// queue of goroutines, joined through channel communication, with no
+// yield operation exposed to the programmer (Table I).
+//
+// The model is implemented with the same substrate as the other runtimes
+// rather than with native goroutines so its defining costs are measurable
+// on equal footing: every creation and every dispatch serializes on the
+// single shared queue's lock ("this global, unique queue needs a
+// synchronization mechanism that may impact performance when an elevated
+// number of threads are used"), while joins use Go's strength — the
+// out-of-order channel, which Figure 3 shows to be among the fastest join
+// mechanisms. A separate ablation benchmark (BenchmarkAblationRawGoroutines)
+// compares this model against the real Go scheduler.
+package gothreads
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/queue"
+	"repro/internal/ult"
+)
+
+// Runtime is an initialized Go-model instance.
+type Runtime struct {
+	threads  []*thread
+	shared   *queue.Shared
+	done     chan uint64 // out-of-order completion channel
+	shutdown atomic.Bool
+	wg       sync.WaitGroup
+	finished atomic.Bool
+}
+
+// thread is one scheduler thread serving the global queue.
+type thread struct {
+	rt   *Runtime
+	exec *ult.Executor
+}
+
+// G is a handle on a goroutine in the model.
+type G struct {
+	u  *ult.ULT
+	id uint64
+}
+
+// Done reports whether the goroutine completed.
+func (g *G) Done() bool { return g.u.Done() }
+
+// DoneChan returns the goroutine's completion channel (closed when the
+// body returns), mirroring the per-join channel idiom.
+func (g *G) DoneChan() <-chan struct{} { return g.u.DoneChan() }
+
+// Context is passed to goroutine bodies. Deliberately minimal: the model
+// exposes no yield (Table I row "Yield": absent for Go), only the ability
+// to spawn further goroutines and to block on channels.
+type Context struct {
+	rt   *Runtime
+	self *ult.ULT
+}
+
+// Init starts nthreads scheduler threads sharing one global queue
+// (GOMAXPROCS=nthreads in the paper's runs). It panics if nthreads < 1.
+func Init(nthreads int) *Runtime {
+	if nthreads < 1 {
+		panic(fmt.Sprintf("gothreads: nthreads = %d, need >= 1", nthreads))
+	}
+	rt := &Runtime{
+		shared: queue.NewShared(256),
+		done:   make(chan uint64, 1024),
+	}
+	for i := 0; i < nthreads; i++ {
+		th := &thread{rt: rt, exec: ult.NewExecutor(i)}
+		rt.threads = append(rt.threads, th)
+		rt.wg.Add(1)
+		go th.loop()
+	}
+	return rt
+}
+
+// NumThreads reports the scheduler thread count.
+func (rt *Runtime) NumThreads() int { return len(rt.threads) }
+
+// QueueStats exposes the global queue's counters; its Contended count is
+// the paper's predicted bottleneck.
+func (rt *Runtime) QueueStats() *queue.Stats { return rt.shared.Stats() }
+
+// Go spawns a goroutine: the body is wrapped in a ULT and pushed to the
+// single global queue ("go function" in Table II).
+func (rt *Runtime) Go(fn func(*Context)) *G {
+	g := &G{}
+	g.u = ult.New(func(self *ult.ULT) {
+		fn(&Context{rt: rt, self: self})
+	})
+	g.id = g.u.ID()
+	ult.MarkReady(g.u)
+	rt.shared.Push(g.u)
+	return g
+}
+
+// GoNotify spawns a goroutine whose completion is additionally announced
+// on the runtime's shared completion channel — the out-of-order channel
+// join of §III-F ("channel" in Table II): the master performs N receives
+// to join N goroutines, in whatever order they finish.
+func (rt *Runtime) GoNotify(fn func(*Context)) *G {
+	g := &G{}
+	g.u = ult.New(func(self *ult.ULT) {
+		// Deferred so a panicking body still notifies its joiners.
+		defer func() { rt.done <- g.id }()
+		fn(&Context{rt: rt, self: self})
+	})
+	g.id = g.u.ID()
+	ult.MarkReady(g.u)
+	rt.shared.Push(g.u)
+	return g
+}
+
+// Recv receives one completion notification, blocking until some
+// goroutine spawned with GoNotify finishes.
+func (rt *Runtime) Recv() uint64 { return <-rt.done }
+
+// JoinAll receives n completion notifications — the idiomatic Go join
+// the paper credits with "the most efficient" join mechanism.
+func (rt *Runtime) JoinAll(n int) {
+	for i := 0; i < n; i++ {
+		<-rt.done
+	}
+}
+
+// Join blocks on a single goroutine's completion channel.
+func (rt *Runtime) Join(g *G) { <-g.u.DoneChan() }
+
+// Finalize stops the scheduler threads. Outstanding goroutines must have
+// been joined first.
+func (rt *Runtime) Finalize() {
+	if !rt.finished.CompareAndSwap(false, true) {
+		return
+	}
+	rt.shutdown.Store(true)
+	rt.wg.Wait()
+}
+
+// loop is one scheduler thread: pop the global queue, run, repeat. A
+// yielded unit goes back to the global queue (and pays the lock again).
+func (t *thread) loop() {
+	defer t.rt.wg.Done()
+	for {
+		u := t.rt.shared.Pop()
+		if u == nil {
+			if t.rt.shutdown.Load() {
+				return
+			}
+			t.exec.NoteIdle()
+			continue
+		}
+		g, ok := u.(*ult.ULT)
+		if !ok {
+			panic("gothreads: only goroutine units exist in this model")
+		}
+		if res := t.exec.Dispatch(g); res == ult.DispatchYielded {
+			t.rt.shared.Push(g)
+		}
+	}
+}
+
+// --- Context ---
+
+// Go spawns a goroutine from inside a goroutine.
+func (c *Context) Go(fn func(*Context)) *G { return c.rt.Go(fn) }
+
+// GoNotify spawns a notifying goroutine from inside a goroutine.
+func (c *Context) GoNotify(fn func(*Context)) *G { return c.rt.GoNotify(fn) }
+
+// Join blocks the calling goroutine on the target's completion channel.
+// As in the real Go runtime, a channel wait parks the goroutine and
+// releases the scheduler thread to run other work: the joiner suspends
+// and a watcher re-enqueues it on the global queue when the target's
+// channel closes.
+func (c *Context) Join(g *G) {
+	if g.u.Done() {
+		return
+	}
+	self := c.self
+	go func() {
+		<-g.u.DoneChan()
+		// The joiner is about to suspend (or already has); spin until
+		// the Blocked→Ready transition lands, then requeue it. The
+		// Done escape covers a joiner that completed abnormally
+		// (contained panic) without ever suspending.
+		for !self.Resume() {
+			if self.Done() {
+				return
+			}
+			runtime.Gosched()
+		}
+		c.rt.shared.Push(self)
+	}()
+	self.Suspend()
+}

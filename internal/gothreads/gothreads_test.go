@@ -1,0 +1,160 @@
+package gothreads
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestInitPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Init(0) did not panic")
+		}
+	}()
+	Init(0)
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	rt := Init(1)
+	rt.Finalize()
+	rt.Finalize()
+}
+
+func TestGoAndJoin(t *testing.T) {
+	rt := Init(4)
+	defer rt.Finalize()
+	const n = 100
+	var ran atomic.Int64
+	gs := make([]*G, n)
+	for i := range gs {
+		gs[i] = rt.Go(func(c *Context) { ran.Add(1) })
+	}
+	for _, g := range gs {
+		rt.Join(g)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran = %d, want %d", ran.Load(), n)
+	}
+}
+
+func TestGoNotifyJoinAllOutOfOrder(t *testing.T) {
+	rt := Init(4)
+	defer rt.Finalize()
+	const n = 200
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		rt.GoNotify(func(c *Context) { ran.Add(1) })
+	}
+	rt.JoinAll(n) // receives completions in whatever order they finish
+	if ran.Load() != n {
+		t.Fatalf("ran = %d, want %d", ran.Load(), n)
+	}
+}
+
+func TestRecvReturnsSpawnedIDs(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	g1 := rt.GoNotify(func(c *Context) {})
+	g2 := rt.GoNotify(func(c *Context) {})
+	ids := map[uint64]bool{g1.id: true, g2.id: true}
+	for i := 0; i < 2; i++ {
+		id := rt.Recv()
+		if !ids[id] {
+			t.Fatalf("Recv returned unknown id %d", id)
+		}
+		delete(ids, id)
+	}
+}
+
+func TestSingleThreadProcessesAll(t *testing.T) {
+	rt := Init(1)
+	defer rt.Finalize()
+	const n = 50
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		rt.GoNotify(func(c *Context) { ran.Add(1) })
+	}
+	rt.JoinAll(n)
+	if ran.Load() != n {
+		t.Fatalf("ran = %d, want %d", ran.Load(), n)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	rt := Init(4)
+	defer rt.Finalize()
+	var leaves atomic.Int64
+	const parents, children = 10, 5
+	for i := 0; i < parents; i++ {
+		rt.GoNotify(func(c *Context) {
+			kids := make([]*G, children)
+			for j := range kids {
+				kids[j] = c.Go(func(*Context) { leaves.Add(1) })
+			}
+			for _, k := range kids {
+				c.Join(k)
+			}
+		})
+	}
+	rt.JoinAll(parents)
+	if got := leaves.Load(); got != parents*children {
+		t.Fatalf("leaves = %d, want %d", got, parents*children)
+	}
+}
+
+func TestContextJoinReleasesThread(t *testing.T) {
+	// One scheduler thread: a parent joining its child can only work if
+	// the join releases the thread (suspend), since the child needs it.
+	rt := Init(1)
+	defer rt.Finalize()
+	var childRan atomic.Bool
+	g := rt.GoNotify(func(c *Context) {
+		child := c.Go(func(*Context) { childRan.Store(true) })
+		c.Join(child)
+		if !childRan.Load() {
+			t.Error("Join returned before child completed")
+		}
+	})
+	rt.JoinAll(1)
+	_ = g
+	if !childRan.Load() {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestJoinOnDoneGoroutineReturnsImmediately(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	g := rt.Go(func(c *Context) {})
+	rt.Join(g)
+	// Joining again from inside another goroutine: target already done.
+	h := rt.GoNotify(func(c *Context) { c.Join(g) })
+	rt.JoinAll(1)
+	_ = h
+}
+
+func TestGlobalQueueSeesAllPushes(t *testing.T) {
+	rt := Init(3)
+	defer rt.Finalize()
+	const n = 100
+	for i := 0; i < n; i++ {
+		rt.GoNotify(func(c *Context) {})
+	}
+	rt.JoinAll(n)
+	if got := rt.QueueStats().Pushes.Load(); got < n {
+		t.Fatalf("global queue pushes = %d, want >= %d", got, n)
+	}
+	if rt.NumThreads() != 3 {
+		t.Fatalf("NumThreads = %d, want 3", rt.NumThreads())
+	}
+}
+
+func TestDoneChanCloses(t *testing.T) {
+	rt := Init(2)
+	defer rt.Finalize()
+	g := rt.Go(func(c *Context) {})
+	<-g.DoneChan()
+	if !g.Done() {
+		t.Fatal("Done = false after DoneChan closed")
+	}
+}

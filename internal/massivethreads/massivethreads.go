@@ -1,0 +1,281 @@
+// Package massivethreads emulates the MassiveThreads programming model
+// (§III-C): Workers (one per hardware resource), a creation policy that is
+// either work-first (the default: the creator immediately runs the new
+// ULT and its own continuation is pushed to the ready deque) or help-first
+// (the new ULT is pushed and the creator continues), and random work
+// stealing with mutex-protected ready queues for load balance.
+//
+// The caller of Init becomes the primary ULT of worker 0, which is what
+// produces the distinctive MassiveThreads(W) curve of Figure 2: under
+// work-first, creating the first work unit moves the *main flow* into the
+// ready deque, where any worker may steal it — so successive creations can
+// be executed by different workers, adding a non-negligible overhead when
+// the number of created work units is small (§VI).
+package massivethreads
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/queue"
+	"repro/internal/ult"
+)
+
+// Policy selects the creation discipline (§VIII-B2).
+type Policy int
+
+const (
+	// WorkFirst runs a newly created ULT immediately, pushing the
+	// creator's continuation to the ready deque (myth_create default).
+	WorkFirst Policy = iota
+	// HelpFirst pushes the new ULT to the ready deque and lets the
+	// creator continue.
+	HelpFirst
+)
+
+// String names the policy as the paper's figures do.
+func (p Policy) String() string {
+	if p == HelpFirst {
+		return "help-first"
+	}
+	return "work-first"
+}
+
+// Runtime is an initialized MassiveThreads instance.
+type Runtime struct {
+	policy   Policy
+	workers  []*Worker
+	primary  *ult.ULT
+	shutdown atomic.Bool
+	wg       sync.WaitGroup
+	finished atomic.Bool
+	steals   atomic.Uint64
+}
+
+// Worker is one hardware-resource executor with a private ready deque.
+type Worker struct {
+	rt   *Runtime
+	exec *ult.Executor
+	dq   *queue.Deque
+	rng  *rand.Rand
+}
+
+// ID returns the worker's rank.
+func (w *Worker) ID() int { return w.exec.ID() }
+
+// Stats exposes the worker's executor counters.
+func (w *Worker) Stats() *ult.ExecStats { return w.exec.Stats() }
+
+// Thread is a handle on a MassiveThreads ULT.
+type Thread struct {
+	u *ult.ULT
+}
+
+// Done reports whether the ULT completed.
+func (th *Thread) Done() bool { return th.u.Done() }
+
+// Context is passed to ULT bodies.
+type Context struct {
+	rt   *Runtime
+	self *ult.ULT
+}
+
+// Init starts nworkers workers with the given creation policy and adopts
+// the caller as the primary ULT of worker 0 (myth_init). It panics if
+// nworkers < 1.
+func Init(nworkers int, policy Policy) *Runtime {
+	if nworkers < 1 {
+		panic(fmt.Sprintf("massivethreads: nworkers = %d, need >= 1", nworkers))
+	}
+	rt := &Runtime{policy: policy}
+	rt.workers = make([]*Worker, nworkers)
+	for i := range rt.workers {
+		rt.workers[i] = &Worker{
+			rt:   rt,
+			exec: ult.NewExecutor(i),
+			dq:   queue.NewDeque(64),
+			rng:  rand.New(rand.NewSource(int64(i)*2654435761 + 1)),
+		}
+	}
+	rt.primary = ult.Adopt(rt.workers[0].exec)
+	for i, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.loop(i == 0)
+	}
+	return rt
+}
+
+// NumWorkers reports the worker count.
+func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
+
+// Policy reports the creation policy the runtime was initialized with.
+func (rt *Runtime) Policy() Policy { return rt.policy }
+
+// Steals reports the total number of successful work steals.
+func (rt *Runtime) Steals() uint64 { return rt.steals.Load() }
+
+// Create creates a ULT from the Init goroutine (myth_create from main).
+// Under work-first the main flow is pushed to worker 0's deque and the
+// new ULT runs immediately in its place; under help-first the new ULT is
+// enqueued and the caller continues.
+func (rt *Runtime) Create(fn func(*Context)) *Thread {
+	return rt.createFrom(rt.primary, fn)
+}
+
+// createFrom implements both creation policies for any creating ULT.
+func (rt *Runtime) createFrom(creator *ult.ULT, fn func(*Context)) *Thread {
+	th := &Thread{}
+	th.u = ult.New(func(self *ult.ULT) {
+		fn(&Context{rt: rt, self: self})
+	})
+	ult.MarkReady(th.u)
+	if rt.policy == WorkFirst && creator != nil {
+		// Hand control straight to the new ULT; the executor requeues
+		// the creator's continuation into the local deque, where
+		// thieves may steal it — including the main flow itself.
+		creator.YieldTo(th.u)
+		return th
+	}
+	// Help-first: enqueue on the creating worker's deque.
+	w := rt.workerOf(creator)
+	w.dq.PushBottom(th.u)
+	return th
+}
+
+// workerOf maps a running ULT to the worker whose deque receives its
+// spawns; the Init goroutine maps to whichever worker last dispatched it.
+func (rt *Runtime) workerOf(creator *ult.ULT) *Worker {
+	if creator == nil {
+		return rt.workers[0]
+	}
+	// The creator is running, so its executor is one of our workers.
+	owner := creator.Owner()
+	for _, w := range rt.workers {
+		if w.exec == owner {
+			return w
+		}
+	}
+	return rt.workers[0]
+}
+
+// Join waits for the target from the Init goroutine (myth_join). The
+// paper observes that MassiveThreads joins are the most expensive of the
+// studied libraries: "each time a thread is joined, a query of the current
+// work unit queue size and several scheduling procedures occur" (§VI).
+// Yielding between polls reproduces exactly that: every poll re-enters the
+// scheduler, which inspects queue sizes and may steal.
+func (rt *Runtime) Join(th *Thread) {
+	for !th.u.Done() {
+		rt.primary.Yield()
+	}
+}
+
+// Yield yields the main flow to the scheduler from the Init goroutine
+// (myth_yield from main).
+func (rt *Runtime) Yield() { rt.primary.Yield() }
+
+// Finalize stops the workers (myth_fini). Outstanding ULTs must have been
+// joined first.
+func (rt *Runtime) Finalize() {
+	if !rt.finished.CompareAndSwap(false, true) {
+		return
+	}
+	rt.shutdown.Store(true)
+	rt.primary.Detach()
+	rt.wg.Wait()
+}
+
+// loop is one worker's scheduling cycle: serve the local deque in arrival
+// order, then try to steal the oldest unit from a random victim
+// (mutex-protected, as §III-C requires), then idle.
+//
+// Service is FIFO rather than owner-LIFO: a ULT that polls a join by
+// yielding re-enters the deque behind its target, so the target always
+// runs first and joins cannot livelock. (The C library achieves the same
+// by parking joiners inside the scheduler; recursion locality still comes
+// from the work-first hand-off, which bypasses the deque entirely.)
+func (w *Worker) loop(adopted bool) {
+	defer w.rt.wg.Done()
+	requeue := func(t *ult.ULT) { w.dq.PushBottom(t) }
+	if adopted {
+		if t, res := w.exec.AwaitHandback(); res == ult.DispatchYielded {
+			requeue(t)
+		}
+	}
+	for {
+		if res, h, ok := w.exec.DispatchHint(); ok {
+			// Work-first hand-off: the new ULT runs here directly.
+			if res == ult.DispatchYielded {
+				requeue(h)
+			}
+			continue
+		}
+		u := w.dq.PopFront()
+		if u == nil {
+			u = w.steal()
+		}
+		if u == nil {
+			if w.rt.shutdown.Load() {
+				return
+			}
+			w.exec.NoteIdle()
+			continue
+		}
+		w.runUnit(u)
+	}
+}
+
+// runUnit dispatches a unit; yielded ULTs return to the local deque. The
+// primary's continuation is a unit like any other, so the main flow can
+// resume on whichever worker pops or steals it (§VI).
+func (w *Worker) runUnit(u ult.Unit) {
+	t, ok := u.(*ult.ULT)
+	if !ok {
+		panic("massivethreads: only ULT work units exist in this model")
+	}
+	if res := w.exec.Dispatch(t); res == ult.DispatchYielded {
+		w.dq.PushBottom(t)
+	}
+}
+
+// steal takes the oldest unit from a random victim's deque.
+func (w *Worker) steal() ult.Unit {
+	n := len(w.rt.workers)
+	if n == 1 {
+		return nil
+	}
+	for attempt := 0; attempt < n-1; attempt++ {
+		victim := w.rt.workers[w.rng.Intn(n)]
+		if victim == w {
+			continue
+		}
+		if u := victim.dq.StealTop(); u != nil {
+			w.rt.steals.Add(1)
+			w.exec.Stats().Steals.Add(1)
+			return u
+		}
+	}
+	return nil
+}
+
+// --- Context: operations valid inside a running ULT ---
+
+// Create spawns a child ULT under the runtime's policy (myth_create).
+func (c *Context) Create(fn func(*Context)) *Thread {
+	return c.rt.createFrom(c.self, fn)
+}
+
+// Join waits for the target ULT (myth_join), yielding between polls.
+func (c *Context) Join(th *Thread) {
+	for !th.u.Done() {
+		c.self.Yield()
+	}
+}
+
+// Yield re-enters the scheduler (myth_yield).
+func (c *Context) Yield() { c.self.Yield() }
+
+// WorkerID reports the rank of the worker currently running the ULT.
+func (c *Context) WorkerID() int { return c.self.Owner().ID() }

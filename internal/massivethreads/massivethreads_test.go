@@ -1,0 +1,202 @@
+package massivethreads
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestInitFinalizeBothPolicies(t *testing.T) {
+	for _, p := range []Policy{WorkFirst, HelpFirst} {
+		rt := Init(2, p)
+		if rt.NumWorkers() != 2 {
+			t.Fatalf("NumWorkers = %d, want 2", rt.NumWorkers())
+		}
+		if rt.Policy() != p {
+			t.Fatalf("Policy = %v, want %v", rt.Policy(), p)
+		}
+		rt.Finalize()
+	}
+}
+
+func TestInitPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Init(0) did not panic")
+		}
+	}()
+	Init(0, WorkFirst)
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	rt := Init(1, HelpFirst)
+	rt.Finalize()
+	rt.Finalize()
+}
+
+func testCreateJoinN(t *testing.T, policy Policy, workers, n int) {
+	t.Helper()
+	rt := Init(workers, policy)
+	defer rt.Finalize()
+	var ran atomic.Int64
+	ths := make([]*Thread, n)
+	for i := range ths {
+		ths[i] = rt.Create(func(c *Context) { ran.Add(1) })
+	}
+	for _, th := range ths {
+		rt.Join(th)
+	}
+	if got := ran.Load(); got != int64(n) {
+		t.Fatalf("ran = %d, want %d", got, n)
+	}
+}
+
+func TestWorkFirstCreateJoin(t *testing.T)   { testCreateJoinN(t, WorkFirst, 4, 100) }
+func TestHelpFirstCreateJoin(t *testing.T)   { testCreateJoinN(t, HelpFirst, 4, 100) }
+func TestSingleWorkerWorkFirst(t *testing.T) { testCreateJoinN(t, WorkFirst, 1, 50) }
+func TestSingleWorkerHelpFirst(t *testing.T) { testCreateJoinN(t, HelpFirst, 1, 50) }
+
+func TestWorkFirstRunsChildImmediately(t *testing.T) {
+	// Under work-first the child body starts before Create returns to
+	// the creator's continuation. With one worker this is deterministic:
+	// the hint dispatch runs the child to completion before the parked
+	// continuation can be re-dispatched. (With more workers a thief can
+	// resume the continuation concurrently, so ordering is only
+	// probabilistic there.)
+	rt := Init(1, WorkFirst)
+	defer rt.Finalize()
+	var childStarted atomic.Bool
+	th := rt.Create(func(c *Context) {
+		childStarted.Store(true)
+	})
+	if !childStarted.Load() {
+		t.Fatal("work-first did not run the child before the continuation resumed")
+	}
+	rt.Join(th)
+}
+
+func TestHelpFirstContinuesCreator(t *testing.T) {
+	// Under help-first with a single worker, the child cannot run until
+	// the creator yields: Create must return with the child not started.
+	rt := Init(1, HelpFirst)
+	defer rt.Finalize()
+	var childStarted atomic.Bool
+	th := rt.Create(func(c *Context) { childStarted.Store(true) })
+	if childStarted.Load() {
+		t.Fatal("help-first ran the child before the creator yielded")
+	}
+	rt.Join(th)
+	if !childStarted.Load() {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestWorkStealingBalancesLoad(t *testing.T) {
+	rt := Init(4, HelpFirst)
+	defer rt.Finalize()
+	const n = 400
+	var ran atomic.Int64
+	ths := make([]*Thread, n)
+	for i := range ths {
+		ths[i] = rt.Create(func(c *Context) {
+			// A few yields keep units in flight so thieves find work.
+			c.Yield()
+			ran.Add(1)
+		})
+	}
+	for _, th := range ths {
+		rt.Join(th)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran = %d, want %d", ran.Load(), n)
+	}
+	// Help-first puts everything on worker 0's deque; with 4 workers the
+	// only way other workers execute anything is stealing.
+	if rt.Steals() == 0 {
+		t.Fatal("no steals recorded; idle workers never balanced the load")
+	}
+}
+
+func TestRecursiveDivideAndConquer(t *testing.T) {
+	// The workload MassiveThreads is designed for (§III-C): recursive
+	// spawn trees under work-first.
+	for _, p := range []Policy{WorkFirst, HelpFirst} {
+		rt := Init(4, p)
+		var leaves atomic.Int64
+		var rec func(c *Context, depth int)
+		rec = func(c *Context, depth int) {
+			if depth == 0 {
+				leaves.Add(1)
+				return
+			}
+			l := c.Create(func(cc *Context) { rec(cc, depth-1) })
+			r := c.Create(func(cc *Context) { rec(cc, depth-1) })
+			c.Join(l)
+			c.Join(r)
+		}
+		root := rt.Create(func(c *Context) { rec(c, 6) })
+		rt.Join(root)
+		rt.Finalize()
+		if got := leaves.Load(); got != 64 {
+			t.Fatalf("%v: leaves = %d, want 64", p, got)
+		}
+	}
+}
+
+func TestNestedCreateFromContext(t *testing.T) {
+	rt := Init(2, WorkFirst)
+	defer rt.Finalize()
+	var sum atomic.Int64
+	parent := rt.Create(func(c *Context) {
+		kids := make([]*Thread, 10)
+		for i := range kids {
+			kids[i] = c.Create(func(cc *Context) { sum.Add(1) })
+		}
+		for _, k := range kids {
+			c.Join(k)
+		}
+	})
+	rt.Join(parent)
+	if sum.Load() != 10 {
+		t.Fatalf("sum = %d, want 10", sum.Load())
+	}
+}
+
+func TestWorkerIDIsValid(t *testing.T) {
+	rt := Init(3, HelpFirst)
+	defer rt.Finalize()
+	var bad atomic.Int64
+	ths := make([]*Thread, 30)
+	for i := range ths {
+		ths[i] = rt.Create(func(c *Context) {
+			if id := c.WorkerID(); id < 0 || id >= 3 {
+				bad.Add(1)
+			}
+		})
+	}
+	for _, th := range ths {
+		rt.Join(th)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d ULTs saw an out-of-range worker ID", bad.Load())
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if WorkFirst.String() != "work-first" || HelpFirst.String() != "help-first" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestMainFlowMigrates(t *testing.T) {
+	// Under work-first the main flow is pushed to the deque on every
+	// create; with several workers it is regularly stolen, so after many
+	// creations the primary has usually run on more than one worker.
+	// We can't assert migration deterministically, but we can assert the
+	// system stays correct while it happens.
+	rt := Init(4, WorkFirst)
+	defer rt.Finalize()
+	for round := 0; round < 50; round++ {
+		th := rt.Create(func(c *Context) {})
+		rt.Join(th)
+	}
+}

@@ -1,0 +1,192 @@
+package microbench
+
+import (
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+)
+
+// scaleFactor is the Sscal multiplier; chosen so repeated scaling stays
+// in normal float32 range across reps.
+const scaleFactor = float32(1.0000001)
+
+// lwtSystem adapts a unified-API backend to the benchmark patterns. The
+// implementations follow §VIII-A literally: the master thread divides
+// work and creates work units; nested levels create their own units; all
+// joins use the backend's Table II join.
+type lwtSystem struct {
+	backend  string
+	tasklets bool // use the backend's tasklet (or fallback) for leaves
+	label    string
+
+	r   *core.Runtime
+	n   int
+	vec []float32
+}
+
+// NewLWT builds a benchmark system over the named unified-API backend;
+// leaf units are tasklets when tasklets is true (Argobots Tasklet,
+// Converse Messages) and ULTs otherwise.
+func NewLWT(backend string, tasklets bool, label string) System {
+	return &lwtSystem{backend: backend, tasklets: tasklets, label: label}
+}
+
+func (s *lwtSystem) Name() string { return s.label }
+
+func (s *lwtSystem) Setup(nthreads int) {
+	s.n = nthreads
+	s.r = core.MustNew(s.backend, nthreads)
+}
+
+func (s *lwtSystem) Teardown() {
+	s.r.Finalize()
+	s.r = nil
+}
+
+// vector returns a benchmark vector of at least size elements.
+func (s *lwtSystem) vector(size int) []float32 {
+	if cap(s.vec) < size {
+		s.vec = make([]float32, size)
+		blas.Iota(s.vec)
+	}
+	return s.vec[:size]
+}
+
+// leaf creates a leaf work unit from the master.
+func (s *lwtSystem) leaf(fn func()) core.Handle {
+	if s.tasklets {
+		return s.r.TaskletCreate(fn)
+	}
+	return s.r.ULTCreate(func(core.Ctx) { fn() })
+}
+
+// leafFrom creates a leaf work unit from inside a ULT.
+func (s *lwtSystem) leafFrom(c core.Ctx, fn func()) core.Handle {
+	if s.tasklets {
+		return c.TaskletCreate(fn)
+	}
+	return c.ULTCreate(func(core.Ctx) { fn() })
+}
+
+func (s *lwtSystem) CreateJoin() (create, join time.Duration) {
+	hs := make([]core.Handle, s.n)
+	t0 := time.Now()
+	for i := range hs {
+		hs[i] = s.leaf(func() {})
+	}
+	t1 := time.Now()
+	s.r.JoinAll(hs)
+	return t1.Sub(t0), time.Since(t1)
+}
+
+func (s *lwtSystem) ForLoop(iters int) time.Duration {
+	v := s.vector(iters)
+	hs := make([]core.Handle, s.n)
+	t0 := time.Now()
+	for t := 0; t < s.n; t++ {
+		lo, hi := chunk(iters, s.n, t)
+		hs[t] = s.leaf(func() { blas.SscalRange(v, scaleFactor, lo, hi) })
+	}
+	s.r.JoinAll(hs)
+	return time.Since(t0)
+}
+
+func (s *lwtSystem) TaskSingle(ntasks int) time.Duration {
+	v := s.vector(ntasks)
+	hs := make([]core.Handle, ntasks)
+	t0 := time.Now()
+	for i := 0; i < ntasks; i++ {
+		i := i
+		hs[i] = s.leaf(func() { blas.SscalElem(v, scaleFactor, i) })
+	}
+	s.r.JoinAll(hs)
+	return time.Since(t0)
+}
+
+func (s *lwtSystem) TaskParallel(ntasks int) time.Duration {
+	v := s.vector(ntasks)
+	outer := make([]core.Handle, s.n)
+	t0 := time.Now()
+	// Step 1: divide the space among threads (like the for loop);
+	// step 2: each thread creates its own tasks (§VIII-A2).
+	for t := 0; t < s.n; t++ {
+		lo, hi := chunk(ntasks, s.n, t)
+		outer[t] = s.r.ULTCreate(func(c core.Ctx) {
+			inner := make([]core.Handle, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				i := i
+				inner = append(inner, s.leafFrom(c, func() {
+					blas.SscalElem(v, scaleFactor, i)
+				}))
+			}
+			for _, h := range inner {
+				c.Join(h)
+			}
+		})
+	}
+	s.r.JoinAll(outer)
+	return time.Since(t0)
+}
+
+func (s *lwtSystem) NestedFor(outer, inner int) time.Duration {
+	v := s.vector(outer * inner)
+	outerHs := make([]core.Handle, s.n)
+	t0 := time.Now()
+	for t := 0; t < s.n; t++ {
+		lo, hi := chunk(outer, s.n, t)
+		outerHs[t] = s.r.ULTCreate(func(c core.Ctx) {
+			// Each outer iteration spawns a team-sized division of
+			// the inner loop (§VIII-A3).
+			for i := lo; i < hi; i++ {
+				row := v[i*inner : (i+1)*inner]
+				innerHs := make([]core.Handle, s.n)
+				for u := 0; u < s.n; u++ {
+					ilo, ihi := chunk(inner, s.n, u)
+					innerHs[u] = s.leafFrom(c, func() {
+						blas.SscalRange(row, scaleFactor, ilo, ihi)
+					})
+				}
+				for _, h := range innerHs {
+					c.Join(h)
+				}
+			}
+		})
+	}
+	s.r.JoinAll(outerHs)
+	return time.Since(t0)
+}
+
+func (s *lwtSystem) NestedTask(parents, children int) time.Duration {
+	v := s.vector(parents * children)
+	ph := make([]core.Handle, parents)
+	t0 := time.Now()
+	for p := 0; p < parents; p++ {
+		p := p
+		ph[p] = s.r.ULTCreate(func(c core.Ctx) {
+			ch := make([]core.Handle, children)
+			for k := 0; k < children; k++ {
+				idx := p*children + k
+				ch[k] = s.leafFrom(c, func() {
+					blas.SscalElem(v, scaleFactor, idx)
+				})
+			}
+			for _, h := range ch {
+				c.Join(h)
+			}
+		})
+	}
+	s.r.JoinAll(ph)
+	return time.Since(t0)
+}
+
+// chunk computes thread t's half-open share of n items over k threads.
+func chunk(n, k, t int) (lo, hi int) {
+	base, rem := n/k, n%k
+	lo = t*base + min(t, rem)
+	hi = lo + base
+	if t < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,242 @@
+package microbench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyParams() Params {
+	return Params{
+		ForIters: 64, Tasks: 40,
+		NestedOuter: 6, NestedInner: 8,
+		Parents: 6, Children: 3,
+		Reps: 2,
+	}
+}
+
+// allSystems includes the nine paper series plus the native-Go ablation.
+func allSystems() []Spec {
+	specs := PaperSystems()
+	specs = append(specs, Spec{Name: "Go (native)", Make: NewNativeGo})
+	return specs
+}
+
+func TestEverySystemRunsEveryPattern(t *testing.T) {
+	prm := tinyParams()
+	patterns := []Pattern{
+		PatternCreate, PatternJoin, PatternForLoop,
+		PatternTaskSingle, PatternTaskPar, PatternNestedFor, PatternNestedTask,
+	}
+	for _, spec := range allSystems() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, p := range patterns {
+				sys := spec.Make()
+				sys.Setup(2)
+				st := RunPoint(sys, p, prm)
+				sys.Teardown()
+				if st.Reps != prm.Reps {
+					t.Fatalf("%v: reps = %d, want %d", p, st.Reps, prm.Reps)
+				}
+				if st.Mean < 0 {
+					t.Fatalf("%v: negative mean %v", p, st.Mean)
+				}
+			}
+		})
+	}
+}
+
+func TestSystemNamesMatchLegend(t *testing.T) {
+	want := []string{
+		"gcc", "icc", "Argobots Tasklet", "Argobots ULT", "Qthreads",
+		"MassiveThreads (H)", "MassiveThreads (W)", "Converse Threads", "Go",
+	}
+	specs := PaperSystems()
+	if len(specs) != len(want) {
+		t.Fatalf("PaperSystems has %d entries, want %d", len(specs), len(want))
+	}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Fatalf("spec %d = %q, want %q", i, s.Name, want[i])
+		}
+		sys := s.Make()
+		if sys.Name() != want[i] {
+			t.Fatalf("system name %q, want %q", sys.Name(), want[i])
+		}
+	}
+}
+
+func TestFindSpec(t *testing.T) {
+	if _, ok := FindSpec("Qthreads"); !ok {
+		t.Fatal("FindSpec missed Qthreads")
+	}
+	if _, ok := FindSpec("nope"); ok {
+		t.Fatal("FindSpec invented a system")
+	}
+}
+
+func TestStatsSummarize(t *testing.T) {
+	xs := []time.Duration{10, 20, 30}
+	s := Summarize(xs)
+	if s.Mean != 20 {
+		t.Fatalf("mean = %v, want 20", s.Mean)
+	}
+	if s.Min != 10 || s.Max != 30 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Reps != 3 {
+		t.Fatalf("reps = %d", s.Reps)
+	}
+	// stddev = 10, mean = 20 → RSD = 0.5.
+	if s.RSD < 0.49 || s.RSD > 0.51 {
+		t.Fatalf("RSD = %v, want 0.5", s.RSD)
+	}
+}
+
+func TestStatsSingleObservation(t *testing.T) {
+	s := Summarize([]time.Duration{42})
+	if s.RSD != 0 || s.Mean != 42 {
+		t.Fatalf("single-obs stats = %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMeasurePanicsOnZeroReps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Measure(0, ...) did not panic")
+		}
+	}()
+	Measure(0, func() time.Duration { return 0 })
+}
+
+func TestMeasure2Phases(t *testing.T) {
+	a, b := Measure2(3, func() (time.Duration, time.Duration) { return 5, 7 })
+	if a.Mean != 5 || b.Mean != 7 {
+		t.Fatalf("phases = %v/%v, want 5/7", a.Mean, b.Mean)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Mean: time.Microsecond, RSD: 0.021, Reps: 500}
+	out := s.String()
+	if !strings.Contains(out, "n=500") || !strings.Contains(out, "2.1%") {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestThreadCounts(t *testing.T) {
+	ts := ThreadCounts(8)
+	want := []int{1, 2, 4, 8}
+	if len(ts) != len(want) {
+		t.Fatalf("ThreadCounts(8) = %v", ts)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("ThreadCounts(8) = %v, want %v", ts, want)
+		}
+	}
+	// Non-paper max is appended.
+	ts = ThreadCounts(5)
+	if ts[len(ts)-1] != 5 {
+		t.Fatalf("ThreadCounts(5) = %v, want trailing 5", ts)
+	}
+	// Paper scale includes 72.
+	ts = ThreadCounts(72)
+	if ts[len(ts)-1] != 72 || len(ts) != 13 {
+		t.Fatalf("ThreadCounts(72) = %v", ts)
+	}
+	// Zero means twice the host CPUs.
+	ts = ThreadCounts(0)
+	if len(ts) == 0 {
+		t.Fatal("ThreadCounts(0) empty")
+	}
+}
+
+func TestParamsPresets(t *testing.T) {
+	p := PaperParams()
+	if p.ForIters != 1000 || p.Tasks != 1000 || p.NestedOuter != 1000 ||
+		p.NestedInner != 1000 || p.Parents != 100 || p.Children != 4 || p.Reps != 500 {
+		t.Fatalf("PaperParams = %+v", p)
+	}
+	q := QuickParams()
+	if q.NestedOuter != 100 || q.NestedInner != 100 {
+		t.Fatalf("QuickParams nested = %dx%d, want 100x100", q.NestedOuter, q.NestedInner)
+	}
+}
+
+func TestSweepProducesOrderedPoints(t *testing.T) {
+	spec, _ := FindSpec("Argobots Tasklet")
+	se := Sweep(spec, PatternCreate, []int{1, 2, 3}, tinyParams())
+	if se.System != "Argobots Tasklet" {
+		t.Fatalf("series system = %q", se.System)
+	}
+	if len(se.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(se.Points))
+	}
+	for i, n := range []int{1, 2, 3} {
+		if se.Points[i].Threads != n {
+			t.Fatalf("point %d threads = %d, want %d", i, se.Points[i].Threads, n)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	series := []Series{
+		{System: "A", Points: []Point{{1, Stats{Mean: time.Microsecond}}, {2, Stats{Mean: 2 * time.Microsecond}}}},
+		{System: "B", Points: []Point{{1, Stats{Mean: time.Millisecond}}}},
+	}
+	out := RenderTable("Figure X", series)
+	for _, want := range []string{"Figure X", "threads", "A", "B", "1.00µs", "1.000ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := RenderTable("empty", nil); !strings.Contains(got, "no data") {
+		t.Fatalf("empty table = %q", got)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	want := map[Pattern]string{
+		PatternCreate:     "fig2-create",
+		PatternJoin:       "fig3-join",
+		PatternForLoop:    "fig4-forloop",
+		PatternTaskSingle: "fig5-task-single",
+		PatternTaskPar:    "fig6-task-parallel",
+		PatternNestedFor:  "fig7-nested-for",
+		PatternNestedTask: "fig8-nested-task",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Fatalf("Pattern %d = %q, want %q", p, p.String(), w)
+		}
+	}
+}
+
+func TestChunkCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, k := range []int{1, 3, 8} {
+			next := 0
+			for tid := 0; tid < k; tid++ {
+				lo, hi := chunk(n, k, tid)
+				if lo != next || hi < lo {
+					t.Fatalf("chunk(%d,%d,%d) = [%d,%d), want lo=%d", n, k, tid, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("chunk(%d,%d,*) covers %d", n, k, next)
+			}
+		}
+	}
+}

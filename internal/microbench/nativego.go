@@ -1,0 +1,157 @@
+package microbench
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+)
+
+// nativeGoSystem runs the same patterns on raw goroutines with
+// sync.WaitGroup joins — the modern Go runtime rather than the 2016
+// global-queue model the paper describes. It is the ablation series
+// behind BenchmarkAblationRawGoroutines: comparing it against the "Go"
+// model series quantifies how much the single shared queue costs.
+type nativeGoSystem struct {
+	n   int
+	vec []float32
+}
+
+// NewNativeGo builds the raw-goroutine benchmark system.
+func NewNativeGo() System { return &nativeGoSystem{} }
+
+func (s *nativeGoSystem) Name() string { return "Go (native)" }
+
+func (s *nativeGoSystem) Setup(nthreads int) { s.n = nthreads }
+
+func (s *nativeGoSystem) Teardown() {}
+
+func (s *nativeGoSystem) vector(size int) []float32 {
+	if cap(s.vec) < size {
+		s.vec = make([]float32, size)
+		blas.Iota(s.vec)
+	}
+	return s.vec[:size]
+}
+
+func (s *nativeGoSystem) CreateJoin() (create, join time.Duration) {
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < s.n; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	t1 := time.Now()
+	wg.Wait()
+	return t1.Sub(t0), time.Since(t1)
+}
+
+func (s *nativeGoSystem) ForLoop(iters int) time.Duration {
+	v := s.vector(iters)
+	return Timed(func() {
+		var wg sync.WaitGroup
+		for t := 0; t < s.n; t++ {
+			lo, hi := chunk(iters, s.n, t)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				blas.SscalRange(v, scaleFactor, lo, hi)
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func (s *nativeGoSystem) TaskSingle(ntasks int) time.Duration {
+	v := s.vector(ntasks)
+	return Timed(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < ntasks; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				blas.SscalElem(v, scaleFactor, i)
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func (s *nativeGoSystem) TaskParallel(ntasks int) time.Duration {
+	v := s.vector(ntasks)
+	return Timed(func() {
+		var outer sync.WaitGroup
+		for t := 0; t < s.n; t++ {
+			lo, hi := chunk(ntasks, s.n, t)
+			outer.Add(1)
+			go func() {
+				defer outer.Done()
+				var inner sync.WaitGroup
+				for i := lo; i < hi; i++ {
+					i := i
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						blas.SscalElem(v, scaleFactor, i)
+					}()
+				}
+				inner.Wait()
+			}()
+		}
+		outer.Wait()
+	})
+}
+
+func (s *nativeGoSystem) NestedFor(outer, inner int) time.Duration {
+	v := s.vector(outer * inner)
+	return Timed(func() {
+		var owg sync.WaitGroup
+		for t := 0; t < s.n; t++ {
+			lo, hi := chunk(outer, s.n, t)
+			owg.Add(1)
+			go func() {
+				defer owg.Done()
+				for i := lo; i < hi; i++ {
+					row := v[i*inner : (i+1)*inner]
+					var iwg sync.WaitGroup
+					for u := 0; u < s.n; u++ {
+						ilo, ihi := chunk(inner, s.n, u)
+						iwg.Add(1)
+						go func() {
+							defer iwg.Done()
+							blas.SscalRange(row, scaleFactor, ilo, ihi)
+						}()
+					}
+					iwg.Wait()
+				}
+			}()
+		}
+		owg.Wait()
+	})
+}
+
+func (s *nativeGoSystem) NestedTask(parents, children int) time.Duration {
+	v := s.vector(parents * children)
+	return Timed(func() {
+		var pwg sync.WaitGroup
+		for p := 0; p < parents; p++ {
+			p := p
+			pwg.Add(1)
+			go func() {
+				defer pwg.Done()
+				var cwg sync.WaitGroup
+				for k := 0; k < children; k++ {
+					idx := p*children + k
+					cwg.Add(1)
+					go func() {
+						defer cwg.Done()
+						blas.SscalElem(v, scaleFactor, idx)
+					}()
+				}
+				cwg.Wait()
+			}()
+		}
+		pwg.Wait()
+	})
+}

@@ -1,0 +1,102 @@
+// Package microbench implements the paper's microbenchmarks (§VI–§IX):
+// the create/join basic-functionality measurements of Figures 2–3 and the
+// four parallel-pattern benchmarks of Figures 4–8, runnable on every
+// emulated runtime through the unified API, on the OpenMP emulation, and
+// on native goroutines. Results follow the paper's methodology: each
+// measurement is the average of repeated executions with the relative
+// standard deviation reported (§V: 500 executions, RSD ≈ 2 %).
+package microbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Stats summarizes repeated measurements of one quantity.
+type Stats struct {
+	// Mean is the average duration.
+	Mean time.Duration
+	// Min and Max bound the observations.
+	Min, Max time.Duration
+	// RSD is the relative standard deviation (stddev / mean), the
+	// stability metric §V reports.
+	RSD float64
+	// Reps is the number of measurements.
+	Reps int
+}
+
+// String renders like "12.3µs ±2.1% (n=500)".
+func (s Stats) String() string {
+	return fmt.Sprintf("%v ±%.1f%% (n=%d)", s.Mean, s.RSD*100, s.Reps)
+}
+
+// Measure runs f reps times and summarizes the durations it returns.
+// It panics if reps < 1.
+func Measure(reps int, f func() time.Duration) Stats {
+	if reps < 1 {
+		panic("microbench: reps must be >= 1")
+	}
+	xs := make([]time.Duration, reps)
+	for i := range xs {
+		xs[i] = f()
+	}
+	return Summarize(xs)
+}
+
+// Measure2 runs f reps times for a function yielding two phase durations
+// (create and join) and summarizes each phase.
+func Measure2(reps int, f func() (time.Duration, time.Duration)) (Stats, Stats) {
+	if reps < 1 {
+		panic("microbench: reps must be >= 1")
+	}
+	as := make([]time.Duration, reps)
+	bs := make([]time.Duration, reps)
+	for i := range as {
+		as[i], bs[i] = f()
+	}
+	return Summarize(as), Summarize(bs)
+}
+
+// Summarize computes Stats over raw observations. It panics on an empty
+// slice.
+func Summarize(xs []time.Duration) Stats {
+	if len(xs) == 0 {
+		panic("microbench: no observations")
+	}
+	var sum float64
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		sum += float64(x)
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		sq += d * d
+	}
+	rsd := 0.0
+	if mean > 0 && len(xs) > 1 {
+		rsd = math.Sqrt(sq/float64(len(xs)-1)) / mean
+	}
+	return Stats{
+		Mean: time.Duration(mean),
+		Min:  mn,
+		Max:  mx,
+		RSD:  rsd,
+		Reps: len(xs),
+	}
+}
+
+// Timed measures one execution of f.
+func Timed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -1,0 +1,75 @@
+package microbench
+
+import (
+	"time"
+)
+
+// System is one benchmarked implementation: an LWT library variant, an
+// OpenMP runtime flavor, or native goroutines. The methods are the
+// paper's microbenchmark patterns (§VIII-A).
+type System interface {
+	// Name is the figure-legend label (e.g. "Argobots Tasklet", "gcc").
+	Name() string
+	// Setup initializes the system for nthreads executors; it is called
+	// once per thread count, outside timed regions (matching §VI's
+	// fairness note that thread creation is excluded).
+	Setup(nthreads int)
+	// Teardown releases the system.
+	Teardown()
+
+	// CreateJoin creates one trivial work unit per thread and joins
+	// them, reporting the two phases separately (Figures 2 and 3).
+	CreateJoin() (create, join time.Duration)
+	// ForLoop executes an iters-iteration parallel for over Sscal
+	// (Figure 4): the iteration space is divided among the threads.
+	ForLoop(iters int) time.Duration
+	// TaskSingle creates ntasks one-element tasks from a single
+	// creator and joins them (Figure 5).
+	TaskSingle(ntasks int) time.Duration
+	// TaskParallel divides the work across threads, each of which
+	// creates its own share of ntasks one-element tasks (Figure 6).
+	TaskParallel(ntasks int) time.Duration
+	// NestedFor runs the nested parallel-for pattern: outer iterations
+	// divided among threads, each iteration spawning a team-sized
+	// division of the inner loop (Figure 7).
+	NestedFor(outer, inner int) time.Duration
+	// NestedTask creates parent tasks from a single creator, each of
+	// which creates children tasks (Figure 8).
+	NestedTask(parents, children int) time.Duration
+}
+
+// Spec names a System constructor, forming the figure legends.
+type Spec struct {
+	// Name is the legend label.
+	Name string
+	// Make constructs the (un-setup) system.
+	Make func() System
+}
+
+// PaperSystems returns the nine series of Figures 2–8 in legend order:
+// the two OpenMP runtimes, the Argobots variants, Qthreads,
+// MassiveThreads (both policies collapse to the better one per figure in
+// the paper; both are exposed here), Converse Threads and Go.
+func PaperSystems() []Spec {
+	return []Spec{
+		{Name: "gcc", Make: func() System { return NewOpenMP(OMPGCC) }},
+		{Name: "icc", Make: func() System { return NewOpenMP(OMPICC) }},
+		{Name: "Argobots Tasklet", Make: func() System { return NewLWT("argobots", true, "Argobots Tasklet") }},
+		{Name: "Argobots ULT", Make: func() System { return NewLWT("argobots", false, "Argobots ULT") }},
+		{Name: "Qthreads", Make: func() System { return NewLWT("qthreads", false, "Qthreads") }},
+		{Name: "MassiveThreads (H)", Make: func() System { return NewLWT("massivethreads-helpfirst", false, "MassiveThreads (H)") }},
+		{Name: "MassiveThreads (W)", Make: func() System { return NewLWT("massivethreads", false, "MassiveThreads (W)") }},
+		{Name: "Converse Threads", Make: func() System { return NewLWT("converse", true, "Converse Threads") }},
+		{Name: "Go", Make: func() System { return NewLWT("go", false, "Go") }},
+	}
+}
+
+// FindSpec returns the spec with the given legend name, or false.
+func FindSpec(name string) (Spec, bool) {
+	for _, s := range PaperSystems() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,110 @@
+package openmp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/barrier"
+)
+
+// Additional OpenMP constructs beyond the patterns the paper benchmarks:
+// sections, master, explicit barrier, critical and a dynamic-schedule
+// parallel for. They complete the directive surface so the emulation can
+// host realistic OpenMP programs, not just the microbenchmarks.
+
+// Master runs fn only on thread 0, with no implied synchronization
+// (#pragma omp master).
+func (tc *TeamCtx) Master(fn func()) {
+	if tc.tid == 0 {
+		fn()
+	}
+}
+
+// Barrier synchronizes all team members (#pragma omp barrier). Each
+// call lazily allocates one rendezvous per barrier "slot": members must
+// reach the same textual barrier, as in OpenMP.
+func (tc *TeamCtx) Barrier() {
+	tm := tc.tm
+	tm.userBarMu.Lock()
+	if tm.userBar == nil {
+		tm.userBar = barrier.NewCentral(tm.size)
+	}
+	b := tm.userBar
+	tm.userBarMu.Unlock()
+	b.Wait()
+}
+
+// Critical runs fn under the team's critical-section lock (#pragma omp
+// critical). All team members serialize on one mutex, like the anonymous
+// critical section.
+func (tc *TeamCtx) Critical(fn func()) {
+	tc.tm.critMu.Lock()
+	defer tc.tm.critMu.Unlock()
+	fn()
+}
+
+// Sections distributes the given section bodies over the team
+// (#pragma omp sections): each section runs exactly once, claimed
+// dynamically by whichever thread gets there first, followed by an
+// implicit barrier realized through the region-end join.
+func (tc *TeamCtx) Sections(sections ...func()) {
+	tm := tc.tm
+	for {
+		i := tm.nextSection.Add(1) - 1
+		idx := int(i) % maxInt(len(sections), 1)
+		if int(i) >= len(sections) {
+			return
+		}
+		sections[idx]()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ForDynamic executes the loop with a dynamic schedule inside an existing
+// region (#pragma omp for schedule(dynamic, chunk)): team members claim
+// fixed-size chunks on demand; the caller is responsible for the final
+// Barrier if it needs one (the nowait form is the default here).
+func (tc *TeamCtx) ForDynamic(n, chunk int, body func(i int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	tm := tc.tm
+	for {
+		lo := int(tm.dynNext.Add(int64(chunk))) - chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+}
+
+// ResetWorkshare rearms the team's dynamic-for and sections counters so
+// a region can contain several consecutive work-sharing constructs.
+// Must be called between constructs by a single thread with a Barrier on
+// each side.
+func (tc *TeamCtx) ResetWorkshare() {
+	tc.tm.dynNext.Store(0)
+	tc.tm.nextSection.Store(0)
+}
+
+// team fields backing the extra constructs (declared here to keep the
+// construct implementations together).
+type teamExtras struct {
+	userBarMu   sync.Mutex
+	userBar     *barrier.Central
+	critMu      sync.Mutex
+	nextSection atomic.Int64
+	dynNext     atomic.Int64
+}

@@ -1,0 +1,116 @@
+package openmp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMasterRunsOnThreadZeroOnly(t *testing.T) {
+	rt := New(Config{Flavor: GCC, NumThreads: 4, WaitPolicy: Passive})
+	defer rt.Close()
+	var runs atomic.Int32
+	rt.Parallel(func(tc *TeamCtx) {
+		tc.Master(func() { runs.Add(1) })
+	})
+	if runs.Load() != 1 {
+		t.Fatalf("master body ran %d times, want 1", runs.Load())
+	}
+}
+
+func TestExplicitBarrierSynchronizes(t *testing.T) {
+	rt := New(Config{Flavor: ICC, NumThreads: 4, WaitPolicy: Passive})
+	defer rt.Close()
+	var before, violations atomic.Int32
+	rt.Parallel(func(tc *TeamCtx) {
+		before.Add(1)
+		tc.Barrier()
+		// After the barrier every member must observe all arrivals.
+		if before.Load() != 4 {
+			violations.Add(1)
+		}
+	})
+	if violations.Load() != 0 {
+		t.Fatalf("%d members escaped the barrier early", violations.Load())
+	}
+}
+
+func TestCriticalSerializesTeam(t *testing.T) {
+	rt := New(Config{Flavor: GCC, NumThreads: 4, WaitPolicy: Passive})
+	defer rt.Close()
+	counter := 0 // protected only by Critical
+	rt.Parallel(func(tc *TeamCtx) {
+		for i := 0; i < 200; i++ {
+			tc.Critical(func() { counter++ })
+		}
+	})
+	if counter != 800 {
+		t.Fatalf("counter = %d, want 800 (lost updates)", counter)
+	}
+}
+
+func TestSectionsEachRunOnce(t *testing.T) {
+	rt := New(Config{Flavor: ICC, NumThreads: 3, WaitPolicy: Passive})
+	defer rt.Close()
+	var runs [5]atomic.Int32
+	rt.Parallel(func(tc *TeamCtx) {
+		tc.Sections(
+			func() { runs[0].Add(1) },
+			func() { runs[1].Add(1) },
+			func() { runs[2].Add(1) },
+			func() { runs[3].Add(1) },
+			func() { runs[4].Add(1) },
+		)
+	})
+	for i := range runs {
+		if got := runs[i].Load(); got != 1 {
+			t.Fatalf("section %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestSectionsMoreThreadsThanSections(t *testing.T) {
+	rt := New(Config{Flavor: GCC, NumThreads: 6, WaitPolicy: Passive})
+	defer rt.Close()
+	var runs [2]atomic.Int32
+	rt.Parallel(func(tc *TeamCtx) {
+		tc.Sections(
+			func() { runs[0].Add(1) },
+			func() { runs[1].Add(1) },
+		)
+	})
+	if runs[0].Load() != 1 || runs[1].Load() != 1 {
+		t.Fatalf("sections ran %d/%d times", runs[0].Load(), runs[1].Load())
+	}
+}
+
+func TestForDynamicCoversRange(t *testing.T) {
+	rt := New(Config{Flavor: ICC, NumThreads: 4, WaitPolicy: Passive})
+	defer rt.Close()
+	const n = 1000
+	hits := make([]atomic.Int32, n)
+	rt.Parallel(func(tc *TeamCtx) {
+		tc.ForDynamic(n, 16, func(i int) { hits[i].Add(1) })
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("iteration %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestConsecutiveWorkshareWithReset(t *testing.T) {
+	rt := New(Config{Flavor: GCC, NumThreads: 3, WaitPolicy: Passive})
+	defer rt.Close()
+	const n = 90
+	var first, second atomic.Int32
+	rt.Parallel(func(tc *TeamCtx) {
+		tc.ForDynamic(n, 8, func(i int) { first.Add(1) })
+		tc.Barrier()
+		tc.Master(func() { tc.ResetWorkshare() })
+		tc.Barrier()
+		tc.ForDynamic(n, 8, func(i int) { second.Add(1) })
+	})
+	if first.Load() != n || second.Load() != n {
+		t.Fatalf("workshares ran %d/%d iterations, want %d each", first.Load(), second.Load(), n)
+	}
+}

@@ -1,0 +1,71 @@
+package qthreads
+
+import (
+	"sync"
+
+	"repro/internal/feb"
+)
+
+// FEBQueue is a bounded MPMC queue built entirely on full/empty-bit
+// words — the construction style §III-D describes for Qthreads'
+// distributed structures: each slot is an FEB word, producers WriteEF
+// (wait-empty, fill) and consumers ReadFE (wait-full, empty), so the
+// queue needs no additional condition variables.
+type FEBQueue struct {
+	t     *feb.Table
+	slots []feb.Addr
+	mu    sync.Mutex
+	head  uint64 // next slot to consume
+	tail  uint64 // next slot to produce
+}
+
+// NewFEBQueue creates a queue with the given capacity over the runtime's
+// FEB table. It panics if capacity < 1.
+func (rt *Runtime) NewFEBQueue(capacity int) *FEBQueue {
+	if capacity < 1 {
+		panic("qthreads: FEBQueue capacity must be >= 1")
+	}
+	q := &FEBQueue{t: rt.febTable, slots: make([]feb.Addr, capacity)}
+	for i := range q.slots {
+		q.slots[i] = rt.febTable.Alloc() // allocated empty
+	}
+	return q
+}
+
+// Enqueue blocks until a slot is free, then stores v. Safe for multiple
+// producers. Must not be called from inside a qthread (it can block the
+// worker); use TryEnqueue there.
+func (q *FEBQueue) Enqueue(v uint64) {
+	q.mu.Lock()
+	slot := q.slots[q.tail%uint64(len(q.slots))]
+	q.tail++
+	q.mu.Unlock()
+	q.t.WriteEF(slot, v)
+}
+
+// Dequeue blocks until a value is available and returns it. Safe for
+// multiple consumers; same blocking caveat as Enqueue.
+func (q *FEBQueue) Dequeue() uint64 {
+	q.mu.Lock()
+	slot := q.slots[q.head%uint64(len(q.slots))]
+	q.head++
+	q.mu.Unlock()
+	return q.t.ReadFE(slot)
+}
+
+// TryDequeue returns a value if one is immediately available. The
+// cooperative form for qthread contexts: poll and Yield between attempts.
+func (q *FEBQueue) TryDequeue() (uint64, bool) {
+	q.mu.Lock()
+	slot := q.slots[q.head%uint64(len(q.slots))]
+	if _, ok := q.t.TryReadFF(slot); !ok {
+		q.mu.Unlock()
+		return 0, false
+	}
+	q.head++
+	q.mu.Unlock()
+	return q.t.ReadFE(slot), true
+}
+
+// Cap reports the queue capacity.
+func (q *FEBQueue) Cap() int { return len(q.slots) }

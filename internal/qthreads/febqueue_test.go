@@ -1,0 +1,163 @@
+package qthreads
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFEBQueueFIFOSingleProducerConsumer(t *testing.T) {
+	rt := MustInit(PerCPU(2))
+	defer rt.Finalize()
+	q := rt.NewFEBQueue(4)
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", q.Cap())
+	}
+	go func() {
+		for i := uint64(0); i < 100; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	for i := uint64(0); i < 100; i++ {
+		if got := q.Dequeue(); got != i {
+			t.Fatalf("dequeue %d = %d (out of order)", i, got)
+		}
+	}
+}
+
+func TestFEBQueueBlocksWhenFull(t *testing.T) {
+	rt := MustInit(PerCPU(1))
+	defer rt.Finalize()
+	q := rt.NewFEBQueue(2)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(3) // must block until a slot frees
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Enqueue did not block on a full queue")
+	default:
+	}
+	if got := q.Dequeue(); got != 1 {
+		t.Fatalf("Dequeue = %d, want 1", got)
+	}
+	<-done
+	if got := q.Dequeue(); got != 2 {
+		t.Fatalf("Dequeue = %d, want 2", got)
+	}
+	if got := q.Dequeue(); got != 3 {
+		t.Fatalf("Dequeue = %d, want 3", got)
+	}
+}
+
+func TestFEBQueueMPMCConservation(t *testing.T) {
+	rt := MustInit(PerCPU(2))
+	defer rt.Finalize()
+	q := rt.NewFEBQueue(8)
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(uint64(p*perProducer + i))
+			}
+		}()
+	}
+	seen := make([]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				mu.Lock()
+				remaining := false
+				for _, s := range seen {
+					if !s {
+						remaining = true
+						break
+					}
+				}
+				mu.Unlock()
+				if !remaining {
+					return
+				}
+				if v, ok := q.TryDequeue(); ok {
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("value %d dequeued twice", v)
+					}
+					seen[v] = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("value %d lost", v)
+		}
+	}
+}
+
+func TestFEBQueueTryDequeueEmpty(t *testing.T) {
+	rt := MustInit(PerCPU(1))
+	defer rt.Finalize()
+	q := rt.NewFEBQueue(2)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue succeeded on an empty queue")
+	}
+	q.Enqueue(9)
+	v, ok := q.TryDequeue()
+	if !ok || v != 9 {
+		t.Fatalf("TryDequeue = %d,%v", v, ok)
+	}
+}
+
+func TestFEBQueueZeroCapPanics(t *testing.T) {
+	rt := MustInit(PerCPU(1))
+	defer rt.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity FEBQueue did not panic")
+		}
+	}()
+	rt.NewFEBQueue(0)
+}
+
+func TestFEBQueueProducerConsumerQthreads(t *testing.T) {
+	// Qthreads produce, main consumes: the FEB hand-off crosses the
+	// runtime boundary.
+	rt := MustInit(PerCPU(2))
+	defer rt.Finalize()
+	q := rt.NewFEBQueue(4)
+	const n = 50
+	th := rt.Fork(func(c *Context) {
+		for i := uint64(0); i < n; i++ {
+			// Cooperative enqueue: try, yield when full.
+			for {
+				if _, ok := q.t.TryReadFF(q.slots[q.tail%uint64(len(q.slots))]); !ok {
+					break // slot empty → Enqueue will not block long
+				}
+				c.Yield()
+			}
+			q.Enqueue(i)
+		}
+	})
+	sum := uint64(0)
+	for i := 0; i < n; i++ {
+		sum += q.Dequeue()
+	}
+	rt.ReadFF(th)
+	if want := uint64(n * (n - 1) / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}

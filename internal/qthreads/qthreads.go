@@ -1,0 +1,285 @@
+// Package qthreads emulates the Qthreads programming model (§III-D): a
+// three-level hierarchy of Shepherds → Workers → work units, where
+// Shepherds own the work queues and can be bound to the node, a socket or
+// a CPU, and synchronization is built on full/empty bits (FEB): a fork
+// returns the address of a return-value word that the ULT fills on
+// completion, and joining is qthread_readFF on that word (Table II).
+//
+// Unlike the adopted-main runtimes (Argobots, MassiveThreads, Converse),
+// the Qthreads main thread stays outside the runtime: qthread_initialize
+// spawns the shepherd/worker pthreads and main blocks in readFF when
+// joining — exactly the shape implemented here.
+package qthreads
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/feb"
+	"repro/internal/queue"
+	"repro/internal/topo"
+	"repro/internal/ult"
+)
+
+// Config selects the shepherd/worker layout (§VIII-B3).
+type Config struct {
+	// Shepherds is the number of shepherds (work-queue domains).
+	Shepherds int
+	// WorkersPerShepherd is the number of executor threads serving each
+	// shepherd's queue.
+	WorkersPerShepherd int
+}
+
+// Validate reports whether the layout is usable.
+func (c Config) Validate() error {
+	if c.Shepherds < 1 || c.WorkersPerShepherd < 1 {
+		return fmt.Errorf("qthreads: invalid layout %d shepherds x %d workers", c.Shepherds, c.WorkersPerShepherd)
+	}
+	return nil
+}
+
+// String renders the layout like "4 shepherds x 1 worker".
+func (c Config) String() string {
+	return fmt.Sprintf("%d shepherds x %d workers", c.Shepherds, c.WorkersPerShepherd)
+}
+
+// PerNode returns the one-shepherd-manages-the-node layout of §VIII-B3,
+// with as many workers as the topology has processing units. Better for a
+// reduced number of work units, at the price of load imbalance.
+func PerNode(t topo.Topology, nthreads int) Config {
+	if nthreads < 1 {
+		nthreads = t.Count(topo.LevelPU)
+	}
+	return Config{Shepherds: 1, WorkersPerShepherd: nthreads}
+}
+
+// PerCPU returns the one-shepherd-per-CPU layout (each manages a single
+// worker) — the configuration the paper selects for most experiments.
+func PerCPU(nthreads int) Config {
+	return Config{Shepherds: nthreads, WorkersPerShepherd: 1}
+}
+
+// PerSocket returns the one-shepherd-per-socket layout, which the paper
+// evaluated and discarded ("it performed much worse than the other
+// choices for all scenarios").
+func PerSocket(t topo.Topology, nthreads int) Config {
+	s := t.Sockets
+	if s < 1 {
+		s = 1
+	}
+	w := nthreads / s
+	if w < 1 {
+		w = 1
+	}
+	return Config{Shepherds: s, WorkersPerShepherd: w}
+}
+
+// Runtime is an initialized Qthreads instance.
+type Runtime struct {
+	cfg       Config
+	shepherds []*Shepherd
+	febTable  *feb.Table
+	shutdown  atomic.Bool
+	wg        sync.WaitGroup
+	finished  atomic.Bool
+}
+
+// Shepherd owns one work-unit queue served by its workers.
+type Shepherd struct {
+	id      int
+	rt      *Runtime
+	pool    *queue.FIFO
+	workers []*Worker
+}
+
+// ID returns the shepherd's rank.
+func (s *Shepherd) ID() int { return s.id }
+
+// QueueStats exposes the shepherd queue's counters (the contention of
+// many workers sharing one queue is visible here).
+func (s *Shepherd) QueueStats() *queue.Stats { return s.pool.Stats() }
+
+// Worker is the middle level of the hierarchy: the executor thread that
+// runs work units from its shepherd's queue.
+type Worker struct {
+	exec *ult.Executor
+	shep *Shepherd
+}
+
+// Stats exposes the worker's executor counters.
+func (w *Worker) Stats() *ult.ExecStats { return w.exec.Stats() }
+
+// Thread is a handle on a forked qthread: the ULT plus the FEB word its
+// return value fills.
+type Thread struct {
+	u   *ult.ULT
+	ret feb.Addr
+}
+
+// Ret returns the FEB address of the thread's return-value word, usable
+// directly with the runtime's FEB table.
+func (th *Thread) Ret() feb.Addr { return th.ret }
+
+// Done reports completion without blocking.
+func (th *Thread) Done() bool { return th.u.Done() }
+
+// Context is passed to qthread bodies.
+type Context struct {
+	rt   *Runtime
+	self *ult.ULT
+	shep *Shepherd
+}
+
+// Init starts the runtime with the given layout (qthread_initialize). The
+// caller remains an ordinary goroutine outside the runtime.
+func Init(cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, febTable: feb.NewTable()}
+	for i := 0; i < cfg.Shepherds; i++ {
+		s := &Shepherd{id: i, rt: rt, pool: queue.NewFIFO(64)}
+		for w := 0; w < cfg.WorkersPerShepherd; w++ {
+			wk := &Worker{exec: ult.NewExecutor(i*cfg.WorkersPerShepherd + w), shep: s}
+			s.workers = append(s.workers, wk)
+		}
+		rt.shepherds = append(rt.shepherds, s)
+	}
+	for _, s := range rt.shepherds {
+		for _, w := range s.workers {
+			rt.wg.Add(1)
+			go w.loop()
+		}
+	}
+	return rt, nil
+}
+
+// MustInit is Init for known-good configurations; it panics on error.
+func MustInit(cfg Config) *Runtime {
+	rt, err := Init(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NumShepherds reports the shepherd count.
+func (rt *Runtime) NumShepherds() int { return len(rt.shepherds) }
+
+// NumWorkers reports the total worker count.
+func (rt *Runtime) NumWorkers() int {
+	return len(rt.shepherds) * rt.cfg.WorkersPerShepherd
+}
+
+// FEB exposes the runtime's full/empty-bit table for user-level
+// synchronization (the free-access-to-memory model of §III-D).
+func (rt *Runtime) FEB() *feb.Table { return rt.febTable }
+
+// Fork creates a qthread in shepherd 0's queue — the "current" shepherd
+// from the main thread's perspective (qthread_fork, §VIII-B3).
+func (rt *Runtime) Fork(fn func(*Context)) *Thread {
+	return rt.ForkTo(fn, 0)
+}
+
+// ForkTo creates a qthread directly in the named shepherd's queue
+// (qthread_fork_to); the paper's microbenchmarks deal work round-robin
+// with it.
+func (rt *Runtime) ForkTo(fn func(*Context), shepherd int) *Thread {
+	s := rt.shepherds[shepherd]
+	th := &Thread{ret: rt.febTable.Alloc()}
+	th.u = ult.New(func(self *ult.ULT) {
+		// Completion fills the return-value word; readFF joins on it.
+		// Deferred so a panicking body (contained by the substrate)
+		// still releases its joiners.
+		defer rt.febTable.WriteF(th.ret, 0)
+		fn(&Context{rt: rt, self: self, shep: s})
+	})
+	ult.MarkReady(th.u)
+	s.pool.Push(th.u)
+	return th
+}
+
+// ReadFF joins a thread from outside the runtime: it blocks the caller on
+// the thread's return-value word until the qthread fills it
+// (qthread_readFF, the join of Table II). The word is filled by a defer
+// that runs marginally before the ULT's final state store, so ReadFF
+// additionally waits for completion — joiners must observe Done.
+func (rt *Runtime) ReadFF(th *Thread) uint64 {
+	v := rt.febTable.ReadFF(th.ret)
+	<-th.u.DoneChan()
+	return v
+}
+
+// Finalize stops the workers (qthread_finalize). Forked threads must have
+// been joined first.
+func (rt *Runtime) Finalize() {
+	if !rt.finished.CompareAndSwap(false, true) {
+		return
+	}
+	rt.shutdown.Store(true)
+	rt.wg.Wait()
+}
+
+// loop is one worker's scheduling cycle: serve the shepherd queue.
+// Qthreads does not steal between shepherds; balance comes from placement
+// (fork_to), which is why the paper's single-shepherd configuration shows
+// load imbalance with many units.
+func (w *Worker) loop() {
+	rt := w.shep.rt
+	defer rt.wg.Done()
+	for {
+		if res, h, ok := w.exec.DispatchHint(); ok {
+			if res == ult.DispatchYielded {
+				w.shep.pool.Push(h)
+			}
+			continue
+		}
+		u := w.shep.pool.Pop()
+		if u == nil {
+			if rt.shutdown.Load() {
+				return
+			}
+			w.exec.NoteIdle()
+			continue
+		}
+		t, ok := u.(*ult.ULT)
+		if !ok {
+			panic("qthreads: only ULT work units exist in this model")
+		}
+		if res := w.exec.Dispatch(t); res == ult.DispatchYielded {
+			w.shep.pool.Push(t)
+		}
+	}
+}
+
+// --- Context: operations valid inside a running qthread ---
+
+// Yield re-enters the shepherd's scheduler (qthread_yield).
+func (c *Context) Yield() { c.self.Yield() }
+
+// Shepherd reports the shepherd the qthread was forked to.
+func (c *Context) Shepherd() int { return c.shep.id }
+
+// Fork creates a child qthread in the same shepherd's queue.
+func (c *Context) Fork(fn func(*Context)) *Thread {
+	return c.rt.ForkTo(fn, c.shep.id)
+}
+
+// ForkTo creates a child qthread in the named shepherd's queue.
+func (c *Context) ForkTo(fn func(*Context), shepherd int) *Thread {
+	return c.rt.ForkTo(fn, shepherd)
+}
+
+// ReadFF joins a thread from inside a qthread. Blocking the executor
+// would stall every unit behind it, so the cooperative form polls the FEB
+// word (and the completion state, see Runtime.ReadFF) and yields between
+// polls.
+func (c *Context) ReadFF(th *Thread) uint64 {
+	for {
+		if v, ok := c.rt.febTable.TryReadFF(th.ret); ok && th.u.Done() {
+			return v
+		}
+		c.self.Yield()
+	}
+}

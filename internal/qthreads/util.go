@@ -1,0 +1,222 @@
+package qthreads
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/feb"
+)
+
+// Utility layer mirroring the Qthreads library surface the paper cites in
+// §III-D: "a large number of distributed structures such as queues,
+// dictionaries, or pools are offered along with for loop and reduction
+// functionality" — qt_loop, qt_loopaccum, sincs and a sharded dictionary.
+
+// Loop executes fn(i) for every i in [start, stop) in parallel: the range
+// is divided into one qthread per shepherd, dealt round-robin (qt_loop).
+// It returns when every iteration completed.
+func (rt *Runtime) Loop(start, stop int, fn func(i int)) {
+	n := stop - start
+	if n <= 0 {
+		return
+	}
+	k := rt.NumShepherds() * rt.cfg.WorkersPerShepherd
+	if k > n {
+		k = n
+	}
+	ths := make([]*Thread, k)
+	for t := 0; t < k; t++ {
+		base, rem := n/k, n%k
+		lo := start + t*base + min(t, rem)
+		hi := lo + base
+		if t < rem {
+			hi++
+		}
+		ths[t] = rt.ForkTo(func(c *Context) {
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}, t%rt.NumShepherds())
+	}
+	for _, th := range ths {
+		rt.ReadFF(th)
+	}
+}
+
+// LoopAccum is qt_loopaccum: a parallel loop with a reduction. Each
+// qthread folds its range into a private accumulator with accum, and the
+// per-thread partials are folded together after the join. accum must be
+// associative with identity as its neutral element.
+func (rt *Runtime) LoopAccum(start, stop int, identity float64,
+	accum func(a, b float64) float64, fn func(i int) float64) float64 {
+
+	n := stop - start
+	if n <= 0 {
+		return identity
+	}
+	k := rt.NumShepherds() * rt.cfg.WorkersPerShepherd
+	if k > n {
+		k = n
+	}
+	partials := make([]float64, k)
+	ths := make([]*Thread, k)
+	for t := 0; t < k; t++ {
+		t := t
+		base, rem := n/k, n%k
+		lo := start + t*base + min(t, rem)
+		hi := lo + base
+		if t < rem {
+			hi++
+		}
+		ths[t] = rt.ForkTo(func(c *Context) {
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = accum(acc, fn(i))
+			}
+			partials[t] = acc
+		}, t%rt.NumShepherds())
+	}
+	for _, th := range ths {
+		rt.ReadFF(th)
+	}
+	acc := identity
+	for _, p := range partials {
+		acc = accum(acc, p)
+	}
+	return acc
+}
+
+// Sinc is the Qthreads "sinc" structure: a dynamic completion counter
+// with an attached reduction. Producers registered with Expect submit
+// values; waiters block (via the runtime's FEB table) until every
+// expected submission arrived.
+type Sinc struct {
+	rt       *Runtime
+	mu       sync.Mutex
+	expected int64
+	arrived  int64
+	value    float64
+	accum    func(a, b float64) float64
+	ready    atomic.Bool
+	word     feb.Addr
+}
+
+// NewSinc creates a sinc with the given reduction and initial value.
+func (rt *Runtime) NewSinc(initial float64, accum func(a, b float64) float64) *Sinc {
+	return &Sinc{rt: rt, value: initial, accum: accum, word: rt.febTable.Alloc()}
+}
+
+// Expect registers n additional pending submissions. Expecting after the
+// sinc completed panics.
+func (s *Sinc) Expect(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready.Load() {
+		panic("qthreads: Expect after sinc completed")
+	}
+	s.expected += int64(n)
+}
+
+// Submit folds v into the sinc and counts one arrival. When the last
+// expected arrival lands, waiters are released.
+func (s *Sinc) Submit(v float64) {
+	s.mu.Lock()
+	s.value = s.accum(s.value, v)
+	s.arrived++
+	fire := s.arrived >= s.expected && s.expected > 0
+	s.mu.Unlock()
+	if fire {
+		s.ready.Store(true)
+		s.rt.febTable.WriteF(s.word, 0)
+	}
+}
+
+// Wait blocks the main thread until all expected submissions arrived and
+// returns the reduced value.
+func (s *Sinc) Wait() float64 {
+	s.rt.febTable.ReadFF(s.word)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}
+
+// WaitFrom is the cooperative form for calls from inside a qthread.
+func (s *Sinc) WaitFrom(c *Context) float64 {
+	for {
+		if _, ok := s.rt.febTable.TryReadFF(s.word); ok {
+			break
+		}
+		c.Yield()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}
+
+// Dict is a sharded concurrent dictionary, one of the distributed
+// structures §III-D credits Qthreads with.
+type Dict struct {
+	shards [16]dictShard
+}
+
+type dictShard struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{}
+	for i := range d.shards {
+		d.shards[i].m = make(map[string]any)
+	}
+	return d
+}
+
+func (d *Dict) shard(key string) *dictShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &d.shards[h%16]
+}
+
+// Put stores value under key, returning the previous value if any.
+func (d *Dict) Put(key string, value any) (prev any, had bool) {
+	s := d.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had = s.m[key]
+	s.m[key] = value
+	return prev, had
+}
+
+// Get returns the value under key.
+func (d *Dict) Get(key string) (any, bool) {
+	s := d.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Delete removes key, reporting whether it existed.
+func (d *Dict) Delete(key string) bool {
+	s := d.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, had := s.m[key]
+	delete(s.m, key)
+	return had
+}
+
+// Len reports the number of stored keys.
+func (d *Dict) Len() int {
+	n := 0
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+		n += len(d.shards[i].m)
+		d.shards[i].mu.Unlock()
+	}
+	return n
+}

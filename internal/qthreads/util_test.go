@@ -1,0 +1,218 @@
+package qthreads
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoopCoversRange(t *testing.T) {
+	rt := MustInit(PerCPU(4))
+	defer rt.Finalize()
+	const start, stop = 5, 505
+	hits := make([]atomic.Int32, stop)
+	rt.Loop(start, stop, func(i int) { hits[i].Add(1) })
+	for i := 0; i < start; i++ {
+		if hits[i].Load() != 0 {
+			t.Fatalf("iteration %d ran outside the range", i)
+		}
+	}
+	for i := start; i < stop; i++ {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("iteration %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestLoopEmptyAndSmall(t *testing.T) {
+	rt := MustInit(PerCPU(4))
+	defer rt.Finalize()
+	rt.Loop(3, 3, func(i int) { t.Error("body ran for empty range") })
+	rt.Loop(10, 7, func(i int) { t.Error("body ran for inverted range") })
+	var n atomic.Int32
+	rt.Loop(0, 2, func(i int) { n.Add(1) }) // fewer iters than workers
+	if n.Load() != 2 {
+		t.Fatalf("small loop ran %d iterations, want 2", n.Load())
+	}
+}
+
+func TestLoopAccumSum(t *testing.T) {
+	rt := MustInit(PerCPU(3))
+	defer rt.Finalize()
+	got := rt.LoopAccum(0, 1000, 0,
+		func(a, b float64) float64 { return a + b },
+		func(i int) float64 { return float64(i) })
+	want := float64(1000*999) / 2
+	if got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestLoopAccumEmpty(t *testing.T) {
+	rt := MustInit(PerCPU(2))
+	defer rt.Finalize()
+	got := rt.LoopAccum(4, 4, -1,
+		func(a, b float64) float64 { return a + b },
+		func(i int) float64 { return 100 })
+	if got != -1 {
+		t.Fatalf("empty accum = %v, want identity", got)
+	}
+}
+
+// Property: LoopAccum with + equals the sequential sum for any range.
+func TestLoopAccumMatchesSequentialProperty(t *testing.T) {
+	rt := MustInit(PerCPU(3))
+	defer rt.Finalize()
+	f := func(n16 uint16) bool {
+		n := int(n16 % 500)
+		par := rt.LoopAccum(0, n, 0,
+			func(a, b float64) float64 { return a + b },
+			func(i int) float64 { return float64(i * i) })
+		seq := 0.0
+		for i := 0; i < n; i++ {
+			seq += float64(i * i)
+		}
+		return par == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSincCollectsAllSubmissions(t *testing.T) {
+	rt := MustInit(PerCPU(4))
+	defer rt.Finalize()
+	s := rt.NewSinc(0, func(a, b float64) float64 { return a + b })
+	const n = 64
+	s.Expect(n)
+	for i := 0; i < n; i++ {
+		i := i
+		rt.ForkTo(func(c *Context) { s.Submit(float64(i)) }, i%4)
+	}
+	got := s.Wait()
+	want := float64(n*(n-1)) / 2
+	if got != want {
+		t.Fatalf("sinc value = %v, want %v", got, want)
+	}
+}
+
+func TestSincWaitFromQthread(t *testing.T) {
+	rt := MustInit(PerCPU(2))
+	defer rt.Finalize()
+	s := rt.NewSinc(1, func(a, b float64) float64 { return a * b })
+	s.Expect(3)
+	var got atomic.Uint64
+	waiter := rt.Fork(func(c *Context) {
+		got.Store(uint64(s.WaitFrom(c)))
+	})
+	for _, v := range []float64{2, 3, 4} {
+		v := v
+		rt.ForkTo(func(c *Context) { s.Submit(v) }, 1)
+	}
+	rt.ReadFF(waiter)
+	if got.Load() != 24 {
+		t.Fatalf("sinc product = %d, want 24", got.Load())
+	}
+}
+
+func TestSincExpectAfterCompletePanics(t *testing.T) {
+	rt := MustInit(PerCPU(1))
+	defer rt.Finalize()
+	s := rt.NewSinc(0, func(a, b float64) float64 { return a + b })
+	s.Expect(1)
+	s.Submit(1)
+	s.Wait()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Expect after completion did not panic")
+		}
+	}()
+	s.Expect(1)
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Get("a"); ok {
+		t.Fatal("empty dict returned a value")
+	}
+	if prev, had := d.Put("a", 1); had || prev != nil {
+		t.Fatal("first Put reported a previous value")
+	}
+	if v, ok := d.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v,%v", v, ok)
+	}
+	if prev, had := d.Put("a", 2); !had || prev.(int) != 1 {
+		t.Fatalf("second Put prev = %v,%v", prev, had)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	if !d.Delete("a") {
+		t.Fatal("Delete missed the key")
+	}
+	if d.Delete("a") {
+		t.Fatal("Delete found a deleted key")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestDictConcurrentAccessFromQthreads(t *testing.T) {
+	rt := MustInit(PerCPU(4))
+	defer rt.Finalize()
+	d := NewDict()
+	const writers, keys = 8, 50
+	ths := make([]*Thread, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		ths[w] = rt.Fork(func(c *Context) {
+			for k := 0; k < keys; k++ {
+				d.Put(fmt.Sprintf("w%d-k%d", w, k), w*1000+k)
+			}
+		})
+	}
+	for _, th := range ths {
+		rt.ReadFF(th)
+	}
+	if got := d.Len(); got != writers*keys {
+		t.Fatalf("Len = %d, want %d", got, writers*keys)
+	}
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keys; k++ {
+			v, ok := d.Get(fmt.Sprintf("w%d-k%d", w, k))
+			if !ok || v.(int) != w*1000+k {
+				t.Fatalf("lost write w%d-k%d", w, k)
+			}
+		}
+	}
+}
+
+func TestDictConcurrentMixed(t *testing.T) {
+	d := NewDict()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%17)
+				switch (g + i) % 3 {
+				case 0:
+					d.Put(key, i)
+				case 1:
+					d.Get(key)
+				case 2:
+					d.Delete(key)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Len() > 17 {
+		t.Fatalf("Len = %d, want <= 17", d.Len())
+	}
+}

@@ -1,0 +1,133 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ult"
+)
+
+// LockFree is a Chase–Lev work-stealing deque: the owner pushes and pops
+// at the bottom without locks; thieves steal from the top with a single
+// CAS. The paper notes MassiveThreads protects its queues with mutexes
+// (§III-C); this implementation is the alternative design point, used by
+// BenchmarkAblationDequeLocking to quantify what the mutex costs.
+//
+// Owner operations (PushBottom, PopBottom) must come from one goroutine;
+// StealTop is safe from any number of concurrent thieves.
+type LockFree struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[lfRing]
+	stats  Stats
+}
+
+// lfRing is a power-of-two circular buffer.
+type lfRing struct {
+	mask  int64
+	slots []atomic.Pointer[lfSlot]
+}
+
+// lfSlot boxes a work unit so slots can be atomic pointers.
+type lfSlot struct {
+	u ult.Unit
+}
+
+func newLFRing(capacity int64) *lfRing {
+	return &lfRing{mask: capacity - 1, slots: make([]atomic.Pointer[lfSlot], capacity)}
+}
+
+func (r *lfRing) get(i int64) *lfSlot    { return r.slots[i&r.mask].Load() }
+func (r *lfRing) put(i int64, s *lfSlot) { r.slots[i&r.mask].Store(s) }
+func (r *lfRing) capacity() int64        { return r.mask + 1 }
+
+// NewLockFree returns an empty lock-free deque with room for at least n
+// units before the first grow.
+func NewLockFree(n int) *LockFree {
+	c := int64(8)
+	for c < int64(n) {
+		c <<= 1
+	}
+	d := &LockFree{}
+	d.ring.Store(newLFRing(c))
+	return d
+}
+
+// PushBottom inserts a unit at the owner end. Owner-only.
+func (d *LockFree) PushBottom(u ult.Unit) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= r.capacity()-1 {
+		r = d.grow(r, b, t)
+	}
+	r.put(b, &lfSlot{u: u})
+	d.bottom.Store(b + 1)
+	d.stats.Pushes.Add(1)
+}
+
+// grow doubles the ring, copying live entries. Owner-only.
+func (d *LockFree) grow(old *lfRing, b, t int64) *lfRing {
+	nr := newLFRing(old.capacity() * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, old.get(i))
+	}
+	d.ring.Store(nr)
+	return nr
+}
+
+// PopBottom removes the most recently pushed unit. Owner-only.
+func (d *LockFree) PopBottom() ult.Unit {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		d.stats.EmptyPops.Add(1)
+		return nil
+	}
+	r := d.ring.Load()
+	s := r.get(b)
+	if t == b {
+		// Last element: race the thieves for it.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		if !won {
+			d.stats.EmptyPops.Add(1)
+			return nil
+		}
+	}
+	d.stats.Pops.Add(1)
+	return s.u
+}
+
+// StealTop removes the oldest unit. Safe for concurrent thieves; returns
+// nil when the deque is empty or the steal lost a race (callers retry).
+func (d *LockFree) StealTop() ult.Unit {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		d.stats.EmptyPops.Add(1)
+		return nil
+	}
+	r := d.ring.Load()
+	s := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		d.stats.Contended.Add(1)
+		return nil
+	}
+	d.stats.Steals.Add(1)
+	return s.u
+}
+
+// Len reports the approximate number of queued units.
+func (d *LockFree) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Stats exposes the deque's counters.
+func (d *LockFree) Stats() *Stats { return &d.stats }

@@ -1,0 +1,158 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ult"
+)
+
+func TestLockFreeSequentialLIFO(t *testing.T) {
+	d := NewLockFree(4)
+	us := mkUnits(10)
+	for _, u := range us {
+		d.PushBottom(u)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", d.Len())
+	}
+	for i := len(us) - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got != us[i] {
+			t.Fatalf("PopBottom out of LIFO order at %d", i)
+		}
+	}
+	if d.PopBottom() != nil {
+		t.Fatal("empty deque returned a unit")
+	}
+}
+
+func TestLockFreeSequentialStealFIFO(t *testing.T) {
+	d := NewLockFree(4)
+	us := mkUnits(5)
+	for _, u := range us {
+		d.PushBottom(u)
+	}
+	for i := 0; i < 5; i++ {
+		got := d.StealTop()
+		if got != us[i] {
+			t.Fatalf("StealTop out of FIFO order at %d", i)
+		}
+	}
+	if d.StealTop() != nil {
+		t.Fatal("empty deque allowed a steal")
+	}
+}
+
+func TestLockFreeGrowthPreservesAll(t *testing.T) {
+	d := NewLockFree(2)
+	us := mkUnits(200) // forces several grows
+	for _, u := range us {
+		d.PushBottom(u)
+	}
+	seen := map[uint64]bool{}
+	for u := d.PopBottom(); u != nil; u = d.PopBottom() {
+		if seen[u.ID()] {
+			t.Fatalf("unit %d extracted twice", u.ID())
+		}
+		seen[u.ID()] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("extracted %d units, want 200", len(seen))
+	}
+}
+
+func TestLockFreeInterleavedPushPop(t *testing.T) {
+	d := NewLockFree(2)
+	// Wrap the ring repeatedly.
+	for round := 0; round < 50; round++ {
+		us := mkUnits(7)
+		for _, u := range us {
+			d.PushBottom(u)
+		}
+		for i := 0; i < 3; i++ {
+			if d.StealTop() == nil {
+				t.Fatal("steal failed with units available")
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if d.PopBottom() == nil {
+				t.Fatal("pop failed with units available")
+			}
+		}
+		if d.Len() != 0 {
+			t.Fatalf("round %d: Len = %d, want 0", round, d.Len())
+		}
+	}
+}
+
+// The central correctness property: under a racing owner and thieves,
+// every pushed unit is extracted exactly once.
+func TestLockFreeConcurrentConservation(t *testing.T) {
+	d := NewLockFree(8)
+	const total = 20000
+	var extracted sync.Map
+	var count atomic.Int64
+	record := func(u ult.Unit) {
+		if _, dup := extracted.LoadOrStore(u.ID(), true); dup {
+			t.Errorf("unit %d extracted twice", u.ID())
+		}
+		count.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ { // thieves
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if u := d.StealTop(); u != nil {
+					record(u)
+					continue
+				}
+				select {
+				case <-stop:
+					for u := d.StealTop(); u != nil; u = d.StealTop() {
+						record(u)
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	// Owner: pushes all units, pops intermittently.
+	for i := 0; i < total; i++ {
+		d.PushBottom(ult.NewTasklet(func() {}))
+		if i%4 == 0 {
+			if u := d.PopBottom(); u != nil {
+				record(u)
+			}
+		}
+	}
+	for u := d.PopBottom(); u != nil; u = d.PopBottom() {
+		record(u)
+	}
+	close(stop)
+	wg.Wait()
+	if got := count.Load(); got != total {
+		t.Fatalf("extracted %d units, want %d", got, total)
+	}
+}
+
+func TestLockFreeStatsCounters(t *testing.T) {
+	d := NewLockFree(4)
+	us := mkUnits(3)
+	for _, u := range us {
+		d.PushBottom(u)
+	}
+	d.PopBottom()
+	d.StealTop()
+	st := d.Stats()
+	if st.Pushes.Load() != 3 || st.Pops.Load() != 1 || st.Steals.Load() != 1 {
+		t.Fatalf("stats = pushes %d / pops %d / steals %d",
+			st.Pushes.Load(), st.Pops.Load(), st.Steals.Load())
+	}
+}

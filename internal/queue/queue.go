@@ -1,0 +1,256 @@
+// Package queue provides the work-unit containers used by the runtime
+// emulations: private FIFO queues, owner-LIFO/thief-FIFO deques for work
+// stealing, and a single shared MPMC queue modelling the global run queues
+// of the Go scheduler and the gcc OpenMP task runtime.
+//
+// The paper repeatedly attributes performance artifacts to queue choice —
+// the contention of Go's single shared queue (§III-F, §VI), the mutex
+// protection MassiveThreads' steals require (§III-C), the per-thread
+// queues plus stealing of the icc task runtime (§II.A) — so the containers
+// here expose contention counters that tests and benchmarks can assert on.
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ult"
+)
+
+// Stats aggregates container event counters. All fields are safe for
+// concurrent use.
+type Stats struct {
+	// Pushes counts successful insertions.
+	Pushes atomic.Uint64
+	// Pops counts successful removals by the owner side.
+	Pops atomic.Uint64
+	// Steals counts successful removals by the thief side (deques only).
+	Steals atomic.Uint64
+	// Contended counts lock acquisitions that did not succeed on the
+	// first try — a direct measure of queue contention.
+	Contended atomic.Uint64
+	// EmptyPops counts removal attempts that found the container empty.
+	EmptyPops atomic.Uint64
+}
+
+// lockCounting acquires mu, bumping the contention counter when the lock
+// was not immediately available.
+func lockCounting(mu *sync.Mutex, st *Stats) {
+	if mu.TryLock() {
+		return
+	}
+	st.Contended.Add(1)
+	mu.Lock()
+}
+
+// FIFO is a mutex-protected first-in first-out work-unit queue: the private
+// per-thread pool used (in its default configuration) by Argobots,
+// Qthreads, Converse Threads and MassiveThreads.
+//
+// The zero value is an empty, usable queue.
+type FIFO struct {
+	mu    sync.Mutex
+	buf   []ult.Unit
+	head  int
+	count int
+	stats Stats
+}
+
+// NewFIFO returns an empty FIFO with capacity preallocated for n units.
+func NewFIFO(n int) *FIFO {
+	return &FIFO{buf: make([]ult.Unit, nextPow2(n))}
+}
+
+func nextPow2(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Push appends a unit to the tail.
+func (q *FIFO) Push(u ult.Unit) {
+	lockCounting(&q.mu, &q.stats)
+	q.grow()
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = u
+	q.count++
+	q.stats.Pushes.Add(1)
+	q.mu.Unlock()
+}
+
+// grow doubles the ring when full. Caller holds the lock.
+func (q *FIFO) grow() {
+	if q.buf == nil {
+		q.buf = make([]ult.Unit, 8)
+		return
+	}
+	if q.count < len(q.buf) {
+		return
+	}
+	nb := make([]ult.Unit, len(q.buf)*2)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Pop removes and returns the head unit, or nil if the queue is empty.
+func (q *FIFO) Pop() ult.Unit {
+	lockCounting(&q.mu, &q.stats)
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		q.stats.EmptyPops.Add(1)
+		return nil
+	}
+	u := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.count--
+	q.stats.Pops.Add(1)
+	return u
+}
+
+// Len reports the number of queued units.
+func (q *FIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Stats exposes the queue's counters.
+func (q *FIFO) Stats() *Stats { return &q.stats }
+
+// Deque is a mutex-protected double-ended work-stealing queue: the owner
+// pushes and pops at the bottom (LIFO, good locality for recursive work),
+// thieves steal from the top (FIFO, oldest — typically largest — work).
+// This is the structure behind MassiveThreads workers and the icc OpenMP
+// task queues; the paper notes the steals require mutex protection, which
+// is exactly what the contention counter measures.
+//
+// The zero value is an empty, usable deque.
+type Deque struct {
+	mu    sync.Mutex
+	buf   []ult.Unit
+	head  int // top: steal end
+	count int
+	stats Stats
+}
+
+// NewDeque returns an empty deque with room for n units preallocated.
+func NewDeque(n int) *Deque {
+	return &Deque{buf: make([]ult.Unit, nextPow2(n))}
+}
+
+// PushBottom inserts a unit at the owner end.
+func (d *Deque) PushBottom(u ult.Unit) {
+	lockCounting(&d.mu, &d.stats)
+	d.grow()
+	d.buf[(d.head+d.count)&(len(d.buf)-1)] = u
+	d.count++
+	d.stats.Pushes.Add(1)
+	d.mu.Unlock()
+}
+
+func (d *Deque) grow() {
+	if d.buf == nil {
+		d.buf = make([]ult.Unit, 8)
+		return
+	}
+	if d.count < len(d.buf) {
+		return
+	}
+	nb := make([]ult.Unit, len(d.buf)*2)
+	for i := 0; i < d.count; i++ {
+		nb[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+// PopBottom removes the most recently pushed unit (owner side), or nil.
+func (d *Deque) PopBottom() ult.Unit {
+	lockCounting(&d.mu, &d.stats)
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		d.stats.EmptyPops.Add(1)
+		return nil
+	}
+	i := (d.head + d.count - 1) & (len(d.buf) - 1)
+	u := d.buf[i]
+	d.buf[i] = nil
+	d.count--
+	d.stats.Pops.Add(1)
+	return u
+}
+
+// StealTop removes the oldest unit (thief side), or nil.
+func (d *Deque) StealTop() ult.Unit {
+	lockCounting(&d.mu, &d.stats)
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		d.stats.EmptyPops.Add(1)
+		return nil
+	}
+	u := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.count--
+	d.stats.Steals.Add(1)
+	return u
+}
+
+// PopFront removes the oldest unit from the owner side (FIFO service order,
+// used by runtimes that schedule their private pool in arrival order).
+func (d *Deque) PopFront() ult.Unit {
+	lockCounting(&d.mu, &d.stats)
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		d.stats.EmptyPops.Add(1)
+		return nil
+	}
+	u := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.count--
+	d.stats.Pops.Add(1)
+	return u
+}
+
+// Len reports the number of queued units.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Stats exposes the deque's counters.
+func (d *Deque) Stats() *Stats { return &d.stats }
+
+// Shared is a single global MPMC queue protected by one mutex — the model
+// the paper ascribes to Go's scheduler and the gcc OpenMP task runtime.
+// Every producer and consumer serializes on the same lock, so its
+// contention counter grows with the number of threads (§VI, Figure 2).
+//
+// The zero value is an empty, usable queue.
+type Shared struct {
+	fifo FIFO
+}
+
+// NewShared returns an empty shared queue with capacity for n units.
+func NewShared(n int) *Shared {
+	return &Shared{fifo: FIFO{buf: make([]ult.Unit, nextPow2(n))}}
+}
+
+// Push appends a unit.
+func (s *Shared) Push(u ult.Unit) { s.fifo.Push(u) }
+
+// Pop removes the oldest unit, or nil.
+func (s *Shared) Pop() ult.Unit { return s.fifo.Pop() }
+
+// Len reports the number of queued units.
+func (s *Shared) Len() int { return s.fifo.Len() }
+
+// Stats exposes the queue's counters.
+func (s *Shared) Stats() *Stats { return s.fifo.Stats() }

@@ -1,0 +1,333 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ult"
+)
+
+// mkUnits builds n distinct tasklets (cheap Unit values for container tests).
+func mkUnits(n int) []ult.Unit {
+	out := make([]ult.Unit, n)
+	for i := range out {
+		out[i] = ult.NewTasklet(func() {})
+	}
+	return out
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO(4)
+	us := mkUnits(10)
+	for _, u := range us {
+		q.Push(u)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i, want := range us {
+		got := q.Pop()
+		if got != want {
+			t.Fatalf("pop %d: got unit %d, want %d", i, got.ID(), want.ID())
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty returned non-nil")
+	}
+	if q.Stats().EmptyPops.Load() != 1 {
+		t.Fatalf("empty pops = %d, want 1", q.Stats().EmptyPops.Load())
+	}
+}
+
+func TestFIFOZeroValueUsable(t *testing.T) {
+	var q FIFO
+	u := mkUnits(1)[0]
+	q.Push(u)
+	if got := q.Pop(); got != u {
+		t.Fatal("zero-value FIFO lost the unit")
+	}
+}
+
+func TestFIFOGrowthPreservesOrder(t *testing.T) {
+	q := NewFIFO(2)
+	us := mkUnits(100)
+	// Interleave pushes and pops so the ring wraps before growing.
+	for i := 0; i < 20; i++ {
+		q.Push(us[i])
+	}
+	for i := 0; i < 10; i++ {
+		if q.Pop() != us[i] {
+			t.Fatalf("wrap pop %d out of order", i)
+		}
+	}
+	for i := 20; i < 100; i++ {
+		q.Push(us[i])
+	}
+	for i := 10; i < 100; i++ {
+		if got := q.Pop(); got != us[i] {
+			t.Fatalf("pop %d: wrong unit after growth", i)
+		}
+	}
+}
+
+func TestFIFOConcurrentProducersConsumers(t *testing.T) {
+	q := NewFIFO(8)
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(ult.NewTasklet(func() {}))
+			}
+		}()
+	}
+	seen := make(chan ult.Unit, producers*perProducer)
+	var cwg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if u := q.Pop(); u != nil {
+					seen <- u
+					continue
+				}
+				select {
+				case <-stop:
+					// Final drain after producers finish.
+					for u := q.Pop(); u != nil; u = q.Pop() {
+						seen <- u
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+	close(seen)
+	ids := map[uint64]bool{}
+	for u := range seen {
+		if ids[u.ID()] {
+			t.Fatalf("unit %d popped twice", u.ID())
+		}
+		ids[u.ID()] = true
+	}
+	if len(ids) != producers*perProducer {
+		t.Fatalf("popped %d units, want %d", len(ids), producers*perProducer)
+	}
+}
+
+func TestDequeLIFOOwnerFIFOThief(t *testing.T) {
+	d := NewDeque(4)
+	us := mkUnits(5)
+	for _, u := range us {
+		d.PushBottom(u)
+	}
+	// Thief takes the oldest.
+	if got := d.StealTop(); got != us[0] {
+		t.Fatalf("StealTop = %d, want %d", got.ID(), us[0].ID())
+	}
+	// Owner takes the newest.
+	if got := d.PopBottom(); got != us[4] {
+		t.Fatalf("PopBottom = %d, want %d", got.ID(), us[4].ID())
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if d.Stats().Steals.Load() != 1 {
+		t.Fatalf("steals = %d, want 1", d.Stats().Steals.Load())
+	}
+}
+
+func TestDequePopFront(t *testing.T) {
+	d := NewDeque(4)
+	us := mkUnits(3)
+	for _, u := range us {
+		d.PushBottom(u)
+	}
+	for i := 0; i < 3; i++ {
+		if got := d.PopFront(); got != us[i] {
+			t.Fatalf("PopFront %d out of order", i)
+		}
+	}
+	if d.PopFront() != nil || d.PopBottom() != nil || d.StealTop() != nil {
+		t.Fatal("empty deque returned a unit")
+	}
+}
+
+func TestDequeZeroValueUsable(t *testing.T) {
+	var d Deque
+	u := mkUnits(1)[0]
+	d.PushBottom(u)
+	if d.PopBottom() != u {
+		t.Fatal("zero-value deque lost the unit")
+	}
+}
+
+func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
+	d := NewDeque(8)
+	const total = 2000
+	var wg sync.WaitGroup
+	got := make(chan ult.Unit, total)
+	wg.Add(1)
+	go func() { // owner: pushes all, pops some
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			d.PushBottom(ult.NewTasklet(func() {}))
+			if i%3 == 0 {
+				if u := d.PopBottom(); u != nil {
+					got <- u
+				}
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ { // thieves
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if u := d.StealTop(); u != nil {
+					got <- u
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	// Wait for the owner to finish, then let thieves drain.
+	go func() {
+		wg.Wait()
+	}()
+	// Owner is the first Add; crude sync: drain until total reached.
+	ids := map[uint64]bool{}
+	for len(ids) < total {
+		u := <-got
+		if ids[u.ID()] {
+			t.Fatalf("unit %d extracted twice", u.ID())
+		}
+		ids[u.ID()] = true
+		if len(ids) == total-d.Len() && d.Len() == 0 {
+			break
+		}
+	}
+	close(stop)
+}
+
+func TestSharedQueueFIFO(t *testing.T) {
+	s := NewShared(4)
+	us := mkUnits(6)
+	for _, u := range us {
+		s.Push(u)
+	}
+	for i := range us {
+		if got := s.Pop(); got != us[i] {
+			t.Fatalf("shared pop %d out of order", i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestSharedQueueContentionCounter(t *testing.T) {
+	s := NewShared(8)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Push(ult.NewTasklet(func() {}))
+				s.Pop()
+			}
+		}()
+	}
+	wg.Wait()
+	// With 8 workers hammering one lock we expect at least some
+	// contention; the exact number is scheduling-dependent.
+	t.Logf("contended acquisitions: %d", s.Stats().Contended.Load())
+	if s.Stats().Pushes.Load() != workers*500 {
+		t.Fatalf("pushes = %d, want %d", s.Stats().Pushes.Load(), workers*500)
+	}
+}
+
+// Property: any interleaving of pushes and pops on a FIFO preserves
+// arrival order of the popped prefix and never loses or duplicates units.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewFIFO(2)
+		var pushed, popped []uint64
+		for _, isPush := range ops {
+			if isPush {
+				u := ult.NewTasklet(func() {})
+				pushed = append(pushed, u.ID())
+				q.Push(u)
+			} else if u := q.Pop(); u != nil {
+				popped = append(popped, u.ID())
+			}
+		}
+		for u := q.Pop(); u != nil; u = q.Pop() {
+			popped = append(popped, u.ID())
+		}
+		if len(popped) != len(pushed) {
+			return false
+		}
+		for i := range pushed {
+			if popped[i] != pushed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a deque conserves units under any owner-side mix of
+// PushBottom/PopBottom/StealTop.
+func TestDequeConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDeque(2)
+		live := map[uint64]bool{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				u := ult.NewTasklet(func() {})
+				live[u.ID()] = true
+				d.PushBottom(u)
+			case 1:
+				if u := d.PopBottom(); u != nil {
+					if !live[u.ID()] {
+						return false
+					}
+					delete(live, u.ID())
+				}
+			case 2:
+				if u := d.StealTop(); u != nil {
+					if !live[u.ID()] {
+						return false
+					}
+					delete(live, u.ID())
+				}
+			}
+		}
+		return d.Len() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

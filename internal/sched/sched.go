@@ -1,0 +1,285 @@
+// Package sched provides the pluggable scheduler framework of Table I:
+// ordering policies over work-unit pools, the stackable scheduler that
+// distinguishes Argobots from the other libraries, and dispatch helpers
+// (round-robin distribution) shared by the emulations.
+package sched
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/queue"
+	"repro/internal/ult"
+)
+
+// Policy is a scheduling policy over a pool of ready work units. Policies
+// must be safe for concurrent use: pools can be shared between execution
+// streams.
+type Policy interface {
+	// Push makes a unit available to the policy.
+	Push(u ult.Unit)
+	// Pop selects and removes the next unit, or returns nil.
+	Pop() ult.Unit
+	// Len reports how many units the policy currently holds.
+	Len() int
+}
+
+// FIFO schedules units in arrival order — the default policy of every
+// library in Table I except where configured otherwise.
+type FIFO struct {
+	q queue.FIFO
+}
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push implements Policy.
+func (p *FIFO) Push(u ult.Unit) { p.q.Push(u) }
+
+// Pop implements Policy.
+func (p *FIFO) Pop() ult.Unit { return p.q.Pop() }
+
+// Len implements Policy.
+func (p *FIFO) Len() int { return p.q.Len() }
+
+// Stats exposes the underlying queue counters.
+func (p *FIFO) Stats() *queue.Stats { return p.q.Stats() }
+
+// LIFO schedules the most recently created unit first — the owner-side
+// order of work-first runtimes, which favors recursive decomposition.
+type LIFO struct {
+	d queue.Deque
+}
+
+// NewLIFO returns a LIFO policy.
+func NewLIFO() *LIFO { return &LIFO{} }
+
+// Push implements Policy.
+func (p *LIFO) Push(u ult.Unit) { p.d.PushBottom(u) }
+
+// Pop implements Policy.
+func (p *LIFO) Pop() ult.Unit { return p.d.PopBottom() }
+
+// Len implements Policy.
+func (p *LIFO) Len() int { return p.d.Len() }
+
+// Steal removes the oldest unit for a thief.
+func (p *LIFO) Steal() ult.Unit { return p.d.StealTop() }
+
+// Stats exposes the underlying deque counters.
+func (p *LIFO) Stats() *queue.Stats { return p.d.Stats() }
+
+// Priority schedules across a fixed number of priority classes, highest
+// class first, FIFO within a class. It demonstrates the "plug-in
+// scheduler" row of Table I: runtimes that accept user schedulers can use
+// any Policy implementation, including this one.
+type Priority struct {
+	classes []queue.FIFO
+}
+
+// NewPriority returns a policy with n priority classes; class n-1 is
+// served first. Plain Push inserts at priority 0.
+func NewPriority(n int) *Priority {
+	if n < 1 {
+		n = 1
+	}
+	return &Priority{classes: make([]queue.FIFO, n)}
+}
+
+// Push implements Policy, inserting at the lowest priority.
+func (p *Priority) Push(u ult.Unit) { p.classes[0].Push(u) }
+
+// PushPriority inserts a unit at the given class, clamped to the valid
+// range.
+func (p *Priority) PushPriority(u ult.Unit, class int) {
+	if class < 0 {
+		class = 0
+	}
+	if class >= len(p.classes) {
+		class = len(p.classes) - 1
+	}
+	p.classes[class].Push(u)
+}
+
+// Pop implements Policy: highest class first.
+func (p *Priority) Pop() ult.Unit {
+	for i := len(p.classes) - 1; i >= 0; i-- {
+		if u := p.classes[i].Pop(); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (p *Priority) Len() int {
+	n := 0
+	for i := range p.classes {
+		n += p.classes[i].Len()
+	}
+	return n
+}
+
+// Classes reports the number of priority classes.
+func (p *Priority) Classes() int { return len(p.classes) }
+
+// Random pops a uniformly random queued unit — the randomized policy
+// shape MassiveThreads' random victim selection uses on the stealing
+// side, exposed as a plug-in policy for ablations.
+type Random struct {
+	mu  sync.Mutex
+	buf []ult.Unit
+	rng *rand.Rand
+}
+
+// NewRandom returns a random policy seeded deterministically.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Push implements Policy.
+func (p *Random) Push(u ult.Unit) {
+	p.mu.Lock()
+	p.buf = append(p.buf, u)
+	p.mu.Unlock()
+}
+
+// Pop implements Policy: a uniformly random held unit.
+func (p *Random) Pop() ult.Unit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.buf)
+	if n == 0 {
+		return nil
+	}
+	i := p.rng.Intn(n)
+	u := p.buf[i]
+	p.buf[i] = p.buf[n-1]
+	p.buf[n-1] = nil
+	p.buf = p.buf[:n-1]
+	return u
+}
+
+// Len implements Policy.
+func (p *Random) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// Stack is a stackable scheduler: a stack of policies where the topmost
+// policy is consulted first and can be pushed/popped at run time. This is
+// the "Stackable Scheduler" row of Table I, unique to Argobots: user code
+// can push an ad-hoc policy (e.g., a priority scheduler for a critical
+// phase) and pop it to restore the previous behaviour.
+type Stack struct {
+	mu    sync.Mutex
+	stack []Policy
+}
+
+// NewStack returns a stackable scheduler with base as its bottom policy.
+func NewStack(base Policy) *Stack {
+	return &Stack{stack: []Policy{base}}
+}
+
+// PushScheduler makes p the active (topmost) policy.
+func (s *Stack) PushScheduler(p Policy) {
+	s.mu.Lock()
+	s.stack = append(s.stack, p)
+	s.mu.Unlock()
+}
+
+// PopScheduler removes the topmost policy and returns it. The bottom
+// policy can never be popped; PopScheduler returns nil in that case.
+func (s *Stack) PopScheduler() Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.stack) <= 1 {
+		return nil
+	}
+	p := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return p
+}
+
+// Depth reports the number of stacked policies.
+func (s *Stack) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stack)
+}
+
+// top returns the active policy.
+func (s *Stack) top() Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stack[len(s.stack)-1]
+}
+
+// snapshot returns the policies from top to bottom.
+func (s *Stack) snapshot() []Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Policy, len(s.stack))
+	for i := range s.stack {
+		out[i] = s.stack[len(s.stack)-1-i]
+	}
+	return out
+}
+
+// Push implements Policy: units go to the active policy.
+func (s *Stack) Push(u ult.Unit) { s.top().Push(u) }
+
+// Pop implements Policy: the active policy is drained first, then lower
+// ones, so pushing a scheduler takes over without losing queued work.
+func (s *Stack) Pop() ult.Unit {
+	for _, p := range s.snapshot() {
+		if u := p.Pop(); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// Len implements Policy across all stacked policies.
+func (s *Stack) Len() int {
+	n := 0
+	for _, p := range s.snapshot() {
+		n += p.Len()
+	}
+	return n
+}
+
+// RoundRobin deals successive items to n targets in cyclic order: the
+// dispatch pattern the paper's microbenchmarks use when a master thread
+// pushes work units directly into other threads' pools (Converse
+// CmiSyncSend, Argobots private pools, qthread_fork_to; §VIII-B).
+type RoundRobin struct {
+	mu   sync.Mutex
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a dealer over n targets. It panics if n < 1.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic("sched: round-robin over zero targets")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Next returns the index of the next target.
+func (r *RoundRobin) Next() int {
+	r.mu.Lock()
+	i := r.next
+	r.next = (r.next + 1) % r.n
+	r.mu.Unlock()
+	return i
+}
+
+// Reset restarts the cycle at target 0.
+func (r *RoundRobin) Reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,312 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ult"
+)
+
+func mkUnits(n int) []ult.Unit {
+	out := make([]ult.Unit, n)
+	for i := range out {
+		out[i] = ult.NewTasklet(func() {})
+	}
+	return out
+}
+
+func TestFIFOPolicyOrder(t *testing.T) {
+	p := NewFIFO()
+	us := mkUnits(5)
+	for _, u := range us {
+		p.Push(u)
+	}
+	for i := range us {
+		if got := p.Pop(); got != us[i] {
+			t.Fatalf("pop %d out of order", i)
+		}
+	}
+	if p.Pop() != nil {
+		t.Fatal("empty FIFO returned a unit")
+	}
+}
+
+func TestLIFOPolicyOrder(t *testing.T) {
+	p := NewLIFO()
+	us := mkUnits(5)
+	for _, u := range us {
+		p.Push(u)
+	}
+	for i := len(us) - 1; i >= 0; i-- {
+		if got := p.Pop(); got != us[i] {
+			t.Fatalf("LIFO pop: want unit %d, got %d", us[i].ID(), got.ID())
+		}
+	}
+}
+
+func TestLIFOStealTakesOldest(t *testing.T) {
+	p := NewLIFO()
+	us := mkUnits(3)
+	for _, u := range us {
+		p.Push(u)
+	}
+	if got := p.Steal(); got != us[0] {
+		t.Fatalf("Steal = %d, want oldest %d", got.ID(), us[0].ID())
+	}
+	if got := p.Pop(); got != us[2] {
+		t.Fatalf("Pop after steal = %d, want newest %d", got.ID(), us[2].ID())
+	}
+}
+
+func TestPriorityPolicyClasses(t *testing.T) {
+	p := NewPriority(3)
+	if p.Classes() != 3 {
+		t.Fatalf("Classes = %d, want 3", p.Classes())
+	}
+	low := mkUnits(2)
+	high := mkUnits(2)
+	mid := mkUnits(1)
+	p.PushPriority(low[0], 0)
+	p.PushPriority(high[0], 2)
+	p.PushPriority(mid[0], 1)
+	p.PushPriority(high[1], 2)
+	p.PushPriority(low[1], 0)
+	want := []ult.Unit{high[0], high[1], mid[0], low[0], low[1]}
+	for i, w := range want {
+		if got := p.Pop(); got != w {
+			t.Fatalf("priority pop %d: got %d, want %d", i, got.ID(), w.ID())
+		}
+	}
+}
+
+func TestPriorityClampsOutOfRange(t *testing.T) {
+	p := NewPriority(2)
+	a, b := mkUnits(1)[0], mkUnits(1)[0]
+	p.PushPriority(a, -5) // clamps to 0
+	p.PushPriority(b, 99) // clamps to 1
+	if got := p.Pop(); got != b {
+		t.Fatal("clamped high priority not served first")
+	}
+	if got := p.Pop(); got != a {
+		t.Fatal("clamped low priority lost")
+	}
+}
+
+func TestPriorityMinimumOneClass(t *testing.T) {
+	p := NewPriority(0)
+	if p.Classes() != 1 {
+		t.Fatalf("Classes = %d, want 1", p.Classes())
+	}
+	u := mkUnits(1)[0]
+	p.Push(u)
+	if p.Pop() != u {
+		t.Fatal("single-class priority lost the unit")
+	}
+}
+
+func TestStackableSchedulerTakeover(t *testing.T) {
+	base := NewFIFO()
+	s := NewStack(base)
+	if s.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", s.Depth())
+	}
+	baseUnits := mkUnits(2)
+	for _, u := range baseUnits {
+		s.Push(u)
+	}
+
+	// Push an ad-hoc LIFO scheduler: new work goes there and is served
+	// first; the base queue is not lost.
+	adhoc := NewLIFO()
+	s.PushScheduler(adhoc)
+	adhocUnits := mkUnits(2)
+	for _, u := range adhocUnits {
+		s.Push(u)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if got := s.Pop(); got != adhocUnits[1] {
+		t.Fatalf("stacked pop = %d, want ad-hoc LIFO head %d", got.ID(), adhocUnits[1].ID())
+	}
+	if got := s.PopScheduler(); got != adhoc {
+		t.Fatal("PopScheduler did not return the ad-hoc policy")
+	}
+	// Remaining ad-hoc unit left with its policy; base resumes.
+	if got := s.Pop(); got != baseUnits[0] {
+		t.Fatalf("post-pop pop = %d, want base head %d", got.ID(), baseUnits[0].ID())
+	}
+}
+
+func TestStackBottomPolicyCannotPop(t *testing.T) {
+	s := NewStack(NewFIFO())
+	if s.PopScheduler() != nil {
+		t.Fatal("popped the bottom policy")
+	}
+}
+
+func TestStackDrainsTopFirst(t *testing.T) {
+	s := NewStack(NewFIFO())
+	bottom := mkUnits(1)[0]
+	s.Push(bottom)
+	s.PushScheduler(NewFIFO())
+	top := mkUnits(1)[0]
+	s.Push(top)
+	if got := s.Pop(); got != top {
+		t.Fatal("top policy not drained first")
+	}
+	if got := s.Pop(); got != bottom {
+		t.Fatal("bottom unit unreachable through stack")
+	}
+	if s.Pop() != nil {
+		t.Fatal("stack invented a unit")
+	}
+}
+
+func TestRandomPolicyConserves(t *testing.T) {
+	p := NewRandom(1)
+	us := mkUnits(20)
+	for _, u := range us {
+		p.Push(u)
+	}
+	if p.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", p.Len())
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 20; i++ {
+		u := p.Pop()
+		if u == nil {
+			t.Fatalf("pop %d returned nil with units remaining", i)
+		}
+		if seen[u.ID()] {
+			t.Fatalf("unit %d popped twice", u.ID())
+		}
+		seen[u.ID()] = true
+	}
+	if p.Pop() != nil {
+		t.Fatal("empty random policy returned a unit")
+	}
+}
+
+func TestRandomPolicyActuallyShuffles(t *testing.T) {
+	// With 20 units, at least one of 5 seeded runs must deviate from
+	// insertion order (probability of failure ~ (1/20!)^5).
+	inOrderRuns := 0
+	for seed := int64(0); seed < 5; seed++ {
+		p := NewRandom(seed)
+		us := mkUnits(20)
+		for _, u := range us {
+			p.Push(u)
+		}
+		inOrder := true
+		for i := range us {
+			if p.Pop() != us[i] {
+				inOrder = false
+			}
+		}
+		if inOrder {
+			inOrderRuns++
+		}
+	}
+	if inOrderRuns == 5 {
+		t.Fatal("random policy always preserved insertion order")
+	}
+}
+
+func TestRandomPolicyAsStackMember(t *testing.T) {
+	s := NewStack(NewFIFO())
+	s.PushScheduler(NewRandom(7))
+	us := mkUnits(5)
+	for _, u := range us {
+		s.Push(u)
+	}
+	got := 0
+	for s.Pop() != nil {
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("stacked random policy yielded %d units, want 5", got)
+	}
+}
+
+func TestRoundRobinCycle(t *testing.T) {
+	r := NewRoundRobin(3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("Next %d = %d, want %d", i, got, w)
+		}
+	}
+	r.Reset()
+	if r.Next() != 0 {
+		t.Fatal("Reset did not restart the cycle")
+	}
+}
+
+func TestRoundRobinPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRoundRobin(0) did not panic")
+		}
+	}()
+	NewRoundRobin(0)
+}
+
+// Property: round-robin over n targets distributes k·n items exactly k
+// times to every target.
+func TestRoundRobinFairnessProperty(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%7) + 1
+		k := int(k8 % 17)
+		r := NewRoundRobin(n)
+		counts := make([]int, n)
+		for i := 0; i < k*n; i++ {
+			counts[r.Next()]++
+		}
+		for _, c := range counts {
+			if c != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stack of policies conserves all pushed units.
+func TestStackConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewStack(NewFIFO())
+		pushed, popped := 0, 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				s.Push(ult.NewTasklet(func() {}))
+				pushed++
+			case 1:
+				if s.Pop() != nil {
+					popped++
+				}
+			case 2:
+				s.PushScheduler(NewFIFO())
+			case 3:
+				// Units queued in a popped policy leave the stack
+				// with it; drain them so conservation holds.
+				if p := s.PopScheduler(); p != nil {
+					for p.Pop() != nil {
+						popped++
+					}
+				}
+			}
+		}
+		for s.Pop() != nil {
+			popped++
+		}
+		return pushed == popped && s.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

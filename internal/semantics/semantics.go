@@ -1,0 +1,284 @@
+// Package semantics encodes the paper's semantic analysis as data: the
+// execution/scheduling feature matrix of Table I and the most-used
+// function mapping of Table II. cmd/lwtinfo renders both tables, and the
+// package's tests cross-check Table I against the live Capabilities
+// reported by the unified-API backends, so the documented semantics and
+// the implemented semantics cannot drift apart.
+package semantics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Library identifies one threading solution in the tables. Pthreads is
+// included for reference, as in the paper.
+type Library int
+
+// The studied libraries, in Table I's column order.
+const (
+	Pthreads Library = iota
+	Argobots
+	Qthreads
+	MassiveThreads
+	ConverseThreads
+	Go
+)
+
+// Libraries lists the Table I columns in order.
+func Libraries() []Library {
+	return []Library{Pthreads, Argobots, Qthreads, MassiveThreads, ConverseThreads, Go}
+}
+
+// String returns the library's display name.
+func (l Library) String() string {
+	switch l {
+	case Pthreads:
+		return "Pthreads"
+	case Argobots:
+		return "Argobots"
+	case Qthreads:
+		return "Qthreads"
+	case MassiveThreads:
+		return "MassiveThreads"
+	case ConverseThreads:
+		return "Converse Threads"
+	case Go:
+		return "Go"
+	default:
+		return fmt.Sprintf("Library(%d)", int(l))
+	}
+}
+
+// BackendName maps a library to its unified-API backend registry key
+// (empty for Pthreads, which has no LWT backend).
+func (l Library) BackendName() string {
+	switch l {
+	case Argobots:
+		return "argobots"
+	case Qthreads:
+		return "qthreads"
+	case MassiveThreads:
+		return "massivethreads"
+	case ConverseThreads:
+		return "converse"
+	case Go:
+		return "go"
+	default:
+		return ""
+	}
+}
+
+// ExecutorName returns what the library calls its OS-thread-level entity
+// (§IV: Execution Stream, Shepherd, Worker, Processor, Thread).
+func (l Library) ExecutorName() string {
+	switch l {
+	case Pthreads:
+		return "Pthread"
+	case Argobots:
+		return "Execution Stream"
+	case Qthreads:
+		return "Shepherd"
+	case MassiveThreads:
+		return "Worker"
+	case ConverseThreads:
+		return "Processor"
+	case Go:
+		return "Thread"
+	default:
+		return ""
+	}
+}
+
+// Features is one column of Table I.
+type Features struct {
+	HierarchyLevels    int
+	WorkUnitTypes      int
+	ThreadSupport      bool
+	TaskletSupport     bool
+	GroupControl       bool
+	YieldTo            bool
+	GlobalQueue        bool
+	PrivateQueue       bool
+	PluginScheduler    bool
+	ConfigureScheduler bool // MassiveThreads: plug-in only at configure time
+	StackableScheduler bool
+	GroupScheduler     bool
+}
+
+// TableI returns the feature matrix exactly as the paper states it.
+func TableI() map[Library]Features {
+	return map[Library]Features{
+		Pthreads: {
+			HierarchyLevels: 1, WorkUnitTypes: 1, ThreadSupport: true,
+			GroupControl: false, GlobalQueue: true, PrivateQueue: true,
+			PluginScheduler: true,
+		},
+		Argobots: {
+			HierarchyLevels: 2, WorkUnitTypes: 2, ThreadSupport: true,
+			TaskletSupport: true, GroupControl: true, YieldTo: true,
+			GlobalQueue: true, PrivateQueue: true, PluginScheduler: true,
+			StackableScheduler: true, GroupScheduler: true,
+		},
+		Qthreads: {
+			HierarchyLevels: 3, WorkUnitTypes: 1, ThreadSupport: true,
+			GroupControl: true, PrivateQueue: true, PluginScheduler: true,
+		},
+		MassiveThreads: {
+			HierarchyLevels: 2, WorkUnitTypes: 1, ThreadSupport: true,
+			GroupControl: true, PrivateQueue: true,
+			PluginScheduler: true, ConfigureScheduler: true,
+		},
+		ConverseThreads: {
+			HierarchyLevels: 2, WorkUnitTypes: 2, ThreadSupport: true,
+			TaskletSupport: true, GroupControl: true, PrivateQueue: true,
+			PluginScheduler: true,
+		},
+		Go: {
+			HierarchyLevels: 2, WorkUnitTypes: 1, ThreadSupport: true,
+			GroupControl: true, GlobalQueue: true,
+		},
+	}
+}
+
+// Operation identifies a row of Table II.
+type Operation int
+
+// The Table II rows.
+const (
+	OpInit Operation = iota
+	OpULTCreate
+	OpTaskletCreate
+	OpYield
+	OpJoin
+	OpFinalize
+)
+
+// Operations lists the Table II rows in order.
+func Operations() []Operation {
+	return []Operation{OpInit, OpULTCreate, OpTaskletCreate, OpYield, OpJoin, OpFinalize}
+}
+
+// String returns the row label.
+func (o Operation) String() string {
+	switch o {
+	case OpInit:
+		return "Initialization"
+	case OpULTCreate:
+		return "ULT creation"
+	case OpTaskletCreate:
+		return "Tasklet creation"
+	case OpYield:
+		return "Yield"
+	case OpJoin:
+		return "Join"
+	case OpFinalize:
+		return "Finalization"
+	default:
+		return fmt.Sprintf("Operation(%d)", int(o))
+	}
+}
+
+// TableII returns the function-name mapping of Table II: for each
+// operation, what each library calls it (empty string = unsupported).
+func TableII() map[Operation]map[Library]string {
+	return map[Operation]map[Library]string{
+		OpInit: {
+			Argobots: "ABT_init", Qthreads: "qthread_initialize",
+			MassiveThreads: "myth_init", ConverseThreads: "ConverseInit",
+			Go: "",
+		},
+		OpULTCreate: {
+			Argobots: "ABT_thread_create", Qthreads: "qthread_fork",
+			MassiveThreads: "myth_create", ConverseThreads: "CthCreate",
+			Go: "go function",
+		},
+		OpTaskletCreate: {
+			Argobots: "ABT_task_create", ConverseThreads: "CmiSyncSend",
+		},
+		OpYield: {
+			Argobots: "ABT_thread_yield", Qthreads: "qthread_yield",
+			MassiveThreads: "myth_yield", ConverseThreads: "CthYield",
+			Go: "",
+		},
+		OpJoin: {
+			Argobots: "ABT_thread_free", Qthreads: "qthread_readFF",
+			MassiveThreads: "myth_join", ConverseThreads: "",
+			Go: "channel",
+		},
+		OpFinalize: {
+			Argobots: "ABT_finalize", Qthreads: "qthread_finalize",
+			MassiveThreads: "myth_fini", ConverseThreads: "ConverseExit",
+			Go: "",
+		},
+	}
+}
+
+// mark renders a boolean as the paper's check mark.
+func mark(b bool) string {
+	if b {
+		return "X"
+	}
+	return ""
+}
+
+// RenderTableI formats Table I as aligned text.
+func RenderTableI() string {
+	libs := Libraries()
+	tab := TableI()
+	rows := []struct {
+		label string
+		cell  func(Features) string
+	}{
+		{"Levels of Hierarchy", func(f Features) string { return fmt.Sprintf("%d", f.HierarchyLevels) }},
+		{"# of Work Unit Types", func(f Features) string { return fmt.Sprintf("%d", f.WorkUnitTypes) }},
+		{"Thread Support", func(f Features) string { return mark(f.ThreadSupport) }},
+		{"Tasklet Support", func(f Features) string { return mark(f.TaskletSupport) }},
+		{"Group Control", func(f Features) string { return mark(f.GroupControl) }},
+		{"Yield To", func(f Features) string { return mark(f.YieldTo) }},
+		{"Global Work Unit Queue", func(f Features) string { return mark(f.GlobalQueue) }},
+		{"Private Work Unit Queue", func(f Features) string { return mark(f.PrivateQueue) }},
+		{"Plug-in Scheduler", func(f Features) string {
+			if f.ConfigureScheduler {
+				return "X(configure)"
+			}
+			return mark(f.PluginScheduler)
+		}},
+		{"Stackable Scheduler", func(f Features) string { return mark(f.StackableScheduler) }},
+		{"Group Scheduler", func(f Features) string { return mark(f.GroupScheduler) }},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s", "Concept")
+	for _, l := range libs {
+		fmt.Fprintf(&b, "%-18s", l)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s", r.label)
+		for _, l := range libs {
+			fmt.Fprintf(&b, "%-18s", r.cell(tab[l]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTableII formats Table II as aligned text.
+func RenderTableII() string {
+	libs := []Library{Argobots, Qthreads, MassiveThreads, ConverseThreads, Go}
+	tab := TableII()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "Function")
+	for _, l := range libs {
+		fmt.Fprintf(&b, "%-22s", l)
+	}
+	b.WriteByte('\n')
+	for _, op := range Operations() {
+		fmt.Fprintf(&b, "%-18s", op)
+		for _, l := range libs {
+			fmt.Fprintf(&b, "%-22s", tab[op][l])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

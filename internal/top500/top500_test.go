@@ -1,0 +1,143 @@
+package top500
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyBoundaries(t *testing.T) {
+	cases := map[int]Bucket{
+		0: B1, 1: B1, 2: B2, 3: B2, 4: B4, 5: B4, 6: B6, 7: B6,
+		8: B8, 9: B9to10, 10: B9to10, 11: B12to14, 12: B12to14,
+		14: B12to14, 15: B12to14, 16: B16plus, 18: B16plus, 64: B16plus,
+	}
+	for cps, want := range cases {
+		if got := Classify(cps); got != want {
+			t.Fatalf("Classify(%d) = %v, want %v", cps, got, want)
+		}
+	}
+}
+
+func TestBucketLabels(t *testing.T) {
+	want := []string{"1", "2", "4", "6", "8", "9-10", "12-14", "16-"}
+	bs := Buckets()
+	if len(bs) != len(want) {
+		t.Fatalf("buckets = %v", bs)
+	}
+	for i, b := range bs {
+		if b.String() != want[i] {
+			t.Fatalf("bucket %d = %q, want %q", i, b, want[i])
+		}
+	}
+}
+
+func TestHistoricalCoversAllYears(t *testing.T) {
+	d := Historical()
+	years := d.Years()
+	if len(years) != 15 || years[0] != 2001 || years[14] != 2015 {
+		t.Fatalf("years = %v, want 2001..2015", years)
+	}
+	// Every year lists exactly 500 systems.
+	for _, y := range years {
+		total := 0
+		for _, e := range d {
+			if e.Year == y {
+				total += e.Count
+			}
+		}
+		if total != 500 {
+			t.Fatalf("year %d has %d systems, want 500", y, total)
+		}
+	}
+}
+
+func TestSharesSumTo100(t *testing.T) {
+	d := Historical()
+	for _, y := range d.Years() {
+		sum := 0.0
+		for _, v := range d.Shares(y) {
+			if v < 0 {
+				t.Fatalf("negative share in %d", y)
+			}
+			sum += v
+		}
+		if math.Abs(sum-100) > 1e-9 {
+			t.Fatalf("year %d shares sum to %v", y, sum)
+		}
+	}
+}
+
+func TestSharesEmptyYear(t *testing.T) {
+	d := Historical()
+	if got := d.Shares(1999); len(got) != 0 {
+		t.Fatalf("Shares(1999) = %v, want empty", got)
+	}
+}
+
+// TestFigure1Trend asserts the trend the paper's Figure 1 illustrates:
+// single-core sockets dominate the early lists and disappear, while the
+// many-core share (>= 8 cores per socket) grows monotonically-ish to
+// dominate by 2015.
+func TestFigure1Trend(t *testing.T) {
+	d := Historical()
+	s2001 := d.Shares(2001)
+	if s2001[B1] != 100 {
+		t.Fatalf("2001 single-core share = %v, want 100", s2001[B1])
+	}
+	s2015 := d.Shares(2015)
+	if s2015[B1] != 0 {
+		t.Fatalf("2015 single-core share = %v, want 0", s2015[B1])
+	}
+	many2015 := s2015[B8] + s2015[B9to10] + s2015[B12to14] + s2015[B16plus]
+	if many2015 < 80 {
+		t.Fatalf("2015 many-core share = %v, want >= 80", many2015)
+	}
+	// Single-core share never increases year over year.
+	prev := 101.0
+	for _, y := range d.Years() {
+		cur := d.Shares(y)[B1]
+		if cur > prev {
+			t.Fatalf("single-core share rose in %d (%v -> %v)", y, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestRenderContainsAllYearsAndBuckets(t *testing.T) {
+	out := Render(Historical())
+	for _, want := range []string{"2001", "2015", "16-", "9-10", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 16 {
+		t.Fatalf("rendering has %d lines, want 16", lines)
+	}
+}
+
+// Property: shares are invariant under splitting an entry into two with
+// the same year and class.
+func TestSharesSplitInvariance(t *testing.T) {
+	f := func(cps8, count8 uint8) bool {
+		cps := int(cps8%20) + 1
+		count := int(count8%100) + 2
+		single := Dataset{{Year: 2010, CoresPerSocket: cps, Count: count}, {Year: 2010, CoresPerSocket: 1, Count: 50}}
+		split := Dataset{
+			{Year: 2010, CoresPerSocket: cps, Count: count / 2},
+			{Year: 2010, CoresPerSocket: cps, Count: count - count/2},
+			{Year: 2010, CoresPerSocket: 1, Count: 50},
+		}
+		a, b := single.Shares(2010), split.Shares(2010)
+		for _, bk := range Buckets() {
+			if math.Abs(a[bk]-b[bk]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

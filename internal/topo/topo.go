@@ -1,0 +1,160 @@
+// Package topo models the hardware topology the paper's runtimes bind to:
+// a node contains sockets, sockets contain cores, cores contain processing
+// units (hardware threads). Qthreads binds Shepherds and Workers to one of
+// these levels (§III-D, §VIII-B3: one Shepherd per node / per socket /
+// per CPU), and the evaluation machine — two 18-core sockets with
+// 2 hardware threads per core — is expressible as New(2, 18, 2).
+package topo
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Level names a binding granularity in the topology tree.
+type Level int
+
+// Binding levels, coarsest to finest.
+const (
+	// LevelNode is the whole machine.
+	LevelNode Level = iota
+	// LevelSocket is one CPU package.
+	LevelSocket
+	// LevelCore is one physical core.
+	LevelCore
+	// LevelPU is one processing unit (hardware thread).
+	LevelPU
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case LevelNode:
+		return "node"
+	case LevelSocket:
+		return "socket"
+	case LevelCore:
+		return "core"
+	case LevelPU:
+		return "pu"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Topology describes a single-node machine.
+type Topology struct {
+	// Sockets is the number of CPU packages.
+	Sockets int
+	// CoresPerSocket is the number of physical cores per package.
+	CoresPerSocket int
+	// PUsPerCore is the number of hardware threads per core.
+	PUsPerCore int
+}
+
+// New builds a topology and validates its shape.
+func New(sockets, coresPerSocket, pusPerCore int) (Topology, error) {
+	t := Topology{Sockets: sockets, CoresPerSocket: coresPerSocket, PUsPerCore: pusPerCore}
+	if sockets < 1 || coresPerSocket < 1 || pusPerCore < 1 {
+		return Topology{}, fmt.Errorf("topo: invalid shape %dx%dx%d", sockets, coresPerSocket, pusPerCore)
+	}
+	return t, nil
+}
+
+// Paper returns the evaluation machine of §V: two Intel Xeon E5-2699 v3
+// sockets, 18 cores each, 2 hardware threads per core (36 cores / 72 HT).
+func Paper() Topology {
+	return Topology{Sockets: 2, CoresPerSocket: 18, PUsPerCore: 2}
+}
+
+// Detect synthesizes a plausible topology for the running machine from
+// runtime.NumCPU: hyperthread pairs when the PU count is even and at
+// least 4, one socket otherwise. It is a stand-in for hwloc-style
+// detection, which the stdlib cannot do portably.
+func Detect() Topology {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	pus := 1
+	cores := n
+	if n >= 4 && n%2 == 0 {
+		pus = 2
+		cores = n / 2
+	}
+	return Topology{Sockets: 1, CoresPerSocket: cores, PUsPerCore: pus}
+}
+
+// Count reports how many domains exist at the given level.
+func (t Topology) Count(l Level) int {
+	switch l {
+	case LevelNode:
+		return 1
+	case LevelSocket:
+		return t.Sockets
+	case LevelCore:
+		return t.Sockets * t.CoresPerSocket
+	case LevelPU:
+		return t.Sockets * t.CoresPerSocket * t.PUsPerCore
+	default:
+		return 0
+	}
+}
+
+// PUsPer reports how many processing units one domain at the given level
+// contains.
+func (t Topology) PUsPer(l Level) int {
+	total := t.Count(LevelPU)
+	n := t.Count(l)
+	if n == 0 {
+		return 0
+	}
+	return total / n
+}
+
+// Domain identifies one domain instance at a level, e.g. socket 1.
+type Domain struct {
+	Level Level
+	Index int
+}
+
+// String renders the domain as "socket[1]".
+func (d Domain) String() string { return fmt.Sprintf("%s[%d]", d.Level, d.Index) }
+
+// Domains enumerates all domains at a level.
+func (t Topology) Domains(l Level) []Domain {
+	n := t.Count(l)
+	out := make([]Domain, n)
+	for i := range out {
+		out[i] = Domain{Level: l, Index: i}
+	}
+	return out
+}
+
+// PURange reports the half-open range [lo, hi) of processing-unit indices
+// covered by the domain, or an error if the domain is out of range.
+func (t Topology) PURange(d Domain) (lo, hi int, err error) {
+	n := t.Count(d.Level)
+	if d.Index < 0 || d.Index >= n {
+		return 0, 0, fmt.Errorf("topo: domain %v out of range (level has %d)", d, n)
+	}
+	per := t.PUsPer(d.Level)
+	return d.Index * per, (d.Index + 1) * per, nil
+}
+
+// SocketOf reports which socket a processing unit belongs to.
+func (t Topology) SocketOf(pu int) int {
+	perSocket := t.CoresPerSocket * t.PUsPerCore
+	return pu / perSocket
+}
+
+// CoreOf reports which physical core a processing unit belongs to.
+func (t Topology) CoreOf(pu int) int {
+	return pu / t.PUsPerCore
+}
+
+// String renders the topology as "2 sockets x 18 cores x 2 PUs (72 PUs)".
+func (t Topology) String() string {
+	return fmt.Sprintf("%d sockets x %d cores x %d PUs (%d PUs)",
+		t.Sockets, t.CoresPerSocket, t.PUsPerCore, t.Count(LevelPU))
+}

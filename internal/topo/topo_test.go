@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTopology(t *testing.T) {
+	p := Paper()
+	if got := p.Count(LevelPU); got != 72 {
+		t.Fatalf("paper machine PUs = %d, want 72", got)
+	}
+	if got := p.Count(LevelCore); got != 36 {
+		t.Fatalf("paper machine cores = %d, want 36", got)
+	}
+	if got := p.Count(LevelSocket); got != 2 {
+		t.Fatalf("paper machine sockets = %d, want 2", got)
+	}
+	if got := p.Count(LevelNode); got != 1 {
+		t.Fatalf("nodes = %d, want 1", got)
+	}
+	if got := p.String(); got != "2 sockets x 18 cores x 2 PUs (72 PUs)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 1); err == nil {
+		t.Fatal("accepted zero sockets")
+	}
+	if _, err := New(1, 0, 1); err == nil {
+		t.Fatal("accepted zero cores")
+	}
+	if _, err := New(1, 4, 0); err == nil {
+		t.Fatal("accepted zero PUs")
+	}
+	tp, err := New(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Count(LevelPU) != 16 {
+		t.Fatalf("PUs = %d, want 16", tp.Count(LevelPU))
+	}
+}
+
+func TestDetectIsUsable(t *testing.T) {
+	tp := Detect()
+	if tp.Count(LevelPU) < 1 {
+		t.Fatal("detected topology has no PUs")
+	}
+	if tp.Sockets != 1 {
+		t.Fatalf("Detect sockets = %d, want 1", tp.Sockets)
+	}
+}
+
+func TestPUsPer(t *testing.T) {
+	p := Paper()
+	if got := p.PUsPer(LevelNode); got != 72 {
+		t.Fatalf("PUs per node = %d, want 72", got)
+	}
+	if got := p.PUsPer(LevelSocket); got != 36 {
+		t.Fatalf("PUs per socket = %d, want 36", got)
+	}
+	if got := p.PUsPer(LevelCore); got != 2 {
+		t.Fatalf("PUs per core = %d, want 2", got)
+	}
+	if got := p.PUsPer(LevelPU); got != 1 {
+		t.Fatalf("PUs per PU = %d, want 1", got)
+	}
+}
+
+func TestDomainsAndPURange(t *testing.T) {
+	p := Paper()
+	sockets := p.Domains(LevelSocket)
+	if len(sockets) != 2 {
+		t.Fatalf("socket domains = %d, want 2", len(sockets))
+	}
+	lo, hi, err := p.PURange(sockets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 36 || hi != 72 {
+		t.Fatalf("socket[1] PU range = [%d,%d), want [36,72)", lo, hi)
+	}
+	if _, _, err := p.PURange(Domain{LevelSocket, 2}); err == nil {
+		t.Fatal("out-of-range domain accepted")
+	}
+	if s := sockets[1].String(); s != "socket[1]" {
+		t.Fatalf("Domain.String = %q", s)
+	}
+}
+
+func TestSocketAndCoreOf(t *testing.T) {
+	p := Paper()
+	if got := p.SocketOf(0); got != 0 {
+		t.Fatalf("SocketOf(0) = %d", got)
+	}
+	if got := p.SocketOf(35); got != 0 {
+		t.Fatalf("SocketOf(35) = %d, want 0", got)
+	}
+	if got := p.SocketOf(36); got != 1 {
+		t.Fatalf("SocketOf(36) = %d, want 1", got)
+	}
+	if got := p.CoreOf(0); got != 0 {
+		t.Fatalf("CoreOf(0) = %d", got)
+	}
+	if got := p.CoreOf(1); got != 0 {
+		t.Fatalf("CoreOf(1) = %d, want 0 (HT sibling)", got)
+	}
+	if got := p.CoreOf(2); got != 1 {
+		t.Fatalf("CoreOf(2) = %d, want 1", got)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	want := map[Level]string{
+		LevelNode: "node", LevelSocket: "socket", LevelCore: "core", LevelPU: "pu",
+		Level(9): "level(9)",
+	}
+	for l, w := range want {
+		if l.String() != w {
+			t.Fatalf("Level(%d).String() = %q, want %q", l, l.String(), w)
+		}
+	}
+	var bad Topology
+	if bad.Count(Level(9)) != 0 {
+		t.Fatal("unknown level should count 0 domains")
+	}
+}
+
+// Property: domain PU ranges at any level tile [0, totalPUs) exactly.
+func TestPURangesTileProperty(t *testing.T) {
+	f := func(s, c, p uint8) bool {
+		tp, err := New(int(s%4)+1, int(c%16)+1, int(p%4)+1)
+		if err != nil {
+			return false
+		}
+		for _, level := range []Level{LevelNode, LevelSocket, LevelCore, LevelPU} {
+			next := 0
+			for _, d := range tp.Domains(level) {
+				lo, hi, err := tp.PURange(d)
+				if err != nil || lo != next || hi <= lo {
+					return false
+				}
+				next = hi
+			}
+			if next != tp.Count(LevelPU) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

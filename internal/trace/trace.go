@@ -1,0 +1,286 @@
+// Package trace provides lightweight event tracing for the runtime
+// emulations: executors record scheduling events (dispatch, yield,
+// tasklet execution, steal, barrier, idle) into per-executor ring
+// buffers, and the package aggregates them into the kind of time
+// breakdown the paper argues from — e.g. "Converse Threads expends up to
+// 75 % of its execution time in performing barrier and yield operations"
+// (§IX-D). Traces can also be exported in the Chrome trace-event JSON
+// format for visual inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a traced event.
+type Kind int
+
+// The traced event kinds.
+const (
+	// KindDispatch is a ULT dispatch interval.
+	KindDispatch Kind = iota
+	// KindTasklet is an inline tasklet execution interval.
+	KindTasklet
+	// KindYield is a yield hand-back instant.
+	KindYield
+	// KindSteal is a successful work steal instant.
+	KindSteal
+	// KindBarrier is a barrier wait interval.
+	KindBarrier
+	// KindIdle is an idle interval (no work found).
+	KindIdle
+	// KindUser is an application-defined interval.
+	KindUser
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDispatch:
+		return "dispatch"
+	case KindTasklet:
+		return "tasklet"
+	case KindYield:
+		return "yield"
+	case KindSteal:
+		return "steal"
+	case KindBarrier:
+		return "barrier"
+	case KindIdle:
+		return "idle"
+	case KindUser:
+		return "user"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded event. Instantaneous events have Dur == 0.
+type Event struct {
+	// Exec is the recording executor's identifier.
+	Exec int
+	// Kind classifies the event.
+	Kind Kind
+	// Unit is the work-unit ID involved, or 0.
+	Unit uint64
+	// Start is the event start time.
+	Start time.Time
+	// Dur is the event duration (0 for instants).
+	Dur time.Duration
+	// Label is an optional annotation.
+	Label string
+}
+
+// Recorder collects events from any number of executors. A nil *Recorder
+// is valid and records nothing, so runtimes can be instrumented
+// unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	cap    int
+	drops  uint64
+	t0     time.Time
+}
+
+// NewRecorder returns a recorder bounded to capacity events (older events
+// are never evicted; past capacity new events are counted as dropped, so
+// a trace is always a prefix of the run).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{cap: capacity, t0: time.Now()}
+}
+
+// Record appends an event. Safe for concurrent use; no-op on nil.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.events) >= r.cap {
+		r.drops++
+	} else {
+		r.events = append(r.events, e)
+	}
+	r.mu.Unlock()
+}
+
+// Span records an interval event around fn. No-op wrapper on nil.
+func (r *Recorder) Span(exec int, kind Kind, unit uint64, fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	r.Record(Event{Exec: exec, Kind: kind, Unit: unit, Start: start, Dur: time.Since(start)})
+}
+
+// Instant records a zero-duration event. No-op on nil.
+func (r *Recorder) Instant(exec int, kind Kind, unit uint64) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Exec: exec, Kind: kind, Unit: unit, Start: time.Now()})
+}
+
+// Events returns a copy of the recorded events in recording order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped reports how many events exceeded capacity.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.drops = 0
+	r.t0 = time.Now()
+	r.mu.Unlock()
+}
+
+// Summary is the aggregate breakdown of a trace.
+type Summary struct {
+	// ByKind is total duration per interval kind.
+	ByKind map[Kind]time.Duration
+	// Counts is the event count per kind (including instants).
+	Counts map[Kind]int
+	// Execs is the set of executor IDs seen.
+	Execs []int
+	// Span is the wall interval from first event start to last event
+	// end.
+	Span time.Duration
+}
+
+// Summarize aggregates a trace.
+func Summarize(events []Event) Summary {
+	s := Summary{ByKind: map[Kind]time.Duration{}, Counts: map[Kind]int{}}
+	if len(events) == 0 {
+		return s
+	}
+	execSet := map[int]bool{}
+	first := events[0].Start
+	last := events[0].Start.Add(events[0].Dur)
+	for _, e := range events {
+		s.ByKind[e.Kind] += e.Dur
+		s.Counts[e.Kind]++
+		execSet[e.Exec] = true
+		if e.Start.Before(first) {
+			first = e.Start
+		}
+		if end := e.Start.Add(e.Dur); end.After(last) {
+			last = end
+		}
+	}
+	for id := range execSet {
+		s.Execs = append(s.Execs, id)
+	}
+	sort.Ints(s.Execs)
+	s.Span = last.Sub(first)
+	return s
+}
+
+// Fraction reports the share of traced interval time spent in the given
+// kinds (e.g. barrier+yield for the paper's Converse observation).
+func (s Summary) Fraction(kinds ...Kind) float64 {
+	var total, sel time.Duration
+	for k, d := range s.ByKind {
+		total += d
+		for _, want := range kinds {
+			if k == want {
+				sel += d
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sel) / float64(total)
+}
+
+// Render formats the summary as an aligned text table.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d executors, span %v\n", len(s.Execs), s.Span)
+	kinds := make([]Kind, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-9s count=%-7d time=%v\n", k, s.Counts[k], s.ByKind[k])
+	}
+	return b.String()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the events as a Chrome trace-event JSON array
+// (load in chrome://tracing or Perfetto). Executors map to thread lanes.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if len(events) == 0 {
+		_, err := w.Write([]byte("[]"))
+		return err
+	}
+	t0 := events[0].Start
+	for _, e := range events {
+		if e.Start.Before(t0) {
+			t0 = e.Start
+		}
+	}
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ph := "X"
+		if e.Dur == 0 {
+			ph = "i"
+		}
+		name := e.Kind.String()
+		if e.Label != "" {
+			name += ":" + e.Label
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Ph:   ph,
+			Ts:   float64(e.Start.Sub(t0)) / 1e3,
+			Dur:  float64(e.Dur) / 1e3,
+			PID:  1,
+			TID:  e.Exec,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

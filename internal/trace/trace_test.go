@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{})
+	r.Instant(0, KindYield, 1)
+	ran := false
+	r.Span(0, KindDispatch, 1, func() { ran = true })
+	if !ran {
+		t.Fatal("nil recorder did not run the span body")
+	}
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+	r.Reset()
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(10)
+	r.Instant(3, KindSteal, 7)
+	r.Span(1, KindDispatch, 9, func() { time.Sleep(time.Millisecond) })
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].Kind != KindSteal || ev[0].Exec != 3 || ev[0].Unit != 7 || ev[0].Dur != 0 {
+		t.Fatalf("instant event = %+v", ev[0])
+	}
+	if ev[1].Kind != KindDispatch || ev[1].Dur < time.Millisecond {
+		t.Fatalf("span event = %+v", ev[1])
+	}
+}
+
+func TestCapacityDrops(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Instant(0, KindYield, uint64(i))
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %d, want 3", len(r.Events()))
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", r.Dropped())
+	}
+	// The retained events are the prefix.
+	for i, e := range r.Events() {
+		if e.Unit != uint64(i) {
+			t.Fatalf("event %d unit = %d (not a prefix)", i, e.Unit)
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRecorder(2)
+	r.Instant(0, KindYield, 1)
+	r.Instant(0, KindYield, 2)
+	r.Instant(0, KindYield, 3) // dropped
+	r.Reset()
+	if len(r.Events()) != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset did not clear the recorder")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(100000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Instant(g, KindYield, uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 8000 {
+		t.Fatalf("events = %d, want 8000", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	base := time.Now()
+	events := []Event{
+		{Exec: 0, Kind: KindDispatch, Start: base, Dur: 10 * time.Millisecond},
+		{Exec: 1, Kind: KindBarrier, Start: base.Add(2 * time.Millisecond), Dur: 30 * time.Millisecond},
+		{Exec: 0, Kind: KindYield, Start: base.Add(5 * time.Millisecond)},
+		{Exec: 1, Kind: KindBarrier, Start: base.Add(10 * time.Millisecond), Dur: 30 * time.Millisecond},
+	}
+	s := Summarize(events)
+	if s.ByKind[KindDispatch] != 10*time.Millisecond {
+		t.Fatalf("dispatch time = %v", s.ByKind[KindDispatch])
+	}
+	if s.ByKind[KindBarrier] != 60*time.Millisecond {
+		t.Fatalf("barrier time = %v", s.ByKind[KindBarrier])
+	}
+	if s.Counts[KindYield] != 1 {
+		t.Fatalf("yield count = %d", s.Counts[KindYield])
+	}
+	if len(s.Execs) != 2 || s.Execs[0] != 0 || s.Execs[1] != 1 {
+		t.Fatalf("execs = %v", s.Execs)
+	}
+	if s.Span != 40*time.Millisecond {
+		t.Fatalf("span = %v, want 40ms", s.Span)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Span != 0 || len(s.Execs) != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.Fraction(KindBarrier) != 0 {
+		t.Fatal("empty fraction != 0")
+	}
+}
+
+// TestFractionReproducesConverseClaim builds a synthetic trace matching
+// §IX-D ("up to 75 % of its execution time in barrier and yield") and
+// checks the arithmetic the claim rests on.
+func TestFractionReproducesConverseClaim(t *testing.T) {
+	base := time.Now()
+	events := []Event{
+		{Kind: KindDispatch, Start: base, Dur: 25 * time.Millisecond},
+		{Kind: KindBarrier, Start: base, Dur: 45 * time.Millisecond},
+		{Kind: KindYield, Start: base, Dur: 30 * time.Millisecond},
+	}
+	s := Summarize(events)
+	frac := s.Fraction(KindBarrier, KindYield)
+	if frac < 0.74 || frac > 0.76 {
+		t.Fatalf("barrier+yield fraction = %v, want 0.75", frac)
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := NewRecorder(10)
+	r.Span(0, KindDispatch, 1, func() {})
+	r.Instant(0, KindSteal, 2)
+	out := Summarize(r.Events()).Render()
+	for _, want := range []string{"dispatch", "steal", "1 executors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRecorder(10)
+	r.Span(2, KindDispatch, 1, func() { time.Sleep(time.Millisecond) })
+	r.Instant(3, KindSteal, 2)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("entries = %d, want 2", len(decoded))
+	}
+	if decoded[0]["name"] != "dispatch" || decoded[0]["ph"] != "X" {
+		t.Fatalf("span entry = %v", decoded[0])
+	}
+	if decoded[1]["name"] != "steal" || decoded[1]["ph"] != "i" {
+		t.Fatalf("instant entry = %v", decoded[1])
+	}
+	if decoded[0]["tid"] != float64(2) {
+		t.Fatalf("tid = %v, want 2", decoded[0]["tid"])
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "[]" {
+		t.Fatalf("empty trace = %q", buf.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindDispatch: "dispatch", KindTasklet: "tasklet", KindYield: "yield",
+		KindSteal: "steal", KindBarrier: "barrier", KindIdle: "idle", KindUser: "user",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Fatalf("Kind(%d) = %q, want %q", k, k.String(), w)
+		}
+	}
+}
+
+func TestRecorderMinimumCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	r.Instant(0, KindYield, 1)
+	if len(r.Events()) != 1 {
+		t.Fatal("capacity floor not applied")
+	}
+}

@@ -1,0 +1,57 @@
+package ult
+
+// Adoption turns the calling goroutine into the *primary ULT* of an
+// executor. This mirrors how the C libraries treat main(): in Argobots the
+// caller of ABT_init becomes the primary ULT of Execution Stream 0, in
+// MassiveThreads main runs as a ULT of worker 0 (which is what makes the
+// work-first creation policy act on the main flow, §VI), and in Converse
+// the main Processor runs the user code. Once adopted, the caller can
+// Yield/YieldTo like any other ULT and the executor's scheduling loop runs
+// whenever the caller is parked.
+
+// Adopt converts the calling goroutine into the primary ULT of executor e
+// and returns its handle. The executor's scheduling loop must begin with
+// AwaitHandback, which blocks until the primary (or a later dispatch)
+// hands control back.
+//
+// The returned ULT is pinned: runtimes never migrate the main flow unless
+// they explicitly steal it (MassiveThreads work-first does; it then uses
+// the normal dispatch path).
+func Adopt(e *Executor) *ULT {
+	p := &ULT{
+		id:         nextID(),
+		resume:     make(chan struct{}),
+		done:       make(chan struct{}),
+		migratable: true, // work-first runtimes move the main flow
+		label:      "primary",
+	}
+	p.status.Store(int32(StatusRunning))
+	p.owner = e
+	return p
+}
+
+// AwaitHandback blocks until the currently running (adopted or dispatched)
+// ULT hands control back and classifies the hand-off exactly like
+// Dispatch. The executor loop of an adopted executor starts with this
+// call: conceptually the primary ULT was "dispatched" by the runtime's
+// initialization.
+func (e *Executor) AwaitHandback() (*ULT, DispatchResult) {
+	h := <-e.handback
+	return h.t, e.classifyHandoff(h)
+}
+
+// Detach ends the adopted primary ULT's participation in the runtime: it
+// marks the primary Done and returns control to the executor loop one last
+// time, without parking the caller. The caller's goroutine continues as a
+// plain goroutine; the executor loop observes a completed unit and can then
+// act on its shutdown flag. Must be called from the adopted goroutine while
+// it holds the control token (i.e., while it is Running).
+func (t *ULT) Detach() {
+	if t.Status() != StatusRunning {
+		panic("ult: Detach on a ULT that is not running")
+	}
+	owner := t.owner
+	t.status.Store(int32(StatusDone))
+	close(t.done)
+	owner.handback <- handoff{t: t, st: StatusDone}
+}

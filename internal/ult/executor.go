@@ -1,0 +1,287 @@
+package ult
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor is an execution stream: the OS-thread-like entity that runs work
+// units one at a time. It corresponds to an Argobots Execution Stream, a
+// Qthreads Worker, a MassiveThreads Worker, a Converse Processor, and a
+// Go runtime "M"/thread in the paper's terminology (Table I).
+//
+// An Executor only provides the dispatch mechanics; the scheduling loop
+// itself belongs to each runtime emulation, which decides where ready work
+// comes from (private pool, shared pool, stealing, messages, ...).
+type Executor struct {
+	id int
+
+	// handback receives control tokens from the ULT that is currently
+	// running on this executor (on yield, suspend, or completion). The
+	// message carries the disposition the ULT had at hand-off time:
+	// classifying from the ULT's live status instead would race with a
+	// third party that resumes and re-dispatches the unit before this
+	// executor reads it.
+	handback chan handoff
+
+	// hint, when non-nil, names the ULT that YieldTo requested to run
+	// next, bypassing the scheduler.
+	hint atomic.Pointer[ULT]
+
+	// lockOSThread makes the executor goroutine bind to an OS thread,
+	// used by the OpenMP emulation to make execution streams genuinely
+	// heavy.
+	lockOSThread bool
+
+	stats ExecStats
+}
+
+// ExecStats counts scheduling events on one executor. All counters are
+// monotonically increasing and safe to read concurrently.
+type ExecStats struct {
+	// Dispatches counts ULT dispatches (including re-dispatches after a
+	// yield).
+	Dispatches atomic.Uint64
+	// TaskletRuns counts tasklets executed inline.
+	TaskletRuns atomic.Uint64
+	// Yields counts hand-backs where the ULT stayed Ready.
+	Yields atomic.Uint64
+	// Suspensions counts hand-backs where the ULT blocked.
+	Suspensions atomic.Uint64
+	// Completions counts ULTs that finished on this executor.
+	Completions atomic.Uint64
+	// HintHits counts YieldTo hints that were dispatched directly.
+	HintHits atomic.Uint64
+	// IdleSpins counts scheduler iterations that found no work.
+	IdleSpins atomic.Uint64
+	// Steals counts successful work steals performed by this executor.
+	Steals atomic.Uint64
+}
+
+// handoff is the message a ULT sends its executor when returning control.
+type handoff struct {
+	t  *ULT
+	st Status
+}
+
+// NewExecutor creates an execution stream identified by id. The identifier
+// is only used for reporting; uniqueness is the caller's concern.
+func NewExecutor(id int) *Executor {
+	return &Executor{id: id, handback: make(chan handoff)}
+}
+
+// NewOSExecutor creates an executor that will pin its scheduling loop to an
+// OS thread (used to emulate Pthreads-backed runtimes).
+func NewOSExecutor(id int) *Executor {
+	e := NewExecutor(id)
+	e.lockOSThread = true
+	return e
+}
+
+// ID returns the executor's identifier.
+func (e *Executor) ID() int { return e.id }
+
+// Stats exposes the executor's event counters.
+func (e *Executor) Stats() *ExecStats { return &e.stats }
+
+// PinIfRequested binds the calling goroutine to its OS thread when the
+// executor was created with NewOSExecutor. Emulation loops call it first.
+func (e *Executor) PinIfRequested() {
+	if e.lockOSThread {
+		runtime.LockOSThread()
+	}
+}
+
+// setHint records a YieldTo target. A second YieldTo before the executor
+// consumes the first simply overwrites it; the skipped target is still in
+// its pool and loses nothing.
+func (e *Executor) setHint(t *ULT) { e.hint.Store(t) }
+
+// TakeHint removes and returns the pending YieldTo target, or nil.
+func (e *Executor) TakeHint() *ULT { return e.hint.Swap(nil) }
+
+// DispatchResult describes how a dispatched ULT returned control.
+type DispatchResult int
+
+const (
+	// DispatchDone means the ULT finished.
+	DispatchDone DispatchResult = iota
+	// DispatchYielded means the ULT yielded and is Ready; the caller
+	// should put it back in a pool.
+	DispatchYielded
+	// DispatchBlocked means the ULT suspended itself; something else
+	// will Resume and re-enqueue it.
+	DispatchBlocked
+	// DispatchSkipped means the unit could not be claimed (it was
+	// already running elsewhere via a YieldTo hint, or already done).
+	DispatchSkipped
+)
+
+// Dispatch claims and runs a ULT until it hands control back, and reports
+// how it returned. A unit that cannot be claimed is skipped — this is how
+// stale pool entries left behind by YieldTo are discarded.
+func (e *Executor) Dispatch(t *ULT) DispatchResult {
+	if !t.claim() {
+		return DispatchSkipped
+	}
+	return e.dispatchClaimed(t)
+}
+
+// DispatchClaimed runs a ULT the caller has already claimed (via a
+// successful Resume+claim or TakeHint+claim path).
+func (e *Executor) dispatchClaimed(t *ULT) DispatchResult {
+	t.owner = e
+	e.stats.Dispatches.Add(1)
+	t.resume <- struct{}{}
+	back := <-e.handback
+	if back.t != t {
+		// The hand-off protocol guarantees the token returns from the
+		// dispatched ULT; anything else is substrate corruption.
+		panic("ult: hand-off protocol violation")
+	}
+	return e.classifyHandoff(back)
+}
+
+// classifyHandoff converts a hand-off message into a DispatchResult and
+// updates the counters. The message status is authoritative: the ULT's
+// live status may already have moved on (a blocked unit can be resumed
+// and re-dispatched elsewhere before this executor processes the
+// hand-off).
+func (e *Executor) classifyHandoff(h handoff) DispatchResult {
+	switch h.st {
+	case StatusDone:
+		e.stats.Completions.Add(1)
+		return DispatchDone
+	case StatusReady:
+		e.stats.Yields.Add(1)
+		return DispatchYielded
+	case StatusBlocked:
+		e.stats.Suspensions.Add(1)
+		return DispatchBlocked
+	default:
+		panic("ult: hand-off in state " + h.st.String())
+	}
+}
+
+// DispatchHint runs the pending YieldTo hint if there is one and it can be
+// claimed. It returns the dispatched ULT's result and true, or false if no
+// hint was runnable.
+func (e *Executor) DispatchHint() (DispatchResult, *ULT, bool) {
+	h := e.TakeHint()
+	if h == nil {
+		return 0, nil, false
+	}
+	if !h.claim() {
+		return 0, nil, false
+	}
+	e.stats.HintHits.Add(1)
+	return e.dispatchClaimed(h), h, true
+}
+
+// RunTasklet executes a tasklet inline. Unclaimable tasklets are skipped.
+func (e *Executor) RunTasklet(t *Tasklet) bool {
+	if !t.claim() {
+		return false
+	}
+	t.run()
+	e.stats.TaskletRuns.Add(1)
+	return true
+}
+
+// RunUnit dispatches a unit of either kind, putting yielded ULTs back via
+// requeue. It returns the dispatch result (tasklets always report Done or
+// Skipped).
+func (e *Executor) RunUnit(u Unit, requeue func(*ULT)) DispatchResult {
+	switch v := u.(type) {
+	case *ULT:
+		res := e.Dispatch(v)
+		if res == DispatchYielded && requeue != nil {
+			requeue(v)
+		}
+		return res
+	case *Tasklet:
+		if e.RunTasklet(v) {
+			return DispatchDone
+		}
+		return DispatchSkipped
+	default:
+		panic("ult: unknown unit type")
+	}
+}
+
+// NoteIdle records an empty scheduler iteration and yields the underlying
+// OS thread so sibling executors can make progress.
+func (e *Executor) NoteIdle() {
+	e.stats.IdleSpins.Add(1)
+	runtime.Gosched()
+}
+
+// Parker blocks idle executors until work arrives, replacing busy spinning
+// for runtimes whose wait policy is passive (OMP_WAIT_POLICY=passive in
+// §IX-B). The zero value is ready to use.
+type Parker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	seq    uint64
+	closed bool
+}
+
+// NewParker returns an initialized Parker.
+func NewParker() *Parker {
+	p := &Parker{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Wake unblocks all currently parked executors.
+func (p *Parker) Wake() {
+	p.mu.Lock()
+	p.seq++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Close permanently wakes all waiters (shutdown).
+func (p *Parker) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Park blocks until the next Wake or Close after the call. It returns
+// false if the parker is closed.
+func (p *Parker) Park() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	seq := p.seq
+	for seq == p.seq && !p.closed {
+		p.cond.Wait()
+	}
+	return !p.closed
+}
+
+// Epoch returns the current wake generation. Capture it *before* checking
+// for work, then ParkIf: a Wake that lands between the check and the park
+// advances the generation and makes ParkIf return immediately, closing
+// the lost-wakeup window.
+func (p *Parker) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// ParkIf blocks until a Wake newer than epoch (or Close). It returns
+// false if the parker is closed.
+func (p *Parker) ParkIf(epoch uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.seq == epoch && !p.closed {
+		p.cond.Wait()
+	}
+	return !p.closed
+}

@@ -1,0 +1,408 @@
+// Package ult implements the user-level-thread (ULT) substrate on which
+// every runtime emulation in this repository is built.
+//
+// A ULT is a cooperatively scheduled unit of work with its own private
+// stack. In this implementation each ULT is backed by a parked goroutine
+// and control is transferred with a strict channel hand-off: at any moment
+// an execution stream (Executor) runs at most one ULT, exactly like the C
+// libraries studied in the paper (Argobots, Qthreads, MassiveThreads,
+// Converse Threads). The hand-off gives the substrate real cooperative
+// semantics — Yield, YieldTo, Suspend/Resume and migration between
+// executors — rather than relying on the Go scheduler's preemption.
+//
+// A Tasklet is the second work-unit type of the paper (Argobots Tasklets,
+// Converse Messages): an atomic, stackless unit executed inline by the
+// executor. Tasklets cannot yield, block, or migrate once started, and are
+// correspondingly much cheaper to create and run.
+package ult
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Status describes the lifecycle state of a work unit.
+type Status int32
+
+// Work-unit lifecycle states. Transitions:
+//
+//	Created → Ready → Running → {Ready, Blocked, Done}
+//	Blocked → Ready (via Resume)
+const (
+	// StatusCreated means the unit exists but was never made runnable.
+	StatusCreated Status = iota
+	// StatusReady means the unit is runnable and (normally) sitting in a
+	// pool waiting for an executor.
+	StatusReady
+	// StatusRunning means an executor currently owns the unit.
+	StatusRunning
+	// StatusBlocked means the unit suspended itself and must be resumed
+	// explicitly before it can run again.
+	StatusBlocked
+	// StatusDone means the unit finished executing.
+	StatusDone
+)
+
+// String returns a human-readable state name.
+func (s Status) String() string {
+	switch s {
+	case StatusCreated:
+		return "created"
+	case StatusReady:
+		return "ready"
+	case StatusRunning:
+		return "running"
+	case StatusBlocked:
+		return "blocked"
+	case StatusDone:
+		return "done"
+	default:
+		return fmt.Sprintf("status(%d)", int32(s))
+	}
+}
+
+// Kind discriminates the two work-unit types of the paper.
+type Kind int
+
+const (
+	// KindULT is a yieldable, migratable unit with a private stack.
+	KindULT Kind = iota
+	// KindTasklet is an atomic, stackless unit.
+	KindTasklet
+)
+
+// String returns the work-unit kind name.
+func (k Kind) String() string {
+	if k == KindTasklet {
+		return "tasklet"
+	}
+	return "ult"
+}
+
+// Unit is the common interface of ULTs and Tasklets so pools can hold both.
+type Unit interface {
+	// Kind reports whether the unit is a ULT or a Tasklet.
+	Kind() Kind
+	// Status reports the unit's current lifecycle state.
+	Status() Status
+	// ID returns the unit's process-unique identifier.
+	ID() uint64
+}
+
+// Errors reported by the substrate.
+var (
+	// ErrNotMigratable is returned when migrating a pinned ULT.
+	ErrNotMigratable = errors.New("ult: work unit is not migratable")
+	// ErrFreed is returned when operating on an already-freed unit.
+	ErrFreed = errors.New("ult: work unit already freed")
+	// ErrNotDone is returned when freeing a unit that has not completed.
+	ErrNotDone = errors.New("ult: work unit has not completed")
+)
+
+var idCounter atomic.Uint64
+
+func nextID() uint64 { return idCounter.Add(1) }
+
+// Func is the body of a ULT. The self argument is the running ULT and is
+// only valid for the duration of the call; it provides the cooperative
+// operations (Yield, YieldTo, Suspend, ...).
+type Func func(self *ULT)
+
+// ULT is a user-level thread: an independent, yieldable, migratable work
+// unit with its own private stack (the backing goroutine's stack).
+//
+// The zero value is not usable; create ULTs with New.
+type ULT struct {
+	id     uint64
+	fn     Func
+	status atomic.Int32
+
+	// resume carries the control token from an executor to the ULT.
+	resume chan struct{}
+	// owner is the executor currently running the ULT. It is written by
+	// Dispatch before the control token is handed over and read only by
+	// the ULT goroutine while running, so it needs no extra locking.
+	owner *Executor
+
+	// done is closed when the body returns; non-ULT contexts join on it.
+	done chan struct{}
+
+	// started records whether the backing goroutine was launched.
+	started bool
+
+	freed      atomic.Bool
+	migratable bool
+
+	// err records a panic recovered from the body; read after Done.
+	err error
+
+	// label is an optional debugging name set by the emulations.
+	label string
+}
+
+// New creates a ULT in the Created state. The backing goroutine is spawned
+// immediately but stays parked until the first dispatch, so creation cost
+// is one goroutine spawn plus channel allocations — deliberately heavier
+// than a Tasklet, as in the paper.
+func New(fn Func) *ULT {
+	t := &ULT{
+		id:         nextID(),
+		fn:         fn,
+		resume:     make(chan struct{}),
+		done:       make(chan struct{}),
+		migratable: true,
+	}
+	t.status.Store(int32(StatusCreated))
+	go t.main()
+	t.started = true
+	return t
+}
+
+// NewPinned creates a ULT that refuses migration between executors.
+func NewPinned(fn Func) *ULT {
+	t := New(fn)
+	t.migratable = false
+	return t
+}
+
+func (t *ULT) main() {
+	<-t.resume
+	t.runBody()
+	t.finish()
+}
+
+// runBody executes the ULT body with panic containment: a panicking work
+// unit must not take down the executor or the process; it completes with
+// the panic recorded as its error. (Note: a panic thrown while the ULT
+// is parked in Yield/Suspend cannot happen — the body only runs while it
+// holds the control token.)
+func (t *ULT) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("ult: work unit %d panicked: %v", t.id, r)
+		}
+	}()
+	t.fn(t)
+}
+
+// finish marks the ULT done and returns control to the owning executor.
+func (t *ULT) finish() {
+	owner := t.owner
+	t.status.Store(int32(StatusDone))
+	close(t.done)
+	owner.handback <- handoff{t: t, st: StatusDone}
+}
+
+// Kind implements Unit.
+func (t *ULT) Kind() Kind { return KindULT }
+
+// ID implements Unit.
+func (t *ULT) ID() uint64 { return t.id }
+
+// Status implements Unit.
+func (t *ULT) Status() Status { return Status(t.status.Load()) }
+
+// Done reports whether the ULT body has returned.
+func (t *ULT) Done() bool { return t.Status() == StatusDone }
+
+// DoneChan exposes the completion channel for select-based joins (the
+// mechanism the Go runtime model uses).
+func (t *ULT) DoneChan() <-chan struct{} { return t.done }
+
+// Err returns the panic recovered from the body, or nil. Only meaningful
+// once the ULT is Done.
+func (t *ULT) Err() error { return t.err }
+
+// Migratable reports whether the ULT may move between executors.
+func (t *ULT) Migratable() bool { return t.migratable }
+
+// Owner returns the executor currently running the ULT. It is only
+// meaningful while the ULT is Running (the value is stable between the
+// dispatch and the next hand-back); runtimes use it to find the worker a
+// spawning ULT is executing on.
+func (t *ULT) Owner() *Executor { return t.owner }
+
+// SetLabel attaches a debugging name to the ULT.
+func (t *ULT) SetLabel(s string) { t.label = s }
+
+// Label returns the debugging name (may be empty).
+func (t *ULT) Label() string { return t.label }
+
+// Freed reports whether Free has been called on the ULT.
+func (t *ULT) Freed() bool { return t.freed.Load() }
+
+// Free releases the ULT's resources. It mirrors the join-and-free step of
+// Argobots' ABT_thread_free: the paper attributes part of Argobots' join
+// cost to this extra bookkeeping, so emulations call it explicitly.
+// Freeing a unit twice or freeing an unfinished unit is an error.
+func (t *ULT) Free() error {
+	if t.Status() != StatusDone {
+		return ErrNotDone
+	}
+	if !t.freed.CompareAndSwap(false, true) {
+		return ErrFreed
+	}
+	t.fn = nil
+	return nil
+}
+
+// markReady transitions the unit to Ready. Valid from Created (first
+// scheduling), Running (self-yield) and Blocked (resume).
+func (t *ULT) markReady() { t.status.Store(int32(StatusReady)) }
+
+// claim atomically takes a Ready unit for execution. It is the only
+// Ready→Running transition, so a unit that is reachable from two places
+// (a pool entry and a YieldTo hint) is dispatched exactly once.
+func (t *ULT) claim() bool {
+	return t.status.CompareAndSwap(int32(StatusReady), int32(StatusRunning))
+}
+
+// Yield cooperatively returns control to the owning executor and re-enters
+// the Ready state. The executor decides where the ULT goes next (usually
+// back into a pool). Must be called from inside the ULT body.
+//
+// The owner is captured before the status store: the moment the unit is
+// Ready (or Blocked) a third party may claim/resume it and overwrite
+// owner, and the hand-off must go to the executor that dispatched us.
+func (t *ULT) Yield() {
+	owner := t.owner
+	t.status.Store(int32(StatusReady))
+	owner.handback <- handoff{t: t, st: StatusReady}
+	<-t.resume
+}
+
+// YieldTo yields and asks the executor to dispatch target next, bypassing
+// the scheduler — the Argobots yield_to operation of Table I. If the
+// target cannot be claimed (already running or done) the hint is dropped
+// and the executor falls back to its scheduler.
+func (t *ULT) YieldTo(target *ULT) {
+	owner := t.owner
+	owner.setHint(target)
+	t.Yield()
+}
+
+// Suspend blocks the ULT: it returns control to the executor without
+// becoming Ready. Another thread of control must call Resume (and
+// re-enqueue the ULT) before it can run again. Must be called from inside
+// the ULT body.
+func (t *ULT) Suspend() {
+	owner := t.owner
+	t.status.Store(int32(StatusBlocked))
+	owner.handback <- handoff{t: t, st: StatusBlocked}
+	<-t.resume
+}
+
+// Resume transitions a Blocked ULT back to Ready so it can be re-enqueued.
+// It reports whether the transition happened (false if the ULT was not
+// blocked). The caller is responsible for putting the ULT back in a pool.
+func (t *ULT) Resume() bool {
+	return t.status.CompareAndSwap(int32(StatusBlocked), int32(StatusReady))
+}
+
+// TaskletFunc is the body of a Tasklet. It receives no self handle: a
+// tasklet has no stack of its own and cannot yield or block.
+type TaskletFunc func()
+
+// Tasklet is an atomic, stackless work unit (Argobots Tasklet, Converse
+// Message). It is executed inline by the executor's scheduling loop.
+type Tasklet struct {
+	id     uint64
+	fn     TaskletFunc
+	status atomic.Int32
+	freed  atomic.Bool
+	// err records a panic recovered from the body; read after Done.
+	err error
+	// doneCh is allocated lazily by DoneChan for callers that join on a
+	// channel; plain status polling does not pay for it.
+	doneCh chan struct{}
+}
+
+// NewTasklet creates a tasklet in the Created state. Creation is a single
+// small allocation — the "lightest work unit available" of §VI.
+func NewTasklet(fn TaskletFunc) *Tasklet {
+	t := &Tasklet{id: nextID(), fn: fn}
+	t.status.Store(int32(StatusCreated))
+	return t
+}
+
+// NewTaskletWithDone creates a tasklet whose completion can be awaited on
+// a channel. Slightly heavier than NewTasklet (one channel allocation).
+func NewTaskletWithDone(fn TaskletFunc) *Tasklet {
+	t := NewTasklet(fn)
+	t.doneCh = make(chan struct{})
+	return t
+}
+
+// Kind implements Unit.
+func (t *Tasklet) Kind() Kind { return KindTasklet }
+
+// ID implements Unit.
+func (t *Tasklet) ID() uint64 { return t.id }
+
+// Status implements Unit.
+func (t *Tasklet) Status() Status { return Status(t.status.Load()) }
+
+// Done reports whether the tasklet has executed.
+func (t *Tasklet) Done() bool { return t.Status() == StatusDone }
+
+// DoneChan returns a channel closed on completion. Only valid for tasklets
+// created with NewTaskletWithDone; otherwise it returns nil.
+func (t *Tasklet) DoneChan() <-chan struct{} { return t.doneCh }
+
+// markReady transitions the tasklet to Ready (pool insertion).
+func (t *Tasklet) markReady() { t.status.Store(int32(StatusReady)) }
+
+// claim atomically takes a Ready tasklet for execution.
+func (t *Tasklet) claim() bool {
+	return t.status.CompareAndSwap(int32(StatusReady), int32(StatusRunning))
+}
+
+// run executes the tasklet body inline, with the same panic containment
+// as ULT bodies.
+func (t *Tasklet) run() {
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = fmt.Errorf("ult: tasklet %d panicked: %v", t.id, r)
+			}
+		}()
+		t.fn()
+	}()
+	t.status.Store(int32(StatusDone))
+	if t.doneCh != nil {
+		close(t.doneCh)
+	}
+}
+
+// Err returns the panic recovered from the body, or nil. Only meaningful
+// once the tasklet is Done.
+func (t *Tasklet) Err() error { return t.err }
+
+// Freed reports whether Free has been called.
+func (t *Tasklet) Freed() bool { return t.freed.Load() }
+
+// Free releases the tasklet.
+func (t *Tasklet) Free() error {
+	if t.Status() != StatusDone {
+		return ErrNotDone
+	}
+	if !t.freed.CompareAndSwap(false, true) {
+		return ErrFreed
+	}
+	t.fn = nil
+	return nil
+}
+
+// MarkReady makes a freshly created unit eligible for dispatch. Emulations
+// call it when inserting the unit into a pool.
+func MarkReady(u Unit) {
+	switch v := u.(type) {
+	case *ULT:
+		v.markReady()
+	case *Tasklet:
+		v.markReady()
+	default:
+		panic(fmt.Sprintf("ult: unknown unit type %T", u))
+	}
+}

@@ -1,0 +1,74 @@
+// Package lwt is the public face of this repository: a unified
+// lightweight-thread (LWT) API over faithful Go reproductions of the five
+// threading runtimes studied in "A Review of Lightweight Thread Approaches
+// for High Performance Computing" (Castelló et al., CLUSTER 2016) —
+// Argobots, Qthreads, MassiveThreads, Converse Threads and the Go
+// scheduler model — plus the GNU and Intel OpenMP runtime emulations the
+// paper benchmarks them against.
+//
+// The API is the reduced function set the paper distills in Table II and
+// Listing 4: initialize a backend, create ULTs and tasklets, yield, join,
+// finalize. Every backend implements it; the paper's central claim — that
+// this small set suffices for the common parallel patterns (for loops,
+// task parallelism, nested parallelism) — is exercised by this module's
+// examples, tests and benchmark harness.
+//
+// Quickstart (Listing 4's shape):
+//
+//	r := lwt.MustNew("argobots", 4)
+//	defer r.Finalize()
+//	hs := make([]lwt.Handle, 100)
+//	for i := range hs {
+//		hs[i] = r.ULTCreate(func(lwt.Ctx) { fmt.Println("hello") })
+//	}
+//	r.Yield()
+//	r.JoinAll(hs)
+//
+// Backends are selected by name; see Backends for the registry. Variants
+// the paper evaluates separately (MassiveThreads work-first vs help-first,
+// Argobots private vs shared pools, Qthreads shepherd layouts) register
+// under their own names.
+package lwt
+
+import (
+	"repro/internal/core"
+)
+
+// Runtime is an initialized unified-API instance over one backend.
+type Runtime = core.Runtime
+
+// Handle is a joinable reference to a created work unit.
+type Handle = core.Handle
+
+// Ctx is the cooperative context passed to ULT bodies.
+type Ctx = core.Ctx
+
+// Capabilities describes a backend in the vocabulary of the paper's
+// Table I.
+type Capabilities = core.Capabilities
+
+// Backend is the adapter interface a threading runtime implements to
+// participate in the unified API.
+type Backend = core.Backend
+
+// ErrUnknownBackend is returned by New for unregistered backend names.
+var ErrUnknownBackend = core.ErrUnknownBackend
+
+// New initializes the named backend with nthreads executors.
+func New(backend string, nthreads int) (*Runtime, error) {
+	return core.New(backend, nthreads)
+}
+
+// MustNew is New for known-good arguments; it panics on error.
+func MustNew(backend string, nthreads int) *Runtime {
+	return core.MustNew(backend, nthreads)
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string { return core.Backends() }
+
+// Register installs a custom backend factory; it panics on duplicate
+// names.
+func Register(name string, f func() Backend) {
+	core.Register(name, func() core.Backend { return f() })
+}

@@ -1,0 +1,93 @@
+package lwt_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	lwt "repro"
+)
+
+func TestPublicAPIListing4(t *testing.T) {
+	for _, backend := range lwt.Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			r, err := lwt.New(backend, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ran atomic.Int64
+			hs := make([]lwt.Handle, 50)
+			for i := range hs {
+				hs[i] = r.ULTCreate(func(lwt.Ctx) { ran.Add(1) })
+			}
+			r.Yield()
+			r.JoinAll(hs)
+			r.Finalize()
+			if ran.Load() != 50 {
+				t.Fatalf("ran = %d, want 50", ran.Load())
+			}
+		})
+	}
+}
+
+func TestPublicAPIUnknownBackend(t *testing.T) {
+	_, err := lwt.New("not-a-backend", 2)
+	if !errors.Is(err, lwt.ErrUnknownBackend) {
+		t.Fatalf("err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestPublicAPICustomBackendRegistration(t *testing.T) {
+	// A user-supplied backend plugs into the same registry the built-in
+	// adapters use.
+	lwt.Register("custom-test-backend", func() lwt.Backend { return &fakeBackend{} })
+	r := lwt.MustNew("custom-test-backend", 1)
+	h := r.ULTCreate(func(lwt.Ctx) {})
+	r.Join(h)
+	r.Finalize()
+	fb := r.Backend().(*fakeBackend)
+	if !fb.finalized || fb.created != 1 {
+		t.Fatalf("custom backend saw created=%d finalized=%v", fb.created, fb.finalized)
+	}
+}
+
+// fakeBackend is a synchronous stand-in proving the Backend surface is
+// implementable outside the module.
+type fakeBackend struct {
+	created   int
+	finalized bool
+}
+
+type fakeHandle struct{ done bool }
+
+func (h *fakeHandle) Done() bool { return h.done }
+
+type fakeCtx struct{ b *fakeBackend }
+
+func (c *fakeCtx) Yield() {}
+func (c *fakeCtx) ULTCreate(fn func(lwt.Ctx)) lwt.Handle {
+	return c.b.ULTCreate(fn)
+}
+func (c *fakeCtx) TaskletCreate(fn func()) lwt.Handle {
+	return c.b.TaskletCreate(fn)
+}
+func (c *fakeCtx) Join(h lwt.Handle) {}
+
+func (b *fakeBackend) Name() string      { return "custom-test-backend" }
+func (b *fakeBackend) Init(n int) error  { return nil }
+func (b *fakeBackend) Yield()            {}
+func (b *fakeBackend) Join(h lwt.Handle) {}
+func (b *fakeBackend) Finalize()         { b.finalized = true }
+func (b *fakeBackend) Caps() lwt.Capabilities {
+	return lwt.Capabilities{HierarchyLevels: 1, WorkUnitTypes: 1}
+}
+func (b *fakeBackend) ULTCreate(fn func(lwt.Ctx)) lwt.Handle {
+	b.created++
+	fn(&fakeCtx{b: b})
+	return &fakeHandle{done: true}
+}
+func (b *fakeBackend) TaskletCreate(fn func()) lwt.Handle {
+	fn()
+	return &fakeHandle{done: true}
+}
