@@ -21,12 +21,15 @@
 package lwt_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
+	lwt "repro"
 	"repro/internal/argobots"
+	"repro/internal/blas"
 	"repro/internal/microbench"
 	"repro/internal/omplwt"
 	"repro/internal/openmp"
@@ -441,6 +444,75 @@ func BenchmarkAblationDequeLocking(b *testing.B) {
 	}
 	b.Run("mutex", func(b *testing.B) { run(b, queue.NewDeque(256)) })
 	b.Run("lock-free", func(b *testing.B) { run(b, queue.NewLockFree(256)) })
+}
+
+// BenchmarkServeThroughput measures the request-serving subsystem on
+// every registered backend under open-loop load: a fixed producer group
+// submits all b.N requests without waiting for completions (arrival is
+// decoupled from service, as in real traffic), then awaits every Future.
+// Besides ns/op it reports requests/second and the serving layer's own
+// P50/P99 request latency, making the backends' serving behaviour
+// directly comparable.
+func BenchmarkServeThroughput(b *testing.B) {
+	const producers = 4
+	work := func() (float32, error) {
+		v := make([]float32, 256)
+		blas.Iota(v)
+		blas.Sscal(v, 1.5) // Listing 5's kernel as the request body
+		return v[len(v)-1], nil
+	}
+	for _, backend := range lwt.Backends() {
+		b.Run(backend, func(b *testing.B) {
+			srv, err := lwt.NewServer(lwt.ServeOptions{
+				Backend: backend, Threads: 4,
+				QueueDepth: 256, Batch: 32, LatencyWindow: 1 << 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			sub := srv.Submitter()
+			futs := make([][]*lwt.Future[float32], producers)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				share := b.N / producers
+				if p < b.N%producers {
+					share++
+				}
+				wg.Add(1)
+				go func(p, share int) {
+					defer wg.Done()
+					fs := make([]*lwt.Future[float32], 0, share)
+					for i := 0; i < share; i++ {
+						f, err := lwt.Submit(sub, context.Background(), work)
+						if err != nil {
+							b.Errorf("submit: %v", err)
+							break
+						}
+						fs = append(fs, f)
+					}
+					futs[p] = fs
+				}(p, share)
+			}
+			wg.Wait()
+			for _, fs := range futs {
+				for _, f := range fs {
+					if _, err := f.Wait(context.Background()); err != nil {
+						b.Fatalf("wait: %v", err)
+					}
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+			if m := srv.Metrics(); m.Latency.Reps > 0 {
+				b.ReportMetric(float64(m.Latency.P50)/1e3, "p50-µs")
+				b.ReportMetric(float64(m.Latency.P99)/1e3, "p99-µs")
+			}
+		})
+	}
 }
 
 // BenchmarkAblationRawGoroutines compares the 2016 global-queue Go model

@@ -1,0 +1,369 @@
+// Lwtserved is the serving subsystem end to end: an HTTP server that
+// answers compute requests by submitting work into LWT backends through
+// the serve layer. Every registered backend serves concurrently; the
+// ?backend= query parameter selects which runtime executes a request.
+//
+// Endpoints:
+//
+//	/fib?n=28&cutoff=12&backend=argobots   recursive task parallelism (ULT per branch)
+//	/dgemm?n=96&chunks=4&backend=qthreads  BLAS-3 GEMM decomposed across ULTs
+//	/parfor?n=1048576&backend=go           parallel for over a vector via the omp layer
+//	/metrics                               per-backend serve.Metrics as JSON
+//	/backends                              registered backend names
+//
+// Admission control maps to HTTP: a saturated backend answers 503 with
+// Retry-After; pass wait=1 to block (with the request's context) instead
+// of fast-failing. Request latency percentiles come from the serving
+// layer's own metrics window.
+//
+//	go run ./cmd/lwtserved -addr :8080
+//	curl 'localhost:8080/fib?n=30&backend=massivethreads'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	lwt "repro"
+	"repro/internal/blas"
+	"repro/internal/serve"
+	"repro/omp"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address")
+	threads  = flag.Int("threads", 4, "executors per backend runtime")
+	queue    = flag.Int("queue", 1024, "submission queue depth per backend")
+	inflight = flag.Int("inflight", 0, "max in-flight work units per backend (0: queue depth)")
+	batch    = flag.Int("batch", 64, "requests launched per pump wakeup")
+)
+
+// registry lazily creates one serving engine and one omp worker per
+// backend, on first use.
+type registry struct {
+	mu      sync.Mutex
+	servers map[string]*lwt.Server
+	omps    map[string]*ompWorker
+}
+
+func (g *registry) server(backend string) (*lwt.Server, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.servers[backend]; ok {
+		return s, nil
+	}
+	s, err := lwt.NewServer(lwt.ServeOptions{
+		Backend: backend, Threads: *threads,
+		QueueDepth: *queue, MaxInFlight: *inflight, Batch: *batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.servers[backend] = s
+	return s, nil
+}
+
+func (g *registry) omp(backend string) (*ompWorker, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w, ok := g.omps[backend]; ok {
+		return w, nil
+	}
+	w, err := newOmpWorker(backend, *threads)
+	if err != nil {
+		return nil, err
+	}
+	g.omps[backend] = w
+	return w, nil
+}
+
+func (g *registry) closeAll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range g.servers {
+		s.Close()
+	}
+	for _, w := range g.omps {
+		w.close()
+	}
+}
+
+// ompWorker confines one omp.Runtime to a dedicated master goroutine:
+// the directive layer (like the C libraries it models) is driven from
+// the thread that initialized it, so HTTP handlers hand their loops to
+// the worker instead of calling the runtime directly.
+type ompWorker struct {
+	jobs chan func(*omp.Runtime)
+	done chan struct{}
+}
+
+func newOmpWorker(backend string, threads int) (*ompWorker, error) {
+	w := &ompWorker{jobs: make(chan func(*omp.Runtime), 64), done: make(chan struct{})}
+	ready := make(chan error)
+	go func() {
+		rt, err := omp.New(backend, threads)
+		ready <- err
+		if err != nil {
+			close(w.done)
+			return
+		}
+		defer close(w.done)
+		defer rt.Close()
+		for job := range w.jobs {
+			job(rt)
+		}
+	}()
+	if err := <-ready; err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// run executes job on the worker's master goroutine and waits for it.
+func (w *ompWorker) run(job func(*omp.Runtime)) {
+	wait := make(chan struct{})
+	w.jobs <- func(rt *omp.Runtime) {
+		defer close(wait)
+		job(rt)
+	}
+	<-wait
+}
+
+func (w *ompWorker) close() {
+	close(w.jobs)
+	<-w.done
+}
+
+// qint parses an integer query parameter with a default and bounds.
+func qint(r *http.Request, name string, def, lo, hi int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < lo {
+		return def
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// backendOf validates the ?backend= selector.
+func backendOf(r *http.Request) (string, error) {
+	b := r.URL.Query().Get("backend")
+	if b == "" {
+		return "go", nil
+	}
+	for _, name := range lwt.Backends() {
+		if name == b {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("unknown backend %q (have %v)", b, lwt.Backends())
+}
+
+// reply writes a JSON response.
+func reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// submitErr maps submission errors to HTTP statuses.
+func submitErr(w http.ResponseWriter, err error) {
+	switch {
+	case err == lwt.ErrSaturated:
+		w.Header().Set("Retry-After", "1")
+		reply(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case err == lwt.ErrServerClosed:
+		reply(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	default:
+		reply(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+}
+
+// result is the common response envelope.
+type result struct {
+	Backend string  `json:"backend"`
+	N       int     `json:"n"`
+	Value   float64 `json:"value"`
+	Micros  int64   `json:"micros"`
+}
+
+// handle wires one compute endpoint: resolve the backend's server,
+// submit (blocking when wait=1), await the Future with the request's
+// context, and render.
+func handle(g *registry, compute func(r *http.Request, sub *lwt.Submitter, n int) (*lwt.Future[float64], error), defN, maxN int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		backend, err := backendOf(r)
+		if err != nil {
+			reply(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		srv, err := g.server(backend)
+		if err != nil {
+			reply(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		n := qint(r, "n", defN, 1, maxN)
+		t0 := time.Now()
+		f, err := compute(r, srv.Submitter(), n)
+		if err != nil {
+			submitErr(w, err)
+			return
+		}
+		v, err := f.Wait(r.Context())
+		if err != nil {
+			reply(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		reply(w, http.StatusOK, result{Backend: backend, N: n, Value: v, Micros: time.Since(t0).Microseconds()})
+	}
+}
+
+// fib computes fib(n) with a ULT per left branch below the cutoff.
+func fib(c lwt.Ctx, n, cutoff int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	if n < cutoff {
+		return fib(c, n-1, cutoff) + fib(c, n-2, cutoff)
+	}
+	var left uint64
+	h := c.ULTCreate(func(cc lwt.Ctx) { left = fib(cc, n-1, cutoff) })
+	right := fib(c, n-2, cutoff)
+	c.Join(h)
+	return left + right
+}
+
+func main() {
+	flag.Parse()
+	g := &registry{servers: map[string]*lwt.Server{}, omps: map[string]*ompWorker{}}
+
+	mux := http.NewServeMux()
+
+	// Task parallelism: a ULT tree on the serving runtime.
+	mux.HandleFunc("/fib", handle(g, func(r *http.Request, sub *lwt.Submitter, n int) (*lwt.Future[float64], error) {
+		cutoff := qint(r, "cutoff", 12, 2, 64)
+		// Bound the spawn tree: the ULT count grows like fib(n-cutoff),
+		// so an adversarial n=45&cutoff=2 would create ~10^8 work units
+		// from one request. Cap the spawning depth at 20 levels
+		// (≲ 20k ULTs); the remainder runs sequentially.
+		if cutoff < n-20 {
+			cutoff = n - 20
+		}
+		body := func(c lwt.Ctx) (float64, error) { return float64(fib(c, n, cutoff)), nil }
+		if r.URL.Query().Get("wait") == "1" {
+			return lwt.SubmitULT(sub, r.Context(), body)
+		}
+		return lwt.TrySubmitULT(sub, body)
+	}, 28, 45))
+
+	// BLAS-3: C ← A·B + C decomposed into row-range ULTs.
+	mux.HandleFunc("/dgemm", handle(g, func(r *http.Request, sub *lwt.Submitter, n int) (*lwt.Future[float64], error) {
+		chunks := qint(r, "chunks", *threads, 1, 64)
+		body := func(c lwt.Ctx) (float64, error) {
+			a := make([]float64, n*n)
+			b := make([]float64, n*n)
+			cm := make([]float64, n*n)
+			for i := range a {
+				a[i] = float64(i%7) * 0.5
+				b[i] = float64(i%5) * 0.25
+			}
+			hs := make([]lwt.Handle, 0, chunks)
+			for k := 0; k < chunks; k++ {
+				lo, hi := k*n/chunks, (k+1)*n/chunks
+				if lo == hi {
+					continue
+				}
+				hs = append(hs, c.ULTCreate(func(lwt.Ctx) {
+					blas.DgemmRows(n, a, b, cm, lo, hi)
+				}))
+			}
+			for _, h := range hs {
+				c.Join(h)
+			}
+			var sum float64
+			for _, x := range cm {
+				sum += x
+			}
+			return sum, nil
+		}
+		if r.URL.Query().Get("wait") == "1" {
+			return lwt.SubmitULT(sub, r.Context(), body)
+		}
+		return lwt.TrySubmitULT(sub, body)
+	}, 96, 512))
+
+	// Loop parallelism through the omp directive layer, on its own
+	// master goroutine per backend.
+	mux.HandleFunc("/parfor", func(w http.ResponseWriter, r *http.Request) {
+		backend, err := backendOf(r)
+		if err != nil {
+			reply(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		worker, err := g.omp(backend)
+		if err != nil {
+			reply(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		n := qint(r, "n", 1<<20, 1, 1<<24)
+		t0 := time.Now()
+		v := make([]float32, n)
+		blas.Fill(v, 2)
+		worker.run(func(rt *omp.Runtime) {
+			rt.ParallelFor(n, omp.Static, 0, func(i int) { v[i] *= 1.5 })
+		})
+		reply(w, http.StatusOK, result{Backend: backend, N: n, Value: float64(blas.Sasum(v)), Micros: time.Since(t0).Microseconds()})
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		g.mu.Lock()
+		names := make([]string, 0, len(g.servers))
+		for name := range g.servers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out := make([]serve.Metrics, 0, len(names))
+		for _, name := range names {
+			out = append(out, g.servers[name].Metrics())
+		}
+		g.mu.Unlock()
+		reply(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/backends", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, lwt.Backends())
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Println("lwtserved: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+	log.Printf("lwtserved: listening on %s (backends: %v)", *addr, lwt.Backends())
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	g.closeAll()
+}

@@ -82,3 +82,38 @@ func Iota(v []float32) {
 		v[i] = float32(i)
 	}
 }
+
+// Dgemm computes C ← A·B + C for dense row-major n×n matrices — the
+// BLAS-3 workload the serving layer uses as a coarse-grained compute
+// request, complementing the fine-grained BLAS-1 kernels above. It
+// panics if any slice is shorter than n·n.
+func Dgemm(n int, a, b, c []float64) {
+	DgemmRows(n, a, b, c, 0, n)
+}
+
+// DgemmRows computes the row range [lo, hi) of C ← A·B + C, the
+// per-work-unit chunk when a GEMM request is decomposed across ULTs.
+func DgemmRows(n int, a, b, c []float64, lo, hi int) {
+	if n < 0 || len(a) < n*n || len(b) < n*n || len(c) < n*n {
+		panic("blas: Dgemm dimension mismatch")
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b[k*n : (k+1)*n]
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}

@@ -154,6 +154,49 @@ func TestSasum(t *testing.T) {
 	}
 }
 
+func TestDgemmSmall(t *testing.T) {
+	// [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50], accumulated onto C=I.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	c := []float64{1, 0, 0, 1}
+	Dgemm(2, a, b, c)
+	want := []float64{20, 22, 43, 51}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestDgemmRowsPartitionMatchesWhole(t *testing.T) {
+	const n = 7
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i % 5)
+		b[i] = float64((i * 3) % 7)
+	}
+	whole := make([]float64, n*n)
+	Dgemm(n, a, b, whole)
+	parts := make([]float64, n*n)
+	DgemmRows(n, a, b, parts, 0, 3)
+	DgemmRows(n, a, b, parts, 3, n)
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("row partition diverges at %d: %v vs %v", i, parts[i], whole[i])
+		}
+	}
+}
+
+func TestDgemmDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short slice did not panic")
+		}
+	}()
+	Dgemm(3, make([]float64, 8), make([]float64, 9), make([]float64, 9))
+}
+
 func TestFillAndIota(t *testing.T) {
 	v := make([]float32, 4)
 	Fill(v, 7)

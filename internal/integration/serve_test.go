@@ -1,0 +1,159 @@
+package integration
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	lwt "repro"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// TestServeEveryBackend drives the same submit/await workload through
+// the serving subsystem on every registered backend: concurrent
+// producers, tasklet- and ULT-shaped requests, value/error/panic
+// results. This is the end-to-end claim of the serving layer — the
+// reduced Table II function set plus the pump suffices to serve
+// arbitrary-goroutine traffic on every emulated runtime.
+func TestServeEveryBackend(t *testing.T) {
+	for _, backend := range lwt.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			s, err := serve.New(serve.Options{Backend: backend, Threads: 2, QueueDepth: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sub := s.Submitter()
+
+			const producers, per = 4, 25
+			var wg sync.WaitGroup
+			var sum atomic.Int64
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if i%5 == 0 {
+							// ULT-shaped: spawn and join a child on the
+							// serving runtime.
+							f, err := serve.SubmitULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+								var child int
+								h := c.ULTCreate(func(core.Ctx) { child = i })
+								c.Join(h)
+								return child, nil
+							})
+							if err != nil {
+								t.Errorf("SubmitULT: %v", err)
+								return
+							}
+							if v, err := f.Wait(context.Background()); err != nil || v != i {
+								t.Errorf("ULT wait = (%v, %v), want (%d, nil)", v, err, i)
+								return
+							}
+						} else {
+							f, err := serve.Submit(sub, context.Background(), func() (int, error) {
+								sum.Add(1)
+								return p*per + i, nil
+							})
+							if err != nil {
+								t.Errorf("Submit: %v", err)
+								return
+							}
+							if v, err := f.Wait(context.Background()); err != nil || v != p*per+i {
+								t.Errorf("wait = (%v, %v), want (%d, nil)", v, err, p*per+i)
+								return
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+
+			// Panic capture must hold on every backend's executors.
+			f, err := serve.Submit(sub, context.Background(), func() (int, error) { panic(backend) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Wait(context.Background())
+			var pe *serve.PanicError
+			if !errors.As(werr, &pe) || pe.Value != backend {
+				t.Fatalf("panic result = %v, want PanicError(%q)", werr, backend)
+			}
+
+			m := s.Metrics()
+			wantTasklets := int64(producers * per * 4 / 5)
+			if sum.Load() != wantTasklets {
+				t.Fatalf("tasklet bodies ran %d times, want %d", sum.Load(), wantTasklets)
+			}
+			if m.Completed != uint64(producers*per+1) {
+				t.Fatalf("Completed = %d, want %d", m.Completed, producers*per+1)
+			}
+			if m.InFlight != 0 || m.QueueDepth != 0 {
+				t.Fatalf("leftover work: inflight=%d queued=%d", m.InFlight, m.QueueDepth)
+			}
+		})
+	}
+}
+
+// TestServeSaturationEveryBackend verifies the admission-control
+// contract on every backend: with the single in-flight slot occupied and
+// the queue full, TrySubmit fast-rejects with ErrSaturated instead of
+// blocking or deadlocking, and a blocking Submit honors context
+// cancellation while stuck on the full queue.
+func TestServeSaturationEveryBackend(t *testing.T) {
+	for _, backend := range lwt.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			s, err := serve.New(serve.Options{
+				Backend: backend, Threads: 2,
+				QueueDepth: 2, MaxInFlight: 1, Batch: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			started := make(chan struct{})
+			release := make(chan struct{})
+			defer s.Close()
+			sub := s.Submitter()
+			if _, err := serve.Submit(sub, context.Background(), func() (int, error) {
+				close(started)
+				<-release
+				return 0, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			<-started // occupies the only in-flight slot until released
+			// Fill the depth-2 queue: one plain request plus one whose
+			// context will die while it waits.
+			if _, err := serve.TrySubmit(sub, func() (int, error) { return 1, nil }); err != nil {
+				t.Fatalf("fill: %v", err)
+			}
+			qctx, qcancel := context.WithCancel(context.Background())
+			f, err := serve.Submit(sub, qctx, func() (int, error) { return 9, nil })
+			if err != nil {
+				t.Fatalf("queued-cancel candidate: %v", err)
+			}
+			// Saturation must fast-reject, not block or deadlock.
+			if _, err := serve.TrySubmit(sub, func() (int, error) { return 0, nil }); !errors.Is(err, serve.ErrSaturated) {
+				t.Fatalf("TrySubmit on full queue = %v, want ErrSaturated", err)
+			}
+			// A blocking Submit stuck on the full queue honors its
+			// context.
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			if _, err := serve.Submit(sub, ctx, func() (int, error) { return 0, nil }); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("blocked Submit = %v, want DeadlineExceeded", err)
+			}
+			// A queued request whose context dies before launch resolves
+			// to its context error once the pump reaches it.
+			qcancel()
+			close(release)
+			if _, werr := f.Wait(context.Background()); !errors.Is(werr, context.Canceled) {
+				t.Fatalf("queued-cancel wait err = %v, want context.Canceled", werr)
+			}
+		})
+	}
+}

@@ -94,6 +94,25 @@ func TestStatsSummarize(t *testing.T) {
 	}
 }
 
+func TestStatsPercentiles(t *testing.T) {
+	// 100..1 shuffled order: percentiles must not depend on input order.
+	xs := make([]time.Duration, 100)
+	for i := range xs {
+		xs[i] = time.Duration(100 - i)
+	}
+	s := Summarize(xs)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("P50/P95/P99 = %d/%d/%d, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 100 {
+		t.Fatalf("extreme quantiles = %v/%v", Quantile(xs, 0), Quantile(xs, 1))
+	}
+	one := Summarize([]time.Duration{7})
+	if one.P50 != 7 || one.P99 != 7 {
+		t.Fatalf("single-sample percentiles = %+v", one)
+	}
+}
+
 func TestStatsSingleObservation(t *testing.T) {
 	s := Summarize([]time.Duration{42})
 	if s.RSD != 0 || s.Mean != 42 {

@@ -10,6 +10,7 @@ package microbench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -19,6 +20,10 @@ type Stats struct {
 	Mean time.Duration
 	// Min and Max bound the observations.
 	Min, Max time.Duration
+	// P50, P95 and P99 are latency percentiles of the observations —
+	// the request-serving view of the same samples (tail behaviour
+	// matters once work units carry traffic rather than benchmarks).
+	P50, P95, P99 time.Duration
 	// RSD is the relative standard deviation (stddev / mean), the
 	// stability metric §V reports.
 	RSD float64
@@ -85,13 +90,47 @@ func Summarize(xs []time.Duration) Stats {
 	if mean > 0 && len(xs) > 1 {
 		rsd = math.Sqrt(sq/float64(len(xs)-1)) / mean
 	}
+	sorted := make([]time.Duration, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return Stats{
 		Mean: time.Duration(mean),
 		Min:  mn,
 		Max:  mx,
+		P50:  quantileSorted(sorted, 0.50),
+		P95:  quantileSorted(sorted, 0.95),
+		P99:  quantileSorted(sorted, 0.99),
 		RSD:  rsd,
 		Reps: len(xs),
 	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observations by
+// nearest-rank on a sorted copy. It panics on an empty slice.
+func Quantile(xs []time.Duration, q float64) time.Duration {
+	if len(xs) == 0 {
+		panic("microbench: no observations")
+	}
+	sorted := make([]time.Duration, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is the nearest-rank quantile over already-sorted
+// observations.
+func quantileSorted(sorted []time.Duration, q float64) time.Duration {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
 }
 
 // Timed measures one execution of f.

@@ -167,6 +167,7 @@ type team struct {
 	shared      *queue.Shared  // gcc task queue
 	deques      []*queue.Deque // icc per-thread task deques
 	outstanding atomic.Int64   // queued-but-unfinished tasks
+	arrived     atomic.Int64   // members that reached the region end
 
 	bar       *barrier.Central // gcc join
 	spin      *barrier.Spin    // gcc join under active policy
@@ -318,7 +319,15 @@ func (rt *Runtime) spawnMember(tm *team, tid int, body func(*TeamCtx), wg *sync.
 func (tm *team) member(tid int, body func(*TeamCtx)) {
 	tc := &TeamCtx{tm: tm, tid: tid}
 	body(tc)
-	tm.drainTasks(tid)
+	// Implicit region-end barrier with task execution: a member that
+	// finishes its body keeps pulling tasks until the whole team has
+	// arrived AND none remain outstanding. Both real runtimes execute
+	// tasks from inside the barrier wait; without this, an idle worker
+	// whose queue view is momentarily empty would leave the region while
+	// the single-region creator (§VII-B1) is still producing tasks, and
+	// icc's thieves would never get anything to steal.
+	tm.arrived.Add(1)
+	tm.drainRegionEnd(tid)
 	// Region-end join.
 	if tm.rt.cfg.Flavor == GCC {
 		if tm.spin != nil {
@@ -398,7 +407,41 @@ func (tm *team) nextTask(tid int) *ult.Tasklet {
 	return nil
 }
 
-// drainTasks executes tasks until the team has none outstanding.
+// drainRegionEnd executes tasks until every member has arrived at the
+// region end and no tasks remain — the task-executing implicit barrier.
+func (tm *team) drainRegionEnd(tid int) {
+	idle := 0
+	for {
+		tk := tm.nextTask(tid)
+		if tk == nil {
+			if tm.arrived.Load() == int64(tm.size) && tm.outstanding.Load() == 0 {
+				return
+			}
+			if tm.rt.cfg.WaitPolicy == Passive {
+				// While tasks are outstanding, poll hot so thieves keep
+				// their steal window. With none outstanding this is a
+				// pure barrier wait on slower siblings' bodies; back off
+				// to a short sleep so early finishers of an imbalanced
+				// region do not burn a core each (Active keeps the
+				// faithful busy-wait).
+				if tm.outstanding.Load() == 0 {
+					if idle++; idle > 64 {
+						time.Sleep(20 * time.Microsecond)
+						continue
+					}
+				}
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		tm.execs[tid].RunTasklet(tk)
+		tm.outstanding.Add(-1)
+	}
+}
+
+// drainTasks executes tasks until the team has none outstanding
+// (#pragma omp taskwait semantics; see TaskWait).
 func (tm *team) drainTasks(tid int) {
 	for {
 		tk := tm.nextTask(tid)

@@ -1,6 +1,7 @@
 package openmp
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -219,10 +220,31 @@ func TestICCStealsFromSingleCreator(t *testing.T) {
 	defer rt.Close()
 	const n = 400
 	var ran atomic.Int64
+	var ready atomic.Int32
 	rt.Parallel(func(tc *TeamCtx) {
+		if tc.TID() != 0 {
+			// Workers fall through to the region-end task barrier, where
+			// they poll the deques for work to steal.
+			ready.Add(1)
+			return
+		}
 		tc.Single(func() {
+			// Force the racy window deterministically: hold production
+			// until every thief is live inside the region, so the single
+			// creator fills its deque while the others are polling. A
+			// 400-task region is otherwise short enough that the master
+			// can drain its own deque before the worker goroutines are
+			// ever scheduled.
+			for ready.Load() != 3 {
+				runtime.Gosched()
+			}
 			for i := 0; i < n; i++ {
-				tc.Task(func() { ran.Add(1) })
+				// The body yields so that on a single-P machine
+				// (GOMAXPROCS=1) the polling thieves are guaranteed a
+				// scheduling slot while the creator's deque is non-empty;
+				// without it the master would pop its whole deque in one
+				// unpreempted burst and the thieves could never win.
+				tc.Task(func() { runtime.Gosched(); ran.Add(1) })
 			}
 		})
 	})

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+)
+
+// PanicError is the error a Future resolves to when the request body
+// panicked on a backend executor. The panic is contained inside the work
+// unit — it never unwinds into the backend's scheduler — and surfaces to
+// the submitter as a value instead.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: request panicked: %v", e.Value)
+}
+
+// Future is the result handle returned by a submission: the Table II API
+// has join (completion) but no way to return a value from a work unit,
+// so the serving layer adds one. A Future resolves exactly once, to a
+// value, an application error, or a *PanicError; rejected submissions
+// never produce a Future.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// newFuture returns an unresolved Future.
+func newFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// complete resolves the Future. It must be called exactly once; the
+// channel close publishes val and err to waiters.
+func (f *Future[T]) complete(val T, err error) {
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+// Done returns a channel that is closed once the result is available,
+// for use in select loops.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Ready reports, without blocking, whether the result is available.
+func (f *Future[T]) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the result is available or ctx is cancelled. On
+// cancellation it returns ctx.Err(); the request itself keeps running
+// and the Future can be waited on again.
+func (f *Future[T]) Wait(ctx context.Context) (T, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// MustWait blocks until the result is available and panics on error —
+// the examples' shorthand.
+func (f *Future[T]) MustWait() T {
+	<-f.done
+	if f.err != nil {
+		panic(f.err)
+	}
+	return f.val
+}

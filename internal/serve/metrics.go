@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/microbench"
+)
+
+// metrics is the server's internal counter and latency-sample state.
+type metrics struct {
+	submitted atomic.Uint64 // accepted into the queue
+	completed atomic.Uint64 // request bodies finished (incl. failed/panicked)
+	saturated atomic.Uint64 // fast-rejected with ErrSaturated
+	canceled  atomic.Uint64 // cancelled while queued or blocked submitting
+	rejected  atomic.Uint64 // failed with ErrClosed at shutdown
+	failed    atomic.Uint64 // bodies that returned an error
+	panicked  atomic.Uint64 // bodies that panicked
+
+	// lats is a ring of recent end-to-end request latencies
+	// (submission to completion), the window Metrics summarizes.
+	mu    sync.Mutex
+	lats  []time.Duration
+	next  int
+	wrap  bool
+	start time.Time
+}
+
+// observe records one completed request's latency.
+func (m *metrics) observe(lat time.Duration) {
+	m.completed.Add(1)
+	m.mu.Lock()
+	if len(m.lats) > 0 {
+		m.lats[m.next] = lat
+		m.next++
+		if m.next == len(m.lats) {
+			m.next = 0
+			m.wrap = true
+		}
+	}
+	m.mu.Unlock()
+}
+
+// window snapshots the latency ring in no particular order.
+func (m *metrics) window() []time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.next
+	if m.wrap {
+		n = len(m.lats)
+	}
+	out := make([]time.Duration, n)
+	copy(out, m.lats[:n])
+	return out
+}
+
+// Metrics is a point-in-time snapshot of a server's counters and recent
+// latency distribution — the throughput/queue-depth/percentile view a
+// serving deployment watches.
+type Metrics struct {
+	// Backend is the serving backend's registered name.
+	Backend string
+	// Submitted counts requests accepted into the queue.
+	Submitted uint64
+	// Completed counts finished request bodies, including those that
+	// returned errors or panicked.
+	Completed uint64
+	// Saturated counts submissions fast-rejected with ErrSaturated.
+	Saturated uint64
+	// Canceled counts submissions cancelled by their context while
+	// queued or while blocked on a full queue.
+	Canceled uint64
+	// Rejected counts queued requests failed with ErrClosed at shutdown.
+	Rejected uint64
+	// Failed counts bodies that returned a non-nil error.
+	Failed uint64
+	// Panicked counts bodies whose panic was captured into the Future.
+	Panicked uint64
+	// QueueDepth is the number of requests waiting in the submission
+	// queue right now.
+	QueueDepth int
+	// InFlight is the number of launched-but-unfinished work units.
+	InFlight int
+	// Uptime is the time since the server started.
+	Uptime time.Duration
+	// Throughput is Completed divided by Uptime, in requests/second.
+	Throughput float64
+	// Latency summarizes the recent latency window: mean, RSD and the
+	// P50/P95/P99 percentiles (zero-valued until a request completes).
+	// Latency is end-to-end — measured from the submission call, so for
+	// blocking submits it includes time spent waiting out backpressure,
+	// not just queued-to-completion service time.
+	Latency microbench.Stats
+}

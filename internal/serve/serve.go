@@ -1,0 +1,465 @@
+// Package serve is the request-serving subsystem over the unified LWT
+// API: it turns any registered backend into a concurrent task-submission
+// engine that arbitrary goroutines can drive, which the paper's reduced
+// function set (Table II, Listing 4) cannot do on its own — work may only
+// be created from the backend's main thread or from inside a running work
+// unit, joins return no values, and nothing pushes back when producers
+// outrun the runtime.
+//
+// The design is a bounded multi-producer queue feeding a pump that owns
+// the backend's main thread:
+//
+//	producers (any goroutine)          pump goroutine (backend main thread)
+//	  Submit / TrySubmit  ──▶  bounded MPSC queue  ──▶  batch: TaskletCreate /
+//	        │                                            ULTCreate, then Yield
+//	        ▼                                                   │
+//	   Future[T]  ◀──────── complete(value, err, panic) ◀───────┘
+//
+// Every runtime interaction — creation, yielding, finalization — happens
+// on the pump goroutine, so backends whose master must drive its own
+// scheduler (Converse's return mode, §VIII-B1) serve traffic exactly like
+// preemptive ones. Admission control is explicit: TrySubmit fast-rejects
+// with ErrSaturated when the queue is full, Submit blocks with context
+// cancellation, and Close drains accepted work before finalizing the
+// backend.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/microbench"
+	"repro/internal/trace"
+)
+
+var (
+	// ErrSaturated is the fast-reject returned when the submission
+	// queue is at QueueDepth — the backpressure signal, returned
+	// instead of blocking or deadlocking.
+	ErrSaturated = errors.New("serve: submission queue saturated")
+	// ErrClosed is returned for submissions to a closed server, and
+	// resolves Futures of requests still queued at shutdown.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultQueueDepth bounds the submission queue.
+	DefaultQueueDepth = 1024
+	// DefaultBatch is the largest request group launched per pump
+	// wakeup.
+	DefaultBatch = 64
+	// DefaultLatencyWindow is the number of recent latency samples the
+	// metrics keep.
+	DefaultLatencyWindow = 4096
+)
+
+// Options configures a Server.
+type Options struct {
+	// Backend is the registered backend name (see core.Backends);
+	// empty means "go".
+	Backend string
+	// Threads is the executor count; <= 0 means runtime.NumCPU().
+	Threads int
+	// QueueDepth bounds the submission queue; <= 0 means
+	// DefaultQueueDepth. A full queue fast-rejects TrySubmit with
+	// ErrSaturated and blocks Submit.
+	QueueDepth int
+	// Batch caps the number of requests launched per pump wakeup —
+	// queued requests are turned into work units in groups, amortizing
+	// the pump's scheduling step; <= 0 means DefaultBatch.
+	Batch int
+	// MaxInFlight caps launched-but-unfinished work units. At the cap
+	// the pump stops launching, so the submission queue fills and
+	// admission control engages; without it every burst would pour
+	// straight into the backend's unbounded pools. <= 0 means
+	// QueueDepth.
+	MaxInFlight int
+	// LatencyWindow is the recent-sample count kept for percentile
+	// metrics; <= 0 means DefaultLatencyWindow.
+	LatencyWindow int
+	// Tracer, when non-nil, records one KindUser interval per request
+	// (submission to completion, Unit = request id).
+	Tracer *trace.Recorder
+}
+
+// request is one queued submission.
+type request struct {
+	id  uint64
+	ctx context.Context // submission context; nil means background
+	ult bool            // needs a stackful ULT (body takes a Ctx)
+	enq time.Time
+	// run executes the body and resolves the Future; the Ctx is nil
+	// for tasklet-shaped bodies.
+	run func(core.Ctx)
+	// fail resolves the Future with an error without running the body
+	// (cancellation and shutdown paths).
+	fail func(error)
+}
+
+// Server is a request-serving engine over one backend runtime. Create
+// one with New, submit through Submitter, stop with Close.
+type Server struct {
+	opts Options
+	reqs chan *request
+	quit chan struct{}
+	done chan struct{}
+
+	closed   atomic.Bool
+	active   atomic.Int64 // producers currently inside a submit call
+	inflight atomic.Int64 // launched-but-unfinished work units
+	nextID   atomic.Uint64
+	m        metrics
+}
+
+// New starts a server: it spawns the pump goroutine, initializes the
+// named backend on it, and returns once the backend is serving (or its
+// initialization failed).
+func New(opts Options) (*Server, error) {
+	if opts.Backend == "" {
+		opts.Backend = "go"
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = runtime.NumCPU()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = DefaultBatch
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = opts.QueueDepth
+	}
+	if opts.LatencyWindow <= 0 {
+		opts.LatencyWindow = DefaultLatencyWindow
+	}
+	s := &Server{
+		opts: opts,
+		reqs: make(chan *request, opts.QueueDepth),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.m.lats = make([]time.Duration, opts.LatencyWindow)
+	s.m.start = time.Now()
+	ready := make(chan error)
+	go s.pump(ready)
+	if err := <-ready; err != nil {
+		return nil, fmt.Errorf("serve: start %q: %w", opts.Backend, err)
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good options; it panics on error.
+func MustNew(opts Options) *Server {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Backend reports the serving backend's name.
+func (s *Server) Backend() string { return s.opts.Backend }
+
+// Submitter returns the server's injection front-end. It is safe for any
+// number of goroutines and can be handed to producers that should not be
+// able to Close the server.
+func (s *Server) Submitter() *Submitter { return &Submitter{s: s} }
+
+// Metrics snapshots the server's counters and recent latency window.
+func (s *Server) Metrics() Metrics {
+	up := time.Since(s.m.start)
+	mt := Metrics{
+		Backend:    s.opts.Backend,
+		Submitted:  s.m.submitted.Load(),
+		Completed:  s.m.completed.Load(),
+		Saturated:  s.m.saturated.Load(),
+		Canceled:   s.m.canceled.Load(),
+		Rejected:   s.m.rejected.Load(),
+		Failed:     s.m.failed.Load(),
+		Panicked:   s.m.panicked.Load(),
+		QueueDepth: len(s.reqs),
+		InFlight:   int(s.inflight.Load()),
+		Uptime:     up,
+	}
+	if secs := up.Seconds(); secs > 0 {
+		mt.Throughput = float64(mt.Completed) / secs
+	}
+	if w := s.m.window(); len(w) > 0 {
+		mt.Latency = microbench.Summarize(w)
+	}
+	return mt
+}
+
+// Close stops the server: new submissions are rejected with ErrClosed,
+// requests accepted before Close are run to completion, requests racing
+// with Close resolve to ErrClosed, and the backend is finalized. It
+// blocks until the pump has exited and is idempotent.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.quit)
+	}
+	<-s.done
+}
+
+// pump is the backend's main thread: it owns the runtime end to end and
+// is the only goroutine that touches it.
+func (s *Server) pump(ready chan<- error) {
+	rt, err := core.New(s.opts.Backend, s.opts.Threads)
+	if err != nil {
+		ready <- err
+		close(s.done)
+		return
+	}
+	ready <- nil
+	batch := make([]*request, 0, s.opts.Batch)
+	for {
+		batch = batch[:0]
+		if s.inflight.Load() == 0 {
+			// Fully idle: park until traffic or shutdown arrives.
+			select {
+			case r := <-s.reqs:
+				batch = append(batch, r)
+			case <-s.quit:
+				s.shutdown(rt)
+				return
+			}
+		} else {
+			// Work in flight: drive the backend's scheduler. For
+			// cooperative masters this is load-bearing — Converse's
+			// processor 0 and the adopted primaries of Argobots and
+			// MassiveThreads execute their local queues only inside
+			// the main thread's Yield, so the pump cannot park on a
+			// completion signal without stalling those backends; it
+			// polls instead. For autonomous backends (go, qthreads)
+			// Yield degrades to runtime.Gosched, which donates the
+			// processor to the executors rather than spinning past
+			// them; the pump still parks fully whenever inflight
+			// drops to zero (the branch above).
+			rt.Yield()
+		}
+		// Batch drain: group up to Batch queued requests into work
+		// units per wakeup, so one scheduler step admits many requests.
+		// The MaxInFlight cap leaves the excess queued, which is what
+		// lets the bounded queue fill and reject.
+		for len(batch) < s.opts.Batch && int(s.inflight.Load())+len(batch) < s.opts.MaxInFlight {
+			select {
+			case r := <-s.reqs:
+				batch = append(batch, r)
+			default:
+				goto collected
+			}
+		}
+	collected:
+		for _, r := range batch {
+			s.launch(rt, r)
+		}
+		select {
+		case <-s.quit:
+			s.shutdown(rt)
+			return
+		default:
+		}
+	}
+}
+
+// launch turns one accepted request into a backend work unit, dropping
+// it instead if its submission context was cancelled while queued.
+func (s *Server) launch(rt *core.Runtime, r *request) {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			s.m.canceled.Add(1)
+			r.fail(err)
+			return
+		}
+	}
+	s.inflight.Add(1)
+	if r.ult {
+		rt.ULTCreate(r.run)
+	} else {
+		rt.TaskletCreate(func() { r.run(nil) })
+	}
+}
+
+// shutdown drains the server on the pump goroutine: accepted requests
+// run to completion, in-flight work is driven until done, straggling
+// producers are waited out and anything they enqueued is rejected, then
+// the backend is finalized.
+func (s *Server) shutdown(rt *core.Runtime) {
+	defer close(s.done)
+	// Run everything accepted before Close.
+	for {
+		select {
+		case r := <-s.reqs:
+			s.launch(rt, r)
+			continue
+		default:
+		}
+		break
+	}
+	for s.inflight.Load() > 0 {
+		rt.Yield()
+		runtime.Gosched()
+	}
+	// Producers that passed the closed check concurrently with Close
+	// are counted in active; drain-reject until they are gone so no
+	// Future is left unresolved and no producer is left blocked.
+	for s.active.Load() > 0 {
+		select {
+		case r := <-s.reqs:
+			s.m.rejected.Add(1)
+			r.fail(ErrClosed)
+		default:
+			runtime.Gosched()
+		}
+	}
+	for {
+		select {
+		case r := <-s.reqs:
+			s.m.rejected.Add(1)
+			r.fail(ErrClosed)
+			continue
+		default:
+		}
+		break
+	}
+	rt.Finalize()
+}
+
+// finish settles one completed request's accounting and trace.
+func (s *Server) finish(r *request) {
+	lat := time.Since(r.enq)
+	s.inflight.Add(-1)
+	s.m.observe(lat)
+	if s.opts.Tracer != nil {
+		// Exec -1 is the synthetic "requests" lane: the work ran on
+		// some backend executor, but the interval belongs to the
+		// request, submission to completion.
+		s.opts.Tracer.Record(trace.Event{
+			Exec: -1, Kind: trace.KindUser, Unit: r.id,
+			Start: r.enq, Dur: lat, Label: "request",
+		})
+	}
+}
+
+// Submitter is the multi-producer, thread-safe injection front-end: the
+// missing external-submission path of the Table II API. All methods may
+// be called from any goroutine, concurrently.
+type Submitter struct {
+	s *Server
+}
+
+// Server returns the owning server (for metrics access from handlers).
+func (sub *Submitter) Server() *Server { return sub.s }
+
+// makeRequest builds the queue entry and Future for one submission.
+// The latency clock (enq) starts here, before admission: for a blocking
+// Submit the time spent waiting on a full queue is part of the request's
+// end-to-end latency. That is deliberate — measuring from intended
+// arrival rather than from admission is what keeps open-loop percentiles
+// honest under backpressure (no coordinated omission).
+func makeRequest[T any](s *Server, ctx context.Context, ult bool, fn func(core.Ctx) (T, error)) (*request, *Future[T]) {
+	f := newFuture[T]()
+	r := &request{
+		id:  s.nextID.Add(1),
+		ctx: ctx,
+		ult: ult,
+		enq: time.Now(),
+	}
+	r.fail = func(err error) {
+		var zero T
+		f.complete(zero, err)
+	}
+	r.run = func(c core.Ctx) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panicked.Add(1)
+				var zero T
+				f.complete(zero, &PanicError{Value: p, Stack: debug.Stack()})
+			}
+			s.finish(r)
+		}()
+		v, err := fn(c)
+		if err != nil {
+			s.m.failed.Add(1)
+		}
+		f.complete(v, err)
+	}
+	return r, f
+}
+
+// trySubmit is the non-blocking admission path.
+func trySubmit[T any](sub *Submitter, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	s := sub.s
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	r, f := makeRequest(s, nil, ult, fn)
+	select {
+	case s.reqs <- r:
+		s.m.submitted.Add(1)
+		return f, nil
+	default:
+		s.m.saturated.Add(1)
+		return nil, ErrSaturated
+	}
+}
+
+// submit is the blocking admission path with context cancellation.
+func submit[T any](sub *Submitter, ctx context.Context, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	s := sub.s
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	r, f := makeRequest(s, ctx, ult, fn)
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	select {
+	case s.reqs <- r:
+		s.m.submitted.Add(1)
+		return f, nil
+	case <-cancel:
+		s.m.canceled.Add(1)
+		return nil, ctx.Err()
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+}
+
+// Submit queues fn as a tasklet-shaped request (stackless body, no
+// cooperative context), blocking while the queue is full until space
+// frees, ctx is cancelled, or the server closes.
+func Submit[T any](sub *Submitter, ctx context.Context, fn func() (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// TrySubmit is Submit without blocking: a full queue returns
+// ErrSaturated immediately — the admission-control fast path.
+func TrySubmit[T any](sub *Submitter, fn func() (T, error)) (*Future[T], error) {
+	return trySubmit(sub, false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// SubmitULT queues fn as a stackful ULT whose body receives the
+// cooperative context — for requests that spawn and join child work
+// units (nested parallelism on the serving runtime).
+func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, true, fn)
+}
+
+// TrySubmitULT is SubmitULT with ErrSaturated fast-reject.
+func TrySubmitULT[T any](sub *Submitter, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return trySubmit(sub, true, fn)
+}

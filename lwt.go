@@ -28,10 +28,27 @@
 // the paper evaluates separately (MassiveThreads work-first vs help-first,
 // Argobots private vs shared pools, Qthreads shepherd layouts) register
 // under their own names.
+//
+// On top of the Table II API sits the serving layer (NewServer): a
+// concurrent task-submission engine that lets arbitrary goroutines
+// inject work into any backend through a bounded queue with Future
+// results, admission control (ErrSaturated) and per-request metrics —
+// the external-submission path the paper's reduced function set lacks.
+// cmd/lwtserved serves HTTP compute traffic through it on every backend.
+//
+//	srv := lwt.MustNewServer(lwt.ServeOptions{Backend: "argobots"})
+//	defer srv.Close()
+//	f, err := lwt.Submit(srv.Submitter(), ctx, func() (int, error) {
+//		return compute(), nil
+//	})
+//	v, err := f.Wait(ctx)
 package lwt
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/serve"
 )
 
 // Runtime is an initialized unified-API instance over one backend.
@@ -71,4 +88,65 @@ func Backends() []string { return core.Backends() }
 // names.
 func Register(name string, f func() Backend) {
 	core.Register(name, func() core.Backend { return f() })
+}
+
+// --- Serving layer ---
+
+// Server is a request-serving engine over one backend: a pump goroutine
+// owns the backend's main thread and turns externally submitted requests
+// into work units.
+type Server = serve.Server
+
+// ServeOptions configures a Server (backend, executors, queue depth,
+// in-flight cap, batch size, tracer).
+type ServeOptions = serve.Options
+
+// Submitter is the thread-safe, multi-producer injection front-end of a
+// Server.
+type Submitter = serve.Submitter
+
+// Future is the result handle of a submission; see serve.Future.
+type Future[T any] = serve.Future[T]
+
+// ServerMetrics is a snapshot of a Server's counters and latency window.
+type ServerMetrics = serve.Metrics
+
+// PanicError is the error a Future resolves to when a request body
+// panicked.
+type PanicError = serve.PanicError
+
+// ErrSaturated is the admission-control fast-reject for a full
+// submission queue.
+var ErrSaturated = serve.ErrSaturated
+
+// ErrServerClosed is returned for submissions to a closed Server.
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer starts a serving engine over the named backend.
+func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
+
+// MustNewServer is NewServer for known-good options; it panics on error.
+func MustNewServer(opts ServeOptions) *Server { return serve.MustNew(opts) }
+
+// Submit queues fn as a tasklet-shaped request, blocking on a full
+// queue until space frees, ctx is cancelled, or the server closes.
+func Submit[T any](sub *Submitter, ctx context.Context, fn func() (T, error)) (*Future[T], error) {
+	return serve.Submit(sub, ctx, fn)
+}
+
+// TrySubmit is Submit without blocking: a full queue returns
+// ErrSaturated immediately.
+func TrySubmit[T any](sub *Submitter, fn func() (T, error)) (*Future[T], error) {
+	return serve.TrySubmit(sub, fn)
+}
+
+// SubmitULT queues fn as a stackful ULT whose body receives the
+// cooperative context, for requests that spawn and join children.
+func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.SubmitULT(sub, ctx, fn)
+}
+
+// TrySubmitULT is SubmitULT with ErrSaturated fast-reject.
+func TrySubmitULT[T any](sub *Submitter, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.TrySubmitULT(sub, fn)
 }
