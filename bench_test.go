@@ -306,7 +306,7 @@ func BenchmarkDirectivesOnLWT(b *testing.B) {
 		return variant{
 			name: "lwt-" + backend,
 			mkT: func(b *testing.B) func() {
-				rt := omplwt.MustNew(backend, 4)
+				rt := omplwt.MustOpen(omplwt.Config{Backend: backend, Executors: 4})
 				b.Cleanup(rt.Close)
 				return func() {
 					rt.Parallel(func(rg *omplwt.Region, tid int) {
@@ -319,7 +319,7 @@ func BenchmarkDirectivesOnLWT(b *testing.B) {
 				}
 			},
 			mkN: func(b *testing.B) func() {
-				rt := omplwt.MustNew(backend, 4)
+				rt := omplwt.MustOpen(omplwt.Config{Backend: backend, Executors: 4})
 				b.Cleanup(rt.Close)
 				return func() {
 					rt.Parallel(func(rg *omplwt.Region, tid int) {

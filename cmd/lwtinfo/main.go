@@ -1,7 +1,9 @@
 // Command lwtinfo renders the paper's semantic analysis: Table I (the
 // execution and scheduling functionality of each LWT library) and
 // Table II (the reduced function set the microbenchmarks need), plus the
-// live capability report of every registered unified-API backend.
+// live capability report of every registered unified-API backend — at
+// the v2 surface, including the extended columns: placement, scheduler
+// policies, synchronization mechanism and yield-to.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/semantics"
@@ -42,13 +45,23 @@ func main() {
 
 	if *backends {
 		fmt.Println()
-		fmt.Println("Registered unified-API backends (live capabilities):")
+		fmt.Println("Registered unified-API backends (live capabilities, v2 surface):")
+		fmt.Printf("  %-26s %-6s %-5s %-8s %-8s %-9s %-9s %-6s %s\n",
+			"backend", "levels", "units", "tasklets", "yield-to", "placement", "sync", "execs", "schedulers")
 		for _, name := range core.Backends() {
-			r := core.MustNew(name, 2)
+			r := core.MustOpen(core.Config{Backend: name, Executors: 2})
 			c := r.Caps()
+			execs := r.NumExecutors()
 			r.Finalize()
-			fmt.Printf("  %-26s levels=%d units=%d tasklets=%-5v yield-to=%-5v global-queue=%-5v stackable-sched=%v\n",
-				name, c.HierarchyLevels, c.WorkUnitTypes, c.Tasklets, c.YieldTo, c.GlobalQueue, c.StackableScheduler)
+			fmt.Printf("  %-26s %-6d %-5d %-8v %-8v %-9v %-9s %-6d %s\n",
+				name, c.HierarchyLevels, c.WorkUnitTypes, c.Tasklets, c.YieldTo,
+				c.Placement, c.SyncMechanism, execs, strings.Join(c.Schedulers, ","))
 		}
+		fmt.Println()
+		fmt.Println("Degradation rules: a Config.Scheduler outside the backend's list")
+		fmt.Println("falls back to the default policy — recorded by Open (Degradations),")
+		fmt.Println("or an error under Config.Strict. Per-call fallbacks follow the")
+		fmt.Println("capability flags: ULTCreateTo without placement creates locally;")
+		fmt.Println("YieldTo without yield-to support degrades to Yield.")
 	}
 }

@@ -41,11 +41,12 @@ import (
 )
 
 var (
-	addr     = flag.String("addr", ":8080", "listen address")
-	threads  = flag.Int("threads", 4, "executors per backend runtime")
-	queue    = flag.Int("queue", 1024, "submission queue depth per backend")
-	inflight = flag.Int("inflight", 0, "max in-flight work units per backend (0: queue depth)")
-	batch    = flag.Int("batch", 64, "requests launched per pump wakeup")
+	addr      = flag.String("addr", ":8080", "listen address")
+	threads   = flag.Int("threads", 4, "executors per backend runtime")
+	scheduler = flag.String("scheduler", "", "ready-pool policy per backend (fifo|lifo|priority|random; empty: backend default)")
+	queue     = flag.Int("queue", 1024, "submission queue depth per backend")
+	inflight  = flag.Int("inflight", 0, "max in-flight work units per backend (0: queue depth)")
+	batch     = flag.Int("batch", 64, "requests launched per pump wakeup")
 )
 
 // registry lazily creates one serving engine and one omp worker per
@@ -63,7 +64,7 @@ func (g *registry) server(backend string) (*lwt.Server, error) {
 		return s, nil
 	}
 	s, err := lwt.NewServer(lwt.ServeOptions{
-		Backend: backend, Threads: *threads,
+		Backend: backend, Threads: *threads, Scheduler: *scheduler,
 		QueueDepth: *queue, MaxInFlight: *inflight, Batch: *batch,
 	})
 	if err != nil {
@@ -111,7 +112,7 @@ func newOmpWorker(backend string, threads int) (*ompWorker, error) {
 	w := &ompWorker{jobs: make(chan func(*omp.Runtime), 64), done: make(chan struct{})}
 	ready := make(chan error)
 	go func() {
-		rt, err := omp.New(backend, threads)
+		rt, err := omp.Open(omp.Config{Backend: backend, Executors: threads, Scheduler: *scheduler})
 		ready <- err
 		if err != nil {
 			close(w.done)

@@ -51,7 +51,7 @@ func main() {
 	for _, backend := range []string{
 		"massivethreads", "massivethreads-helpfirst", "argobots", "qthreads", "go",
 	} {
-		r, err := lwt.New(backend, *threads)
+		r, err := lwt.Open(lwt.Config{Backend: backend, Executors: *threads})
 		if err != nil {
 			log.Fatalf("fibtask: %v", err)
 		}

@@ -71,7 +71,7 @@ func main() {
 		for i := range m {
 			m[i] = 1
 		}
-		r, err := lwt.New(backend, *threads)
+		r, err := lwt.Open(lwt.Config{Backend: backend, Executors: *threads})
 		if err != nil {
 			log.Fatalf("nestedscale: %v", err)
 		}

@@ -22,7 +22,7 @@ func main() {
 	threads := flag.Int("threads", 4, "team size")
 	flag.Parse()
 
-	rt, err := omp.New(*backend, *threads)
+	rt, err := omp.Open(omp.Config{Backend: *backend, Executors: *threads})
 	if err != nil {
 		log.Fatalf("omploop: %v", err)
 	}

@@ -67,7 +67,7 @@ func main() {
 	backend := flag.String("backend", "argobots", "unified-API backend")
 	flag.Parse()
 
-	r, err := lwt.New(*backend, *threads)
+	r, err := lwt.Open(lwt.Config{Backend: *backend, Executors: *threads})
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}

@@ -57,6 +57,12 @@ type Config struct {
 	// Tracer, when non-nil, records scheduling events (dispatches,
 	// tasklet executions, idle spins) for offline analysis.
 	Tracer *trace.Recorder
+	// BasePolicy, when non-nil, constructs the base scheduling policy of
+	// each pool (the bottom of every stream's stackable scheduler, or of
+	// the one shared pool). Nil means FIFO, the library default. The
+	// factory is called once per pool so instances are never shared
+	// between private pools.
+	BasePolicy func() sched.Policy
 	// IdleParking makes idle execution streams park on a condition
 	// variable instead of busy-yielding — the passive analogue of
 	// OMP_WAIT_POLICY for LWT executors. Busy-wait (the default,
@@ -132,7 +138,7 @@ func Init(cfg Config) *Runtime {
 		rt.parker = ult.NewParker()
 	}
 	if cfg.Pools == SharedPool {
-		rt.shared = sched.NewStack(sched.NewFIFO())
+		rt.shared = sched.NewStack(rt.basePolicy())
 	}
 	rt.rr.Store(sched.NewRoundRobin(cfg.XStreams))
 	for i := 0; i < cfg.XStreams; i++ {
@@ -146,13 +152,21 @@ func Init(cfg Config) *Runtime {
 	return rt
 }
 
+// basePolicy constructs one pool's bottom policy per the configuration.
+func (rt *Runtime) basePolicy() sched.Policy {
+	if rt.cfg.BasePolicy != nil {
+		return rt.cfg.BasePolicy()
+	}
+	return sched.Default()
+}
+
 // addXStream creates the ES structure without starting its loop.
 func (rt *Runtime) addXStream(id int) *XStream {
 	x := &XStream{rt: rt, exec: ult.NewExecutor(id)}
 	if rt.shared != nil {
 		x.sched = rt.shared
 	} else {
-		x.sched = sched.NewStack(sched.NewFIFO())
+		x.sched = sched.NewStack(rt.basePolicy())
 	}
 	rt.mu.Lock()
 	rt.xstreams = append(rt.xstreams, x)
@@ -317,7 +331,7 @@ func (x *XStream) loop(adopted bool) {
 	defer x.rt.wg.Done()
 	x.exec.PinIfRequested()
 	requeue := func(t *ult.ULT) {
-		x.sched.Push(t)
+		sched.Requeue(x.sched, t)
 		if x.rt.parker != nil {
 			x.rt.parker.Wake()
 		}
@@ -423,3 +437,10 @@ func (c *Context) TaskCreateTo(fn func(), es int) *Task {
 
 // SelfID returns the running ULT's unit ID.
 func (c *Context) SelfID() uint64 { return c.self.ID() }
+
+// XStreamID reports the rank of the execution stream currently running
+// the ULT (ABT_xstream_self_rank). With private pools a ULT created with
+// ThreadCreateTo(es) is only ever dispatched by ES es, so the value is
+// stable; with the shared pool it reflects whichever stream popped the
+// unit last.
+func (c *Context) XStreamID() int { return c.self.Owner().ID() }

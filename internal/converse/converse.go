@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/queue"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/ult"
 )
@@ -61,19 +62,27 @@ func (rt *Runtime) SetTracer(r *trace.Recorder) { rt.tracer = r }
 func osYield() { runtime.Gosched() }
 
 // Processor is one Converse processor: an executor plus its private queue.
-// Processor 0 has no scheduling goroutine; the master drives it.
+// Processor 0 has no scheduling goroutine; the master drives it. The
+// queue's ordering is the configured scheduling policy (FIFO unless
+// Config.Policy overrides it — the plug-in scheduler slot of Table I).
 type Processor struct {
 	id   int
 	rt   *Runtime
 	exec *ult.Executor
-	q    *queue.FIFO
+	q    sched.Policy
 }
 
 // ID returns the processor's rank.
 func (p *Processor) ID() int { return p.id }
 
-// QueueStats exposes the processor queue's counters.
-func (p *Processor) QueueStats() *queue.Stats { return p.q.Stats() }
+// QueueStats exposes the processor queue's counters when the configured
+// policy keeps them (FIFO and LIFO do); other policies return nil.
+func (p *Processor) QueueStats() *queue.Stats {
+	if s, ok := p.q.(interface{ Stats() *queue.Stats }); ok {
+		return s.Stats()
+	}
+	return nil
+}
 
 // Cth is a handle on a Converse ULT (CthThread).
 type Cth struct {
@@ -96,20 +105,37 @@ type CthCtx struct {
 	self *ult.ULT
 }
 
+// Config parameterizes InitCfg.
+type Config struct {
+	// Procs is the processor count (>= 1).
+	Procs int
+	// Policy, when non-nil, constructs each processor's queue ordering.
+	// Nil means FIFO, the library default. The factory runs once per
+	// processor, so queues are never shared.
+	Policy func() sched.Policy
+}
+
 // Init starts nprocs processors (ConverseInit). Processors 1..nprocs-1
 // get scheduler goroutines; processor 0 is driven by the caller. It
 // panics if nprocs < 1.
-func Init(nprocs int) *Runtime {
-	if nprocs < 1 {
-		panic(fmt.Sprintf("converse: nprocs = %d, need >= 1", nprocs))
+func Init(nprocs int) *Runtime { return InitCfg(Config{Procs: nprocs}) }
+
+// InitCfg is Init with the full configuration.
+func InitCfg(cfg Config) *Runtime {
+	if cfg.Procs < 1 {
+		panic(fmt.Sprintf("converse: nprocs = %d, need >= 1", cfg.Procs))
+	}
+	pool := cfg.Policy
+	if pool == nil {
+		pool = sched.Default
 	}
 	rt := &Runtime{}
-	for i := 0; i < nprocs; i++ {
+	for i := 0; i < cfg.Procs; i++ {
 		rt.procs = append(rt.procs, &Processor{
 			id:   i,
 			rt:   rt,
 			exec: ult.NewExecutor(i),
-			q:    queue.NewFIFO(64),
+			q:    pool(),
 		})
 	}
 	for _, p := range rt.procs[1:] {
@@ -235,7 +261,7 @@ func (rt *Runtime) Finalize() {
 func (p *Processor) runOne() bool {
 	if res, h, ok := p.exec.DispatchHint(); ok {
 		if res == ult.DispatchYielded {
-			p.q.Push(h)
+			sched.Requeue(p.q, h)
 		}
 		return true
 	}
@@ -243,7 +269,7 @@ func (p *Processor) runOne() bool {
 	if u == nil {
 		return false
 	}
-	res := p.exec.RunUnit(u, func(t *ult.ULT) { p.q.Push(t) })
+	res := p.exec.RunUnit(u, func(t *ult.ULT) { sched.Requeue(p.q, t) })
 	return res != ult.DispatchSkipped
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gothreads"
 	"repro/internal/massivethreads"
 	"repro/internal/qthreads"
+	"repro/internal/sched"
 )
 
 // The registered backends. Variants the paper evaluates separately
@@ -25,6 +26,31 @@ func init() {
 	Register("go", func() Backend { return &goBackend{} })
 }
 
+// policyFor resolves the negotiated scheduler name to a per-pool policy
+// factory. Open has already validated the name, so resolution cannot
+// fail; the empty name yields the FIFO default.
+func policyFor(cfg Config) func() sched.Policy {
+	f, ok := sched.ByName(cfg.Scheduler)
+	if !ok {
+		f, _ = sched.ByName(sched.DefaultPolicy)
+	}
+	return f
+}
+
+// modExec wraps an executor index into [0, n), the documented
+// interpretation of ULTCreateTo targets (round-robin style, like
+// qthread_fork_to dealing).
+func modExec(executor, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	executor %= n
+	if executor < 0 {
+		executor += n
+	}
+	return executor
+}
+
 // --- Argobots ---
 
 type argoBackend struct {
@@ -32,7 +58,14 @@ type argoBackend struct {
 	pools argobots.PoolKind
 }
 
-type argoULT struct{ th *argobots.Thread }
+type argoULT struct {
+	th *argobots.Thread
+	b  *argoBackend
+	// pinned is the ES this ULT was placed on with ULTCreateTo under
+	// private pools (-1 when unpinned): YieldTo must not hijack it onto
+	// another stream, or the Placement promise breaks.
+	pinned int
+}
 
 func (h *argoULT) Done() bool { return h.th.Done() }
 
@@ -52,15 +85,36 @@ func (b *argoBackend) Name() string {
 	return "argobots"
 }
 
-func (b *argoBackend) Init(nthreads int) error {
-	b.rt = argobots.Init(argobots.Config{XStreams: nthreads, Pools: b.pools})
+func (b *argoBackend) Init(cfg Config) error {
+	b.rt = argobots.Init(argobots.Config{
+		XStreams:   cfg.Executors,
+		Pools:      b.pools,
+		BasePolicy: policyFor(cfg),
+	})
 	return nil
 }
 
+func (b *argoBackend) NumExecutors() int { return b.rt.NumXStreams() }
+
 func (b *argoBackend) ULTCreate(fn func(Ctx)) Handle {
-	return &argoULT{th: b.rt.ThreadCreate(func(c *argobots.Context) {
+	return &argoULT{b: b, pinned: -1, th: b.rt.ThreadCreate(func(c *argobots.Context) {
 		fn(&argoCtx{b: b, c: c})
 	})}
+}
+
+// ULTCreateTo pushes the ULT into the pool of the named execution stream
+// (ABT_thread_create_to). With private pools only that stream dispatches
+// it; with the shared pool every push lands in the one pool, so placement
+// degrades to ordinary creation (Caps().Placement is false there).
+func (b *argoBackend) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	es := modExec(executor, b.rt.NumXStreams())
+	pinned := -1
+	if b.pools == argobots.PrivatePools {
+		pinned = es
+	}
+	return &argoULT{b: b, pinned: pinned, th: b.rt.ThreadCreateTo(func(c *argobots.Context) {
+		fn(&argoCtx{b: b, c: c})
+	}, es)}
 }
 
 func (b *argoBackend) TaskletCreate(fn func()) Handle {
@@ -89,15 +143,45 @@ func (b *argoBackend) Caps() Capabilities {
 		GroupControl: true, YieldTo: true,
 		GlobalQueue: b.pools == argobots.SharedPool, PrivateQueues: b.pools == argobots.PrivatePools,
 		PluginScheduler: true, StackableScheduler: true, Yieldable: true,
+		Placement:     b.pools == argobots.PrivatePools,
+		Schedulers:    sched.Names(),
+		SyncMechanism: "atomic",
 	}
 }
 
 func (c *argoCtx) Yield() { c.c.Yield() }
 
+// YieldTo hands control directly to the target ULT
+// (ABT_thread_yield_to) — the operation only Argobots grants in Table I.
+// It degrades to a plain Yield for non-ULT handles, handles of another
+// runtime (a direct transfer would hijack them onto this runtime's
+// executor), and ULTs pinned to a different execution stream (the
+// transfer runs the target here, which would break the Placement
+// promise of ULTCreateTo).
+func (c *argoCtx) YieldTo(h Handle) {
+	v, ok := h.(*argoULT)
+	if !ok || v.b != c.b || (v.pinned >= 0 && v.pinned != c.ExecutorID()) {
+		c.c.Yield()
+		return
+	}
+	c.c.YieldTo(v.th)
+}
+
 func (c *argoCtx) ULTCreate(fn func(Ctx)) Handle {
-	return &argoULT{th: c.c.ThreadCreate(func(cc *argobots.Context) {
+	return &argoULT{b: c.b, pinned: -1, th: c.c.ThreadCreate(func(cc *argobots.Context) {
 		fn(&argoCtx{b: c.b, c: cc})
 	})}
+}
+
+func (c *argoCtx) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	es := modExec(executor, c.b.rt.NumXStreams())
+	pinned := -1
+	if c.b.pools == argobots.PrivatePools {
+		pinned = es
+	}
+	return &argoULT{b: c.b, pinned: pinned, th: c.c.ThreadCreateTo(func(cc *argobots.Context) {
+		fn(&argoCtx{b: c.b, c: cc})
+	}, es)}
 }
 
 func (c *argoCtx) TaskletCreate(fn func()) Handle {
@@ -105,6 +189,10 @@ func (c *argoCtx) TaskletCreate(fn func()) Handle {
 }
 
 func (c *argoCtx) Join(h Handle) { joinPoll(h, c.c.Yield) }
+
+func (c *argoCtx) ExecutorID() int { return c.c.XStreamID() }
+
+func (c *argoCtx) NumExecutors() int { return c.b.rt.NumXStreams() }
 
 // --- Qthreads ---
 
@@ -134,15 +222,16 @@ func (b *qtBackend) Name() string {
 	return "qthreads"
 }
 
-func (b *qtBackend) Init(nthreads int) error {
-	b.n = nthreads
-	var cfg qthreads.Config
+func (b *qtBackend) Init(cfg Config) error {
+	b.n = cfg.Executors
+	var qcfg qthreads.Config
 	if b.perNode {
-		cfg = qthreads.Config{Shepherds: 1, WorkersPerShepherd: nthreads}
+		qcfg = qthreads.Config{Shepherds: 1, WorkersPerShepherd: cfg.Executors}
 	} else {
-		cfg = qthreads.PerCPU(nthreads) // the paper's preferred layout
+		qcfg = qthreads.PerCPU(cfg.Executors) // the paper's preferred layout
 	}
-	rt, err := qthreads.Init(cfg)
+	qcfg.Policy = policyFor(cfg)
+	rt, err := qthreads.Init(qcfg)
 	if err != nil {
 		return err
 	}
@@ -150,9 +239,26 @@ func (b *qtBackend) Init(nthreads int) error {
 	return nil
 }
 
+// NumExecutors reports the shepherd count — Qthreads' placement domain
+// (Table I's executor for the three-level hierarchy). The per-CPU layout
+// has one shepherd per configured executor; the per-node variant has a
+// single shepherd serving every worker, so its one executor is rank 0.
+func (b *qtBackend) NumExecutors() int { return b.rt.NumShepherds() }
+
 func (b *qtBackend) ULTCreate(fn func(Ctx)) Handle {
 	// Round-robin fork_to, the dispatch §VIII-B3 selects.
 	shep := int(b.rrNext.Add(1)-1) % b.rt.NumShepherds()
+	return b.forkTo(fn, shep)
+}
+
+// ULTCreateTo forks directly into the named shepherd's pool
+// (qthread_fork_to). Shepherds never steal from each other, so the ULT
+// runs on the targeted shepherd.
+func (b *qtBackend) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	return b.forkTo(fn, modExec(executor, b.rt.NumShepherds()))
+}
+
+func (b *qtBackend) forkTo(fn func(Ctx), shep int) Handle {
 	return &qtULT{b: b, th: b.rt.ForkTo(func(c *qthreads.Context) {
 		fn(&qtCtx{b: b, c: c})
 	}, shep)}
@@ -178,21 +284,47 @@ func (b *qtBackend) Join(h Handle) {
 
 func (b *qtBackend) Finalize() { b.rt.Finalize() }
 
+// NewMutexWord implements the FEB-native lock hook: the unified Mutex on
+// Qthreads is a full/empty-bit word in the runtime's table, taken by
+// emptying (readFE) and released by filling — qthread_lock/unlock.
+func (b *qtBackend) NewMutexWord() (func() bool, func(), func()) {
+	t := b.rt.FEB()
+	a := t.Alloc()
+	t.Fill(a) // allocated unlocked (full = token present)
+	return func() bool { return t.TryLock(a) },
+		func() { t.Unlock(a) },
+		func() { t.Free(a) }
+}
+
 func (b *qtBackend) Caps() Capabilities {
 	return Capabilities{
 		HierarchyLevels: 3, WorkUnitTypes: 1, Tasklets: false,
 		GroupControl: true, YieldTo: false,
 		GlobalQueue: false, PrivateQueues: true,
 		PluginScheduler: true, StackableScheduler: false, Yieldable: true,
+		Placement:     true,
+		Schedulers:    sched.Names(),
+		SyncMechanism: "feb",
 	}
 }
 
 func (c *qtCtx) Yield() { c.c.Yield() }
 
+// YieldTo degrades to a plain Yield: Qthreads exposes no direct control
+// transfer (Table I).
+func (c *qtCtx) YieldTo(Handle) { c.c.Yield() }
+
 func (c *qtCtx) ULTCreate(fn func(Ctx)) Handle {
 	return &qtULT{b: c.b, th: c.c.Fork(func(cc *qthreads.Context) {
 		fn(&qtCtx{b: c.b, c: cc})
 	})}
+}
+
+func (c *qtCtx) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	shep := modExec(executor, c.b.rt.NumShepherds())
+	return &qtULT{b: c.b, th: c.c.ForkTo(func(cc *qthreads.Context) {
+		fn(&qtCtx{b: c.b, c: cc})
+	}, shep)}
 }
 
 func (c *qtCtx) TaskletCreate(fn func()) Handle {
@@ -206,6 +338,10 @@ func (c *qtCtx) Join(h Handle) {
 	}
 	joinPoll(h, c.c.Yield)
 }
+
+func (c *qtCtx) ExecutorID() int { return c.c.Shepherd() }
+
+func (c *qtCtx) NumExecutors() int { return c.b.rt.NumShepherds() }
 
 // --- MassiveThreads ---
 
@@ -230,15 +366,24 @@ func (b *mtBackend) Name() string {
 	return "massivethreads"
 }
 
-func (b *mtBackend) Init(nthreads int) error {
-	b.rt = massivethreads.Init(nthreads, b.policy)
+func (b *mtBackend) Init(cfg Config) error {
+	b.rt = massivethreads.Init(cfg.Executors, b.policy)
 	return nil
 }
+
+func (b *mtBackend) NumExecutors() int { return b.rt.NumWorkers() }
 
 func (b *mtBackend) ULTCreate(fn func(Ctx)) Handle {
 	return &mtULT{th: b.rt.Create(func(c *massivethreads.Context) {
 		fn(&mtCtx{b: b, c: c})
 	})}
+}
+
+// ULTCreateTo degrades to local creation: myth_create has no target
+// argument, and random work stealing migrates units between workers, so
+// MassiveThreads cannot pin (Caps().Placement is false).
+func (b *mtBackend) ULTCreateTo(_ int, fn func(Ctx)) Handle {
+	return b.ULTCreate(fn)
 }
 
 // TaskletCreate falls back to a ULT (no tasklet support, Table I).
@@ -264,15 +409,29 @@ func (b *mtBackend) Caps() Capabilities {
 		GroupControl: true, YieldTo: false,
 		GlobalQueue: false, PrivateQueues: true,
 		PluginScheduler: true, StackableScheduler: false, Yieldable: true,
+		Placement: false,
+		// The scheduling discipline is fixed at configure time (the
+		// work-first / help-first variant choice is the backend name).
+		Schedulers:    []string{sched.NameFIFO},
+		SyncMechanism: "atomic",
 	}
 }
 
 func (c *mtCtx) Yield() { c.c.Yield() }
 
+// YieldTo degrades to a plain Yield: Table I grants MassiveThreads no
+// direct control transfer (the substrate's hand-off is reserved for the
+// work-first creation path).
+func (c *mtCtx) YieldTo(Handle) { c.c.Yield() }
+
 func (c *mtCtx) ULTCreate(fn func(Ctx)) Handle {
 	return &mtULT{th: c.c.Create(func(cc *massivethreads.Context) {
 		fn(&mtCtx{b: c.b, c: cc})
 	})}
+}
+
+func (c *mtCtx) ULTCreateTo(_ int, fn func(Ctx)) Handle {
+	return c.ULTCreate(fn)
 }
 
 func (c *mtCtx) TaskletCreate(fn func()) Handle {
@@ -287,6 +446,10 @@ func (c *mtCtx) Join(h Handle) {
 	joinPoll(h, c.c.Yield)
 }
 
+func (c *mtCtx) ExecutorID() int { return c.c.WorkerID() }
+
+func (c *mtCtx) NumExecutors() int { return c.b.rt.NumWorkers() }
+
 // --- Converse Threads ---
 
 type cvBackend struct {
@@ -298,6 +461,16 @@ type cvBackend struct {
 type cvULT struct{ c *converse.Cth }
 
 func (h *cvULT) Done() bool { return h.c.Done() }
+
+// cvRemoteULT tracks a ULT created on a remote processor through a
+// Message: the Cth handle does not exist until the Message executes
+// there.
+type cvRemoteULT struct{ inner atomic.Pointer[converse.Cth] }
+
+func (h *cvRemoteULT) Done() bool {
+	c := h.inner.Load()
+	return c != nil && c.Done()
+}
 
 // cvMsg tracks a Message's completion with a flag the body sets.
 type cvMsg struct{ done atomic.Bool }
@@ -311,11 +484,13 @@ type cvCtx struct {
 
 func (b *cvBackend) Name() string { return "converse" }
 
-func (b *cvBackend) Init(nthreads int) error {
-	b.n = nthreads
-	b.rt = converse.Init(nthreads)
+func (b *cvBackend) Init(cfg Config) error {
+	b.n = cfg.Executors
+	b.rt = converse.InitCfg(converse.Config{Procs: cfg.Executors, Policy: policyFor(cfg)})
 	return nil
 }
+
+func (b *cvBackend) NumExecutors() int { return b.rt.NumProcs() }
 
 // ULTCreate is restricted to the local processor: CthCreate cannot target
 // remote queues (§VIII-B1's restriction on Converse in nested scenarios).
@@ -323,6 +498,26 @@ func (b *cvBackend) ULTCreate(fn func(Ctx)) Handle {
 	return &cvULT{c: b.rt.CthCreate(func(cc *converse.CthCtx) {
 		fn(&cvCtx{b: b, c: cc})
 	})}
+}
+
+// ULTCreateTo reaches a remote processor the only way Converse allows:
+// a Message (CmiSyncSend) carries the creation request, and its body
+// performs the CthCreate locally on the target. ULTs never migrate
+// between processors, so the new ULT runs — and stays — on the target.
+// Processor 0 is the master's own, so that case is a plain local
+// CthCreate with no message hop.
+func (b *cvBackend) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	proc := modExec(executor, b.n)
+	if proc == 0 {
+		return b.ULTCreate(fn)
+	}
+	h := &cvRemoteULT{}
+	b.rt.SyncSend(proc, func(p *converse.Proc) {
+		h.inner.Store(p.CthCreate(func(cc *converse.CthCtx) {
+			fn(&cvCtx{b: b, c: cc})
+		}))
+	})
+	return h
 }
 
 // TaskletCreate sends a Message round-robin — the only remote insertion
@@ -358,15 +553,38 @@ func (b *cvBackend) Caps() Capabilities {
 		GroupControl: true, YieldTo: false,
 		GlobalQueue: false, PrivateQueues: true,
 		PluginScheduler: true, StackableScheduler: false, Yieldable: true,
+		Placement:     true,
+		Schedulers:    sched.Names(),
+		SyncMechanism: "atomic",
 	}
 }
 
 func (c *cvCtx) Yield() { c.c.Yield() }
 
+// YieldTo degrades to a plain Yield at the unified layer: Table I grants
+// direct transfer to Argobots only (Converse's CthYieldTo stays a
+// backend-private operation).
+func (c *cvCtx) YieldTo(Handle) { c.c.Yield() }
+
 func (c *cvCtx) ULTCreate(fn func(Ctx)) Handle {
 	return &cvULT{c: c.c.CthCreate(func(cc *converse.CthCtx) {
 		fn(&cvCtx{b: c.b, c: cc})
 	})}
+}
+
+func (c *cvCtx) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	proc := modExec(executor, c.b.n)
+	if proc == c.c.ID() {
+		return c.ULTCreate(fn) // already on the target: plain CthCreate
+	}
+	b := c.b
+	h := &cvRemoteULT{}
+	c.c.SyncSend(proc, func(p *converse.Proc) {
+		h.inner.Store(p.CthCreate(func(cc *converse.CthCtx) {
+			fn(&cvCtx{b: b, c: cc})
+		}))
+	})
+	return h
 }
 
 func (c *cvCtx) TaskletCreate(fn func()) Handle {
@@ -380,6 +598,10 @@ func (c *cvCtx) TaskletCreate(fn func()) Handle {
 }
 
 func (c *cvCtx) Join(h Handle) { joinPoll(h, c.c.Yield) }
+
+func (c *cvCtx) ExecutorID() int { return c.c.ID() }
+
+func (c *cvCtx) NumExecutors() int { return c.b.rt.NumProcs() }
 
 // --- Go model ---
 
@@ -399,15 +621,24 @@ type goCtx struct {
 
 func (b *goBackend) Name() string { return "go" }
 
-func (b *goBackend) Init(nthreads int) error {
-	b.rt = gothreads.Init(nthreads)
+func (b *goBackend) Init(cfg Config) error {
+	b.rt = gothreads.Init(cfg.Executors)
 	return nil
 }
+
+func (b *goBackend) NumExecutors() int { return b.rt.NumThreads() }
 
 func (b *goBackend) ULTCreate(fn func(Ctx)) Handle {
 	return &goULT{b: b, g: b.rt.Go(func(c *gothreads.Context) {
 		fn(&goCtx{b: b, c: c})
 	})}
+}
+
+// ULTCreateTo degrades to a plain spawn: the Go model has one global run
+// queue and no placement (Caps().Placement is false) — any scheduler
+// thread may pick the goroutine up.
+func (b *goBackend) ULTCreateTo(_ int, fn func(Ctx)) Handle {
+	return b.ULTCreate(fn)
 }
 
 // TaskletCreate falls back to a goroutine (single work-unit type).
@@ -435,15 +666,30 @@ func (b *goBackend) Caps() Capabilities {
 		GroupControl: true, YieldTo: false,
 		GlobalQueue: true, PrivateQueues: false,
 		PluginScheduler: false, StackableScheduler: false, Yieldable: false,
+		Placement:     false,
+		Schedulers:    []string{sched.NameFIFO},
+		SyncMechanism: "atomic",
 	}
 }
 
-func (c *goCtx) Yield() {} // no yield in the Go model
+// Yield degrades to the substrate's reschedule (the runtime.Gosched
+// analogue): the modeled programming surface has no yield operation
+// (Table I, Caps().Yieldable is false), but the unified layer's
+// cooperative waits need the goroutine to hand its scheduler thread back
+// so sibling work units can run.
+func (c *goCtx) Yield() { c.c.Gosched() }
+
+// YieldTo degrades to Yield: no direct control transfer in the Go model.
+func (c *goCtx) YieldTo(Handle) { c.Yield() }
 
 func (c *goCtx) ULTCreate(fn func(Ctx)) Handle {
 	return &goULT{b: c.b, g: c.c.Go(func(cc *gothreads.Context) {
 		fn(&goCtx{b: c.b, c: cc})
 	})}
+}
+
+func (c *goCtx) ULTCreateTo(_ int, fn func(Ctx)) Handle {
+	return c.ULTCreate(fn)
 }
 
 func (c *goCtx) TaskletCreate(fn func()) Handle {
@@ -457,6 +703,10 @@ func (c *goCtx) Join(h Handle) {
 	}
 	joinPoll(h, func() { runtime.Gosched() })
 }
+
+func (c *goCtx) ExecutorID() int { return c.c.ThreadID() }
+
+func (c *goCtx) NumExecutors() int { return c.b.rt.NumThreads() }
 
 // joinPoll waits for completion by polling with the given yield between
 // checks — the generic cooperative join.

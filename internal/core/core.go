@@ -5,18 +5,38 @@
 // every parallel pattern studied, and §X announces "a common API for the
 // LWT libraries" as future work (the authors later shipped it as GLT).
 //
-// This package is that common API: one Runtime type whose operations are
-// the Table II rows, over a pluggable Backend implemented by each of the
-// emulated libraries. Features a backend lacks degrade the way the paper's
-// own microbenchmarks degrade them (tasklets fall back to ULTs, remote
-// creation falls back to local, yield falls back to a scheduler hint).
+// This package is that common API, at its second (GLT-shaped) revision:
+// one Runtime type constructed from a Config (Open), over a pluggable
+// Backend implemented by each of the emulated libraries. Beyond the
+// Table II rows, v2 adds the three capability groups GLT standardized:
+//
+//   - Placement: NumExecutors, ULTCreateTo and Ctx.ExecutorID map work
+//     units onto named executors (execution streams, shepherds, workers,
+//     processors, threads).
+//   - Scheduler selection: Config.Scheduler picks an internal/sched
+//     policy by name for the backend's ready pools.
+//   - Synchronization objects: Mutex, Barrier and Cond (sync.go) that
+//     are scheduler-aware — waiting yields the work unit instead of
+//     blocking the executor.
+//
+// Every feature degrades the way the paper's own microbenchmarks
+// degrade it (tasklets fall back to ULTs, remote creation falls back to
+// local, yield falls back to a scheduler hint), and every degradation
+// is explicit: Config-level requests are negotiated against the
+// backend's Capabilities at Open — recorded on the Runtime, queryable
+// via Degradations, fatal under Config.Strict — while the per-call
+// operations (ULTCreateTo, YieldTo) degrade statically per the
+// capability flags (Placement, YieldTo).
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/sched"
 )
 
 // Handle is a joinable reference to a created work unit.
@@ -26,20 +46,36 @@ type Handle interface {
 }
 
 // Ctx is the execution context passed to ULT bodies: the cooperative
-// operations of Table II that are valid only inside a running work unit.
+// operations of the unified API that are valid only inside a running
+// work unit.
 type Ctx interface {
 	// Yield re-enters the backend's scheduler.
 	Yield()
-	// ULTCreate spawns a child ULT.
+	// YieldTo hands control directly to the target work unit where the
+	// backend supports it (Caps().YieldTo); elsewhere it degrades to a
+	// plain Yield. Handles from other runtimes degrade likewise.
+	YieldTo(h Handle)
+	// ULTCreate spawns a child ULT wherever the backend's dispatch
+	// prefers.
 	ULTCreate(fn func(Ctx)) Handle
+	// ULTCreateTo spawns a child ULT pinned to the named executor where
+	// the backend supports placement (Caps().Placement); elsewhere it
+	// degrades to local creation. The executor index is taken modulo
+	// NumExecutors.
+	ULTCreateTo(executor int, fn func(Ctx)) Handle
 	// TaskletCreate spawns a child tasklet (or the backend's closest
 	// equivalent).
 	TaskletCreate(fn func()) Handle
 	// Join waits for a work unit created by this or any context.
 	Join(h Handle)
+	// ExecutorID reports the executor currently running this work unit.
+	ExecutorID() int
+	// NumExecutors reports the backend's executor-group size.
+	NumExecutors() int
 }
 
-// Capabilities describes a backend in the vocabulary of Table I.
+// Capabilities describes a backend in the vocabulary of the paper's
+// Table I, extended with the v2 (GLT-shaped) capability columns.
 type Capabilities struct {
 	// HierarchyLevels counts the execution hierarchy depth (Pthreads 1,
 	// Qthreads 3, the rest 2).
@@ -63,16 +99,58 @@ type Capabilities struct {
 	// Yieldable reports whether any yield operation is exposed at all
 	// (Go's model exposes none).
 	Yieldable bool
+
+	// --- v2 extensions ---
+
+	// Placement reports that ULTCreateTo pins work to the named
+	// executor: a ULT created toward executor i is dispatched only by
+	// executor i, so its body observes ExecutorID() == i. Backends
+	// without it (shared pools, work stealing, global queues) fall back
+	// to their default dispatch.
+	Placement bool
+	// Schedulers lists the ready-pool policies Open can select on this
+	// backend (Config.Scheduler), default first. An empty or absent
+	// request always succeeds; a listed name is honored; anything else
+	// degrades to the default.
+	Schedulers []string
+	// SyncMechanism names the substrate behind the unified sync objects
+	// on this backend: "feb" (full/empty-bit words in the runtime's
+	// table, Qthreads) or "atomic" (CAS words polled with cooperative
+	// yields).
+	SyncMechanism string
+}
+
+// SupportsScheduler reports whether the named policy is in the
+// capability's scheduler list (the empty name is the default and always
+// supported).
+func (c Capabilities) SupportsScheduler(name string) bool {
+	if name == "" || name == sched.DefaultPolicy {
+		return true
+	}
+	for _, s := range c.Schedulers {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Backend is one LWT library behind the unified API.
 type Backend interface {
 	// Name returns the backend's registry key (e.g. "argobots").
 	Name() string
-	// Init starts the backend with nthreads executors.
-	Init(nthreads int) error
+	// Init starts the backend. The Config it receives has been
+	// negotiated: Executors is resolved (>= 1) and Scheduler names a
+	// policy the backend's Capabilities advertise.
+	Init(cfg Config) error
+	// NumExecutors reports the executor-group size (execution streams,
+	// shepherds, workers, processors, threads).
+	NumExecutors() int
 	// ULTCreate creates a ULT from the main thread.
 	ULTCreate(fn func(Ctx)) Handle
+	// ULTCreateTo creates a ULT pinned to the named executor from the
+	// main thread, degrading per Caps().Placement.
+	ULTCreateTo(executor int, fn func(Ctx)) Handle
 	// TaskletCreate creates a tasklet (or fallback) from the main thread.
 	TaskletCreate(fn func()) Handle
 	// Yield yields the main thread to the backend's scheduler.
@@ -82,7 +160,8 @@ type Backend interface {
 	Join(h Handle)
 	// Finalize stops the backend.
 	Finalize()
-	// Caps describes the backend per Table I.
+	// Caps describes the backend per Table I plus the v2 columns. It
+	// must be callable before Init (Open negotiates against it).
 	Caps() Capabilities
 }
 
@@ -117,31 +196,136 @@ func Backends() []string {
 	return names
 }
 
-// ErrUnknownBackend is returned by New for unregistered names.
-var ErrUnknownBackend = errors.New("core: unknown backend")
+// Errors reported by Open.
+var (
+	// ErrUnknownBackend is returned for unregistered backend names.
+	ErrUnknownBackend = errors.New("core: unknown backend")
+	// ErrUnknownScheduler is returned when Config.Scheduler names no
+	// policy at all (a typo, not a capability gap; see sched.Names).
+	ErrUnknownScheduler = errors.New("core: unknown scheduler policy")
+	// ErrUnsupported is returned under Config.Strict when the backend
+	// cannot honor a requested capability that would otherwise degrade.
+	ErrUnsupported = errors.New("core: backend does not support requested capability")
+)
+
+// Config parameterizes Open — the v2 constructor, replacing the v1
+// positional New(name, nthreads).
+type Config struct {
+	// Backend is the registered backend name (see Backends); empty
+	// selects "go".
+	Backend string
+	// Executors is the executor-group size — execution streams
+	// (Argobots), shepherds (Qthreads), workers (MassiveThreads),
+	// processors (Converse), scheduler threads (Go); <= 0 selects
+	// runtime.NumCPU().
+	Executors int
+	// Scheduler names the ready-pool ordering policy: "fifo" (the
+	// default), "lifo", "priority" or "random" (sched.Names). Backends
+	// whose Capabilities do not list the request degrade to their
+	// default policy and record a Degradation.
+	Scheduler string
+	// Strict makes Open fail with ErrUnsupported instead of degrading.
+	Strict bool
+}
+
+// Degradation records one capability request Open could not honor; the
+// runtime fell back the way the paper's own microbenchmarks do.
+type Degradation struct {
+	// Feature is the capability group ("scheduler", ...).
+	Feature string
+	// Requested is what the Config asked for.
+	Requested string
+	// Granted is what the runtime actually provides.
+	Granted string
+	// Reason explains the gap in the backend's own terms.
+	Reason string
+}
+
+// String renders the degradation for logs and errors.
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s: requested %q, granted %q (%s)", d.Feature, d.Requested, d.Granted, d.Reason)
+}
 
 // Runtime is an initialized unified-API instance (Listing 4's program
 // shape: initialization_function .. finalize_function).
 type Runtime struct {
-	b Backend
+	b    Backend
+	cfg  Config // granted configuration, after negotiation
+	degs []Degradation
+}
+
+// Open initializes a backend from the configuration, negotiating every
+// requested capability against the backend's Capabilities. Requests the
+// backend cannot honor degrade explicitly — recorded and queryable via
+// Degradations — unless cfg.Strict, which turns them into ErrUnsupported.
+func Open(cfg Config) (*Runtime, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "go"
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = runtime.NumCPU()
+	}
+	registryMu.RLock()
+	f, ok := registry[cfg.Backend]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownBackend, cfg.Backend, Backends())
+	}
+	b := f()
+	caps := b.Caps()
+
+	var degs []Degradation
+	if cfg.Scheduler != "" {
+		if _, known := sched.ByName(cfg.Scheduler); !known {
+			return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownScheduler, cfg.Scheduler, sched.Names())
+		}
+		if !caps.SupportsScheduler(cfg.Scheduler) {
+			degs = append(degs, Degradation{
+				Feature:   "scheduler",
+				Requested: cfg.Scheduler,
+				Granted:   sched.DefaultPolicy,
+				Reason:    schedulerGapReason(caps),
+			})
+			cfg.Scheduler = sched.DefaultPolicy
+		}
+	}
+	if cfg.Strict && len(degs) > 0 {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnsupported, cfg.Backend, degs)
+	}
+	if err := b.Init(cfg); err != nil {
+		return nil, fmt.Errorf("core: init %q: %w", cfg.Backend, err)
+	}
+	return &Runtime{b: b, cfg: cfg, degs: degs}, nil
+}
+
+// schedulerGapReason words the scheduler degradation per Table I.
+func schedulerGapReason(caps Capabilities) string {
+	if !caps.PluginScheduler {
+		return "backend has no plug-in scheduler (Table I)"
+	}
+	return "policy selectable only at configure time (Table I)"
+}
+
+// MustOpen is Open for known-good configurations; it panics on error.
+func MustOpen(cfg Config) *Runtime {
+	r, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // New initializes backend name with nthreads executors.
+//
+// Deprecated: New is the v1 positional constructor kept for migration;
+// use Open, which adds scheduler selection and capability negotiation.
 func New(name string, nthreads int) (*Runtime, error) {
-	registryMu.RLock()
-	f, ok := registry[name]
-	registryMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownBackend, name, Backends())
-	}
-	b := f()
-	if err := b.Init(nthreads); err != nil {
-		return nil, fmt.Errorf("core: init %q: %w", name, err)
-	}
-	return &Runtime{b: b}, nil
+	return Open(Config{Backend: name, Executors: nthreads})
 }
 
 // MustNew is New for known-good arguments; it panics on error.
+//
+// Deprecated: use MustOpen.
 func MustNew(name string, nthreads int) *Runtime {
 	r, err := New(name, nthreads)
 	if err != nil {
@@ -156,11 +340,36 @@ func (r *Runtime) Backend() Backend { return r.b }
 // Name returns the backend name.
 func (r *Runtime) Name() string { return r.b.Name() }
 
-// Caps returns the backend's Table I feature set.
+// Caps returns the backend's Table I feature set plus the v2 columns.
 func (r *Runtime) Caps() Capabilities { return r.b.Caps() }
+
+// Config returns the granted configuration: what the runtime actually
+// provides after negotiation (e.g. Scheduler is the effective policy).
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Degradations lists the capability requests Open could not honor on
+// this backend, in request order. Empty means everything asked for was
+// granted.
+func (r *Runtime) Degradations() []Degradation {
+	out := make([]Degradation, len(r.degs))
+	copy(out, r.degs)
+	return out
+}
+
+// NumExecutors reports the executor-group size (the placement domain
+// count for ULTCreateTo).
+func (r *Runtime) NumExecutors() int { return r.b.NumExecutors() }
 
 // ULTCreate creates a ULT (Table II row "ULT creation").
 func (r *Runtime) ULTCreate(fn func(Ctx)) Handle { return r.b.ULTCreate(fn) }
+
+// ULTCreateTo creates a ULT pinned to the named executor on backends
+// whose Caps().Placement allows it, and falls back to the backend's
+// default dispatch elsewhere. The executor index is taken modulo
+// NumExecutors.
+func (r *Runtime) ULTCreateTo(executor int, fn func(Ctx)) Handle {
+	return r.b.ULTCreateTo(executor, fn)
+}
 
 // TaskletCreate creates a tasklet or the backend's closest work unit
 // (Table II row "Tasklet creation").

@@ -1,0 +1,173 @@
+// Scheduler-aware synchronization objects — the unified API's promotion
+// of the backend-private mechanisms (the FEB table of internal/feb, the
+// barriers of internal/barrier) to public, backend-portable primitives.
+//
+// The defining property is that waiting *yields the work unit* instead of
+// blocking the executor: a Lock, Wait or Cond.Wait that cannot proceed
+// hands the processor back to the backend's scheduler, so other work
+// units — including the one that will eventually release the lock — keep
+// running. OS-level mutexes or condition variables would park the
+// executor thread itself, which on a single-executor runtime deadlocks
+// the moment a lock is held across a Yield; these objects cannot.
+//
+// On Qthreads the mutex word is a full/empty bit in the runtime's FEB
+// table (Caps().SyncMechanism == "feb"), so lock traffic shows up in the
+// table's wait counters exactly like the library's own qthread_lock. On
+// every other backend the word is a CAS cell ("atomic").
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Waiter is anything that can give up the processor while a sync object
+// waits: a *Runtime (the main thread yields to the backend scheduler) or
+// a Ctx (the running work unit yields to its executor). A nil Waiter
+// degrades to an OS scheduling hint, for callers outside the runtime.
+type Waiter interface {
+	Yield()
+}
+
+// syncYield performs one wait step on behalf of w.
+func syncYield(w Waiter) {
+	if w != nil {
+		w.Yield()
+		return
+	}
+	runtime.Gosched()
+}
+
+// febMutexBackend is the optional Backend extension for native lock
+// words: Qthreads implements it over its full/empty-bit table, so
+// unified-API locks are FEB tokens with the library's own accounting.
+type febMutexBackend interface {
+	// NewMutexWord allocates an unlocked lock word and returns its
+	// non-blocking acquire, its release, and a disposer that returns
+	// the word to the table once the lock is unreachable.
+	NewMutexWord() (try func() bool, unlock func(), free func())
+}
+
+// Mutex is a scheduler-aware mutual-exclusion lock: Lock yields the
+// calling work unit between acquisition attempts, so holding a Mutex
+// across a Yield cannot deadlock even a single-executor runtime. Create
+// one with Runtime.NewMutex; a Mutex is tied to no particular work unit
+// and may be locked in one ULT and unlocked in another.
+type Mutex struct {
+	state  atomic.Bool // generic CAS word (unused with a native word)
+	try    func() bool
+	unlock func()
+}
+
+// NewMutex allocates an unlocked mutex on the runtime's best
+// synchronization substrate (see Capabilities.SyncMechanism).
+func (r *Runtime) NewMutex() *Mutex {
+	m := &Mutex{}
+	if p, ok := r.b.(febMutexBackend); ok {
+		var free func()
+		m.try, m.unlock, free = p.NewMutexWord()
+		// The native word occupies a table entry for the runtime's
+		// lifetime; return it when the Mutex is collected so servers
+		// creating locks per request do not grow the table unboundedly.
+		runtime.AddCleanup(m, func(f func()) { f() }, free)
+		return m
+	}
+	m.try = func() bool { return m.state.CompareAndSwap(false, true) }
+	m.unlock = func() {
+		if !m.state.CompareAndSwap(true, false) {
+			panic("core: Unlock of unlocked Mutex")
+		}
+	}
+	return m
+}
+
+// TryLock attempts the acquisition without waiting.
+func (m *Mutex) TryLock() bool { return m.try() }
+
+// Lock acquires the mutex, yielding w between attempts.
+func (m *Mutex) Lock(w Waiter) {
+	for !m.try() {
+		syncYield(w)
+	}
+}
+
+// Unlock releases the mutex. With the generic word, unlocking an
+// unlocked mutex panics; the FEB word follows Fill semantics (it becomes
+// full regardless).
+func (m *Mutex) Unlock() { m.unlock() }
+
+// Barrier is a scheduler-aware, reusable rendezvous for a fixed number
+// of participants: a sense-reversing barrier whose arrivals yield their
+// work unit while waiting, so all parties can rendezvous on a single
+// executor. Create one with Runtime.NewBarrier.
+type Barrier struct {
+	parties int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+}
+
+// NewBarrier returns a barrier for n participants. It panics if n < 1.
+func (r *Runtime) NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("core: NewBarrier needs at least one participant")
+	}
+	b := &Barrier{parties: int32(n)}
+	b.count.Store(int32(n))
+	return b
+}
+
+// Parties reports the number of participants.
+func (b *Barrier) Parties() int { return int(b.parties) }
+
+// Wait blocks (cooperatively, yielding w) until all participants have
+// arrived, then releases them; the barrier resets for the next round.
+func (b *Barrier) Wait(w Waiter) {
+	sense := b.sense.Load()
+	if b.count.Add(-1) == 0 {
+		b.count.Store(b.parties)
+		b.sense.Add(1)
+		return
+	}
+	for b.sense.Load() == sense {
+		syncYield(w)
+	}
+}
+
+// Cond is a scheduler-aware condition variable bound to a Mutex. As with
+// sync.Cond, callers must hold the mutex around the predicate and Wait;
+// unlike sync.Cond, a waiter yields its work unit rather than parking
+// the executor. Signal wakes at least one waiter (possibly more — as
+// always, re-check the predicate in a loop). Create one with
+// Runtime.NewCond.
+type Cond struct {
+	// L is the mutex guarding the condition's predicate.
+	L   *Mutex
+	seq atomic.Uint64
+}
+
+// NewCond returns a condition variable bound to m.
+func (r *Runtime) NewCond(m *Mutex) *Cond {
+	if m == nil {
+		panic("core: NewCond needs a Mutex")
+	}
+	return &Cond{L: m}
+}
+
+// Wait atomically releases the mutex and suspends the caller until a
+// later Signal or Broadcast, then re-acquires the mutex before
+// returning. The suspension yields w, so the releaser can run even on
+// the same executor.
+func (c *Cond) Wait(w Waiter) {
+	seq := c.seq.Load()
+	c.L.Unlock()
+	for c.seq.Load() == seq {
+		syncYield(w)
+	}
+	c.L.Lock(w)
+}
+
+// Signal wakes at least one waiter.
+func (c *Cond) Signal() { c.seq.Add(1) }
+
+// Broadcast wakes all current waiters.
+func (c *Cond) Broadcast() { c.seq.Add(1) }

@@ -72,6 +72,17 @@ func (t *Table) get(s *shard, a Addr) *word {
 	return w
 }
 
+// Free removes the word from the table, releasing its entry. Long-lived
+// tables (a runtime's lifetime) would otherwise grow by one entry per
+// Alloc forever. Freeing a word that still has waiters is a caller
+// error; a later touch of the address recreates it empty.
+func (t *Table) Free(a Addr) {
+	s := t.shard(a)
+	s.mu.Lock()
+	delete(s.words, a)
+	s.mu.Unlock()
+}
+
 // Waits reports how many blocking FEB operations had to wait — the
 // "hidden synchronization" cost of §III-D made observable.
 func (t *Table) Waits() uint64 { return t.waits.Load() }
@@ -161,6 +172,25 @@ func (t *Table) TryReadFF(a Addr) (uint64, bool) {
 	return w.val, true
 }
 
+// TryReadFE returns the value and marks the word empty if it is full,
+// without blocking — the polling form of ReadFE, used by cooperative
+// ULTs that must yield between attempts instead of parking the executor.
+func (t *Table) TryReadFE(a Addr) (uint64, bool) {
+	s := t.shard(a)
+	s.mu.Lock()
+	w := t.get(s, a)
+	if !w.full {
+		s.mu.Unlock()
+		return 0, false
+	}
+	v := w.val
+	w.full = false
+	s.mu.Unlock()
+	w.cond.Broadcast()
+	t.wakeups.Add(1)
+	return v, true
+}
+
 // ReadFE blocks until the word is full, then returns its value and marks
 // it empty (qthread_readFE) — the consumer half of an FEB hand-off.
 func (t *Table) ReadFE(a Addr) uint64 {
@@ -217,6 +247,15 @@ func (t *Table) SwapFF(a Addr, v uint64) uint64 {
 // Qthreads exposes mutexes over arbitrary memory words.
 func (t *Table) Lock(a Addr) { t.ReadFE(a) }
 
+// TryLock attempts to take the FEB mutex token without blocking and
+// reports whether it succeeded. Cooperative callers poll it and yield
+// their work unit between attempts, so a held lock never parks an
+// executor thread.
+func (t *Table) TryLock(a Addr) bool {
+	_, ok := t.TryReadFE(a)
+	return ok
+}
+
 // Unlock releases a FEB-based mutex acquired with Lock.
 func (t *Table) Unlock(a Addr) { t.Fill(a) }
 
@@ -236,6 +275,9 @@ func NewMutex(t *Table) *Mutex {
 
 // Lock acquires the mutex.
 func (m *Mutex) Lock() { m.t.Lock(m.a) }
+
+// TryLock attempts the acquisition without blocking.
+func (m *Mutex) TryLock() bool { return m.t.TryLock(m.a) }
 
 // Unlock releases the mutex.
 func (m *Mutex) Unlock() { m.t.Unlock(m.a) }

@@ -288,3 +288,20 @@ func TestWriteReadRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFreeReleasesWord(t *testing.T) {
+	tb := NewTable()
+	a := tb.Alloc()
+	tb.WriteF(a, 42)
+	if !tb.IsFull(a) {
+		t.Fatal("word not full after WriteF")
+	}
+	tb.Free(a)
+	// A freed address behaves like untouched memory: recreated empty.
+	if tb.IsFull(a) {
+		t.Fatal("freed word still full")
+	}
+	if _, ok := tb.TryReadFF(a); ok {
+		t.Fatal("freed word still readable")
+	}
+}

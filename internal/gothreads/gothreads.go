@@ -167,6 +167,20 @@ func (t *thread) loop() {
 
 // --- Context ---
 
+// Gosched yields the running goroutine back to the global queue — the
+// analogue of runtime.Gosched(). It is deliberately not named Yield: the
+// modeled programming surface exposes no yield operation (Table I), but
+// the real Go runtime does offer this scheduler hint, and the unified
+// layer's cooperative waits (scheduler-aware mutexes, barriers) need it
+// so a spinning work unit releases its scheduler thread to run others.
+func (c *Context) Gosched() { c.self.Yield() }
+
+// ThreadID reports the rank of the scheduler thread currently running
+// the goroutine. With the single global queue this says nothing about
+// where the goroutine will resume after blocking — there is no placement
+// in the Go model — but it lets the unified layer answer ExecutorID.
+func (c *Context) ThreadID() int { return c.self.Owner().ID() }
+
 // Go spawns a goroutine from inside a goroutine.
 func (c *Context) Go(fn func(*Context)) *G { return c.rt.Go(fn) }
 

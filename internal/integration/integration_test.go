@@ -144,7 +144,7 @@ func TestDirectiveLayerAgreesAcrossBackends(t *testing.T) {
 	const n = 5000
 	want := float64(n*(n-1)) / 2
 	for _, backend := range core.Backends() {
-		rt := omplwt.MustNew(backend, 3)
+		rt := omplwt.MustOpen(omplwt.Config{Backend: backend, Executors: 3})
 		got := rt.ReduceFloat64(n, omplwt.Dynamic, 64,
 			func(a, b float64) float64 { return a + b }, 0,
 			func(i int) float64 { return float64(i) })

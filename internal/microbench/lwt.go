@@ -36,7 +36,7 @@ func (s *lwtSystem) Name() string { return s.label }
 
 func (s *lwtSystem) Setup(nthreads int) {
 	s.n = nthreads
-	s.r = core.MustNew(s.backend, nthreads)
+	s.r = core.MustOpen(core.Config{Backend: s.backend, Executors: nthreads})
 }
 
 func (s *lwtSystem) Teardown() {

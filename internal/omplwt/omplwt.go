@@ -54,17 +54,46 @@ type Runtime struct {
 	nthread int
 }
 
-// New builds the layer over the named unified-API backend with nthreads
-// executors.
-func New(backend string, nthreads int) (*Runtime, error) {
-	r, err := core.New(backend, nthreads)
+// Config parameterizes Open; it is the unified API's configuration, so
+// the directive layer inherits scheduler selection and capability
+// negotiation. The team size of parallel constructs is the executor
+// count.
+type Config = core.Config
+
+// Open builds the layer over a unified-API backend opened from the
+// configuration (the v2 constructor). The team size is the resolved
+// executor count — not the backend's placement-domain count, which can
+// be smaller (Qthreads' per-node layout has one shepherd over many
+// workers).
+func Open(cfg Config) (*Runtime, error) {
+	r, err := core.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{r: r, nthread: nthreads}, nil
+	return &Runtime{r: r, nthread: r.Config().Executors}, nil
+}
+
+// MustOpen is Open for known-good configurations; it panics on error.
+func MustOpen(cfg Config) *Runtime {
+	rt, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// New builds the layer over the named unified-API backend with nthreads
+// executors.
+//
+// Deprecated: New is the v1 positional constructor kept for migration;
+// use Open.
+func New(backend string, nthreads int) (*Runtime, error) {
+	return Open(Config{Backend: backend, Executors: nthreads})
 }
 
 // MustNew is New for known-good arguments; it panics on error.
+//
+// Deprecated: use MustOpen.
 func MustNew(backend string, nthreads int) *Runtime {
 	rt, err := New(backend, nthreads)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/feb"
 	"repro/internal/queue"
+	"repro/internal/sched"
 	"repro/internal/topo"
 	"repro/internal/ult"
 )
@@ -29,6 +30,11 @@ type Config struct {
 	// WorkersPerShepherd is the number of executor threads serving each
 	// shepherd's queue.
 	WorkersPerShepherd int
+	// Policy, when non-nil, constructs each shepherd's pool ordering —
+	// the plug-in scheduler slot of Table I. Nil means FIFO, the library
+	// default. The factory runs once per shepherd, so pools are never
+	// shared.
+	Policy func() sched.Policy
 }
 
 // Validate reports whether the layout is usable.
@@ -85,20 +91,28 @@ type Runtime struct {
 	finished  atomic.Bool
 }
 
-// Shepherd owns one work-unit queue served by its workers.
+// Shepherd owns one work-unit pool served by its workers. The pool's
+// ordering is the configured scheduling policy (FIFO unless Config.Policy
+// overrides it).
 type Shepherd struct {
 	id      int
 	rt      *Runtime
-	pool    *queue.FIFO
+	pool    sched.Policy
 	workers []*Worker
 }
 
 // ID returns the shepherd's rank.
 func (s *Shepherd) ID() int { return s.id }
 
-// QueueStats exposes the shepherd queue's counters (the contention of
-// many workers sharing one queue is visible here).
-func (s *Shepherd) QueueStats() *queue.Stats { return s.pool.Stats() }
+// QueueStats exposes the shepherd pool's counters when the configured
+// policy keeps them (FIFO and LIFO do); other policies return nil. The
+// contention of many workers sharing one pool is visible here.
+func (s *Shepherd) QueueStats() *queue.Stats {
+	if p, ok := s.pool.(interface{ Stats() *queue.Stats }); ok {
+		return p.Stats()
+	}
+	return nil
+}
 
 // Worker is the middle level of the hierarchy: the executor thread that
 // runs work units from its shepherd's queue.
@@ -138,8 +152,12 @@ func Init(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg, febTable: feb.NewTable()}
+	pool := cfg.Policy
+	if pool == nil {
+		pool = sched.Default
+	}
 	for i := 0; i < cfg.Shepherds; i++ {
-		s := &Shepherd{id: i, rt: rt, pool: queue.NewFIFO(64)}
+		s := &Shepherd{id: i, rt: rt, pool: pool()}
 		for w := 0; w < cfg.WorkersPerShepherd; w++ {
 			wk := &Worker{exec: ult.NewExecutor(i*cfg.WorkersPerShepherd + w), shep: s}
 			s.workers = append(s.workers, wk)
@@ -231,7 +249,7 @@ func (w *Worker) loop() {
 	for {
 		if res, h, ok := w.exec.DispatchHint(); ok {
 			if res == ult.DispatchYielded {
-				w.shep.pool.Push(h)
+				sched.Requeue(w.shep.pool, h)
 			}
 			continue
 		}
@@ -248,7 +266,7 @@ func (w *Worker) loop() {
 			panic("qthreads: only ULT work units exist in this model")
 		}
 		if res := w.exec.Dispatch(t); res == ult.DispatchYielded {
-			w.shep.pool.Push(t)
+			sched.Requeue(w.shep.pool, t)
 		}
 	}
 }

@@ -185,6 +185,19 @@ func (d *Deque) PopBottom() ult.Unit {
 	return u
 }
 
+// PushTop inserts a unit at the steal end — the oldest position. Used to
+// requeue units that yielded, so newest-first owners do not redispatch
+// the yielder immediately and starve the units it yielded to.
+func (d *Deque) PushTop(u ult.Unit) {
+	lockCounting(&d.mu, &d.stats)
+	d.grow()
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = u
+	d.count++
+	d.stats.Pushes.Add(1)
+	d.mu.Unlock()
+}
+
 // StealTop removes the oldest unit (thief side), or nil.
 func (d *Deque) StealTop() ult.Unit {
 	lockCounting(&d.mu, &d.stats)

@@ -24,6 +24,77 @@ type Policy interface {
 	Len() int
 }
 
+// The selectable policy names backends advertise in their capabilities
+// and Open accepts in Config.Scheduler. DefaultPolicy is what every
+// library in Table I ships unconfigured.
+const (
+	// NameFIFO is arrival-order scheduling, the default everywhere.
+	NameFIFO = "fifo"
+	// NameLIFO is newest-first scheduling (owner side of work-first).
+	NameLIFO = "lifo"
+	// NamePriority is the fixed-class priority policy.
+	NamePriority = "priority"
+	// NameRandom is the uniformly random policy.
+	NameRandom = "random"
+)
+
+// DefaultPolicy is the policy name selected when a configuration leaves
+// the scheduler unset.
+const DefaultPolicy = NameFIFO
+
+// Names lists the policy names ByName resolves, default first.
+func Names() []string {
+	return []string{NameFIFO, NameLIFO, NamePriority, NameRandom}
+}
+
+// Default returns a new instance of the default policy — what a backend
+// uses when its configuration leaves the pool ordering unset.
+func Default() Policy { return NewFIFO() }
+
+// ByName resolves a policy name to a factory. The factory is called once
+// per pool (per execution stream with private pools), so each pool gets
+// its own policy instance. Unknown names return ok = false.
+func ByName(name string) (factory func() Policy, ok bool) {
+	switch name {
+	case "", NameFIFO:
+		return func() Policy { return NewFIFO() }, true
+	case NameLIFO:
+		return func() Policy { return NewLIFO() }, true
+	case NamePriority:
+		// Four classes, matching the priority depth the ablation tests
+		// exercise; plain Push lands in class 0.
+		return func() Policy { return NewPriority(4) }, true
+	case NameRandom:
+		// Deterministic seed: the policy is random in dispatch order,
+		// not in test reproducibility.
+		return func() Policy { return NewRandom(1) }, true
+	default:
+		return nil, false
+	}
+}
+
+// YieldQueuer is an optional Policy extension for reinserting units that
+// yielded. Policies whose Pop favors the newest unit implement it so a
+// yielder re-enters at the oldest position — a yield means "run others
+// first", and without the distinction a newest-first pool would
+// redispatch the yielder immediately, starving the very units it yielded
+// to (polling joins would livelock).
+type YieldQueuer interface {
+	// PushYielded reinserts a unit that cooperatively yielded.
+	PushYielded(u ult.Unit)
+}
+
+// Requeue reinserts a yielded unit into p, honoring PushYielded when the
+// policy distinguishes yields from fresh pushes. Runtime scheduling
+// loops use it on their requeue paths.
+func Requeue(p Policy, u ult.Unit) {
+	if yq, ok := p.(YieldQueuer); ok {
+		yq.PushYielded(u)
+		return
+	}
+	p.Push(u)
+}
+
 // FIFO schedules units in arrival order — the default policy of every
 // library in Table I except where configured otherwise.
 type FIFO struct {
@@ -62,6 +133,10 @@ func (p *LIFO) Pop() ult.Unit { return p.d.PopBottom() }
 
 // Len implements Policy.
 func (p *LIFO) Len() int { return p.d.Len() }
+
+// PushYielded implements YieldQueuer: a yielder re-enters at the oldest
+// end, so newest-first dispatch serves everything else before it.
+func (p *LIFO) PushYielded(u ult.Unit) { p.d.PushTop(u) }
 
 // Steal removes the oldest unit for a thief.
 func (p *LIFO) Steal() ult.Unit { return p.d.StealTop() }
@@ -229,6 +304,9 @@ func (s *Stack) snapshot() []Policy {
 
 // Push implements Policy: units go to the active policy.
 func (s *Stack) Push(u ult.Unit) { s.top().Push(u) }
+
+// PushYielded implements YieldQueuer by delegating to the active policy.
+func (s *Stack) PushYielded(u ult.Unit) { Requeue(s.top(), u) }
 
 // Pop implements Policy: the active policy is drained first, then lower
 // ones, so pushing a scheduler takes over without losing queued work.

@@ -67,6 +67,10 @@ type Options struct {
 	Backend string
 	// Threads is the executor count; <= 0 means runtime.NumCPU().
 	Threads int
+	// Scheduler names the backend's ready-pool policy (core.Config.
+	// Scheduler); empty means the backend default. Requests the backend
+	// cannot honor degrade per the unified API's negotiation rules.
+	Scheduler string
 	// QueueDepth bounds the submission queue; <= 0 means
 	// DefaultQueueDepth. A full queue fast-rejects TrySubmit with
 	// ErrSaturated and blocks Submit.
@@ -212,7 +216,11 @@ func (s *Server) Close() {
 // pump is the backend's main thread: it owns the runtime end to end and
 // is the only goroutine that touches it.
 func (s *Server) pump(ready chan<- error) {
-	rt, err := core.New(s.opts.Backend, s.opts.Threads)
+	rt, err := core.Open(core.Config{
+		Backend:   s.opts.Backend,
+		Executors: s.opts.Threads,
+		Scheduler: s.opts.Scheduler,
+	})
 	if err != nil {
 		ready <- err
 		close(s.done)

@@ -6,30 +6,61 @@
 // scheduler model — plus the GNU and Intel OpenMP runtime emulations the
 // paper benchmarks them against.
 //
-// The API is the reduced function set the paper distills in Table II and
-// Listing 4: initialize a backend, create ULTs and tasklets, yield, join,
-// finalize. Every backend implements it; the paper's central claim — that
-// this small set suffices for the common parallel patterns (for loops,
-// task parallelism, nested parallelism) — is exercised by this module's
-// examples, tests and benchmark harness.
+// The API is the GLT-shaped second revision of the reduced function set
+// the paper distills in Table II and Listing 4: initialize a backend from
+// a Config, create ULTs and tasklets (optionally pinned to an executor),
+// yield, join, synchronize, finalize. Every backend implements it; the
+// paper's central claim — that this small set suffices for the common
+// parallel patterns — is exercised by this module's examples, tests and
+// benchmark harness.
 //
-// Quickstart (Listing 4's shape):
+// Quickstart (Listing 4's shape, v2 surface):
 //
-//	r := lwt.MustNew("argobots", 4)
+//	r := lwt.MustOpen(lwt.Config{Backend: "argobots", Executors: 4})
 //	defer r.Finalize()
 //	hs := make([]lwt.Handle, 100)
 //	for i := range hs {
-//		hs[i] = r.ULTCreate(func(lwt.Ctx) { fmt.Println("hello") })
+//		hs[i] = r.ULTCreateTo(i, func(c lwt.Ctx) {
+//			fmt.Println("hello from executor", c.ExecutorID())
+//		})
 //	}
 //	r.Yield()
 //	r.JoinAll(hs)
+//
+// Migration from the v1 positional surface:
+//
+//	v1 (deprecated)               v2
+//	----------------------------  --------------------------------------------------
+//	lwt.New(name, n)              lwt.Open(lwt.Config{Backend: name, Executors: n})
+//	lwt.MustNew(name, n)          lwt.MustOpen(lwt.Config{...})
+//	(not expressible)             Config.Scheduler: "fifo" | "lifo" | "priority" | "random"
+//	(not expressible)             r.ULTCreateTo(i, fn), c.ULTCreateTo(i, fn)
+//	(not expressible)             r.NumExecutors(), c.ExecutorID()
+//	(backend-private)             r.NewMutex(), r.NewBarrier(n), r.NewCond(m)
+//	(backend-private)             c.YieldTo(h)
+//
+// Capability negotiation: every Config request is checked against the
+// backend's Capabilities at Open. What the backend cannot honor degrades
+// the way the paper's own microbenchmarks degrade: a scheduler request
+// falls back to the default policy — recorded and queryable via
+// Runtime.Degradations, or an error under Config.Strict. The per-call
+// operations degrade statically per the capability flags: ULTCreateTo
+// falls back to local creation where Caps().Placement is false, and
+// YieldTo falls back to Yield where Caps().YieldTo is false.
+//
+// The synchronization objects (Mutex, Barrier, Cond) are scheduler-aware:
+// waiting yields the calling work unit back to the backend's scheduler
+// instead of blocking the executor thread, so a lock held across a Yield
+// cannot deadlock even a single-executor runtime. On Qthreads the mutex
+// word lives in the runtime's full/empty-bit table (Capabilities.
+// SyncMechanism == "feb"), exactly like qthread_lock.
 //
 // Backends are selected by name; see Backends for the registry. Variants
 // the paper evaluates separately (MassiveThreads work-first vs help-first,
 // Argobots private vs shared pools, Qthreads shepherd layouts) register
 // under their own names.
 //
-// On top of the Table II API sits the serving layer (NewServer): a
+// On top of the unified API sits the serving layer (NewServer): a
 // concurrent task-submission engine that lets arbitrary goroutines
 // inject work into any backend through a bounded queue with Future
 // results, admission control (ErrSaturated) and per-request metrics —
@@ -54,6 +85,14 @@ import (
 // Runtime is an initialized unified-API instance over one backend.
 type Runtime = core.Runtime
 
+// Config parameterizes Open: backend name, executor-group size,
+// scheduler policy, and strictness of capability negotiation.
+type Config = core.Config
+
+// Degradation records one Config request the backend could not honor and
+// what was granted instead; see Runtime.Degradations.
+type Degradation = core.Degradation
+
 // Handle is a joinable reference to a created work unit.
 type Handle = core.Handle
 
@@ -61,22 +100,63 @@ type Handle = core.Handle
 type Ctx = core.Ctx
 
 // Capabilities describes a backend in the vocabulary of the paper's
-// Table I.
+// Table I, extended with the v2 capability columns (placement, scheduler
+// policies, synchronization mechanism).
 type Capabilities = core.Capabilities
 
 // Backend is the adapter interface a threading runtime implements to
 // participate in the unified API.
 type Backend = core.Backend
 
-// ErrUnknownBackend is returned by New for unregistered backend names.
-var ErrUnknownBackend = core.ErrUnknownBackend
+// Waiter is anything a synchronization object can wait on behalf of: a
+// *Runtime (main thread) or a Ctx (running work unit).
+type Waiter = core.Waiter
+
+// Mutex is the scheduler-aware lock of the unified API; see
+// Runtime.NewMutex.
+type Mutex = core.Mutex
+
+// Barrier is the scheduler-aware rendezvous of the unified API; see
+// Runtime.NewBarrier.
+type Barrier = core.Barrier
+
+// Cond is the scheduler-aware condition variable of the unified API; see
+// Runtime.NewCond.
+type Cond = core.Cond
+
+// Errors surfaced from the unified API.
+var (
+	// ErrUnknownBackend is returned by Open for unregistered backend
+	// names.
+	ErrUnknownBackend = core.ErrUnknownBackend
+	// ErrUnknownScheduler is returned by Open when Config.Scheduler
+	// names no policy at all.
+	ErrUnknownScheduler = core.ErrUnknownScheduler
+	// ErrUnsupported is returned by Open under Config.Strict when the
+	// backend cannot honor a request that would otherwise degrade.
+	ErrUnsupported = core.ErrUnsupported
+)
+
+// Open initializes a backend from the configuration, negotiating every
+// requested capability against the backend's Capabilities (unsupported
+// requests degrade explicitly; see Runtime.Degradations).
+func Open(cfg Config) (*Runtime, error) { return core.Open(cfg) }
+
+// MustOpen is Open for known-good configurations; it panics on error.
+func MustOpen(cfg Config) *Runtime { return core.MustOpen(cfg) }
 
 // New initializes the named backend with nthreads executors.
+//
+// Deprecated: New is the v1 positional constructor kept for migration;
+// use Open, which adds scheduler selection, placement and capability
+// negotiation.
 func New(backend string, nthreads int) (*Runtime, error) {
 	return core.New(backend, nthreads)
 }
 
 // MustNew is New for known-good arguments; it panics on error.
+//
+// Deprecated: use MustOpen.
 func MustNew(backend string, nthreads int) *Runtime {
 	return core.MustNew(backend, nthreads)
 }
@@ -97,8 +177,8 @@ func Register(name string, f func() Backend) {
 // into work units.
 type Server = serve.Server
 
-// ServeOptions configures a Server (backend, executors, queue depth,
-// in-flight cap, batch size, tracer).
+// ServeOptions configures a Server (backend, executors, scheduler
+// policy, queue depth, in-flight cap, batch size, tracer).
 type ServeOptions = serve.Options
 
 // Submitter is the thread-safe, multi-producer injection front-end of a

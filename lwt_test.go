@@ -12,7 +12,7 @@ func TestPublicAPIListing4(t *testing.T) {
 	for _, backend := range lwt.Backends() {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
-			r, err := lwt.New(backend, 3)
+			r, err := lwt.Open(lwt.Config{Backend: backend, Executors: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -32,9 +32,65 @@ func TestPublicAPIListing4(t *testing.T) {
 }
 
 func TestPublicAPIUnknownBackend(t *testing.T) {
-	_, err := lwt.New("not-a-backend", 2)
+	_, err := lwt.Open(lwt.Config{Backend: "not-a-backend", Executors: 2})
 	if !errors.Is(err, lwt.ErrUnknownBackend) {
 		t.Fatalf("err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+// TestPublicAPIDeprecatedConstructor pins the v1 wrapper to the v2 path:
+// New(name, n) must behave exactly like Open(Config{Backend, Executors}).
+func TestPublicAPIDeprecatedConstructor(t *testing.T) {
+	r, err := lwt.New("go", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Finalize()
+	if r.NumExecutors() != 2 {
+		t.Fatalf("NumExecutors = %d, want 2", r.NumExecutors())
+	}
+	if got := r.Config().Executors; got != 2 {
+		t.Fatalf("Config().Executors = %d, want 2", got)
+	}
+}
+
+// TestPublicAPISchedulerAndSync drives the v2 additions end to end on a
+// pinning backend: scheduler selection, placement, and a lock held
+// across a yield.
+func TestPublicAPISchedulerAndSync(t *testing.T) {
+	r, err := lwt.Open(lwt.Config{Backend: "argobots", Executors: 2, Scheduler: "lifo", Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Finalize()
+	if got := r.Config().Scheduler; got != "lifo" {
+		t.Fatalf("granted scheduler = %q, want lifo", got)
+	}
+	m := r.NewMutex()
+	counter := 0
+	var pinned atomic.Int64
+	hs := make([]lwt.Handle, 8)
+	for i := range hs {
+		i := i
+		hs[i] = r.ULTCreateTo(i, func(c lwt.Ctx) {
+			if c.ExecutorID() == i%r.NumExecutors() {
+				pinned.Add(1)
+			}
+			m.Lock(c)
+			c.Yield()
+			counter++
+			m.Unlock()
+		})
+	}
+	r.JoinAll(hs)
+	m.Lock(r)
+	got := counter
+	m.Unlock()
+	if got != len(hs) {
+		t.Fatalf("counter = %d, want %d", got, len(hs))
+	}
+	if int(pinned.Load()) != len(hs) {
+		t.Fatalf("pinned = %d of %d (argobots promises placement)", pinned.Load(), len(hs))
 	}
 }
 
@@ -42,7 +98,7 @@ func TestPublicAPICustomBackendRegistration(t *testing.T) {
 	// A user-supplied backend plugs into the same registry the built-in
 	// adapters use.
 	lwt.Register("custom-test-backend", func() lwt.Backend { return &fakeBackend{} })
-	r := lwt.MustNew("custom-test-backend", 1)
+	r := lwt.MustOpen(lwt.Config{Backend: "custom-test-backend", Executors: 1})
 	h := r.ULTCreate(func(lwt.Ctx) {})
 	r.Join(h)
 	r.Finalize()
@@ -65,27 +121,37 @@ func (h *fakeHandle) Done() bool { return h.done }
 
 type fakeCtx struct{ b *fakeBackend }
 
-func (c *fakeCtx) Yield() {}
+func (c *fakeCtx) Yield()               {}
+func (c *fakeCtx) YieldTo(h lwt.Handle) {}
 func (c *fakeCtx) ULTCreate(fn func(lwt.Ctx)) lwt.Handle {
+	return c.b.ULTCreate(fn)
+}
+func (c *fakeCtx) ULTCreateTo(executor int, fn func(lwt.Ctx)) lwt.Handle {
 	return c.b.ULTCreate(fn)
 }
 func (c *fakeCtx) TaskletCreate(fn func()) lwt.Handle {
 	return c.b.TaskletCreate(fn)
 }
 func (c *fakeCtx) Join(h lwt.Handle) {}
+func (c *fakeCtx) ExecutorID() int   { return 0 }
+func (c *fakeCtx) NumExecutors() int { return 1 }
 
-func (b *fakeBackend) Name() string      { return "custom-test-backend" }
-func (b *fakeBackend) Init(n int) error  { return nil }
-func (b *fakeBackend) Yield()            {}
-func (b *fakeBackend) Join(h lwt.Handle) {}
-func (b *fakeBackend) Finalize()         { b.finalized = true }
+func (b *fakeBackend) Name() string              { return "custom-test-backend" }
+func (b *fakeBackend) Init(cfg lwt.Config) error { return nil }
+func (b *fakeBackend) NumExecutors() int         { return 1 }
+func (b *fakeBackend) Yield()                    {}
+func (b *fakeBackend) Join(h lwt.Handle)         {}
+func (b *fakeBackend) Finalize()                 { b.finalized = true }
 func (b *fakeBackend) Caps() lwt.Capabilities {
-	return lwt.Capabilities{HierarchyLevels: 1, WorkUnitTypes: 1}
+	return lwt.Capabilities{HierarchyLevels: 1, WorkUnitTypes: 1, SyncMechanism: "atomic"}
 }
 func (b *fakeBackend) ULTCreate(fn func(lwt.Ctx)) lwt.Handle {
 	b.created++
 	fn(&fakeCtx{b: b})
 	return &fakeHandle{done: true}
+}
+func (b *fakeBackend) ULTCreateTo(executor int, fn func(lwt.Ctx)) lwt.Handle {
+	return b.ULTCreate(fn)
 }
 func (b *fakeBackend) TaskletCreate(fn func()) lwt.Handle {
 	fn()

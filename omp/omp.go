@@ -5,7 +5,7 @@
 // sections) whose "threads" are lightweight work units on any registered
 // backend, instead of Pthreads.
 //
-//	rt := omp.MustNew("argobots", 8)
+//	rt := omp.MustOpen(omp.Config{Backend: "argobots", Executors: 8})
 //	defer rt.Close()
 //	rt.ParallelFor(n, omp.Static, 0, func(i int) { v[i] *= a })
 package omp
@@ -33,12 +33,29 @@ type Runtime = omplwt.Runtime
 // Region is the per-construct context inside parallel regions.
 type Region = omplwt.Region
 
+// Config parameterizes Open — the unified API's configuration (backend,
+// executors, scheduler policy, strictness), so directive-level programs
+// negotiate capabilities exactly like unified-API ones.
+type Config = omplwt.Config
+
+// Open builds the layer over a unified-API backend opened from the
+// configuration.
+func Open(cfg Config) (*Runtime, error) { return omplwt.Open(cfg) }
+
+// MustOpen is Open for known-good configurations; it panics on error.
+func MustOpen(cfg Config) *Runtime { return omplwt.MustOpen(cfg) }
+
 // New builds the layer over the named unified-API backend.
+//
+// Deprecated: New is the v1 positional constructor kept for migration;
+// use Open.
 func New(backend string, nthreads int) (*Runtime, error) {
 	return omplwt.New(backend, nthreads)
 }
 
 // MustNew is New for known-good arguments; it panics on error.
+//
+// Deprecated: use MustOpen.
 func MustNew(backend string, nthreads int) *Runtime {
 	return omplwt.MustNew(backend, nthreads)
 }
