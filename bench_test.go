@@ -400,8 +400,8 @@ func BenchmarkAblationIdlePolicy(b *testing.B) {
 
 // BenchmarkAblationDequeLocking compares the mutex-protected deque the
 // paper describes for MassiveThreads (§III-C: steals "require mutex
-// protection") against a Chase-Lev lock-free deque under an owner plus
-// three thieves.
+// protection") against the Chase-Lev lock-free deque the runtimes now
+// schedule on, under an owner plus three thieves.
 func BenchmarkAblationDequeLocking(b *testing.B) {
 	type dq interface {
 		PushBottom(ult.Unit)
@@ -442,8 +442,52 @@ func BenchmarkAblationDequeLocking(b *testing.B) {
 		close(stop)
 		wg.Wait()
 	}
-	b.Run("mutex", func(b *testing.B) { run(b, queue.NewDeque(256)) })
-	b.Run("lock-free", func(b *testing.B) { run(b, queue.NewLockFree(256)) })
+	b.Run("mutex", func(b *testing.B) { run(b, queue.NewMutexDeque(256)) })
+	b.Run("lock-free", func(b *testing.B) { run(b, queue.NewDeque(256)) })
+}
+
+// BenchmarkULTCreateJoin measures the paper's own metric — the cost of
+// creating and joining one work unit — on the Argobots emulation, where
+// the join-and-free discipline recycles descriptors through the ult
+// package's pools. The tasklet variant is the steady-state
+// allocation-lean path; the ULT variant still pays the backing goroutine
+// and completion channel, but reuses the descriptor. Idle streams park
+// (the passive wait policy) so that on small hosts the benchmark
+// measures the create/join path rather than busy-wait oversubscription —
+// that regime is BenchmarkAblationIdlePolicy's subject.
+func BenchmarkULTCreateJoin(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		xs   int
+	}{
+		{"tasklet/streams-1", 1},
+		{"tasklet/streams-4", 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := argobots.Init(argobots.Config{XStreams: cfg.xs, IdleParking: true})
+			defer rt.Finalize()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk := rt.TaskCreate(func() {})
+				if err := rt.TaskFree(tk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("ult/streams-1", func(b *testing.B) {
+		rt := argobots.Init(argobots.Config{XStreams: 1, IdleParking: true})
+		defer rt.Finalize()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th := rt.ThreadCreate(func(*argobots.Context) {})
+			if err := rt.ThreadFree(th); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkServeThroughput measures the request-serving subsystem on

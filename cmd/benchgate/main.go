@@ -1,0 +1,217 @@
+// Command benchgate is the CI performance-regression gate: it compares
+// freshly produced BENCH_<fig>.json files (lwtbench -json) against the
+// checked-in bench_baseline.json and fails when any matching
+// (figure, system, threads) cell regressed by more than the tolerance
+// factor.
+//
+// The gate is built to catch real regressions without flaking on
+// scheduler noise, which for these runtimes is extreme (a work-stealing
+// cell can legitimately move 1000x between runs when the main flow gets
+// stolen onto a different worker):
+//
+//   - The per-cell statistic is the minimum over repetitions, the classic
+//     noise-robust benchmark number: an accidental lock on a hot path
+//     raises the minimum too, while a run that caught the slow scheduling
+//     mode does not lower it.
+//   - The verdict is per figure, on the geometric mean of the cell
+//     ratios: a genuine hot-path regression shifts essentially every cell
+//     and moves the geomean with it, while a single bimodal outlier is
+//     damped by the other cells.
+//   - The tolerance is loose (default 3x) because the baseline is
+//     recorded on whatever machine last refreshed it, and CI runners
+//     differ in core count, clock and neighbours.
+//
+// Cells present on one side only — for example thread counts the
+// runner's axis does not reach — are skipped. Individual cells beyond
+// the tolerance are printed for diagnosis but do not fail the gate on
+// their own.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.json            # gate BENCH_*.json in .
+//	benchgate -baseline bench_baseline.json -dir out   # …in out/
+//	benchgate -baseline bench_baseline.json -max-ratio 5
+//	benchgate -write-baseline bench_baseline.json      # refresh the baseline
+//	                                                   # from BENCH_*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/microbench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench_baseline.json", "checked-in baseline file")
+	dir := flag.String("dir", ".", "directory holding the fresh BENCH_*.json files")
+	maxRatio := flag.Float64("max-ratio", 3.0, "fail when fresh mean exceeds baseline mean by this factor")
+	write := flag.String("write-baseline", "", "instead of gating, combine BENCH_*.json into this baseline file")
+	flag.Parse()
+
+	fresh, err := loadDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no BENCH_*.json files in %s (run lwtbench -all -json first)", *dir))
+	}
+
+	if *write != "" {
+		if err := writeBaseline(*write, fresh); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d figures)\n", *write, len(fresh))
+		return
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	ok := gate(base, fresh, *maxRatio)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}
+
+// loadDir reads every BENCH_*.json in dir.
+func loadDir(dir string) ([]microbench.FigureJSON, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []microbench.FigureJSON
+	for _, p := range paths {
+		f, err := microbench.ReadFigureJSON(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// readBaseline loads the combined baseline (an array of figures).
+func readBaseline(path string) ([]microbench.FigureJSON, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []microbench.FigureJSON
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeBaseline(path string, figs []microbench.FigureJSON) error {
+	b, err := json.MarshalIndent(figs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// cellKey identifies one comparable measurement.
+type cellKey struct {
+	figure  int
+	system  string
+	threads int
+}
+
+// index maps cells to their minimum-over-reps nanosecond value. Results
+// written before the MinNs field existed fall back to the mean.
+func index(figs []microbench.FigureJSON) map[cellKey]int64 {
+	out := map[cellKey]int64{}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				v := p.MinNs
+				if v <= 0 {
+					v = p.MeanNs
+				}
+				out[cellKey{f.Figure, s.System, p.Threads}] = v
+			}
+		}
+	}
+	return out
+}
+
+// gate compares every cell present in both sets and fails a figure when
+// the geometric mean of its cell ratios exceeds maxRatio.
+func gate(base, fresh []microbench.FigureJSON, maxRatio float64) bool {
+	baseIdx := index(base)
+	freshIdx := index(fresh)
+
+	keys := make([]cellKey, 0, len(freshIdx))
+	for k := range freshIdx {
+		if _, ok := baseIdx[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.figure != b.figure {
+			return a.figure < b.figure
+		}
+		if a.system != b.system {
+			return a.system < b.system
+		}
+		return a.threads < b.threads
+	})
+	if len(keys) == 0 {
+		fmt.Println("benchgate: no comparable cells between baseline and fresh results")
+		return true
+	}
+
+	logSum := map[int]float64{}
+	cells := map[int]int{}
+	for _, k := range keys {
+		bn, fn := baseIdx[k], freshIdx[k]
+		if bn <= 0 || fn <= 0 {
+			continue
+		}
+		ratio := float64(fn) / float64(bn)
+		logSum[k.figure] += math.Log(ratio)
+		cells[k.figure]++
+		if ratio > maxRatio {
+			fmt.Printf("note: fig%d %-22s threads=%-3d baseline=%dns fresh=%dns ratio=%.2fx (cell-level, informational)\n",
+				k.figure, k.system, k.threads, bn, fn, ratio)
+		}
+	}
+
+	figs := make([]int, 0, len(cells))
+	for f := range cells {
+		figs = append(figs, f)
+	}
+	sort.Ints(figs)
+	failed := 0
+	for _, f := range figs {
+		gm := math.Exp(logSum[f] / float64(cells[f]))
+		verdict := "ok"
+		if gm > maxRatio {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("benchgate: fig%d geomean ratio %.2fx over %d cells (limit %.2fx) — %s\n",
+			f, gm, cells[f], maxRatio, verdict)
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d figure(s) regressed\n", failed)
+		return false
+	}
+	fmt.Println("benchgate: all figures within tolerance")
+	return true
+}

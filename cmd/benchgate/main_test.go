@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/microbench"
+)
+
+func mkFig(fig int, system string, minNs ...int64) microbench.FigureJSON {
+	s := microbench.SeriesJSON{System: system}
+	for i, v := range minNs {
+		s.Points = append(s.Points, microbench.PointJSON{
+			Threads: 1 << i, MinNs: v, MeanNs: v, Reps: 3,
+		})
+	}
+	return microbench.FigureJSON{Figure: fig, Series: []microbench.SeriesJSON{s}}
+}
+
+func TestGatePassesOnNoise(t *testing.T) {
+	base := []microbench.FigureJSON{mkFig(2, "Go", 100, 200, 400)}
+	// One 10x outlier (scheduler caught the slow mode) among stable cells
+	// must not fail the figure: the geomean stays under 3x.
+	fresh := []microbench.FigureJSON{mkFig(2, "Go", 110, 2000, 380)}
+	if !gate(base, fresh, 3.0) {
+		t.Fatal("gate failed on a single-cell outlier")
+	}
+}
+
+func TestGateFailsOnUniformRegression(t *testing.T) {
+	base := []microbench.FigureJSON{mkFig(2, "Go", 100, 200, 400)}
+	// Everything 4x slower — the hot-path-regression shape.
+	fresh := []microbench.FigureJSON{mkFig(2, "Go", 400, 800, 1600)}
+	if gate(base, fresh, 3.0) {
+		t.Fatal("gate passed a uniform 4x regression")
+	}
+}
+
+func TestGateSkipsUnmatchedCells(t *testing.T) {
+	base := []microbench.FigureJSON{mkFig(2, "Go", 100)}
+	// Different system and extra thread counts: nothing comparable.
+	fresh := []microbench.FigureJSON{mkFig(2, "Qthreads", 100_000, 100_000)}
+	if !gate(base, fresh, 3.0) {
+		t.Fatal("gate failed with no comparable cells")
+	}
+}
+
+func TestIndexFallsBackToMean(t *testing.T) {
+	f := microbench.FigureJSON{Figure: 4, Series: []microbench.SeriesJSON{{
+		System: "gcc",
+		Points: []microbench.PointJSON{{Threads: 2, MeanNs: 123}}, // no MinNs
+	}}}
+	idx := index([]microbench.FigureJSON{f})
+	if got := idx[cellKey{4, "gcc", 2}]; got != 123 {
+		t.Fatalf("fallback value = %d, want 123", got)
+	}
+}

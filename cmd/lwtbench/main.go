@@ -10,12 +10,22 @@
 //	lwtbench -fig 2 -threads 16 -reps 100
 //	lwtbench -fig 5 -systems "gcc,Argobots Tasklet,Go"
 //	lwtbench -all                    # every figure, laptop scale
+//	lwtbench -all -json              # …and write BENCH_<fig>.json files
+//	lwtbench -all -json -out results # …into the results directory
+//
+// With -json every regenerated figure is also written as a
+// machine-readable BENCH_<fig>.json (per-system, per-thread-count mean
+// plus P50/P95/P99 in nanoseconds, with the producing environment
+// recorded). The CI bench-smoke job archives these files and
+// cmd/benchgate compares them against the checked-in bench_baseline.json
+// to catch performance regressions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/microbench"
@@ -28,6 +38,8 @@ func main() {
 	reps := flag.Int("reps", 0, "repetitions per point (0 = preset default)")
 	paper := flag.Bool("paper", false, "use the paper's full workload sizes (1000x1000 nested, 500 reps)")
 	systems := flag.String("systems", "", "comma-separated legend names (default: all)")
+	jsonOut := flag.Bool("json", false, "additionally write BENCH_<fig>.json for each figure")
+	outDir := flag.String("out", ".", "directory for -json output files")
 	flag.Parse()
 
 	if !*all && (*fig < 2 || *fig > 8) {
@@ -79,5 +91,13 @@ func main() {
 		}
 		fmt.Print(microbench.RenderTable(titles[f], series))
 		fmt.Println()
+		if *jsonOut {
+			path := filepath.Join(*outDir, microbench.BenchFileName(f))
+			if err := microbench.WriteFigureJSON(path, microbench.ToJSON(f, titles[f], series)); err != nil {
+				fmt.Fprintf(os.Stderr, "lwtbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 }

@@ -101,16 +101,22 @@ func (x *XStream) ID() int { return x.exec.ID() }
 // Stats exposes the stream's executor counters.
 func (x *XStream) Stats() *ult.ExecStats { return x.exec.Stats() }
 
-// Thread is a handle on an Argobots ULT.
+// Thread is a handle on an Argobots ULT. The freed flag keeps the handle
+// itself answerable after ThreadFree: the descriptor behind u is pooled
+// and may already serve another work unit, so no method may touch it
+// once freed is set.
 type Thread struct {
-	u  *ult.ULT
-	rt *Runtime
+	u     *ult.ULT
+	rt    *Runtime
+	freed atomic.Bool
 }
 
-// Task is a handle on an Argobots Tasklet.
+// Task is a handle on an Argobots Tasklet, with the same post-free
+// discipline as Thread.
 type Task struct {
-	t  *ult.Tasklet
-	rt *Runtime
+	t     *ult.Tasklet
+	rt    *Runtime
+	freed atomic.Bool
 }
 
 // Context is passed to ULT bodies; it exposes the cooperative operations
@@ -268,25 +274,44 @@ func (rt *Runtime) Yield() { rt.primary.Yield() }
 // reason Argobots' Figure 6 join is costlier than Qthreads' readFF while
 // remaining the best in Figure 3.
 func (rt *Runtime) ThreadFree(th *Thread) error {
-	for !th.u.Done() {
+	for !th.Done() {
 		rt.Yield()
 	}
-	return th.u.Free()
+	return th.free()
 }
 
 // TaskFree joins a tasklet and releases it (ABT_task_free).
 func (rt *Runtime) TaskFree(tk *Task) error {
-	for !tk.t.Done() {
+	for !tk.Done() {
 		rt.Yield()
+	}
+	return tk.free()
+}
+
+// free claims the handle's one free and releases the descriptor. The
+// claim makes a double free answer ErrFreed from the handle alone,
+// without touching the (possibly recycled) descriptor.
+func (th *Thread) free() error {
+	if !th.freed.CompareAndSwap(false, true) {
+		return ult.ErrFreed
+	}
+	return th.u.Free()
+}
+
+func (tk *Task) free() error {
+	if !tk.freed.CompareAndSwap(false, true) {
+		return ult.ErrFreed
 	}
 	return tk.t.Free()
 }
 
-// Done reports whether the ULT has completed, without joining it.
-func (th *Thread) Done() bool { return th.u.Done() }
+// Done reports whether the ULT has completed, without joining it. A
+// freed thread was necessarily joined, so the answer comes from the
+// handle without reading the recycled descriptor.
+func (th *Thread) Done() bool { return th.freed.Load() || th.u.Done() }
 
 // Done reports whether the tasklet has completed.
-func (tk *Task) Done() bool { return tk.t.Done() }
+func (tk *Task) Done() bool { return tk.freed.Load() || tk.t.Done() }
 
 // PushScheduler stacks policy p on top of ES es's scheduler (Argobots
 // stackable schedulers, Table I). New work created toward that ES flows
@@ -399,7 +424,7 @@ func (c *Context) YieldTo(target *Thread) { c.self.YieldTo(target.u) }
 // Join waits for the target ULT by polling its status and yielding
 // between polls.
 func (c *Context) Join(th *Thread) {
-	for !th.u.Done() {
+	for !th.Done() {
 		c.self.Yield()
 	}
 }
@@ -407,12 +432,12 @@ func (c *Context) Join(th *Thread) {
 // JoinFree joins the target and frees it (worker-side ABT_thread_free).
 func (c *Context) JoinFree(th *Thread) error {
 	c.Join(th)
-	return th.u.Free()
+	return th.free()
 }
 
 // JoinTask waits for a tasklet by polling and yielding.
 func (c *Context) JoinTask(tk *Task) {
-	for !tk.t.Done() {
+	for !tk.Done() {
 		c.self.Yield()
 	}
 }

@@ -65,13 +65,21 @@ type argoULT struct {
 	// private pools (-1 when unpinned): YieldTo must not hijack it onto
 	// another stream, or the Placement promise breaks.
 	pinned int
+	// joined latches completion at Join time: Argobots joins are
+	// join-and-free, which returns the ULT descriptor to the reuse pool,
+	// so Done must answer from the handle afterwards instead of reading
+	// a descriptor that may already serve another work unit.
+	joined atomic.Bool
 }
 
-func (h *argoULT) Done() bool { return h.th.Done() }
+func (h *argoULT) Done() bool { return h.joined.Load() || h.th.Done() }
 
-type argoTasklet struct{ tk *argobots.Task }
+type argoTasklet struct {
+	tk     *argobots.Task
+	joined atomic.Bool
+}
 
-func (h *argoTasklet) Done() bool { return h.tk.Done() }
+func (h *argoTasklet) Done() bool { return h.joined.Load() || h.tk.Done() }
 
 type argoCtx struct {
 	b *argoBackend
@@ -128,8 +136,10 @@ func (b *argoBackend) Join(h Handle) {
 	switch v := h.(type) {
 	case *argoULT:
 		_ = b.rt.ThreadFree(v.th)
+		v.joined.Store(true)
 	case *argoTasklet:
 		_ = b.rt.TaskFree(v.tk)
+		v.joined.Store(true)
 	default:
 		joinPoll(h, b.Yield)
 	}

@@ -5,13 +5,17 @@
 //
 // The model is implemented with the same substrate as the other runtimes
 // rather than with native goroutines so its defining costs are measurable
-// on equal footing: every creation and every dispatch serializes on the
-// single shared queue's lock ("this global, unique queue needs a
-// synchronization mechanism that may impact performance when an elevated
-// number of threads are used"), while joins use Go's strength — the
-// out-of-order channel, which Figure 3 shows to be among the fastest join
-// mechanisms. A separate ablation benchmark (BenchmarkAblationRawGoroutines)
-// compares this model against the real Go scheduler.
+// on equal footing: every creation and every dispatch targets the single
+// shared queue ("this global, unique queue needs a synchronization
+// mechanism that may impact performance when an elevated number of
+// threads are used"), while joins use Go's strength — the out-of-order
+// channel, which Figure 3 shows to be among the fastest join mechanisms.
+// The shared queue is now the lock-free MPMC FIFO; the synchronization
+// cost the paper predicts shows up as CAS failures on the shared head
+// (QueueStats().Contended) instead of mutex convoys, and still grows with
+// the thread count. A separate ablation benchmark
+// (BenchmarkAblationRawGoroutines) compares this model against the real
+// Go scheduler.
 package gothreads
 
 import (
@@ -143,7 +147,8 @@ func (rt *Runtime) Finalize() {
 }
 
 // loop is one scheduler thread: pop the global queue, run, repeat. A
-// yielded unit goes back to the global queue (and pays the lock again).
+// yielded unit goes back to the global queue (and pays the shared-head
+// synchronization again).
 func (t *thread) loop() {
 	defer t.rt.wg.Done()
 	for {

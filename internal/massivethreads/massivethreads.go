@@ -3,7 +3,15 @@
 // either work-first (the default: the creator immediately runs the new
 // ULT and its own continuation is pushed to the ready deque) or help-first
 // (the new ULT is pushed and the creator continues), and random work
-// stealing with mutex-protected ready queues for load balance.
+// stealing from per-worker ready deques for load balance.
+//
+// The C library protects its deques with mutexes (§III-C); this emulation
+// runs them on the lock-free Chase–Lev deque so the create/steal hot path
+// is contention-free, with queue.MutexDeque kept as the measured baseline
+// (BenchmarkQueueOps, BenchmarkAblationDequeLocking). The deque's owner
+// discipline holds because a worker's bottom-end operations always come
+// from the holder of its control token: the scheduling loop and the ULT
+// it is currently running alternate, never overlap.
 //
 // The caller of Init becomes the primary ULT of worker 0, which is what
 // produces the distinctive MassiveThreads(W) curve of Figure 2: under
@@ -188,8 +196,8 @@ func (rt *Runtime) Finalize() {
 }
 
 // loop is one worker's scheduling cycle: serve the local deque in arrival
-// order, then try to steal the oldest unit from a random victim
-// (mutex-protected, as §III-C requires), then idle.
+// order, then try to steal the oldest unit from a random victim (a single
+// CAS per attempt), then idle.
 //
 // Service is FIFO rather than owner-LIFO: a ULT that polls a join by
 // yielding re-enters the deque behind its target, so the target always
@@ -240,7 +248,9 @@ func (w *Worker) runUnit(u ult.Unit) {
 	}
 }
 
-// steal takes the oldest unit from a random victim's deque.
+// steal takes the oldest unit from a random victim's deque. A nil from
+// StealTop means empty or a lost CAS race; either way the next victim is
+// tried, and the loop's idle path retries the whole cycle.
 func (w *Worker) steal() ult.Unit {
 	n := len(w.rt.workers)
 	if n == 1 {

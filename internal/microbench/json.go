@@ -1,0 +1,114 @@
+package microbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// The machine-readable result format behind the BENCH_<fig>.json files:
+// one figure per file, per-system series over the thread axis, each point
+// carrying the mean and the latency percentiles in nanoseconds. The CI
+// bench-smoke job archives these files on every push and cmd/benchgate
+// compares them against the checked-in bench_baseline.json.
+
+// PointJSON is one (threads, statistics) cell of a series.
+type PointJSON struct {
+	Threads int     `json:"threads"`
+	MeanNs  int64   `json:"mean_ns"`
+	MinNs   int64   `json:"min_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P95Ns   int64   `json:"p95_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	RSD     float64 `json:"rsd"`
+	Reps    int     `json:"reps"`
+}
+
+// SeriesJSON is one figure line: a system swept over thread counts.
+type SeriesJSON struct {
+	System string      `json:"system"`
+	Points []PointJSON `json:"points"`
+}
+
+// EnvJSON records where a result was produced, so baseline comparisons
+// can be read with the machine difference in mind.
+type EnvJSON struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Timestamp string `json:"timestamp,omitempty"`
+}
+
+// FigureJSON is the machine-readable form of one regenerated figure.
+type FigureJSON struct {
+	Figure  int          `json:"figure"`
+	Pattern string       `json:"pattern"`
+	Title   string       `json:"title"`
+	Env     EnvJSON      `json:"env"`
+	Series  []SeriesJSON `json:"series"`
+}
+
+// ToJSON converts a rendered sweep into its machine-readable form.
+func ToJSON(fig int, title string, series []Series) FigureJSON {
+	out := FigureJSON{
+		Figure:  fig,
+		Pattern: Pattern(fig).String(),
+		Title:   title,
+		Env: EnvJSON{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+		},
+	}
+	for _, s := range series {
+		sj := SeriesJSON{System: s.System}
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, PointJSON{
+				Threads: p.Threads,
+				MeanNs:  p.S.Mean.Nanoseconds(),
+				MinNs:   p.S.Min.Nanoseconds(),
+				MaxNs:   p.S.Max.Nanoseconds(),
+				P50Ns:   p.S.P50.Nanoseconds(),
+				P95Ns:   p.S.P95.Nanoseconds(),
+				P99Ns:   p.S.P99.Nanoseconds(),
+				RSD:     p.S.RSD,
+				Reps:    p.S.Reps,
+			})
+		}
+		out.Series = append(out.Series, sj)
+	}
+	return out
+}
+
+// BenchFileName is the canonical file name for a figure's JSON result.
+func BenchFileName(fig int) string {
+	return fmt.Sprintf("BENCH_%s.json", Pattern(fig).String())
+}
+
+// WriteFigureJSON writes one figure's result to path, indented for diffs.
+func WriteFigureJSON(path string, f FigureJSON) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFigureJSON loads one figure's result from path.
+func ReadFigureJSON(path string) (FigureJSON, error) {
+	var f FigureJSON
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

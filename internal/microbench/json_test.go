@@ -1,0 +1,62 @@
+package microbench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleSeries() []Series {
+	st := Summarize([]time.Duration{
+		10 * time.Microsecond, 12 * time.Microsecond, 11 * time.Microsecond,
+	})
+	return []Series{
+		{System: "Argobots Tasklet", Points: []Point{{Threads: 2, S: st}, {Threads: 4, S: st}}},
+		{System: "Go", Points: []Point{{Threads: 2, S: st}}},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := ToJSON(5, "Figure 5", sampleSeries())
+	if f.Pattern != "fig5-task-single" {
+		t.Fatalf("pattern = %q", f.Pattern)
+	}
+	if f.Env.NumCPU < 1 || f.Env.GoVersion == "" {
+		t.Fatalf("environment not recorded: %+v", f.Env)
+	}
+	path := filepath.Join(t.TempDir(), BenchFileName(5))
+	if err := WriteFigureJSON(path, f); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadFigureJSON(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got.Series) != 2 || got.Series[0].System != "Argobots Tasklet" {
+		t.Fatalf("series lost in round trip: %+v", got.Series)
+	}
+	p := got.Series[0].Points[0]
+	if p.Threads != 2 || p.MeanNs != 11000 || p.P99Ns != 12000 || p.Reps != 3 {
+		t.Fatalf("point mangled: %+v", p)
+	}
+}
+
+func TestBenchFileName(t *testing.T) {
+	if got := BenchFileName(2); got != "BENCH_fig2-create.json" {
+		t.Fatalf("BenchFileName(2) = %q", got)
+	}
+}
+
+func TestReadFigureJSONErrors(t *testing.T) {
+	if _, err := ReadFigureJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFigureJSON(bad); err == nil {
+		t.Fatal("corrupt file read succeeded")
+	}
+}

@@ -164,10 +164,19 @@ type team struct {
 	rt   *Runtime
 	size int
 
-	shared      *queue.Shared  // gcc task queue
-	deques      []*queue.Deque // icc per-thread task deques
-	outstanding atomic.Int64   // queued-but-unfinished tasks
-	arrived     atomic.Int64   // members that reached the region end
+	// shared is the gcc task queue (lock-free MPMC; the gcc model's
+	// single-queue contention shows up as CAS failures on its head).
+	shared *queue.Shared
+	// deques are the icc per-thread task deques. They stay on the mutex
+	// deque rather than the lock-free Chase–Lev one: a nested task body
+	// captures its creator's TeamCtx, so when a stolen parent spawns
+	// children, the *stealing* member pushes to the creator's deque —
+	// every member is a potential bottom-end producer of every deque,
+	// which violates the Chase–Lev single-owner discipline (and matches
+	// the real icc runtime, whose queues are locked).
+	deques      []*queue.MutexDeque
+	outstanding atomic.Int64 // queued-but-unfinished tasks
+	arrived     atomic.Int64 // members that reached the region end
 
 	bar       *barrier.Central // gcc join
 	spin      *barrier.Spin    // gcc join under active policy
@@ -240,9 +249,9 @@ func (rt *Runtime) parallel(body func(*TeamCtx), nested bool, mark func(int)) {
 			tm.bar = barrier.NewCentral(n)
 		}
 	} else {
-		tm.deques = make([]*queue.Deque, n)
+		tm.deques = make([]*queue.MutexDeque, n)
 		for i := range tm.deques {
-			tm.deques[i] = queue.NewDeque(64)
+			tm.deques[i] = queue.NewMutexDeque(64)
 		}
 		tm.doneFlags = make([]atomic.Bool, n)
 	}

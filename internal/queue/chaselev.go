@@ -1,73 +1,126 @@
 package queue
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ult"
 )
 
-// LockFree is a Chase–Lev work-stealing deque: the owner pushes and pops
-// at the bottom without locks; thieves steal from the top with a single
-// CAS. The paper notes MassiveThreads protects its queues with mutexes
-// (§III-C); this implementation is the alternative design point, used by
-// BenchmarkAblationDequeLocking to quantify what the mutex costs.
+// Deque is a Chase–Lev work-stealing deque: the owner pushes and pops at
+// the bottom without locks or CAS (plain atomic loads and stores), and
+// thieves steal from the top with a single CAS. The paper notes
+// MassiveThreads protects its queues with mutexes (§III-C); this is the
+// contention-free alternative the scheduling hot paths now run on, with
+// MutexDeque kept as the measured baseline.
 //
-// Owner operations (PushBottom, PopBottom) must come from one goroutine;
-// StealTop is safe from any number of concurrent thieves.
-type LockFree struct {
+// Ownership discipline: PushBottom, PopBottom and PopFront must be called
+// from one logical owner at a time — for the runtime emulations this is
+// the executor's control-token holder, i.e. either the scheduling loop or
+// the single work unit it is currently running, which the hand-off
+// protocol already serializes. StealTop is safe from any number of
+// concurrent thieves; it returns nil both on empty and on a lost race
+// (thieves treat either as "try elsewhere"). Top-end insertion (PushTop)
+// is deliberately absent: pushing below a concurrently CAS-advanced top
+// reintroduces the ABA race the monotonic top exists to prevent; callers
+// that need yield-reinsertion at the oldest end (the LIFO policy) use
+// MutexDeque.
+//
+// Work units are carried in small boxes recycled through an owner-local
+// cache backed by a package-level sync.Pool: the unique extractor of a
+// box (CAS winner or exclusive owner) returns it, so steady-state
+// operation allocates nothing and the owner's push/pop pair does not even
+// touch the shared pool.
+//
+// The zero value is an empty, usable deque.
+type Deque struct {
+	// top is CAS-hammered by thieves; bottom is stored by the owner on
+	// every push and pop. Padding keeps them on separate cache lines so
+	// thief traffic does not stall the owner's stores.
 	top    atomic.Int64
+	_      [7]int64
 	bottom atomic.Int64
-	ring   atomic.Pointer[lfRing]
-	stats  Stats
+	_      [7]int64
+	ring   atomic.Pointer[dqRing]
+	// free is an owner-local cache of recycled boxes, refilled by the
+	// owner-side pops. It keeps the owner's push/pop pair off the
+	// sync.Pool fast path entirely; only thief-recycled boxes (and
+	// overflow) round-trip through dqBoxes.
+	free  []*dqBox
+	stats Stats
 }
 
-// lfRing is a power-of-two circular buffer.
-type lfRing struct {
+// dqFreeCap bounds the owner-local box cache.
+const dqFreeCap = 64
+
+// dqRing is a power-of-two circular buffer of box pointers.
+type dqRing struct {
 	mask  int64
-	slots []atomic.Pointer[lfSlot]
+	slots []atomic.Pointer[dqBox]
 }
 
-// lfSlot boxes a work unit so slots can be atomic pointers.
-type lfSlot struct {
+// dqBox carries one work unit. Slots hold box pointers because interface
+// values cannot be loaded atomically; recycling the boxes through dqBoxes
+// keeps the owner path allocation-free.
+type dqBox struct {
 	u ult.Unit
 }
 
-func newLFRing(capacity int64) *lfRing {
-	return &lfRing{mask: capacity - 1, slots: make([]atomic.Pointer[lfSlot], capacity)}
+// dqBoxes recycles deque boxes across all deques. Only the goroutine that
+// uniquely extracted a box may return it, so a box is never written while
+// a racing (and necessarily failing) thief still holds its pointer.
+var dqBoxes = sync.Pool{New: func() any { return new(dqBox) }}
+
+func newDqRing(capacity int64) *dqRing {
+	return &dqRing{mask: capacity - 1, slots: make([]atomic.Pointer[dqBox], capacity)}
 }
 
-func (r *lfRing) get(i int64) *lfSlot    { return r.slots[i&r.mask].Load() }
-func (r *lfRing) put(i int64, s *lfSlot) { r.slots[i&r.mask].Store(s) }
-func (r *lfRing) capacity() int64        { return r.mask + 1 }
+func (r *dqRing) get(i int64) *dqBox    { return r.slots[i&r.mask].Load() }
+func (r *dqRing) put(i int64, b *dqBox) { r.slots[i&r.mask].Store(b) }
+func (r *dqRing) capacity() int64       { return r.mask + 1 }
 
-// NewLockFree returns an empty lock-free deque with room for at least n
-// units before the first grow.
-func NewLockFree(n int) *LockFree {
+// NewDeque returns an empty deque with room for at least n units before
+// the first grow.
+func NewDeque(n int) *Deque {
 	c := int64(8)
 	for c < int64(n) {
 		c <<= 1
 	}
-	d := &LockFree{}
-	d.ring.Store(newLFRing(c))
+	d := &Deque{}
+	d.ring.Store(newDqRing(c))
 	return d
 }
 
 // PushBottom inserts a unit at the owner end. Owner-only.
-func (d *LockFree) PushBottom(u ult.Unit) {
+func (d *Deque) PushBottom(u ult.Unit) {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	r := d.ring.Load()
+	if r == nil {
+		r = newDqRing(8)
+		d.ring.Store(r)
+	}
 	if b-t >= r.capacity()-1 {
 		r = d.grow(r, b, t)
 	}
-	r.put(b, &lfSlot{u: u})
+	var box *dqBox
+	if n := len(d.free); n > 0 {
+		box = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		box = dqBoxes.Get().(*dqBox)
+	}
+	box.u = u
+	r.put(b, box)
 	d.bottom.Store(b + 1)
 	d.stats.Pushes.Add(1)
 }
 
-// grow doubles the ring, copying live entries. Owner-only.
-func (d *LockFree) grow(old *lfRing, b, t int64) *lfRing {
-	nr := newLFRing(old.capacity() * 2)
+// grow doubles the ring, copying live entries. Owner-only. Thieves keep
+// reading the old ring safely: live indices hold the same box pointers in
+// both rings, and the top CAS still decides every extraction.
+func (d *Deque) grow(old *dqRing, b, t int64) *dqRing {
+	nr := newDqRing(old.capacity() * 2)
 	for i := t; i < b; i++ {
 		nr.put(i, old.get(i))
 	}
@@ -76,7 +129,7 @@ func (d *LockFree) grow(old *lfRing, b, t int64) *lfRing {
 }
 
 // PopBottom removes the most recently pushed unit. Owner-only.
-func (d *LockFree) PopBottom() ult.Unit {
+func (d *Deque) PopBottom() ult.Unit {
 	b := d.bottom.Load() - 1
 	d.bottom.Store(b)
 	t := d.top.Load()
@@ -87,7 +140,7 @@ func (d *LockFree) PopBottom() ult.Unit {
 		return nil
 	}
 	r := d.ring.Load()
-	s := r.get(b)
+	box := r.get(b)
 	if t == b {
 		// Last element: race the thieves for it.
 		won := d.top.CompareAndSwap(t, t+1)
@@ -97,13 +150,30 @@ func (d *LockFree) PopBottom() ult.Unit {
 			return nil
 		}
 	}
+	// Sole extractor of this box (the sequentially consistent
+	// bottom-store/top-load ordering above rules out a concurrent
+	// successful steal of index b when t < b).
+	u := box.u
+	box.u = nil
+	d.recycle(box)
 	d.stats.Pops.Add(1)
-	return s.u
+	return u
+}
+
+// recycle returns a box the owner extracted to the owner-local cache, or
+// to the shared pool once the cache is full. Owner-only.
+func (d *Deque) recycle(box *dqBox) {
+	if len(d.free) < dqFreeCap {
+		d.free = append(d.free, box)
+		return
+	}
+	dqBoxes.Put(box)
 }
 
 // StealTop removes the oldest unit. Safe for concurrent thieves; returns
-// nil when the deque is empty or the steal lost a race (callers retry).
-func (d *LockFree) StealTop() ult.Unit {
+// nil when the deque is empty or the steal lost a race (callers try
+// another victim or retry).
+func (d *Deque) StealTop() ult.Unit {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
@@ -111,17 +181,47 @@ func (d *LockFree) StealTop() ult.Unit {
 		return nil
 	}
 	r := d.ring.Load()
-	s := r.get(t)
+	box := r.get(t)
 	if !d.top.CompareAndSwap(t, t+1) {
 		d.stats.Contended.Add(1)
 		return nil
 	}
+	u := box.u
+	box.u = nil
+	dqBoxes.Put(box)
 	d.stats.Steals.Add(1)
-	return s.u
+	return u
+}
+
+// PopFront removes the oldest unit from the owner side (FIFO service
+// order, used by runtimes that schedule their private pool in arrival
+// order). It takes the same CAS path as a steal — the owner is just a
+// privileged thief here — but retries lost races instead of giving up,
+// and counts the removal as a Pop.
+func (d *Deque) PopFront() ult.Unit {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			d.stats.EmptyPops.Add(1)
+			return nil
+		}
+		r := d.ring.Load()
+		box := r.get(t)
+		if !d.top.CompareAndSwap(t, t+1) {
+			d.stats.Contended.Add(1)
+			continue
+		}
+		u := box.u
+		box.u = nil
+		d.recycle(box)
+		d.stats.Pops.Add(1)
+		return u
+	}
 }
 
 // Len reports the approximate number of queued units.
-func (d *LockFree) Len() int {
+func (d *Deque) Len() int {
 	n := d.bottom.Load() - d.top.Load()
 	if n < 0 {
 		n = 0
@@ -130,4 +230,4 @@ func (d *LockFree) Len() int {
 }
 
 // Stats exposes the deque's counters.
-func (d *LockFree) Stats() *Stats { return &d.stats }
+func (d *Deque) Stats() *Stats { return &d.stats }

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -8,8 +9,8 @@ import (
 	"repro/internal/ult"
 )
 
-func TestLockFreeSequentialLIFO(t *testing.T) {
-	d := NewLockFree(4)
+func TestDequeSequentialLIFO(t *testing.T) {
+	d := NewDeque(4)
 	us := mkUnits(10)
 	for _, u := range us {
 		d.PushBottom(u)
@@ -28,8 +29,8 @@ func TestLockFreeSequentialLIFO(t *testing.T) {
 	}
 }
 
-func TestLockFreeSequentialStealFIFO(t *testing.T) {
-	d := NewLockFree(4)
+func TestDequeSequentialStealFIFO(t *testing.T) {
+	d := NewDeque(4)
 	us := mkUnits(5)
 	for _, u := range us {
 		d.PushBottom(u)
@@ -45,8 +46,8 @@ func TestLockFreeSequentialStealFIFO(t *testing.T) {
 	}
 }
 
-func TestLockFreeGrowthPreservesAll(t *testing.T) {
-	d := NewLockFree(2)
+func TestDequeGrowthPreservesAll(t *testing.T) {
+	d := NewDeque(2)
 	us := mkUnits(200) // forces several grows
 	for _, u := range us {
 		d.PushBottom(u)
@@ -63,8 +64,8 @@ func TestLockFreeGrowthPreservesAll(t *testing.T) {
 	}
 }
 
-func TestLockFreeInterleavedPushPop(t *testing.T) {
-	d := NewLockFree(2)
+func TestDequeInterleavedPushPop(t *testing.T) {
+	d := NewDeque(2)
 	// Wrap the ring repeatedly.
 	for round := 0; round < 50; round++ {
 		us := mkUnits(7)
@@ -87,11 +88,21 @@ func TestLockFreeInterleavedPushPop(t *testing.T) {
 	}
 }
 
-// The central correctness property: under a racing owner and thieves,
-// every pushed unit is extracted exactly once.
-func TestLockFreeConcurrentConservation(t *testing.T) {
-	d := NewLockFree(8)
-	const total = 20000
+// The central correctness property of the Chase–Lev deque, at the scale
+// the CI race job runs it: one owner racing N stealers over 10^5 units,
+// every pushed unit extracted exactly once, nothing lost, nothing
+// duplicated.
+func TestDequeConcurrentConservation(t *testing.T) {
+	for _, stealers := range []int{1, 4, 8} {
+		t.Run(map[int]string{1: "stealers-1", 4: "stealers-4", 8: "stealers-8"}[stealers],
+			func(t *testing.T) {
+				runDequeConservation(t, stealers, 100_000)
+			})
+	}
+}
+
+func runDequeConservation(t *testing.T, stealers, total int) {
+	d := NewDeque(8)
 	var extracted sync.Map
 	var count atomic.Int64
 	record := func(u ult.Unit) {
@@ -103,7 +114,7 @@ func TestLockFreeConcurrentConservation(t *testing.T) {
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	for i := 0; i < 4; i++ { // thieves
+	for i := 0; i < stealers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -119,6 +130,7 @@ func TestLockFreeConcurrentConservation(t *testing.T) {
 					}
 					return
 				default:
+					runtime.Gosched()
 				}
 			}
 		}()
@@ -137,13 +149,90 @@ func TestLockFreeConcurrentConservation(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+	if got := count.Load(); got != int64(total) {
+		t.Fatalf("extracted %d units, want %d", got, total)
+	}
+}
+
+// With GOMAXPROCS=1 the owner and its thieves interleave on one OS
+// thread; the deque must stay live (no spin that starves the other side)
+// and still conserve every unit. This is the liveness half of the
+// concurrency suite; the conservation half above runs at default
+// parallelism under -race in CI.
+func TestDequeSingleProcLiveness(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	runDequeConservation(t, 2, 20_000)
+}
+
+// Mixing PopFront (owner FIFO service, the MassiveThreads loop) with
+// concurrent stealers must also conserve units.
+func TestDequePopFrontVsStealers(t *testing.T) {
+	d := NewDeque(8)
+	const total = 50_000
+	var extracted sync.Map
+	var count atomic.Int64
+	record := func(u ult.Unit) {
+		if _, dup := extracted.LoadOrStore(u.ID(), true); dup {
+			t.Errorf("unit %d extracted twice", u.ID())
+		}
+		count.Add(1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if u := d.StealTop(); u != nil {
+					record(u)
+					continue
+				}
+				select {
+				case <-stop:
+					for u := d.StealTop(); u != nil; u = d.StealTop() {
+						record(u)
+					}
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		d.PushBottom(ult.NewTasklet(func() {}))
+		if i%3 == 0 {
+			if u := d.PopFront(); u != nil {
+				record(u)
+			}
+		}
+	}
+	for u := d.PopFront(); u != nil; u = d.PopFront() {
+		record(u)
+	}
+	close(stop)
+	wg.Wait()
 	if got := count.Load(); got != total {
 		t.Fatalf("extracted %d units, want %d", got, total)
 	}
 }
 
-func TestLockFreeStatsCounters(t *testing.T) {
-	d := NewLockFree(4)
+func TestDequeZeroValue(t *testing.T) {
+	var d Deque
+	if d.PopBottom() != nil || d.StealTop() != nil || d.PopFront() != nil {
+		t.Fatal("zero-value deque invented a unit")
+	}
+	u := mkUnits(1)[0]
+	d.PushBottom(u)
+	if d.PopBottom() != u {
+		t.Fatal("zero-value deque lost the unit")
+	}
+}
+
+func TestDequeStatsCounters(t *testing.T) {
+	d := NewDeque(4)
 	us := mkUnits(3)
 	for _, u := range us {
 		d.PushBottom(u)
@@ -154,5 +243,8 @@ func TestLockFreeStatsCounters(t *testing.T) {
 	if st.Pushes.Load() != 3 || st.Pops.Load() != 1 || st.Steals.Load() != 1 {
 		t.Fatalf("stats = pushes %d / pops %d / steals %d",
 			st.Pushes.Load(), st.Pops.Load(), st.Steals.Load())
+	}
+	if r := st.ContentionRatio(); r != 0 {
+		t.Fatalf("sequential contention ratio = %v, want 0", r)
 	}
 }

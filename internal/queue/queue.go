@@ -1,5 +1,5 @@
 // Package queue provides the work-unit containers used by the runtime
-// emulations: private FIFO queues, owner-LIFO/thief-FIFO deques for work
+// emulations: per-thread FIFO queues, owner-LIFO/thief-FIFO deques for work
 // stealing, and a single shared MPMC queue modelling the global run queues
 // of the Go scheduler and the gcc OpenMP task runtime.
 //
@@ -8,6 +8,18 @@
 // protection MassiveThreads' steals require (§III-C), the per-thread
 // queues plus stealing of the icc task runtime (§II.A) — so the containers
 // here expose contention counters that tests and benchmarks can assert on.
+//
+// Two implementations exist for each container shape:
+//
+//   - The default FIFO (segmented ticket MPMC, fifo.go) and Deque
+//     (Chase–Lev, chaselev.go) run the scheduling hot paths without locks:
+//     owner-side deque operations are plain atomics, steals are a single
+//     CAS, and pushes to the shared queue are one fetch-add.
+//   - MutexFIFO and MutexDeque (this file) are the original mutex-guarded
+//     containers. They remain the measured baseline for the lock-free
+//     ablations and serve the one shape the lock-free deque cannot: fully
+//     concurrent multi-producer bottom pushes plus PushTop reinsertion,
+//     which the LIFO scheduling policy requires.
 package queue
 
 import (
@@ -17,20 +29,44 @@ import (
 	"repro/internal/ult"
 )
 
-// Stats aggregates container event counters. All fields are safe for
-// concurrent use.
+// Stats aggregates container event counters. All fields are atomics and
+// safe for concurrent use from any goroutine — the lock-free containers
+// update them outside any critical section.
 type Stats struct {
 	// Pushes counts successful insertions.
 	Pushes atomic.Uint64
 	// Pops counts successful removals by the owner side.
 	Pops atomic.Uint64
+
+	// The owner-side counters above and the thief-side counters below
+	// live on separate cache lines: spinning thieves bump Contended and
+	// EmptyPops at full speed, and without the split every owner-side
+	// push would pay a coherence miss on the shared line.
+	_ [6]uint64
+
 	// Steals counts successful removals by the thief side (deques only).
 	Steals atomic.Uint64
-	// Contended counts lock acquisitions that did not succeed on the
-	// first try — a direct measure of queue contention.
+	// Contended counts operations that did not succeed on the first
+	// attempt: a mutex acquisition that had to wait (mutex containers) or
+	// a CAS that lost a race (lock-free containers). Either way it is a
+	// direct measure of queue contention.
 	Contended atomic.Uint64
 	// EmptyPops counts removal attempts that found the container empty.
 	EmptyPops atomic.Uint64
+
+	_ [5]uint64
+}
+
+// ContentionRatio reports contended operations per successful operation —
+// the figure the paper's queue-contention arguments are about. For the
+// lock-free containers the numerator is the CAS-failure count, so the
+// ratio stays comparable across implementations.
+func (s *Stats) ContentionRatio() float64 {
+	ops := s.Pushes.Load() + s.Pops.Load() + s.Steals.Load()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Contended.Load()) / float64(ops)
 }
 
 // lockCounting acquires mu, bumping the contention counter when the lock
@@ -43,12 +79,12 @@ func lockCounting(mu *sync.Mutex, st *Stats) {
 	mu.Lock()
 }
 
-// FIFO is a mutex-protected first-in first-out work-unit queue: the private
-// per-thread pool used (in its default configuration) by Argobots,
-// Qthreads, Converse Threads and MassiveThreads.
+// MutexFIFO is a mutex-protected first-in first-out work-unit queue — the
+// original container behind the private per-thread pools, kept as the
+// measured baseline for BenchmarkQueueOps.
 //
 // The zero value is an empty, usable queue.
-type FIFO struct {
+type MutexFIFO struct {
 	mu    sync.Mutex
 	buf   []ult.Unit
 	head  int
@@ -56,9 +92,10 @@ type FIFO struct {
 	stats Stats
 }
 
-// NewFIFO returns an empty FIFO with capacity preallocated for n units.
-func NewFIFO(n int) *FIFO {
-	return &FIFO{buf: make([]ult.Unit, nextPow2(n))}
+// NewMutexFIFO returns an empty MutexFIFO with capacity preallocated for
+// n units.
+func NewMutexFIFO(n int) *MutexFIFO {
+	return &MutexFIFO{buf: make([]ult.Unit, nextPow2(n))}
 }
 
 func nextPow2(n int) int {
@@ -70,7 +107,7 @@ func nextPow2(n int) int {
 }
 
 // Push appends a unit to the tail.
-func (q *FIFO) Push(u ult.Unit) {
+func (q *MutexFIFO) Push(u ult.Unit) {
 	lockCounting(&q.mu, &q.stats)
 	q.grow()
 	q.buf[(q.head+q.count)&(len(q.buf)-1)] = u
@@ -80,7 +117,7 @@ func (q *FIFO) Push(u ult.Unit) {
 }
 
 // grow doubles the ring when full. Caller holds the lock.
-func (q *FIFO) grow() {
+func (q *MutexFIFO) grow() {
 	if q.buf == nil {
 		q.buf = make([]ult.Unit, 8)
 		return
@@ -97,7 +134,7 @@ func (q *FIFO) grow() {
 }
 
 // Pop removes and returns the head unit, or nil if the queue is empty.
-func (q *FIFO) Pop() ult.Unit {
+func (q *MutexFIFO) Pop() ult.Unit {
 	lockCounting(&q.mu, &q.stats)
 	defer q.mu.Unlock()
 	if q.count == 0 {
@@ -113,24 +150,30 @@ func (q *FIFO) Pop() ult.Unit {
 }
 
 // Len reports the number of queued units.
-func (q *FIFO) Len() int {
+func (q *MutexFIFO) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.count
 }
 
 // Stats exposes the queue's counters.
-func (q *FIFO) Stats() *Stats { return &q.stats }
+func (q *MutexFIFO) Stats() *Stats { return &q.stats }
 
-// Deque is a mutex-protected double-ended work-stealing queue: the owner
-// pushes and pops at the bottom (LIFO, good locality for recursive work),
-// thieves steal from the top (FIFO, oldest — typically largest — work).
-// This is the structure behind MassiveThreads workers and the icc OpenMP
-// task queues; the paper notes the steals require mutex protection, which
-// is exactly what the contention counter measures.
+// MutexDeque is a mutex-protected double-ended work-stealing queue: the
+// owner pushes and pops at the bottom (LIFO, good locality for recursive
+// work), thieves steal from the top (FIFO, oldest — typically largest —
+// work). This is the structure the paper describes for MassiveThreads
+// workers ("the steals require mutex protection", §III-C); the lock-free
+// Deque is the alternative design point, and BenchmarkQueueOps quantifies
+// what the mutex costs.
+//
+// Unlike the lock-free Deque, every operation is safe from any goroutine,
+// and PushTop can reinsert a unit at the steal end — the two properties
+// the LIFO scheduling policy needs (shared pools push from many streams;
+// yielded units re-enter at the oldest position).
 //
 // The zero value is an empty, usable deque.
-type Deque struct {
+type MutexDeque struct {
 	mu    sync.Mutex
 	buf   []ult.Unit
 	head  int // top: steal end
@@ -138,13 +181,13 @@ type Deque struct {
 	stats Stats
 }
 
-// NewDeque returns an empty deque with room for n units preallocated.
-func NewDeque(n int) *Deque {
-	return &Deque{buf: make([]ult.Unit, nextPow2(n))}
+// NewMutexDeque returns an empty deque with room for n units preallocated.
+func NewMutexDeque(n int) *MutexDeque {
+	return &MutexDeque{buf: make([]ult.Unit, nextPow2(n))}
 }
 
 // PushBottom inserts a unit at the owner end.
-func (d *Deque) PushBottom(u ult.Unit) {
+func (d *MutexDeque) PushBottom(u ult.Unit) {
 	lockCounting(&d.mu, &d.stats)
 	d.grow()
 	d.buf[(d.head+d.count)&(len(d.buf)-1)] = u
@@ -153,7 +196,7 @@ func (d *Deque) PushBottom(u ult.Unit) {
 	d.mu.Unlock()
 }
 
-func (d *Deque) grow() {
+func (d *MutexDeque) grow() {
 	if d.buf == nil {
 		d.buf = make([]ult.Unit, 8)
 		return
@@ -170,7 +213,7 @@ func (d *Deque) grow() {
 }
 
 // PopBottom removes the most recently pushed unit (owner side), or nil.
-func (d *Deque) PopBottom() ult.Unit {
+func (d *MutexDeque) PopBottom() ult.Unit {
 	lockCounting(&d.mu, &d.stats)
 	defer d.mu.Unlock()
 	if d.count == 0 {
@@ -188,7 +231,7 @@ func (d *Deque) PopBottom() ult.Unit {
 // PushTop inserts a unit at the steal end — the oldest position. Used to
 // requeue units that yielded, so newest-first owners do not redispatch
 // the yielder immediately and starve the units it yielded to.
-func (d *Deque) PushTop(u ult.Unit) {
+func (d *MutexDeque) PushTop(u ult.Unit) {
 	lockCounting(&d.mu, &d.stats)
 	d.grow()
 	d.head = (d.head - 1) & (len(d.buf) - 1)
@@ -199,7 +242,7 @@ func (d *Deque) PushTop(u ult.Unit) {
 }
 
 // StealTop removes the oldest unit (thief side), or nil.
-func (d *Deque) StealTop() ult.Unit {
+func (d *MutexDeque) StealTop() ult.Unit {
 	lockCounting(&d.mu, &d.stats)
 	defer d.mu.Unlock()
 	if d.count == 0 {
@@ -216,7 +259,7 @@ func (d *Deque) StealTop() ult.Unit {
 
 // PopFront removes the oldest unit from the owner side (FIFO service order,
 // used by runtimes that schedule their private pool in arrival order).
-func (d *Deque) PopFront() ult.Unit {
+func (d *MutexDeque) PopFront() ult.Unit {
 	lockCounting(&d.mu, &d.stats)
 	defer d.mu.Unlock()
 	if d.count == 0 {
@@ -232,28 +275,34 @@ func (d *Deque) PopFront() ult.Unit {
 }
 
 // Len reports the number of queued units.
-func (d *Deque) Len() int {
+func (d *MutexDeque) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.count
 }
 
 // Stats exposes the deque's counters.
-func (d *Deque) Stats() *Stats { return &d.stats }
+func (d *MutexDeque) Stats() *Stats { return &d.stats }
 
-// Shared is a single global MPMC queue protected by one mutex — the model
-// the paper ascribes to Go's scheduler and the gcc OpenMP task runtime.
-// Every producer and consumer serializes on the same lock, so its
-// contention counter grows with the number of threads (§VI, Figure 2).
+// Shared is the single global MPMC queue of the paper's Go-scheduler and
+// gcc-OpenMP models (§VI, Figure 2): every producer and consumer targets
+// the same queue. It is now backed by the lock-free FIFO, so the queue no
+// longer serializes every operation on one mutex; the contention the
+// paper predicts is still visible as the CAS-failure count in
+// Stats().Contended, which grows with the number of threads hammering the
+// shared head.
 //
 // The zero value is an empty, usable queue.
 type Shared struct {
 	fifo FIFO
 }
 
-// NewShared returns an empty shared queue with capacity for n units.
+// NewShared returns an empty shared queue sized for about n in-flight
+// units.
 func NewShared(n int) *Shared {
-	return &Shared{fifo: FIFO{buf: make([]ult.Unit, nextPow2(n))}}
+	s := &Shared{}
+	s.fifo.reserve()
+	return s
 }
 
 // Push appends a unit.

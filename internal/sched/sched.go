@@ -96,7 +96,9 @@ func Requeue(p Policy, u ult.Unit) {
 }
 
 // FIFO schedules units in arrival order — the default policy of every
-// library in Table I except where configured otherwise.
+// library in Table I except where configured otherwise. It rides the
+// lock-free MPMC queue, so the default scheduling hot path (every create
+// and every dispatch on every backend) runs without a single lock.
 type FIFO struct {
 	q queue.FIFO
 }
@@ -118,8 +120,15 @@ func (p *FIFO) Stats() *queue.Stats { return p.q.Stats() }
 
 // LIFO schedules the most recently created unit first — the owner-side
 // order of work-first runtimes, which favors recursive decomposition.
+//
+// LIFO stays on the mutex deque deliberately: as a Policy it must accept
+// pushes from any execution stream (shared pools, round-robin dealing)
+// and reinsert yielded units at the oldest end, and that combination —
+// concurrent multi-producer bottom pushes plus PushTop — is exactly what
+// the lock-free Chase–Lev deque's single-owner, monotonic-top discipline
+// rules out.
 type LIFO struct {
-	d queue.Deque
+	d queue.MutexDeque
 }
 
 // NewLIFO returns a LIFO policy.
@@ -310,8 +319,22 @@ func (s *Stack) PushYielded(u ult.Unit) { Requeue(s.top(), u) }
 
 // Pop implements Policy: the active policy is drained first, then lower
 // ones, so pushing a scheduler takes over without losing queued work.
+// The depth-1 case — every scheduler that never stacked an ad-hoc
+// policy, i.e. the scheduling loops' steady state — skips the snapshot
+// allocation.
 func (s *Stack) Pop() ult.Unit {
-	for _, p := range s.snapshot() {
+	s.mu.Lock()
+	if len(s.stack) == 1 {
+		p := s.stack[0]
+		s.mu.Unlock()
+		return p.Pop()
+	}
+	out := make([]Policy, len(s.stack))
+	for i := range s.stack {
+		out[i] = s.stack[len(s.stack)-1-i]
+	}
+	s.mu.Unlock()
+	for _, p := range out {
 		if u := p.Pop(); u != nil {
 			return u
 		}

@@ -25,9 +25,18 @@ type Executor struct {
 	// executor reads it.
 	handback chan handoff
 
-	// hint, when non-nil, names the ULT that YieldTo requested to run
-	// next, bypassing the scheduler.
-	hint atomic.Pointer[ULT]
+	// hintT/hintGen name the ULT that YieldTo requested to run next,
+	// bypassing the scheduler, qualified by the target's descriptor
+	// generation: descriptors are pooled and reused after Free, so a
+	// stale hint must be discarded rather than claim the descriptor's
+	// next incarnation onto this executor.
+	//
+	// Plain fields, not atomics: setHint is only called by the work unit
+	// currently holding this executor's control token, and TakeHint only
+	// by the scheduling loop after that unit handed the token back, so
+	// the hand-off channel already orders every access.
+	hintT   *ULT
+	hintGen uint64
 
 	// lockOSThread makes the executor goroutine bind to an OS thread,
 	// used by the OpenMP emulation to make execution streams genuinely
@@ -95,11 +104,29 @@ func (e *Executor) PinIfRequested() {
 
 // setHint records a YieldTo target. A second YieldTo before the executor
 // consumes the first simply overwrites it; the skipped target is still in
-// its pool and loses nothing.
-func (e *Executor) setHint(t *ULT) { e.hint.Store(t) }
+// its pool and loses nothing. Must be called while holding the
+// executor's control token (YieldTo does).
+func (e *Executor) setHint(t *ULT) {
+	e.hintT = t
+	e.hintGen = t.gen.Load()
+}
 
-// TakeHint removes and returns the pending YieldTo target, or nil.
-func (e *Executor) TakeHint() *ULT { return e.hint.Swap(nil) }
+// TakeHint removes and returns the pending YieldTo target, or nil. A hint
+// whose target descriptor has been freed and recycled since the hint was
+// set is dropped: the claim that follows would otherwise dispatch the
+// descriptor's next incarnation here, bypassing any placement it was
+// created with.
+func (e *Executor) TakeHint() *ULT {
+	t := e.hintT
+	if t == nil {
+		return nil
+	}
+	e.hintT = nil
+	if t.gen.Load() != e.hintGen {
+		return nil
+	}
+	return t
+}
 
 // DispatchResult describes how a dispatched ULT returned control.
 type DispatchResult int
@@ -167,6 +194,12 @@ func (e *Executor) classifyHandoff(h handoff) DispatchResult {
 // DispatchHint runs the pending YieldTo hint if there is one and it can be
 // claimed. It returns the dispatched ULT's result and true, or false if no
 // hint was runnable.
+//
+// A hint-claimed unit's pool entry (if it had one) goes stale: some
+// scheduler will pop the same pointer later and rely on claim() failing
+// to skip it. That skip is only sound while the pointer still refers to
+// this incarnation, so the descriptor is marked non-recyclable — Free
+// will release it to the garbage collector instead of the reuse pool.
 func (e *Executor) DispatchHint() (DispatchResult, *ULT, bool) {
 	h := e.TakeHint()
 	if h == nil {
@@ -175,6 +208,7 @@ func (e *Executor) DispatchHint() (DispatchResult, *ULT, bool) {
 	if !h.claim() {
 		return 0, nil, false
 	}
+	h.noRecycle.Store(true)
 	e.stats.HintHits.Add(1)
 	return e.dispatchClaimed(h), h, true
 }

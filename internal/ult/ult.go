@@ -19,6 +19,7 @@ package ult
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -104,6 +105,29 @@ var idCounter atomic.Uint64
 
 func nextID() uint64 { return idCounter.Add(1) }
 
+// Descriptor pooling. Freeing a work unit (the Argobots join-and-free
+// discipline) returns its descriptor to a sync.Pool, so steady-state
+// create/free cycles reuse descriptors instead of allocating — the
+// paper's create/join hot path (Figures 2–3) runs allocation-free at the
+// descriptor level.
+//
+// A descriptor may only be recycled once *both* parties are finished with
+// it: the caller of Free, and the unit's own final act (the ULT
+// goroutine's hand-back send, or the tasklet's completion publication),
+// which can still be in flight when a status-polling joiner observes Done
+// and frees. Each side calls release(); the second release performs the
+// pool put. The pooling contract for callers is the same use-after-free
+// rule the C libraries have: a handle must not be touched after the unit
+// was freed (for the unified API: after Join returned).
+var (
+	ultPool     sync.Pool
+	taskletPool sync.Pool
+)
+
+// releaseParties is the number of release() calls that must land before a
+// descriptor can be recycled.
+const releaseParties = 2
+
 // Func is the body of a ULT. The self argument is the running ULT and is
 // only valid for the duration of the call; it provides the cooperative
 // operations (Yield, YieldTo, Suspend, ...).
@@ -139,20 +163,47 @@ type ULT struct {
 
 	// label is an optional debugging name set by the emulations.
 	label string
+
+	// gen counts descriptor reuses. YieldTo hints capture it so a hint
+	// that outlives its target's free+recycle is discarded instead of
+	// hijacking the descriptor's next incarnation onto the wrong stream.
+	gen atomic.Uint64
+
+	// releases counts the parties (terminal hand-back, Free) that have
+	// finished with the descriptor; the second one recycles it.
+	releases atomic.Int32
+
+	// noRecycle permanently exempts the descriptor from pooling. Set
+	// when the unit is dispatched through a YieldTo hint: that dispatch
+	// leaves the unit's pool entry stale, and the scheduler that later
+	// pops the stale pointer depends on claim() failing against *this*
+	// incarnation — reusing the descriptor would let the stale entry
+	// claim (and misplace) the next one.
+	noRecycle atomic.Bool
 }
 
 // New creates a ULT in the Created state. The backing goroutine is spawned
 // immediately but stays parked until the first dispatch, so creation cost
 // is one goroutine spawn plus channel allocations — deliberately heavier
-// than a Tasklet, as in the paper.
+// than a Tasklet, as in the paper. Descriptors of freed ULTs are reused
+// from a pool (the resume channel rides along; the done channel is closed
+// on completion and must be fresh).
 func New(fn Func) *ULT {
-	t := &ULT{
-		id:         nextID(),
-		fn:         fn,
-		resume:     make(chan struct{}),
-		done:       make(chan struct{}),
-		migratable: true,
+	t, _ := ultPool.Get().(*ULT)
+	if t == nil {
+		t = &ULT{resume: make(chan struct{})}
+	} else {
+		t.gen.Add(1)
+		t.releases.Store(0)
+		t.freed.Store(false)
+		t.owner = nil
+		t.err = nil
+		t.label = ""
 	}
+	t.id = nextID()
+	t.fn = fn
+	t.done = make(chan struct{})
+	t.migratable = true
 	t.status.Store(int32(StatusCreated))
 	go t.main()
 	t.started = true
@@ -187,11 +238,25 @@ func (t *ULT) runBody() {
 }
 
 // finish marks the ULT done and returns control to the owning executor.
+// The release is the goroutine's last act: a joiner can observe Done and
+// call Free while the hand-back send is still in flight, so the
+// descriptor must not be recyclable before the send has completed.
 func (t *ULT) finish() {
 	owner := t.owner
 	t.status.Store(int32(StatusDone))
 	close(t.done)
 	owner.handback <- handoff{t: t, st: StatusDone}
+	t.release()
+}
+
+// release records that one of the two parties (terminal hand-back, Free)
+// is done with the descriptor; the second one recycles it, unless the
+// descriptor was hint-dispatched (see DispatchHint) and must die with
+// its stale pool entry.
+func (t *ULT) release() {
+	if t.releases.Add(1) == releaseParties && !t.noRecycle.Load() {
+		ultPool.Put(t)
+	}
 }
 
 // Kind implements Unit.
@@ -236,6 +301,11 @@ func (t *ULT) Freed() bool { return t.freed.Load() }
 // Argobots' ABT_thread_free: the paper attributes part of Argobots' join
 // cost to this extra bookkeeping, so emulations call it explicitly.
 // Freeing a unit twice or freeing an unfinished unit is an error.
+//
+// Free returns the descriptor to the reuse pool (once the backing
+// goroutine's hand-back has also completed). The caller must not touch
+// the ULT — not even Status or DoneChan — after Free returns: the
+// descriptor may already be serving a new work unit.
 func (t *ULT) Free() error {
 	if t.Status() != StatusDone {
 		return ErrNotDone
@@ -244,6 +314,7 @@ func (t *ULT) Free() error {
 		return ErrFreed
 	}
 	t.fn = nil
+	t.release()
 	return nil
 }
 
@@ -316,12 +387,28 @@ type Tasklet struct {
 	// doneCh is allocated lazily by DoneChan for callers that join on a
 	// channel; plain status polling does not pay for it.
 	doneCh chan struct{}
+	// releases counts the parties (completion publication, Free) done
+	// with the descriptor; the second one recycles it.
+	releases atomic.Int32
 }
 
-// NewTasklet creates a tasklet in the Created state. Creation is a single
-// small allocation — the "lightest work unit available" of §VI.
+// NewTasklet creates a tasklet in the Created state. Creation is at most
+// one small allocation — the "lightest work unit available" of §VI — and
+// none at all in steady state: freed tasklet descriptors are reused from
+// a pool, so a create/free cycle (the Figure 2/5 hot path) does not touch
+// the allocator.
 func NewTasklet(fn TaskletFunc) *Tasklet {
-	t := &Tasklet{id: nextID(), fn: fn}
+	t, _ := taskletPool.Get().(*Tasklet)
+	if t == nil {
+		t = &Tasklet{}
+	} else {
+		t.releases.Store(0)
+		t.freed.Store(false)
+		t.err = nil
+		t.doneCh = nil
+	}
+	t.id = nextID()
+	t.fn = fn
 	t.status.Store(int32(StatusCreated))
 	return t
 }
@@ -373,6 +460,18 @@ func (t *Tasklet) run() {
 	if t.doneCh != nil {
 		close(t.doneCh)
 	}
+	t.release()
+}
+
+// release records that one of the two parties (completion, Free) is done
+// with the descriptor; the second one recycles it. The executor-side
+// release is the last statement of run, so a freer racing a
+// status-polling join cannot recycle the descriptor out from under the
+// completion publication.
+func (t *Tasklet) release() {
+	if t.releases.Add(1) == releaseParties {
+		taskletPool.Put(t)
+	}
 }
 
 // Err returns the panic recovered from the body, or nil. Only meaningful
@@ -382,7 +481,10 @@ func (t *Tasklet) Err() error { return t.err }
 // Freed reports whether Free has been called.
 func (t *Tasklet) Freed() bool { return t.freed.Load() }
 
-// Free releases the tasklet.
+// Free releases the tasklet, returning the descriptor to the reuse pool
+// (once the completion publication has also finished). The caller must
+// not touch the tasklet after Free returns: the descriptor may already be
+// serving a new work unit.
 func (t *Tasklet) Free() error {
 	if t.Status() != StatusDone {
 		return ErrNotDone
@@ -391,6 +493,7 @@ func (t *Tasklet) Free() error {
 		return ErrFreed
 	}
 	t.fn = nil
+	t.release()
 	return nil
 }
 
