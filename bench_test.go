@@ -449,9 +449,11 @@ func BenchmarkAblationDequeLocking(b *testing.B) {
 // BenchmarkULTCreateJoin measures the paper's own metric — the cost of
 // creating and joining one work unit — on the Argobots emulation, where
 // the join-and-free discipline recycles descriptors through the ult
-// package's pools. The tasklet variant is the steady-state
-// allocation-lean path; the ULT variant still pays the backing goroutine
-// and completion channel, but reuses the descriptor. Idle streams park
+// package's pools. Both variants run the steady-state recycled cycle:
+// the ULT path reuses the parked trampoline goroutine inside the pooled
+// descriptor (0 spawns) and its single allocation is the public handle,
+// which doubles as the body argument; the join parks the primary in the
+// unit's waiter slot after one cooperative poll. Idle streams park
 // (the passive wait policy) so that on small hosts the benchmark
 // measures the create/join path rather than busy-wait oversubscription —
 // that regime is BenchmarkAblationIdlePolicy's subject.

@@ -26,11 +26,17 @@
 // the tolerance are printed for diagnosis but do not fail the gate on
 // their own.
 //
+// Summary mode (-summary) prints the same per-figure geometric-mean
+// deltas — including improvements, rendered as NN% faster/slower — and
+// always exits 0: CI runs it on every build so perf movement is visible
+// in the job log even when it is nowhere near the gate's tolerance.
+//
 // Usage:
 //
 //	benchgate -baseline bench_baseline.json            # gate BENCH_*.json in .
 //	benchgate -baseline bench_baseline.json -dir out   # …in out/
 //	benchgate -baseline bench_baseline.json -max-ratio 5
+//	benchgate -baseline bench_baseline.json -summary   # report deltas, never fail
 //	benchgate -write-baseline bench_baseline.json      # refresh the baseline
 //	                                                   # from BENCH_*.json
 package main
@@ -52,6 +58,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory holding the fresh BENCH_*.json files")
 	maxRatio := flag.Float64("max-ratio", 3.0, "fail when fresh mean exceeds baseline mean by this factor")
 	write := flag.String("write-baseline", "", "instead of gating, combine BENCH_*.json into this baseline file")
+	summary := flag.Bool("summary", false, "print per-figure geomean deltas vs the baseline and exit 0 (no gating)")
 	flag.Parse()
 
 	fresh, err := loadDir(*dir)
@@ -74,9 +81,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *summary {
+		printSummary(base, fresh)
+		return
+	}
 	ok := gate(base, fresh, *maxRatio)
 	if !ok {
 		os.Exit(1)
+	}
+}
+
+// printSummary reports each figure's geometric-mean movement against the
+// baseline as a human-readable delta. Informational only.
+func printSummary(base, fresh []microbench.FigureJSON) {
+	baseIdx := index(base)
+	freshIdx := index(fresh)
+	logSum := map[int]float64{}
+	cells := map[int]int{}
+	for k, fn := range freshIdx {
+		bn, ok := baseIdx[k]
+		if !ok || bn <= 0 || fn <= 0 {
+			continue
+		}
+		logSum[k.figure] += math.Log(float64(fn) / float64(bn))
+		cells[k.figure]++
+	}
+	if len(cells) == 0 {
+		fmt.Println("benchgate summary: no comparable cells between baseline and fresh results")
+		return
+	}
+	figs := make([]int, 0, len(cells))
+	for f := range cells {
+		figs = append(figs, f)
+	}
+	sort.Ints(figs)
+	fmt.Println("benchgate summary: per-figure geomean vs baseline (min-over-reps ns, <100% = faster)")
+	for _, f := range figs {
+		gm := math.Exp(logSum[f] / float64(cells[f]))
+		word := "slower"
+		delta := (gm - 1) * 100
+		if gm < 1 {
+			word = "faster"
+			delta = (1 - gm) * 100
+		}
+		fmt.Printf("benchgate summary: fig%d %6.2fx (%5.1f%% %s) over %d cells\n",
+			f, gm, delta, word, cells[f])
 	}
 }
 

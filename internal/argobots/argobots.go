@@ -81,6 +81,10 @@ type Runtime struct {
 	shared   *sched.Stack // non-nil in SharedPool mode
 	rr       atomic.Pointer[sched.RoundRobin]
 	primary  *ult.ULT
+	// pWaiter is the primary ULT's reusable park-slot entry: main-thread
+	// joins are serial, so one waiter serves every ThreadFree/TaskFree
+	// without a per-join allocation.
+	pWaiter  *ult.DoneWaiter
 	parker   *ult.Parker // non-nil when IdleParking is on
 	shutdown atomic.Bool
 	wg       sync.WaitGroup
@@ -105,10 +109,26 @@ func (x *XStream) Stats() *ult.ExecStats { return x.exec.Stats() }
 // itself answerable after ThreadFree: the descriptor behind u is pooled
 // and may already serve another work unit, so no method may touch it
 // once freed is set.
+//
+// The handle also carries the ULT's body and context so creation needs no
+// per-create closure: the substrate runs threadBody with the handle as
+// argument (ult.NewWith), and the create/join cycle's only allocation is
+// the handle itself.
 type Thread struct {
 	u     *ult.ULT
 	rt    *Runtime
+	fn    func(*Context)
+	gen   uint64
+	ctx   Context
 	freed atomic.Bool
+}
+
+// threadBody is the closure-free ULT body: the handle carries the user
+// function and the per-run context.
+func threadBody(self *ult.ULT, arg any) {
+	th := arg.(*Thread)
+	th.ctx = Context{rt: th.rt, self: self}
+	th.fn(&th.ctx)
 }
 
 // Task is a handle on an Argobots Tasklet, with the same post-free
@@ -151,6 +171,9 @@ func Init(cfg Config) *Runtime {
 		rt.addXStream(i)
 	}
 	rt.primary = ult.Adopt(rt.xstreams[0].exec)
+	rt.pWaiter = &ult.DoneWaiter{Fn: func(*ult.Executor) {
+		ult.ResumeAndRequeue(rt.primary, func(j *ult.ULT) { rt.pushTo(j, 0) })
+	}}
 	for i, x := range rt.xstreams {
 		rt.wg.Add(1)
 		go x.loop(i == 0)
@@ -240,12 +263,14 @@ func (rt *Runtime) ThreadCreate(fn func(*Context)) *Thread {
 	return rt.ThreadCreateTo(fn, rt.nextES())
 }
 
-// ThreadCreateTo creates a ULT directly in the pool of ES es.
+// ThreadCreateTo creates a ULT directly in the pool of ES es. In steady
+// state this is allocation-free beyond the returned handle: the handle
+// doubles as the body argument (ult.NewWith), and the descriptor — parked
+// trampoline goroutine included — comes from the substrate's reuse pool.
 func (rt *Runtime) ThreadCreateTo(fn func(*Context), es int) *Thread {
-	th := &Thread{rt: rt}
-	th.u = ult.New(func(self *ult.ULT) {
-		fn(&Context{rt: rt, self: self})
-	})
+	th := &Thread{rt: rt, fn: fn}
+	th.u = ult.NewWith(threadBody, th)
+	th.gen = th.u.Gen()
 	rt.pushTo(th.u, es)
 	return th
 }
@@ -264,26 +289,125 @@ func (rt *Runtime) TaskCreateTo(fn func(), es int) *Task {
 	return tk
 }
 
+// ThreadCreateBulk creates one ULT per body and deals the batch across
+// the execution streams in contiguous blocks — one batched pool insertion
+// per stream and a single parker wake, instead of a push and a wake per
+// unit. The distribution set matches the round-robin dealing of
+// ThreadCreate; only the interleaving differs.
+func (rt *Runtime) ThreadCreateBulk(fns []func(*Context)) []*Thread {
+	ths := make([]*Thread, len(fns))
+	units := make([]ult.Unit, len(fns))
+	for i, fn := range fns {
+		th := &Thread{rt: rt, fn: fn}
+		th.u = ult.NewWith(threadBody, th)
+		th.gen = th.u.Gen()
+		ths[i] = th
+		units[i] = th.u
+	}
+	rt.pushBulk(units)
+	return ths
+}
+
+// TaskCreateBulk creates one Tasklet per body with the same batched
+// dealing as ThreadCreateBulk.
+func (rt *Runtime) TaskCreateBulk(fns []func()) []*Task {
+	ts := ult.NewTaskletBulk(fns)
+	tks := make([]*Task, len(ts))
+	units := make([]ult.Unit, len(ts))
+	for i, t := range ts {
+		tks[i] = &Task{rt: rt, t: t}
+		units[i] = t
+	}
+	rt.pushBulk(units)
+	return tks
+}
+
+// pushBulk marks the units ready and distributes them: one PushBatch into
+// the shared pool, or contiguous blocks across the private pools starting
+// at the round-robin cursor, followed by a single wake.
+func (rt *Runtime) pushBulk(units []ult.Unit) {
+	if len(units) == 0 {
+		return
+	}
+	for _, u := range units {
+		ult.MarkReady(u)
+	}
+	if rt.shared != nil {
+		rt.shared.PushBatch(units)
+	} else {
+		rt.mu.Lock()
+		xs := rt.xstreams
+		rt.mu.Unlock()
+		k := len(xs)
+		start := rt.rr.Load().Next()
+		per := (len(units) + k - 1) / k
+		for i := 0; i*per < len(units); i++ {
+			lo := i * per
+			hi := min(lo+per, len(units))
+			xs[(start+i)%k].sched.PushBatch(units[lo:hi])
+		}
+	}
+	if rt.parker != nil {
+		rt.parker.Wake()
+	}
+}
+
 // Yield yields the primary ULT (ABT_thread_yield from main). Must be
 // called from the goroutine that called Init.
 func (rt *Runtime) Yield() { rt.primary.Yield() }
 
-// ThreadFree joins the ULT and releases it (ABT_thread_free): the caller
-// polls the unit's status, yielding the primary between polls, and then
-// frees the structure. The paper singles out this join-and-free as the
-// reason Argobots' Figure 6 join is costlier than Qthreads' readFF while
-// remaining the best in Figure 3.
+// parkPrimary performs one wait step of a main-thread join: the primary
+// parks in u's single-waiter slot and is resumed directly by the
+// finishing unit (re-entering ES 0's pool) — no polling in the common
+// case. It reports whether the park happened; when the slot is already
+// taken by another joiner it yields once instead (the poll-yield join the
+// C library's status-check join corresponds to) and the caller re-checks
+// completion.
+func (rt *Runtime) parkPrimary(u ult.WaiterSlot) bool {
+	if u.SetWaiter(rt.pWaiter) {
+		rt.primary.Suspend()
+		return true
+	}
+	rt.primary.Yield()
+	return false
+}
+
+// ThreadFree joins the ULT and releases it (ABT_thread_free). The paper
+// singles out this join-and-free as the reason Argobots' Figure 6 join is
+// costlier than Qthreads' readFF while remaining the best in Figure 3;
+// the join itself now parks the primary in the unit's waiter slot instead
+// of poll-yielding.
 func (rt *Runtime) ThreadFree(th *Thread) error {
-	for !th.Done() {
-		rt.Yield()
+	if th.freed.Load() {
+		return ult.ErrFreed
+	}
+	if !th.Done() {
+		// One cooperative poll first: a short-lived unit completes while
+		// the primary is parked in this yield, and the join never pays
+		// the suspend/resume machinery. Units still running after that
+		// park the primary in their waiter slot.
+		rt.primary.Yield()
+		for !th.Done() {
+			if rt.parkPrimary(th.u) {
+				break
+			}
+		}
 	}
 	return th.free()
 }
 
 // TaskFree joins a tasklet and releases it (ABT_task_free).
 func (rt *Runtime) TaskFree(tk *Task) error {
-	for !tk.Done() {
-		rt.Yield()
+	if tk.freed.Load() {
+		return ult.ErrFreed
+	}
+	if !tk.Done() {
+		rt.primary.Yield() // cooperative poll; see ThreadFree
+		for !tk.Done() {
+			if rt.parkPrimary(tk.t) {
+				break
+			}
+		}
 	}
 	return tk.free()
 }
@@ -295,6 +419,7 @@ func (th *Thread) free() error {
 	if !th.freed.CompareAndSwap(false, true) {
 		return ult.ErrFreed
 	}
+	th.fn = nil
 	return th.u.Free()
 }
 
@@ -305,13 +430,18 @@ func (tk *Task) free() error {
 	return tk.t.Free()
 }
 
-// Done reports whether the ULT has completed, without joining it. A
-// freed thread was necessarily joined, so the answer comes from the
-// handle without reading the recycled descriptor.
-func (th *Thread) Done() bool { return th.freed.Load() || th.u.Done() }
+// Done reports whether the ULT has completed, without joining it. The
+// generation-counted completion word keeps the answer correct — and
+// monotonic — even when a concurrent ThreadFree recycles the descriptor
+// between the two loads.
+func (th *Thread) Done() bool { return th.freed.Load() || th.u.DoneAt(th.gen) }
 
-// Done reports whether the tasklet has completed.
-func (tk *Task) Done() bool { return tk.freed.Load() || tk.t.Done() }
+// Done reports whether the tasklet has completed. The descriptor is read
+// before the freed flag: a recycled descriptor (whose status word the
+// next incarnation reset) implies the free already happened, so the
+// second load then answers true — Done never transiently reports an
+// already-completed tasklet as pending.
+func (tk *Task) Done() bool { return tk.t.Done() || tk.freed.Load() }
 
 // PushScheduler stacks policy p on top of ES es's scheduler (Argobots
 // stackable schedulers, Table I). New work created toward that ES flows
@@ -421,11 +551,28 @@ func (c *Context) Yield() { c.self.Yield() }
 // Table I. If the target is not runnable the call degrades to Yield.
 func (c *Context) YieldTo(target *Thread) { c.self.YieldTo(target.u) }
 
-// Join waits for the target ULT by polling its status and yielding
-// between polls.
+// parkSelf performs one wait step of a worker-side join: the running ULT
+// parks in u's waiter slot, and the finishing unit resumes it straight
+// back into the pool it was running from (preserving ThreadCreateTo
+// placement). It reports whether the park happened; an occupied slot
+// yields once instead and the caller re-checks completion.
+func (c *Context) parkSelf(u ult.WaiterSlot) bool {
+	rt := c.rt
+	es := c.self.Owner().ID()
+	if ult.ParkJoinStep(c.self, u, func(j *ult.ULT, _ *ult.Executor) { rt.pushTo(j, es) }) {
+		return true
+	}
+	c.self.Yield()
+	return false
+}
+
+// Join waits for the target ULT, parking in its waiter slot (falling back
+// to a status-poll-plus-yield when another joiner holds the slot).
 func (c *Context) Join(th *Thread) {
 	for !th.Done() {
-		c.self.Yield()
+		if c.parkSelf(th.u) {
+			return
+		}
 	}
 }
 
@@ -435,10 +582,18 @@ func (c *Context) JoinFree(th *Thread) error {
 	return th.free()
 }
 
-// JoinTask waits for a tasklet by polling and yielding.
+// JoinTaskFree joins the tasklet and frees it (worker-side ABT_task_free).
+func (c *Context) JoinTaskFree(tk *Task) error {
+	c.JoinTask(tk)
+	return tk.free()
+}
+
+// JoinTask waits for a tasklet, parking in its waiter slot.
 func (c *Context) JoinTask(tk *Task) {
 	for !tk.Done() {
-		c.self.Yield()
+		if c.parkSelf(tk.t) {
+			return
+		}
 	}
 }
 

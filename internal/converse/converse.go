@@ -84,13 +84,54 @@ func (p *Processor) QueueStats() *queue.Stats {
 	return nil
 }
 
-// Cth is a handle on a Converse ULT (CthThread).
+// Cth is a handle on a Converse ULT (CthThread). It carries the body and
+// per-run context so creation allocates only the handle (ult.NewWith),
+// plus the descriptor generation so Done stays answerable after Free
+// released the descriptor.
 type Cth struct {
-	u *ult.ULT
+	u   *ult.ULT
+	p   *Processor
+	fn  func(*CthCtx)
+	gen uint64
+	// claim elects the one joiner (or Free caller) allowed to touch the
+	// descriptor and obliged to free it; freed records that the free
+	// happened. Joiners that lost the claim poll the recycle-safe Done.
+	claim atomic.Bool
+	freed atomic.Bool
+	ctx   CthCtx
 }
 
-// Done reports whether the ULT completed.
-func (c *Cth) Done() bool { return c.u.Done() }
+// cthBody is the closure-free ULT body.
+func cthBody(self *ult.ULT, arg any) {
+	c := arg.(*Cth)
+	c.ctx = CthCtx{p: c.p, self: self}
+	c.fn(&c.ctx)
+}
+
+// Done reports whether the ULT completed; the generation-counted
+// completion word keeps the answer correct after free-and-recycle.
+func (c *Cth) Done() bool { return c.freed.Load() || c.u.DoneAt(c.gen) }
+
+// Free releases a completed ULT's descriptor back to the substrate pool
+// (CthFree). Idempotent; callers that joined through CthCtx.Join need not
+// call it — the join frees. A parked joiner holding the handle's claim
+// frees instead (Free then no-ops). Unfreed handles are reclaimed by the
+// garbage collector at the cost of their descriptor's reuse.
+func (c *Cth) Free() {
+	if c.Done() && c.claim.CompareAndSwap(false, true) {
+		c.release()
+	}
+}
+
+// release returns the descriptor to the pool; claim-winner only. The
+// body closure is dropped too: handles may be retained after the join
+// (for Done), and must not pin what the body captured.
+func (c *Cth) release() {
+	if c.freed.CompareAndSwap(false, true) {
+		c.fn = nil
+		_ = c.u.Free()
+	}
+}
 
 // Proc is the processor context passed to Message bodies: Messages are
 // atomic (no yield), but they may create local ULTs and send further
@@ -172,13 +213,53 @@ func (rt *Runtime) CthCreate(fn func(*CthCtx)) *Cth {
 }
 
 func (p *Processor) cthCreate(fn func(*CthCtx)) *Cth {
-	c := &Cth{}
-	c.u = ult.New(func(self *ult.ULT) {
-		fn(&CthCtx{p: p, self: self})
-	})
+	c := &Cth{p: p, fn: fn}
+	c.u = ult.NewWith(cthBody, c)
+	c.gen = c.u.Gen()
 	ult.MarkReady(c.u)
 	p.q.Push(c.u)
 	return c
+}
+
+// SyncSendBatch enqueues one Message per body into the named processor's
+// queue with a single batched insertion — a CmiSyncSend burst paying the
+// queue synchronization once.
+func (rt *Runtime) SyncSendBatch(proc int, fns []func(*Proc)) {
+	p := rt.procs[proc]
+	bodies := make([]func(), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		bodies[i] = func() { fn(&Proc{p: p}) }
+	}
+	ms := ult.NewTaskletBulk(bodies)
+	units := make([]ult.Unit, len(ms))
+	for i, m := range ms {
+		ult.MarkReady(m)
+		units[i] = m
+	}
+	sched.PushAll(p.q, units)
+}
+
+// CthCreateBulk creates one local ULT per body in processor 0's queue
+// with a single batched insertion (CthCreate cannot target remote
+// processors, so bulk creation is local like the single-unit form).
+func (rt *Runtime) CthCreateBulk(fns []func(*CthCtx)) []*Cth {
+	return rt.procs[0].cthCreateBulk(fns)
+}
+
+func (p *Processor) cthCreateBulk(fns []func(*CthCtx)) []*Cth {
+	cs := make([]*Cth, len(fns))
+	units := make([]ult.Unit, len(fns))
+	for i, fn := range fns {
+		c := &Cth{p: p, fn: fn}
+		c.u = ult.NewWith(cthBody, c)
+		c.gen = c.u.Gen()
+		ult.MarkReady(c.u)
+		cs[i] = c
+		units[i] = c.u
+	}
+	sched.PushAll(p.q, units)
+	return cs
 }
 
 // Yield runs one unit from processor 0's queue if there is one (CthYield
@@ -304,6 +385,31 @@ func (cc *CthCtx) ID() int { return cc.p.id }
 
 // Yield re-enters the local scheduler (CthYield).
 func (cc *CthCtx) Yield() { cc.self.Yield() }
+
+// Join waits for another ULT from inside a ULT. The joiner parks in the
+// target's single-waiter slot (CthSuspend) and the finishing unit awakens
+// it back into the joiner's own processor queue (CthAwaken) — ULTs never
+// migrate between processors, so the requeue target is always the
+// processor the joiner was created on. Falls back to poll-yield when the
+// slot is held by another joiner.
+func (cc *CthCtx) Join(target *Cth) {
+	if !target.claim.CompareAndSwap(false, true) {
+		// Another joiner owns (and will free) the descriptor; poll the
+		// recycle-safe completion word only.
+		for !target.Done() {
+			cc.self.Yield()
+		}
+		return
+	}
+	q := cc.p.q
+	for !target.u.Done() {
+		if ult.ParkJoinStep(cc.self, target.u, func(j *ult.ULT, _ *ult.Executor) { q.Push(j) }) {
+			break
+		}
+		cc.self.Yield()
+	}
+	target.release()
+}
 
 // YieldTo hands control directly to another local ULT (CthYieldTo).
 func (cc *CthCtx) YieldTo(target *Cth) { cc.self.YieldTo(target.u) }

@@ -26,6 +26,18 @@ func init() {
 	Register("go", func() Backend { return &goBackend{} })
 }
 
+// taskletBulkViaULTs is the bulk form of the tasklet→ULT fallback shared
+// by the backends without a stackless work unit (Table I): wrap each body
+// and delegate to the backend's ULT bulk creator.
+func taskletBulkViaULTs(fns []func(), ultBulk func([]func(Ctx)) []Handle) []Handle {
+	wrapped := make([]func(Ctx), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		wrapped[i] = func(Ctx) { fn() }
+	}
+	return ultBulk(wrapped)
+}
+
 // policyFor resolves the negotiated scheduler name to a per-pool policy
 // factory. Open has already validated the name, so resolution cannot
 // fail; the empty name yields the FIFO default.
@@ -65,6 +77,11 @@ type argoULT struct {
 	// private pools (-1 when unpinned): YieldTo must not hijack it onto
 	// another stream, or the Placement promise breaks.
 	pinned int
+	// joining elects the one unified-API joiner allowed to perform the
+	// join-and-free (and so to park on the descriptor); concurrent
+	// joiners that lose the claim poll Done, which stays answerable
+	// after the winner freed and the descriptor recycled.
+	joining atomic.Bool
 	// joined latches completion at Join time: Argobots joins are
 	// join-and-free, which returns the ULT descriptor to the reuse pool,
 	// so Done must answer from the handle afterwards instead of reading
@@ -75,8 +92,9 @@ type argoULT struct {
 func (h *argoULT) Done() bool { return h.joined.Load() || h.th.Done() }
 
 type argoTasklet struct {
-	tk     *argobots.Task
-	joined atomic.Bool
+	tk      *argobots.Task
+	joining atomic.Bool
+	joined  atomic.Bool
 }
 
 func (h *argoTasklet) Done() bool { return h.joined.Load() || h.tk.Done() }
@@ -129,17 +147,53 @@ func (b *argoBackend) TaskletCreate(fn func()) Handle {
 	return &argoTasklet{tk: b.rt.TaskCreate(fn)}
 }
 
+// ULTCreateBulk implements BulkBackend over the substrate's batched
+// round-robin dealing (one pool insertion per stream, one wake).
+func (b *argoBackend) ULTCreateBulk(fns []func(Ctx)) []Handle {
+	afns := make([]func(*argobots.Context), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		afns[i] = func(c *argobots.Context) { fn(&argoCtx{b: b, c: c}) }
+	}
+	ths := b.rt.ThreadCreateBulk(afns)
+	hs := make([]Handle, len(ths))
+	for i, th := range ths {
+		hs[i] = &argoULT{b: b, pinned: -1, th: th}
+	}
+	return hs
+}
+
+// TaskletCreateBulk implements BulkBackend; see ULTCreateBulk.
+func (b *argoBackend) TaskletCreateBulk(fns []func()) []Handle {
+	tks := b.rt.TaskCreateBulk(fns)
+	hs := make([]Handle, len(tks))
+	for i, tk := range tks {
+		hs[i] = &argoTasklet{tk: tk}
+	}
+	return hs
+}
+
 func (b *argoBackend) Yield() { b.rt.Yield() }
 
 func (b *argoBackend) Join(h Handle) {
 	// Argobots joins are join-and-free (ABT_thread_free / ABT_task_free).
+	// The joining claim elects the one caller that performs it; losers
+	// poll the handle, which answers from its own flags once freed.
 	switch v := h.(type) {
 	case *argoULT:
-		_ = b.rt.ThreadFree(v.th)
-		v.joined.Store(true)
+		if v.joining.CompareAndSwap(false, true) {
+			_ = b.rt.ThreadFree(v.th)
+			v.joined.Store(true)
+			return
+		}
+		joinPoll(h, b.Yield)
 	case *argoTasklet:
-		_ = b.rt.TaskFree(v.tk)
-		v.joined.Store(true)
+		if v.joining.CompareAndSwap(false, true) {
+			_ = b.rt.TaskFree(v.tk)
+			v.joined.Store(true)
+			return
+		}
+		joinPoll(h, b.Yield)
 	default:
 		joinPoll(h, b.Yield)
 	}
@@ -198,7 +252,32 @@ func (c *argoCtx) TaskletCreate(fn func()) Handle {
 	return &argoTasklet{tk: c.c.TaskCreate(fn)}
 }
 
-func (c *argoCtx) Join(h Handle) { joinPoll(h, c.c.Yield) }
+// Join from inside a ULT parks the joiner in the target's waiter slot and
+// then frees the unit — the worker-side ABT_thread_free, matching the
+// join-and-free the backend-level Join performs, so ULT-created work
+// recycles its descriptor no matter which side joins it. The joining
+// claim elects the one joiner that touches the descriptor; losers (and
+// handles of other runtimes) fall back to the generic poll-yield join.
+func (c *argoCtx) Join(h Handle) {
+	switch v := h.(type) {
+	case *argoULT:
+		if v.joining.CompareAndSwap(false, true) {
+			_ = c.c.JoinFree(v.th)
+			v.joined.Store(true)
+			return
+		}
+		joinPoll(h, c.c.Yield)
+	case *argoTasklet:
+		if v.joining.CompareAndSwap(false, true) {
+			_ = c.c.JoinTaskFree(v.tk)
+			v.joined.Store(true)
+			return
+		}
+		joinPoll(h, c.c.Yield)
+	default:
+		joinPoll(h, c.c.Yield)
+	}
+}
 
 func (c *argoCtx) ExecutorID() int { return c.c.XStreamID() }
 
@@ -278,6 +357,28 @@ func (b *qtBackend) forkTo(fn func(Ctx), shep int) Handle {
 // (Table I row "Tasklet Support").
 func (b *qtBackend) TaskletCreate(fn func()) Handle {
 	return b.ULTCreate(func(Ctx) { fn() })
+}
+
+// ULTCreateBulk implements BulkBackend over ForkBulk: contiguous blocks
+// dealt across shepherds, one batched queue insertion per shepherd.
+func (b *qtBackend) ULTCreateBulk(fns []func(Ctx)) []Handle {
+	qfns := make([]func(*qthreads.Context), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		qfns[i] = func(c *qthreads.Context) { fn(&qtCtx{b: b, c: c}) }
+	}
+	ths := b.rt.ForkBulk(qfns)
+	hs := make([]Handle, len(ths))
+	for i, th := range ths {
+		hs[i] = &qtULT{b: b, th: th}
+	}
+	return hs
+}
+
+// TaskletCreateBulk implements BulkBackend via the ULT fallback (no
+// stackless unit, Table I).
+func (b *qtBackend) TaskletCreateBulk(fns []func()) []Handle {
+	return taskletBulkViaULTs(fns, b.ULTCreateBulk)
 }
 
 // Yield from the main thread is a no-op scheduling hint: the Qthreads
@@ -399,6 +500,28 @@ func (b *mtBackend) ULTCreateTo(_ int, fn func(Ctx)) Handle {
 // TaskletCreate falls back to a ULT (no tasklet support, Table I).
 func (b *mtBackend) TaskletCreate(fn func()) Handle {
 	return b.ULTCreate(func(Ctx) { fn() })
+}
+
+// ULTCreateBulk implements BulkBackend: help-first batches the whole
+// creation into one deque publication; work-first stays sequential by
+// construction (the substrate falls back internally).
+func (b *mtBackend) ULTCreateBulk(fns []func(Ctx)) []Handle {
+	mfns := make([]func(*massivethreads.Context), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		mfns[i] = func(c *massivethreads.Context) { fn(&mtCtx{b: b, c: c}) }
+	}
+	ths := b.rt.CreateBulk(mfns)
+	hs := make([]Handle, len(ths))
+	for i, th := range ths {
+		hs[i] = &mtULT{th: th}
+	}
+	return hs
+}
+
+// TaskletCreateBulk implements BulkBackend via the ULT fallback.
+func (b *mtBackend) TaskletCreateBulk(fns []func()) []Handle {
+	return taskletBulkViaULTs(fns, b.ULTCreateBulk)
 }
 
 func (b *mtBackend) Yield() { b.rt.Yield() }
@@ -542,15 +665,72 @@ func (b *cvBackend) TaskletCreate(fn func()) Handle {
 	return h
 }
 
+// ULTCreateBulk implements BulkBackend: Converse ULT creation is local to
+// the master's processor (the §VIII-B1 restriction), so the batch is one
+// insertion into processor 0's queue.
+func (b *cvBackend) ULTCreateBulk(fns []func(Ctx)) []Handle {
+	cfns := make([]func(*converse.CthCtx), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		cfns[i] = func(cc *converse.CthCtx) { fn(&cvCtx{b: b, c: cc}) }
+	}
+	cs := b.rt.CthCreateBulk(cfns)
+	hs := make([]Handle, len(cs))
+	for i, c := range cs {
+		hs[i] = &cvULT{c: c}
+	}
+	return hs
+}
+
+// TaskletCreateBulk implements BulkBackend: the batch is dealt as
+// contiguous Message blocks across the processors (one CmiSyncSend burst
+// per processor), continuing the round-robin cursor of TaskletCreate.
+func (b *cvBackend) TaskletCreateBulk(fns []func()) []Handle {
+	hs := make([]Handle, len(fns))
+	if len(fns) == 0 {
+		return hs
+	}
+	k := b.n
+	per := (len(fns) + k - 1) / k
+	startProc := int(b.rrNext.Add(1)-1) % k
+	sends := make([]func(*converse.Proc), 0, per)
+	for blk := 0; blk*per < len(fns); blk++ {
+		lo := blk * per
+		hi := min(lo+per, len(fns))
+		sends = sends[:0]
+		for i := lo; i < hi; i++ {
+			h := &cvMsg{}
+			hs[i] = h
+			fn := fns[i]
+			sends = append(sends, func(*converse.Proc) {
+				defer h.done.Store(true) // survive contained panics
+				fn()
+			})
+		}
+		b.rt.SyncSendBatch((startProc+blk)%k, sends)
+	}
+	return hs
+}
+
 func (b *cvBackend) Yield() { b.rt.Yield() }
 
 // Join drives the local scheduler until the unit completes: the master
 // must keep processing its own queue (return mode) while remote
-// processors drain theirs.
+// processors drain theirs. Completed ULT handles are freed (CthFree) so
+// their descriptors re-enter the substrate pool; Message handles carry no
+// descriptor to free.
 func (b *cvBackend) Join(h Handle) {
 	for !h.Done() {
 		if !b.rt.Yield() {
 			runtime.Gosched()
+		}
+	}
+	switch v := h.(type) {
+	case *cvULT:
+		v.c.Free()
+	case *cvRemoteULT:
+		if c := v.inner.Load(); c != nil {
+			c.Free()
 		}
 	}
 }
@@ -607,7 +787,17 @@ func (c *cvCtx) TaskletCreate(fn func()) Handle {
 	return h
 }
 
-func (c *cvCtx) Join(h Handle) { joinPoll(h, c.c.Yield) }
+// Join from inside a ULT parks on local Cth handles (CthSuspend/
+// CthAwaken); Messages and remote ULTs keep the poll-yield join — their
+// completion is published by a plain flag the paper's two-step patterns
+// poll the same way.
+func (c *cvCtx) Join(h Handle) {
+	if v, ok := h.(*cvULT); ok {
+		c.c.Join(v.c)
+		return
+	}
+	joinPoll(h, c.c.Yield)
+}
 
 func (c *cvCtx) ExecutorID() int { return c.c.ID() }
 
@@ -654,6 +844,27 @@ func (b *goBackend) ULTCreateTo(_ int, fn func(Ctx)) Handle {
 // TaskletCreate falls back to a goroutine (single work-unit type).
 func (b *goBackend) TaskletCreate(fn func()) Handle {
 	return b.ULTCreate(func(Ctx) { fn() })
+}
+
+// ULTCreateBulk implements BulkBackend: one multi-ticket insertion into
+// the global run queue for the whole batch.
+func (b *goBackend) ULTCreateBulk(fns []func(Ctx)) []Handle {
+	gfns := make([]func(*gothreads.Context), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		gfns[i] = func(c *gothreads.Context) { fn(&goCtx{b: b, c: c}) }
+	}
+	gs := b.rt.GoBulk(gfns)
+	hs := make([]Handle, len(gs))
+	for i, g := range gs {
+		hs[i] = &goULT{b: b, g: g}
+	}
+	return hs
+}
+
+// TaskletCreateBulk implements BulkBackend via the goroutine fallback.
+func (b *goBackend) TaskletCreateBulk(fns []func()) []Handle {
+	return taskletBulkViaULTs(fns, b.ULTCreateBulk)
 }
 
 // Yield is absent from the Go model (Table I); the unified layer degrades
@@ -708,7 +919,7 @@ func (c *goCtx) TaskletCreate(fn func()) Handle {
 
 func (c *goCtx) Join(h Handle) {
 	if v, ok := h.(*goULT); ok {
-		c.c.Join(v.g) // parks the goroutine, releases the thread
+		c.c.Join(v.g) // parks the goroutine in the target's waiter slot
 		return
 	}
 	joinPoll(h, func() { runtime.Gosched() })
@@ -719,7 +930,11 @@ func (c *goCtx) ExecutorID() int { return c.c.ThreadID() }
 func (c *goCtx) NumExecutors() int { return c.b.rt.NumThreads() }
 
 // joinPoll waits for completion by polling with the given yield between
-// checks — the generic cooperative join.
+// checks — the generic cooperative join, kept as the documented fallback
+// for handles whose substrate park slot is unavailable (foreign runtimes,
+// occupied single-waiter slots, flag-published Converse Messages) or
+// whose semantics require the caller to keep scheduling (the Converse
+// master driving processor 0 in return mode).
 func joinPoll(h Handle, yield func()) {
 	for !h.Done() {
 		yield()

@@ -165,6 +165,19 @@ type Backend interface {
 	Caps() Capabilities
 }
 
+// BulkBackend is an optional Backend extension for bulk creation: one
+// call creates a whole batch of work units with the backend's cheapest
+// distribution — batched pool insertions (one multi-ticket reservation on
+// the lock-free queues, one lock acquisition on the mutex pools) and a
+// single idle-executor wake. Backends without it are served by a create
+// loop in Runtime.ULTCreateBulk / Runtime.TaskletCreateBulk.
+type BulkBackend interface {
+	// ULTCreateBulk creates one ULT per body, in order.
+	ULTCreateBulk(fns []func(Ctx)) []Handle
+	// TaskletCreateBulk creates one tasklet (or fallback) per body.
+	TaskletCreateBulk(fns []func()) []Handle
+}
+
 // Factory constructs an uninitialized backend.
 type Factory func() Backend
 
@@ -374,6 +387,35 @@ func (r *Runtime) ULTCreateTo(executor int, fn func(Ctx)) Handle {
 // TaskletCreate creates a tasklet or the backend's closest work unit
 // (Table II row "Tasklet creation").
 func (r *Runtime) TaskletCreate(fn func()) Handle { return r.b.TaskletCreate(fn) }
+
+// ULTCreateBulk creates one ULT per body in a single submission: on
+// backends with native bulk support the batch pays the pool
+// synchronization and the idle-executor wake once, which is what lets
+// the loop and task patterns (Figures 4–8) stop paying per-iteration
+// submission overhead. Elsewhere it degrades to a create loop.
+func (r *Runtime) ULTCreateBulk(fns []func(Ctx)) []Handle {
+	if bb, ok := r.b.(BulkBackend); ok {
+		return bb.ULTCreateBulk(fns)
+	}
+	hs := make([]Handle, len(fns))
+	for i, fn := range fns {
+		hs[i] = r.b.ULTCreate(fn)
+	}
+	return hs
+}
+
+// TaskletCreateBulk creates one tasklet (or the backend's fallback work
+// unit) per body in a single submission; see ULTCreateBulk.
+func (r *Runtime) TaskletCreateBulk(fns []func()) []Handle {
+	if bb, ok := r.b.(BulkBackend); ok {
+		return bb.TaskletCreateBulk(fns)
+	}
+	hs := make([]Handle, len(fns))
+	for i, fn := range fns {
+		hs[i] = r.b.TaskletCreate(fn)
+	}
+	return hs
+}
 
 // Yield yields the main thread (Table II row "Yield").
 func (r *Runtime) Yield() { r.b.Yield() }

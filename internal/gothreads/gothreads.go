@@ -44,18 +44,79 @@ type thread struct {
 	exec *ult.Executor
 }
 
-// G is a handle on a goroutine in the model.
+// G is a handle on a goroutine in the model. It carries the body and the
+// per-run context so spawning needs no per-create closure (the handle is
+// the ult.NewWith argument), plus the descriptor generation so Done stays
+// answerable after the join released the descriptor to the reuse pool.
+//
+// Join discipline: whichever joiner wins the handle's claim owns the
+// descriptor — it may block on its channel or park in its waiter slot,
+// and it frees the descriptor once synchronized (its pending free is
+// what keeps the descriptor out of the reuse pool meanwhile). Every
+// other joiner polls the generation-counted Done, which touches nothing
+// recyclable, so concurrent joins of one handle are safe. Notifying
+// goroutines (GoNotify) are joined through the completion channel; their
+// completion hook takes the claim and frees, unless a joiner already
+// holds it.
 type G struct {
-	u  *ult.ULT
-	id uint64
+	u      *ult.ULT
+	id     uint64
+	gen    uint64
+	rt     *Runtime
+	fn     func(*Context)
+	notify bool
+	// claim elects the one joiner (or the self-free hook) allowed to
+	// touch the descriptor and obliged to free it; freed records that
+	// the free happened.
+	claim    atomic.Bool
+	freed    atomic.Bool
+	selfFree ult.DoneWaiter
+	ctx      Context
 }
 
-// Done reports whether the goroutine completed.
-func (g *G) Done() bool { return g.u.Done() }
+// gBody is the closure-free goroutine body.
+func gBody(self *ult.ULT, arg any) {
+	g := arg.(*G)
+	if g.notify {
+		// Deferred so a panicking body still notifies its joiners.
+		defer func() { g.rt.done <- g.id }()
+	}
+	g.ctx = Context{rt: g.rt, self: self}
+	g.fn(&g.ctx)
+}
+
+// free releases the descriptor. Only the claim winner calls it, after
+// observing completion. The body closure is dropped too: handles may be
+// retained after the join (for Done/DoneChan), and must not pin what the
+// body captured.
+func (g *G) free() {
+	if g.freed.CompareAndSwap(false, true) {
+		g.fn = nil
+		_ = g.u.Free()
+	}
+}
+
+// Done reports whether the goroutine completed. It reads the
+// generation-counted completion word, so the answer stays correct after
+// the descriptor was freed and recycled.
+func (g *G) Done() bool { return g.freed.Load() || g.u.DoneAt(g.gen) }
 
 // DoneChan returns the goroutine's completion channel (closed when the
-// body returns), mirroring the per-join channel idiom.
-func (g *G) DoneChan() <-chan struct{} { return g.u.DoneChan() }
+// body returns), mirroring the per-join channel idiom. After the handle
+// was joined (and the descriptor freed) it answers with the shared
+// pre-closed channel.
+func (g *G) DoneChan() <-chan struct{} {
+	ch := g.u.DoneChan()
+	// Re-check freed AFTER touching the descriptor: freed is set before
+	// the descriptor can recycle, so observing it still false here
+	// proves ch came from our own incarnation (whose channel closes at
+	// its finish regardless of any later recycling). Observing true
+	// means ch may belong to the next incarnation — discard it.
+	if g.freed.Load() {
+		return ult.Closed()
+	}
+	return ch
+}
 
 // Context is passed to goroutine bodies. Deliberately minimal: the model
 // exposes no yield (Table I row "Yield": absent for Go), only the ability
@@ -91,17 +152,11 @@ func (rt *Runtime) NumThreads() int { return len(rt.threads) }
 // the paper's predicted bottleneck.
 func (rt *Runtime) QueueStats() *queue.Stats { return rt.shared.Stats() }
 
-// Go spawns a goroutine: the body is wrapped in a ULT and pushed to the
-// single global queue ("go function" in Table II).
+// Go spawns a goroutine: the body rides the handle into a pooled ULT
+// descriptor and is pushed to the single global queue ("go function" in
+// Table II). Steady-state spawning allocates only the handle.
 func (rt *Runtime) Go(fn func(*Context)) *G {
-	g := &G{}
-	g.u = ult.New(func(self *ult.ULT) {
-		fn(&Context{rt: rt, self: self})
-	})
-	g.id = g.u.ID()
-	ult.MarkReady(g.u)
-	rt.shared.Push(g.u)
-	return g
+	return rt.spawn(fn, false)
 }
 
 // GoNotify spawns a goroutine whose completion is additionally announced
@@ -109,16 +164,51 @@ func (rt *Runtime) Go(fn func(*Context)) *G {
 // join of §III-F ("channel" in Table II): the master performs N receives
 // to join N goroutines, in whatever order they finish.
 func (rt *Runtime) GoNotify(fn func(*Context)) *G {
-	g := &G{}
-	g.u = ult.New(func(self *ult.ULT) {
-		// Deferred so a panicking body still notifies its joiners.
-		defer func() { rt.done <- g.id }()
-		fn(&Context{rt: rt, self: self})
-	})
+	return rt.spawn(fn, true)
+}
+
+func (rt *Runtime) spawn(fn func(*Context), notify bool) *G {
+	g := &G{rt: rt, fn: fn, notify: notify}
+	g.u = ult.NewWith(gBody, g)
 	g.id = g.u.ID()
+	g.gen = g.u.Gen()
+	if notify {
+		// Channel-joined goroutines have no handle join to free them:
+		// the completion hook takes the claim and recycles the
+		// descriptor — unless a handle joiner beat it to the claim, in
+		// which case that joiner frees. (The hook occupying the park
+		// slot also means notify goroutines are park-joined never;
+		// handle joins on them fall back to the watcher.)
+		g.selfFree.Fn = func(*ult.Executor) {
+			if g.claim.CompareAndSwap(false, true) {
+				g.free()
+			}
+		}
+		g.u.SetWaiter(&g.selfFree)
+	}
 	ult.MarkReady(g.u)
 	rt.shared.Push(g.u)
 	return g
+}
+
+// GoBulk spawns one goroutine per body with a single multi-ticket
+// insertion into the global queue: the shared head/tail synchronization
+// the paper flags as the model's bottleneck is paid once per batch
+// instead of once per goroutine.
+func (rt *Runtime) GoBulk(fns []func(*Context)) []*G {
+	gs := make([]*G, len(fns))
+	units := make([]ult.Unit, len(fns))
+	for i, fn := range fns {
+		g := &G{rt: rt, fn: fn}
+		g.u = ult.NewWith(gBody, g)
+		g.id = g.u.ID()
+		g.gen = g.u.Gen()
+		ult.MarkReady(g.u)
+		gs[i] = g
+		units[i] = g.u
+	}
+	rt.shared.PushBatch(units)
+	return gs
 }
 
 // Recv receives one completion notification, blocking until some
@@ -133,8 +223,21 @@ func (rt *Runtime) JoinAll(n int) {
 	}
 }
 
-// Join blocks on a single goroutine's completion channel.
-func (rt *Runtime) Join(g *G) { <-g.u.DoneChan() }
+// Join blocks until the goroutine completes and releases the descriptor
+// (the goroutine's resources are gone once the joiner has synchronized,
+// as with the real runtime). The claim winner blocks on the completion
+// channel; a joiner that lost the claim — someone else owns the
+// descriptor — blocks on the freed-guarded DoneChan snapshot, which is
+// either this incarnation's channel (closed at its finish no matter who
+// frees afterwards) or the shared pre-closed channel.
+func (rt *Runtime) Join(g *G) {
+	if g.claim.CompareAndSwap(false, true) {
+		<-g.u.DoneChan()
+		g.free()
+		return
+	}
+	<-g.DoneChan()
+}
 
 // Finalize stops the scheduler threads. Outstanding goroutines must have
 // been joined first.
@@ -192,16 +295,37 @@ func (c *Context) Go(fn func(*Context)) *G { return c.rt.Go(fn) }
 // GoNotify spawns a notifying goroutine from inside a goroutine.
 func (c *Context) GoNotify(fn func(*Context)) *G { return c.rt.GoNotify(fn) }
 
-// Join blocks the calling goroutine on the target's completion channel.
-// As in the real Go runtime, a channel wait parks the goroutine and
-// releases the scheduler thread to run other work: the joiner suspends
-// and a watcher re-enqueues it on the global queue when the target's
-// channel closes.
+// Join blocks the calling goroutine until the target completes. As in
+// the real Go runtime, the wait parks the goroutine and releases the
+// scheduler thread to run other work: the claim-winning joiner suspends
+// in the target's single-waiter park slot and the finishing unit
+// re-enqueues it on the global queue directly, then the joiner frees the
+// descriptor. When the slot is held by the target's self-free hook (a
+// notify goroutine) a watcher goroutine on the completion channel stands
+// in — safe, because the claim winner's pending free keeps the
+// descriptor alive. A joiner that lost the claim polls the recycle-safe
+// Done cooperatively.
 func (c *Context) Join(g *G) {
+	if !g.claim.CompareAndSwap(false, true) {
+		for !g.Done() {
+			c.Gosched()
+		}
+		return
+	}
 	if g.u.Done() {
+		g.free()
 		return
 	}
 	self := c.self
+	rt := c.rt
+	if ult.ParkJoinStep(self, g.u, func(j *ult.ULT, _ *ult.Executor) { rt.shared.Push(j) }) {
+		g.free()
+		return
+	}
+	if g.u.Done() {
+		g.free()
+		return
+	}
 	go func() {
 		<-g.u.DoneChan()
 		// The joiner is about to suspend (or already has); spin until
@@ -214,7 +338,8 @@ func (c *Context) Join(g *G) {
 			}
 			runtime.Gosched()
 		}
-		c.rt.shared.Push(self)
+		rt.shared.Push(self)
 	}()
 	self.Suspend()
+	g.free()
 }

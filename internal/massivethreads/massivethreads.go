@@ -53,9 +53,12 @@ func (p Policy) String() string {
 
 // Runtime is an initialized MassiveThreads instance.
 type Runtime struct {
-	policy   Policy
-	workers  []*Worker
-	primary  *ult.ULT
+	policy  Policy
+	workers []*Worker
+	primary *ult.ULT
+	// pWaiter is the primary's reusable park-slot entry for main-thread
+	// joins (serial, so one instance suffices allocation-free).
+	pWaiter  *ult.DoneWaiter
 	shutdown atomic.Bool
 	wg       sync.WaitGroup
 	finished atomic.Bool
@@ -76,13 +79,50 @@ func (w *Worker) ID() int { return w.exec.ID() }
 // Stats exposes the worker's executor counters.
 func (w *Worker) Stats() *ult.ExecStats { return w.exec.Stats() }
 
-// Thread is a handle on a MassiveThreads ULT.
+// Thread is a handle on a MassiveThreads ULT. It carries the body and
+// per-run context so creation allocates only the handle (ult.NewWith),
+// plus the descriptor generation so Done stays answerable after the join
+// released the descriptor.
+//
+// Join discipline: the joiner that wins the handle's claim owns the
+// descriptor — it parks in the waiter slot and frees once synchronized
+// (myth_join both synchronizes and reclaims in the C library); its
+// pending free keeps the descriptor out of the reuse pool meanwhile.
+// Joiners that lost the claim poll the recycle-safe Done, so concurrent
+// joins of one handle are safe.
 type Thread struct {
-	u *ult.ULT
+	u   *ult.ULT
+	rt  *Runtime
+	fn  func(*Context)
+	gen uint64
+	// claim elects the one joiner allowed to touch the descriptor and
+	// obliged to free it; freed records that the free happened.
+	claim atomic.Bool
+	freed atomic.Bool
+	ctx   Context
 }
 
-// Done reports whether the ULT completed.
-func (th *Thread) Done() bool { return th.u.Done() }
+// mtBody is the closure-free ULT body.
+func mtBody(self *ult.ULT, arg any) {
+	th := arg.(*Thread)
+	th.ctx = Context{rt: th.rt, self: self}
+	th.fn(&th.ctx)
+}
+
+// free releases the descriptor. Only the claim winner calls it, after
+// observing completion. The body closure is dropped too: handles may be
+// retained after the join (for Done), and must not pin what the body
+// captured.
+func (th *Thread) free() {
+	if th.freed.CompareAndSwap(false, true) {
+		th.fn = nil
+		_ = th.u.Free()
+	}
+}
+
+// Done reports whether the ULT completed; the generation-counted
+// completion word keeps the answer correct after free-and-recycle.
+func (th *Thread) Done() bool { return th.freed.Load() || th.u.DoneAt(th.gen) }
 
 // Context is passed to ULT bodies.
 type Context struct {
@@ -108,6 +148,16 @@ func Init(nworkers int, policy Policy) *Runtime {
 		}
 	}
 	rt.primary = ult.Adopt(rt.workers[0].exec)
+	rt.pWaiter = &ult.DoneWaiter{Fn: func(e *ult.Executor) {
+		// The waiter runs on the finishing unit's goroutine with e's
+		// control token held, so the bottom push into e's deque honors
+		// the Chase–Lev owner discipline; the main flow resumes on
+		// whichever worker the target finished on, as work stealing
+		// already allows (§VI).
+		ult.ResumeAndRequeue(rt.primary, func(j *ult.ULT) {
+			rt.workers[e.ID()].dq.PushBottom(j)
+		})
+	}}
 	for i, w := range rt.workers {
 		rt.wg.Add(1)
 		go w.loop(i == 0)
@@ -134,22 +184,53 @@ func (rt *Runtime) Create(fn func(*Context)) *Thread {
 
 // createFrom implements both creation policies for any creating ULT.
 func (rt *Runtime) createFrom(creator *ult.ULT, fn func(*Context)) *Thread {
-	th := &Thread{}
-	th.u = ult.New(func(self *ult.ULT) {
-		fn(&Context{rt: rt, self: self})
-	})
-	ult.MarkReady(th.u)
+	th := &Thread{rt: rt, fn: fn}
+	th.u = ult.NewWith(mtBody, th)
+	th.gen = th.u.Gen()
 	if rt.policy == WorkFirst && creator != nil {
 		// Hand control straight to the new ULT; the executor requeues
 		// the creator's continuation into the local deque, where
-		// thieves may steal it — including the main flow itself.
+		// thieves may steal it — including the main flow itself. The
+		// new unit never touches a pool before this first dispatch, so
+		// the hint dispatch leaves no stale entry and the descriptor
+		// stays in the reuse economy (MarkUnpooled).
+		th.u.MarkUnpooled()
+		ult.MarkReady(th.u)
 		creator.YieldTo(th.u)
 		return th
 	}
 	// Help-first: enqueue on the creating worker's deque.
+	ult.MarkReady(th.u)
 	w := rt.workerOf(creator)
 	w.dq.PushBottom(th.u)
 	return th
+}
+
+// CreateBulk creates one ULT per body from the Init goroutine. Under
+// help-first the whole batch lands in the creating worker's deque with a
+// single bottom publication (the caller holds that worker's control
+// token, so the owner discipline is satisfied); work-first is inherently
+// sequential — every create hands control straight to the new unit — so
+// it falls back to per-unit creation.
+func (rt *Runtime) CreateBulk(fns []func(*Context)) []*Thread {
+	ths := make([]*Thread, len(fns))
+	if rt.policy == WorkFirst {
+		for i, fn := range fns {
+			ths[i] = rt.createFrom(rt.primary, fn)
+		}
+		return ths
+	}
+	units := make([]ult.Unit, len(fns))
+	for i, fn := range fns {
+		th := &Thread{rt: rt, fn: fn}
+		th.u = ult.NewWith(mtBody, th)
+		th.gen = th.u.Gen()
+		ult.MarkReady(th.u)
+		ths[i] = th
+		units[i] = th.u
+	}
+	rt.workerOf(rt.primary).dq.PushBottomBatch(units)
+	return ths
 }
 
 // workerOf maps a running ULT to the worker whose deque receives its
@@ -169,15 +250,29 @@ func (rt *Runtime) workerOf(creator *ult.ULT) *Worker {
 }
 
 // Join waits for the target from the Init goroutine (myth_join). The
-// paper observes that MassiveThreads joins are the most expensive of the
-// studied libraries: "each time a thread is joined, a query of the current
-// work unit queue size and several scheduling procedures occur" (§VI).
-// Yielding between polls reproduces exactly that: every poll re-enters the
-// scheduler, which inspects queue sizes and may steal.
+// main flow parks in the target's single-waiter slot and is resumed by
+// the finishing unit into that worker's deque — the C library likewise
+// parks joiners inside the scheduler rather than spinning them. When the
+// slot is taken by another joiner, Join falls back to the poll-yield loop
+// whose repeated queue inspection the paper measures as MassiveThreads'
+// join cost (§VI).
 func (rt *Runtime) Join(th *Thread) {
+	if !th.claim.CompareAndSwap(false, true) {
+		// Another joiner owns (and will free) the descriptor; poll the
+		// recycle-safe completion word only.
+		for !th.Done() {
+			rt.primary.Yield()
+		}
+		return
+	}
 	for !th.u.Done() {
+		if th.u.SetWaiter(rt.pWaiter) {
+			rt.primary.Suspend()
+			break
+		}
 		rt.primary.Yield()
 	}
+	th.free()
 }
 
 // Yield yields the main flow to the scheduler from the Init goroutine
@@ -277,11 +372,27 @@ func (c *Context) Create(fn func(*Context)) *Thread {
 	return c.rt.createFrom(c.self, fn)
 }
 
-// Join waits for the target ULT (myth_join), yielding between polls.
+// Join waits for the target ULT (myth_join), parking in its waiter slot;
+// the finishing unit resumes the joiner into its own worker's deque
+// (owner-side push — the waiter runs with that worker's control token).
+// Falls back to poll-yield when the slot is occupied.
 func (c *Context) Join(th *Thread) {
+	if !th.claim.CompareAndSwap(false, true) {
+		for !th.Done() {
+			c.self.Yield()
+		}
+		return
+	}
+	rt := c.rt
 	for !th.u.Done() {
+		if ult.ParkJoinStep(c.self, th.u, func(j *ult.ULT, e *ult.Executor) {
+			rt.workers[e.ID()].dq.PushBottom(j)
+		}) {
+			break
+		}
 		c.self.Yield()
 	}
+	th.free()
 }
 
 // Yield re-enters the scheduler (myth_yield).

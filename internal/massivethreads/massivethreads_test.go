@@ -1,6 +1,7 @@
 package massivethreads
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -102,6 +103,14 @@ func TestWorkStealingBalancesLoad(t *testing.T) {
 			c.Yield()
 			ran.Add(1)
 		})
+		if i%8 == 0 {
+			// Force interleaving rather than relying on timing (the
+			// GOMAXPROCS=1 convention of this suite): spawn-free
+			// creation is now fast enough that, without handing the
+			// processor over, a single-P run can create and consume
+			// all units before a thief ever reaches the deque.
+			runtime.Gosched()
+		}
 	}
 	for _, th := range ths {
 		rt.Join(th)

@@ -69,6 +69,21 @@ func (s *lwtSystem) leafFrom(c core.Ctx, fn func()) core.Handle {
 	return c.ULTCreate(func(core.Ctx) { fn() })
 }
 
+// leafBulk creates one leaf work unit per body through the unified bulk
+// path — one batched pool insertion for the whole set, the submission
+// pattern the master-driven loop and task figures use.
+func (s *lwtSystem) leafBulk(fns []func()) []core.Handle {
+	if s.tasklets {
+		return s.r.TaskletCreateBulk(fns)
+	}
+	wrapped := make([]func(core.Ctx), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		wrapped[i] = func(core.Ctx) { fn() }
+	}
+	return s.r.ULTCreateBulk(wrapped)
+}
+
 func (s *lwtSystem) CreateJoin() (create, join time.Duration) {
 	hs := make([]core.Handle, s.n)
 	t0 := time.Now()
@@ -82,25 +97,25 @@ func (s *lwtSystem) CreateJoin() (create, join time.Duration) {
 
 func (s *lwtSystem) ForLoop(iters int) time.Duration {
 	v := s.vector(iters)
-	hs := make([]core.Handle, s.n)
+	fns := make([]func(), s.n)
 	t0 := time.Now()
 	for t := 0; t < s.n; t++ {
 		lo, hi := chunk(iters, s.n, t)
-		hs[t] = s.leaf(func() { blas.SscalRange(v, scaleFactor, lo, hi) })
+		fns[t] = func() { blas.SscalRange(v, scaleFactor, lo, hi) }
 	}
-	s.r.JoinAll(hs)
+	s.r.JoinAll(s.leafBulk(fns))
 	return time.Since(t0)
 }
 
 func (s *lwtSystem) TaskSingle(ntasks int) time.Duration {
 	v := s.vector(ntasks)
-	hs := make([]core.Handle, ntasks)
+	fns := make([]func(), ntasks)
 	t0 := time.Now()
 	for i := 0; i < ntasks; i++ {
 		i := i
-		hs[i] = s.leaf(func() { blas.SscalElem(v, scaleFactor, i) })
+		fns[i] = func() { blas.SscalElem(v, scaleFactor, i) }
 	}
-	s.r.JoinAll(hs)
+	s.r.JoinAll(s.leafBulk(fns))
 	return time.Since(t0)
 }
 

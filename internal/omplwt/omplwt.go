@@ -183,6 +183,23 @@ func (rg *Region) spawnLeaf(fn func()) core.Handle {
 	return rg.rt.r.TaskletCreate(fn)
 }
 
+// spawnLeafBulk creates one leaf work unit per body. From the master it
+// rides the unified bulk-creation path — one batched pool insertion and
+// one executor wake for the whole team — which is what removes the
+// per-iteration submission cost from the loop and task figures; inside a
+// ULT it degrades to a create loop (nested creations are already local
+// to the running executor).
+func (rg *Region) spawnLeafBulk(fns []func()) []core.Handle {
+	if rg.ctx == nil {
+		return rg.rt.r.TaskletCreateBulk(fns)
+	}
+	hs := make([]core.Handle, len(fns))
+	for i, fn := range fns {
+		hs[i] = rg.ctx.TaskletCreate(fn)
+	}
+	return hs
+}
+
 // ParallelFor is #pragma omp parallel for with the given schedule: the
 // iteration space [0, n) is executed by a team of NumThreads work units.
 // The call returns when every iteration has completed (the implicit
@@ -200,19 +217,19 @@ func (rg *Region) parallelFor(n int, sched Schedule, chunkSize int, body func(i 
 	}
 	switch sched {
 	case Static:
-		hs := make([]core.Handle, 0, k)
+		fns := make([]func(), 0, k)
 		for t := 0; t < k; t++ {
 			lo, hi := staticChunk(n, k, t)
 			if lo == hi {
 				continue
 			}
-			hs = append(hs, rg.spawnLeaf(func() {
+			fns = append(fns, func() {
 				for i := lo; i < hi; i++ {
 					body(i)
 				}
-			}))
+			})
 		}
-		for _, h := range hs {
+		for _, h := range rg.spawnLeafBulk(fns) {
 			rg.join(h)
 		}
 	case Dynamic, Guided:
@@ -221,33 +238,34 @@ func (rg *Region) parallelFor(n int, sched Schedule, chunkSize int, body func(i 
 		}
 		var next atomic.Int64
 		remaining := func() int { return n - int(next.Load()) }
-		hs := make([]core.Handle, k)
-		for t := 0; t < k; t++ {
-			hs[t] = rg.spawnLeaf(func() {
-				for {
-					size := chunkSize
-					if sched == Guided {
-						// Guided: chunk ~ remaining / team, never
-						// below chunkSize.
-						if g := remaining() / k; g > size {
-							size = g
-						}
-					}
-					lo := int(next.Add(int64(size))) - size
-					if lo >= n {
-						return
-					}
-					hi := lo + size
-					if hi > n {
-						hi = n
-					}
-					for i := lo; i < hi; i++ {
-						body(i)
+		worker := func() {
+			for {
+				size := chunkSize
+				if sched == Guided {
+					// Guided: chunk ~ remaining / team, never below
+					// chunkSize.
+					if g := remaining() / k; g > size {
+						size = g
 					}
 				}
-			})
+				lo := int(next.Add(int64(size))) - size
+				if lo >= n {
+					return
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
 		}
-		for _, h := range hs {
+		fns := make([]func(), k)
+		for t := range fns {
+			fns[t] = worker
+		}
+		for _, h := range rg.spawnLeafBulk(fns) {
 			rg.join(h)
 		}
 	default:
@@ -271,13 +289,16 @@ func staticChunk(n, k, t int) (lo, hi int) {
 // members, then of their outstanding tasks) ends the region.
 func (rt *Runtime) Parallel(body func(rg *Region, tid int)) {
 	shared := &taskList{}
-	hs := make([]core.Handle, rt.nthread)
+	fns := make([]func(core.Ctx), rt.nthread)
 	for t := 0; t < rt.nthread; t++ {
 		t := t
-		hs[t] = rt.r.ULTCreate(func(c core.Ctx) {
+		fns[t] = func(c core.Ctx) {
 			body(&Region{rt: rt, ctx: c, tasks: shared}, t)
-		})
+		}
 	}
+	// The team spawns as one bulk creation: a single batched pool
+	// insertion and one executor wake open the region.
+	hs := rt.r.ULTCreateBulk(fns)
 	for _, h := range hs {
 		rt.r.Join(h)
 	}
@@ -346,20 +367,20 @@ func (rg *Region) TaskLoop(n, grainsize int, body func(i int)) {
 	if grainsize < 1 {
 		grainsize = 1
 	}
-	hs := make([]core.Handle, 0, (n+grainsize-1)/grainsize)
+	fns := make([]func(), 0, (n+grainsize-1)/grainsize)
 	for lo := 0; lo < n; lo += grainsize {
 		lo := lo
 		hi := lo + grainsize
 		if hi > n {
 			hi = n
 		}
-		hs = append(hs, rg.spawnLeaf(func() {
+		fns = append(fns, func() {
 			for i := lo; i < hi; i++ {
 				body(i)
 			}
-		}))
+		})
 	}
-	for _, h := range hs {
+	for _, h := range rg.spawnLeafBulk(fns) {
 		rg.join(h)
 	}
 }
@@ -394,22 +415,22 @@ func (rt *Runtime) ReduceFloat64(n int, sched Schedule, chunkSize int,
 	if n > 0 {
 		switch sched {
 		case Static:
-			hs := make([]core.Handle, 0, k)
+			fns := make([]func(), 0, k)
 			for t := 0; t < k; t++ {
 				t := t
 				lo, hi := staticChunk(n, k, t)
 				if lo == hi {
 					continue
 				}
-				hs = append(hs, rg.spawnLeaf(func() {
+				fns = append(fns, func() {
 					acc := identity
 					for i := lo; i < hi; i++ {
 						acc = op(acc, body(i))
 					}
 					partials[t] = acc
-				}))
+				})
 			}
-			for _, h := range hs {
+			for _, h := range rg.spawnLeafBulk(fns) {
 				rg.join(h)
 			}
 		case Dynamic, Guided:
@@ -417,10 +438,10 @@ func (rt *Runtime) ReduceFloat64(n int, sched Schedule, chunkSize int,
 				chunkSize = 1
 			}
 			var next atomic.Int64
-			hs := make([]core.Handle, k)
+			fns := make([]func(), k)
 			for t := 0; t < k; t++ {
 				t := t
-				hs[t] = rg.spawnLeaf(func() {
+				fns[t] = func() {
 					acc := identity
 					for {
 						size := chunkSize
@@ -442,9 +463,9 @@ func (rt *Runtime) ReduceFloat64(n int, sched Schedule, chunkSize int,
 						}
 					}
 					partials[t] = acc
-				})
+				}
 			}
-			for _, h := range hs {
+			for _, h := range rg.spawnLeafBulk(fns) {
 				rg.join(h)
 			}
 		default:

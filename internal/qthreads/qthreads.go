@@ -13,6 +13,7 @@ package qthreads
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -86,9 +87,12 @@ type Runtime struct {
 	cfg       Config
 	shepherds []*Shepherd
 	febTable  *feb.Table
-	shutdown  atomic.Bool
-	wg        sync.WaitGroup
-	finished  atomic.Bool
+	// bulkNext is ForkBulk's round-robin cursor, so successive small
+	// batches rotate across shepherds like per-unit dealing does.
+	bulkNext atomic.Uint64
+	shutdown atomic.Bool
+	wg       sync.WaitGroup
+	finished atomic.Bool
 }
 
 // Shepherd owns one work-unit pool served by its workers. The pool's
@@ -125,18 +129,62 @@ type Worker struct {
 func (w *Worker) Stats() *ult.ExecStats { return w.exec.Stats() }
 
 // Thread is a handle on a forked qthread: the ULT plus the FEB word its
-// return value fills.
+// return value fills. The handle carries the body and per-run context so
+// forking allocates only the handle and its FEB word (ult.NewWith), plus
+// the descriptor generation so Done stays answerable after a join
+// released the descriptor.
+//
+// Join discipline: the joiner that wins the handle's claim owns the
+// descriptor — it may park in the waiter slot and frees the descriptor
+// once it observes completion (its pending free keeps the descriptor out
+// of the reuse pool meanwhile), mirroring the C library, where a
+// qthread's structure is reclaimed once it completes and joins go
+// through the FEB word alone. Joiners that lost the claim poll the FEB
+// word plus the recycle-safe Done, so concurrent ReadFF calls on one
+// handle are safe.
 type Thread struct {
 	u   *ult.ULT
 	ret feb.Addr
+	rt  *Runtime
+	fn  func(*Context)
+	s   *Shepherd
+	gen uint64
+	// claim elects the one joiner allowed to touch the descriptor and
+	// obliged to free it; freed records that the free happened.
+	claim atomic.Bool
+	freed atomic.Bool
+	ctx   Context
+}
+
+// qtBody is the closure-free qthread body: completion fills the
+// return-value word (deferred so a panicking body, contained by the
+// substrate, still releases its joiners), then readFF joins on it.
+func qtBody(self *ult.ULT, arg any) {
+	th := arg.(*Thread)
+	defer th.rt.febTable.WriteF(th.ret, 0)
+	th.ctx = Context{rt: th.rt, self: self, shep: th.s}
+	th.fn(&th.ctx)
+}
+
+// free releases the descriptor. Only the claim winner calls it, after
+// observing completion. The body closure is dropped too: handles may be
+// retained after the join (for Done), and must not pin what the body
+// captured.
+func (th *Thread) free() {
+	if th.freed.CompareAndSwap(false, true) {
+		th.fn = nil
+		_ = th.u.Free()
+	}
 }
 
 // Ret returns the FEB address of the thread's return-value word, usable
 // directly with the runtime's FEB table.
 func (th *Thread) Ret() feb.Addr { return th.ret }
 
-// Done reports completion without blocking.
-func (th *Thread) Done() bool { return th.u.Done() }
+// Done reports completion without blocking; the generation-counted
+// completion word keeps the answer correct after the descriptor was
+// freed and recycled.
+func (th *Thread) Done() bool { return th.freed.Load() || th.u.DoneAt(th.gen) }
 
 // Context is passed to qthread bodies.
 type Context struct {
@@ -205,27 +253,61 @@ func (rt *Runtime) Fork(fn func(*Context)) *Thread {
 // with it.
 func (rt *Runtime) ForkTo(fn func(*Context), shepherd int) *Thread {
 	s := rt.shepherds[shepherd]
-	th := &Thread{ret: rt.febTable.Alloc()}
-	th.u = ult.New(func(self *ult.ULT) {
-		// Completion fills the return-value word; readFF joins on it.
-		// Deferred so a panicking body (contained by the substrate)
-		// still releases its joiners.
-		defer rt.febTable.WriteF(th.ret, 0)
-		fn(&Context{rt: rt, self: self, shep: s})
-	})
+	th := &Thread{ret: rt.febTable.Alloc(), rt: rt, fn: fn, s: s}
+	th.u = ult.NewWith(qtBody, th)
+	th.gen = th.u.Gen()
 	ult.MarkReady(th.u)
 	s.pool.Push(th.u)
 	return th
+}
+
+// ForkBulk forks one qthread per body, dealing contiguous blocks across
+// the shepherds with one batched queue insertion per shepherd — the
+// round-robin fork_to dispatch of §VIII-B3 with its per-unit submission
+// cost amortized. The block rotation continues a runtime-level cursor so
+// repeated small batches cover every shepherd instead of piling onto the
+// low ranks (shepherds never steal, so dealing is the only balancing).
+func (rt *Runtime) ForkBulk(fns []func(*Context)) []*Thread {
+	ths := make([]*Thread, len(fns))
+	k := len(rt.shepherds)
+	per := (len(fns) + k - 1) / k
+	start := int(rt.bulkNext.Add(1) - 1)
+	var units []ult.Unit
+	for blk := 0; blk*per < len(fns); blk++ {
+		lo := blk * per
+		hi := min(lo+per, len(fns))
+		s := rt.shepherds[(start+blk)%k]
+		units = units[:0]
+		for i := lo; i < hi; i++ {
+			th := &Thread{ret: rt.febTable.Alloc(), rt: rt, fn: fns[i], s: s}
+			th.u = ult.NewWith(qtBody, th)
+			th.gen = th.u.Gen()
+			ult.MarkReady(th.u)
+			ths[i] = th
+			units = append(units, th.u)
+		}
+		sched.PushAll(s.pool, units)
+	}
+	return ths
 }
 
 // ReadFF joins a thread from outside the runtime: it blocks the caller on
 // the thread's return-value word until the qthread fills it
 // (qthread_readFF, the join of Table II). The word is filled by a defer
 // that runs marginally before the ULT's final state store, so ReadFF
-// additionally waits for completion — joiners must observe Done.
+// additionally spins out that last handful of instructions until the
+// completion word is published — joiners must observe Done. (This spin
+// replaced a channel join that allocated a waiter channel per join.)
 func (rt *Runtime) ReadFF(th *Thread) uint64 {
 	v := rt.febTable.ReadFF(th.ret)
-	<-th.u.DoneChan()
+	for !th.Done() {
+		runtime.Gosched()
+	}
+	// Completion observed; the claim winner releases the descriptor
+	// (a parked cooperative joiner holding the claim frees it instead).
+	if th.claim.CompareAndSwap(false, true) {
+		th.free()
+	}
 	return v
 }
 
@@ -290,12 +372,34 @@ func (c *Context) ForkTo(fn func(*Context), shepherd int) *Thread {
 }
 
 // ReadFF joins a thread from inside a qthread. Blocking the executor
-// would stall every unit behind it, so the cooperative form polls the FEB
-// word (and the completion state, see Runtime.ReadFF) and yields between
-// polls.
+// would stall every unit behind it, so the cooperative form parks the
+// joiner in the target's single-waiter slot; the finishing qthread
+// resumes it directly into its own shepherd's queue, preserving fork_to
+// placement. When the slot is held by another joiner it falls back to
+// polling the FEB word (and the completion state, see Runtime.ReadFF)
+// with yields between polls.
 func (c *Context) ReadFF(th *Thread) uint64 {
+	if th.claim.CompareAndSwap(false, true) {
+		// We own the descriptor: park in its waiter slot, then free it.
+		pool := c.shep.pool
+		for {
+			if v, ok := c.rt.febTable.TryReadFF(th.ret); ok && th.u.Done() {
+				th.free()
+				return v
+			}
+			if !ult.ParkJoinStep(c.self, th.u, func(j *ult.ULT, _ *ult.Executor) { pool.Push(j) }) {
+				self := c.self
+				self.Yield()
+			}
+			// Resumed (or yielded back): completion implies the word is
+			// full; re-read it.
+		}
+	}
+	// Another joiner owns the descriptor (and will free it); poll the
+	// word plus the recycle-safe completion state, touching nothing
+	// else.
 	for {
-		if v, ok := c.rt.febTable.TryReadFF(th.ret); ok && th.u.Done() {
+		if v, ok := c.rt.febTable.TryReadFF(th.ret); ok && th.Done() {
 			return v
 		}
 		c.self.Yield()

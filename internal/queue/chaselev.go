@@ -116,6 +116,39 @@ func (d *Deque) PushBottom(u ult.Unit) {
 	d.stats.Pushes.Add(1)
 }
 
+// PushBottomBatch inserts every unit in us at the owner end with a single
+// bottom publication: the boxes are filled first and one store of bottom
+// makes the whole batch stealable at once. Owner-only.
+func (d *Deque) PushBottomBatch(us []ult.Unit) {
+	n := int64(len(us))
+	if n == 0 {
+		return
+	}
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if r == nil {
+		r = newDqRing(8)
+		d.ring.Store(r)
+	}
+	for b-t+n > r.capacity()-1 {
+		r = d.grow(r, b, t)
+	}
+	for i, u := range us {
+		var box *dqBox
+		if k := len(d.free); k > 0 {
+			box = d.free[k-1]
+			d.free = d.free[:k-1]
+		} else {
+			box = dqBoxes.Get().(*dqBox)
+		}
+		box.u = u
+		r.put(b+int64(i), box)
+	}
+	d.bottom.Store(b + n)
+	d.stats.Pushes.Add(uint64(n))
+}
+
 // grow doubles the ring, copying live entries. Owner-only. Thieves keep
 // reading the old ring safely: live indices hold the same box pointers in
 // both rings, and the top CAS still decides every extraction.

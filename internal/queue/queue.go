@@ -228,6 +228,22 @@ func (d *MutexDeque) PopBottom() ult.Unit {
 	return u
 }
 
+// PushBottomBatch inserts every unit in us at the owner end under one
+// lock acquisition — the batch form of PushBottom.
+func (d *MutexDeque) PushBottomBatch(us []ult.Unit) {
+	if len(us) == 0 {
+		return
+	}
+	lockCounting(&d.mu, &d.stats)
+	for _, u := range us {
+		d.grow()
+		d.buf[(d.head+d.count)&(len(d.buf)-1)] = u
+		d.count++
+	}
+	d.stats.Pushes.Add(uint64(len(us)))
+	d.mu.Unlock()
+}
+
 // PushTop inserts a unit at the steal end — the oldest position. Used to
 // requeue units that yielded, so newest-first owners do not redispatch
 // the yielder immediately and starve the units it yielded to.
@@ -307,6 +323,9 @@ func NewShared(n int) *Shared {
 
 // Push appends a unit.
 func (s *Shared) Push(u ult.Unit) { s.fifo.Push(u) }
+
+// PushBatch appends every unit in us with one multi-ticket reservation.
+func (s *Shared) PushBatch(us []ult.Unit) { s.fifo.PushBatch(us) }
 
 // Pop removes the oldest unit, or nil.
 func (s *Shared) Pop() ult.Unit { return s.fifo.Pop() }

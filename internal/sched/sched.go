@@ -73,6 +73,28 @@ func ByName(name string) (factory func() Policy, ok bool) {
 	}
 }
 
+// BatchPusher is an optional Policy extension for inserting many units in
+// one operation: the lock-free FIFO reserves all cells with a single
+// fetch-add, the mutex-backed policies take their lock once. Bulk
+// creation (ULTCreateBulk, ParallelFor) goes through it via PushAll so
+// the per-unit submission cost of the loop and task figures is amortized.
+type BatchPusher interface {
+	// PushBatch makes every unit in us available to the policy, in order.
+	PushBatch(us []ult.Unit)
+}
+
+// PushAll inserts us into p, using the batch path when the policy has
+// one and falling back to per-unit pushes.
+func PushAll(p Policy, us []ult.Unit) {
+	if bp, ok := p.(BatchPusher); ok {
+		bp.PushBatch(us)
+		return
+	}
+	for _, u := range us {
+		p.Push(u)
+	}
+}
+
 // YieldQueuer is an optional Policy extension for reinserting units that
 // yielded. Policies whose Pop favors the newest unit implement it so a
 // yielder re-enters at the oldest position — a yield means "run others
@@ -109,6 +131,9 @@ func NewFIFO() *FIFO { return &FIFO{} }
 // Push implements Policy.
 func (p *FIFO) Push(u ult.Unit) { p.q.Push(u) }
 
+// PushBatch implements BatchPusher: one fetch-add reserves every cell.
+func (p *FIFO) PushBatch(us []ult.Unit) { p.q.PushBatch(us) }
+
 // Pop implements Policy.
 func (p *FIFO) Pop() ult.Unit { return p.q.Pop() }
 
@@ -136,6 +161,9 @@ func NewLIFO() *LIFO { return &LIFO{} }
 
 // Push implements Policy.
 func (p *LIFO) Push(u ult.Unit) { p.d.PushBottom(u) }
+
+// PushBatch implements BatchPusher: one lock acquisition for the batch.
+func (p *LIFO) PushBatch(us []ult.Unit) { p.d.PushBottomBatch(us) }
 
 // Pop implements Policy.
 func (p *LIFO) Pop() ult.Unit { return p.d.PopBottom() }
@@ -172,6 +200,9 @@ func NewPriority(n int) *Priority {
 
 // Push implements Policy, inserting at the lowest priority.
 func (p *Priority) Push(u ult.Unit) { p.classes[0].Push(u) }
+
+// PushBatch implements BatchPusher at the lowest priority.
+func (p *Priority) PushBatch(us []ult.Unit) { p.classes[0].PushBatch(us) }
 
 // PushPriority inserts a unit at the given class, clamped to the valid
 // range.
@@ -313,6 +344,10 @@ func (s *Stack) snapshot() []Policy {
 
 // Push implements Policy: units go to the active policy.
 func (s *Stack) Push(u ult.Unit) { s.top().Push(u) }
+
+// PushBatch implements BatchPusher: the active policy is resolved once
+// (one mutex acquisition) and receives the whole batch.
+func (s *Stack) PushBatch(us []ult.Unit) { PushAll(s.top(), us) }
 
 // PushYielded implements YieldQueuer by delegating to the active policy.
 func (s *Stack) PushYielded(u ult.Unit) { Requeue(s.top(), u) }

@@ -21,9 +21,11 @@ func Adopt(e *Executor) *ULT {
 	p := &ULT{
 		id:         nextID(),
 		resume:     make(chan struct{}),
-		done:       make(chan struct{}),
 		migratable: true, // work-first runtimes move the main flow
 		label:      "primary",
+		// The adopted goroutine IS the body: every dispatch after a
+		// yield must hand the token to it, never bind a pool goroutine.
+		bound: true,
 	}
 	p.status.Store(int32(StatusRunning))
 	p.owner = e
@@ -46,12 +48,17 @@ func (e *Executor) AwaitHandback() (*ULT, DispatchResult) {
 // plain goroutine; the executor loop observes a completed unit and can then
 // act on its shutdown flag. Must be called from the adopted goroutine while
 // it holds the control token (i.e., while it is Running).
+//
+// An adopted descriptor has no trampoline and never enters the reuse
+// pool: Detach publishes completion exactly like finish but leaves the
+// release protocol untouched.
 func (t *ULT) Detach() {
 	if t.Status() != StatusRunning {
 		panic("ult: Detach on a ULT that is not running")
 	}
 	owner := t.owner
 	t.status.Store(int32(StatusDone))
-	close(t.done)
+	t.comp.Store(t.gen.Load() + 1)
+	t.sealWaiters(owner)
 	owner.handback <- handoff{t: t, st: StatusDone}
 }

@@ -156,11 +156,19 @@ func (e *Executor) Dispatch(t *ULT) DispatchResult {
 }
 
 // DispatchClaimed runs a ULT the caller has already claimed (via a
-// successful Resume+claim or TakeHint+claim path).
+// successful Resume+claim or TakeHint+claim path). The incarnation's
+// first dispatch binds a trampoline goroutine from the central idle pool
+// (which starts the body directly); later dispatches hand the control
+// token to the already-bound goroutine parked in Yield/Suspend.
 func (e *Executor) dispatchClaimed(t *ULT) DispatchResult {
 	t.owner = e
 	e.stats.Dispatches.Add(1)
-	t.resume <- struct{}{}
+	if !t.bound {
+		t.bound = true
+		bind(t)
+	} else {
+		t.resume <- struct{}{}
+	}
 	back := <-e.handback
 	if back.t != t {
 		// The hand-off protocol guarantees the token returns from the
@@ -200,6 +208,9 @@ func (e *Executor) classifyHandoff(h handoff) DispatchResult {
 // to skip it. That skip is only sound while the pointer still refers to
 // this incarnation, so the descriptor is marked non-recyclable — Free
 // will release it to the garbage collector instead of the reuse pool.
+// Units whose creator promised they never entered a pool (MarkUnpooled —
+// the work-first creation hand-off) leave no stale entry and stay
+// recyclable.
 func (e *Executor) DispatchHint() (DispatchResult, *ULT, bool) {
 	h := e.TakeHint()
 	if h == nil {
@@ -208,7 +219,9 @@ func (e *Executor) DispatchHint() (DispatchResult, *ULT, bool) {
 	if !h.claim() {
 		return 0, nil, false
 	}
-	h.noRecycle.Store(true)
+	if !h.unpooled {
+		h.noRecycle.Store(true)
+	}
 	e.stats.HintHits.Add(1)
 	return e.dispatchClaimed(h), h, true
 }
@@ -218,7 +231,7 @@ func (e *Executor) RunTasklet(t *Tasklet) bool {
 	if !t.claim() {
 		return false
 	}
-	t.run()
+	t.run(e)
 	e.stats.TaskletRuns.Add(1)
 	return true
 }

@@ -10,6 +10,12 @@
 // semantics — Yield, YieldTo, Suspend/Resume and migration between
 // executors — rather than relying on the Go scheduler's preemption.
 //
+// The backing goroutine is a pooled *trampoline*: it binds to a pooled
+// descriptor for the life of one incarnation and parks in a central idle
+// pool at completion instead of exiting, so a steady-state create/join
+// cycle (the paper's Figures 2–3 hot path) spawns no goroutines and
+// performs no allocations at the descriptor level.
+//
 // A Tasklet is the second work-unit type of the paper (Argobots Tasklets,
 // Converse Messages): an atomic, stackless unit executed inline by the
 // executor. Tasklets cannot yield, block, or migrate once started, and are
@@ -19,6 +25,7 @@ package ult
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -105,55 +112,141 @@ var idCounter atomic.Uint64
 
 func nextID() uint64 { return idCounter.Add(1) }
 
-// Descriptor pooling. Freeing a work unit (the Argobots join-and-free
-// discipline) returns its descriptor to a sync.Pool, so steady-state
-// create/free cycles reuse descriptors instead of allocating — the
-// paper's create/join hot path (Figures 2–3) runs allocation-free at the
-// descriptor level.
+// Descriptor and goroutine pooling. Freeing a work unit (the Argobots
+// join-and-free discipline) returns its descriptor to a reuse pool, and
+// the backing *trampoline* goroutine — bound to the descriptor only for
+// the life of one incarnation — parks in a central idle pool at
+// completion, so steady-state create/free cycles neither allocate nor
+// spawn: the paper's create/join hot path (Figures 2–3) recycles the
+// descriptor, the resume channel, and the goroutine.
+//
+// The goroutine pool is central rather than per-descriptor on purpose: a
+// goroutine parked *inside* a dropped descriptor would leak forever (a
+// blocked goroutine pins itself; finalizers never run), so completed
+// units that are never freed — fire-and-forget handles — must leave
+// nothing parked behind. With the binding released at completion, an
+// unfreed descriptor is plain garbage.
 //
 // A descriptor may only be recycled once *both* parties are finished with
-// it: the caller of Free, and the unit's own final act (the ULT
-// goroutine's hand-back send, or the tasklet's completion publication),
-// which can still be in flight when a status-polling joiner observes Done
-// and frees. Each side calls release(); the second release performs the
-// pool put. The pooling contract for callers is the same use-after-free
-// rule the C libraries have: a handle must not be touched after the unit
-// was freed (for the unified API: after Join returned).
-var (
-	ultPool     sync.Pool
-	taskletPool sync.Pool
-)
+// it: the caller of Free, and the unit's own final act (the trampoline's
+// terminal hand-back, or the tasklet's completion publication), which can
+// still be in flight when a status-polling joiner observes Done and frees.
+// Each side calls release; the second release performs the recycle. The
+// pooling contract for callers is the same use-after-free rule the C
+// libraries have: a handle must not be touched after the unit was freed
+// (for the unified API: after Join returned).
+var taskletPool sync.Pool
 
-// releaseParties is the number of release() calls that must land before a
+// ultFreeCap bounds the descriptor freelist; descriptors beyond the
+// high-water mark fall to the garbage collector.
+const ultFreeCap = 8192
+
+// ultFree is the ULT descriptor freelist. A channel rather than a stack:
+// sends and receives are allocation-free, safe from any goroutine, and
+// immune to the ABA problem a CAS-linked freelist of recycled nodes has.
+var ultFree = make(chan *ULT, ultFreeCap)
+
+// trampolineIdle hands a first-dispatched incarnation to a parked
+// trampoline goroutine; unbuffered, so a successful send IS an idle
+// goroutine. When no goroutine is parked the dispatcher spawns one.
+var trampolineIdle = make(chan *ULT)
+
+// idleTrampolines counts parked trampoline goroutines; the cap bounds
+// what an idle process retains after a burst (excess exit at completion).
+var idleTrampolines atomic.Int64
+
+const maxIdleTrampolines = 1024
+
+// releaseParties is the number of release calls that must land before a
 // descriptor can be recycled.
 const releaseParties = 2
+
+// closedChan is the pre-closed channel completed units hand to DoneChan
+// callers; its address doubles as the waitCh "completion published" seal.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// DoneWaiter is the single-waiter park slot's entry: a callback the
+// finishing work unit runs when it completes. Register one with SetWaiter.
+//
+// Fn runs on the finishing unit's goroutine *before* the terminal
+// hand-off, so the owning executor's control token is still held: the
+// callback may therefore perform owner-side pool operations for that
+// executor (it receives the executor), but it must not block, yield, or
+// re-enter a scheduler. The intended use is exactly one thing: resume a
+// joiner that parked with Suspend and hand it back to a ready pool (see
+// ResumeAndRequeue).
+//
+// A DoneWaiter may be reused across joins (the runtimes cache one for
+// their primary ULT), but only after its previous Fn call has returned.
+type DoneWaiter struct {
+	// Fn receives the executor whose control token the finishing unit
+	// holds (for tasklets: the executor running the tasklet inline).
+	Fn func(owner *Executor)
+}
+
+// sealedWaiter marks a hook slot whose unit has published completion.
+var sealedWaiter DoneWaiter
 
 // Func is the body of a ULT. The self argument is the running ULT and is
 // only valid for the duration of the call; it provides the cooperative
 // operations (Yield, YieldTo, Suspend, ...).
 type Func func(self *ULT)
 
+// BodyFunc is the closure-free body form: a package-level function plus an
+// explicit argument, so runtimes can run per-unit state through a handle
+// they allocate anyway instead of a fresh closure per create (NewWith).
+type BodyFunc func(self *ULT, arg any)
+
 // ULT is a user-level thread: an independent, yieldable, migratable work
-// unit with its own private stack (the backing goroutine's stack).
+// unit with its own private stack (the stack of the trampoline goroutine
+// bound to it for this incarnation).
 //
-// The zero value is not usable; create ULTs with New.
+// The zero value is not usable; create ULTs with New or NewWith.
 type ULT struct {
-	id     uint64
-	fn     Func
+	id uint64
+
+	// fn, or bodyFn+bodyArg, is the incarnation's body; exactly one form
+	// is set per incarnation.
+	fn      Func
+	bodyFn  BodyFunc
+	bodyArg any
+
 	status atomic.Int32
 
-	// resume carries the control token from an executor to the ULT.
+	// resume carries the control token from an executor to the ULT while
+	// a trampoline goroutine is bound to it (every dispatch after the
+	// first; the first dispatch binds a goroutine via trampolineIdle).
 	resume chan struct{}
+	// bound records that a trampoline goroutine is bound to this
+	// incarnation (parked on resume or running the body). Set by the
+	// executor on the incarnation's first dispatch, reset by acquire;
+	// adopted primaries are born bound (the caller's goroutine is the
+	// body). Dispatch-side only: the claim CAS chain orders all access.
+	bound bool
 	// owner is the executor currently running the ULT. It is written by
 	// Dispatch before the control token is handed over and read only by
 	// the ULT goroutine while running, so it needs no extra locking.
 	owner *Executor
 
-	// done is closed when the body returns; non-ULT contexts join on it.
-	done chan struct{}
+	// comp is the generation-counted completion word: the number of
+	// incarnations of this descriptor that have published completion. It
+	// replaces the per-create done channel — Done is one load, and unlike
+	// the status word it is never reset by the next incarnation, so a
+	// joiner racing a recycle can never observe completion un-published.
+	comp atomic.Uint64
 
-	// started records whether the backing goroutine was launched.
-	started bool
+	// waitCh is the lazily allocated waiter channel behind DoneChan: only
+	// select-based joiners (the go-model backend) pay for a channel.
+	// Sealed with &closedChan once completion is published.
+	waitCh atomic.Pointer[chan struct{}]
+
+	// hook is the single-waiter park slot: the parking join's registered
+	// waiter, run by the finishing incarnation. Sealed with &sealedWaiter.
+	hook atomic.Pointer[DoneWaiter]
 
 	freed      atomic.Bool
 	migratable bool
@@ -166,47 +259,83 @@ type ULT struct {
 
 	// gen counts descriptor reuses. YieldTo hints capture it so a hint
 	// that outlives its target's free+recycle is discarded instead of
-	// hijacking the descriptor's next incarnation onto the wrong stream.
+	// hijacking the descriptor's next incarnation onto the wrong stream;
+	// comp counts against it so completion is per-incarnation.
 	gen atomic.Uint64
 
 	// releases counts the parties (terminal hand-back, Free) that have
 	// finished with the descriptor; the second one recycles it.
 	releases atomic.Int32
 
-	// noRecycle permanently exempts the descriptor from pooling. Set
-	// when the unit is dispatched through a YieldTo hint: that dispatch
-	// leaves the unit's pool entry stale, and the scheduler that later
-	// pops the stale pointer depends on claim() failing against *this*
-	// incarnation — reusing the descriptor would let the stale entry
-	// claim (and misplace) the next one.
+	// noRecycle exempts the descriptor from pooling for the rest of this
+	// incarnation's life. Set when a *pooled* unit is dispatched through a
+	// YieldTo hint: that dispatch leaves the unit's pool entry stale, and
+	// the scheduler that later pops the stale pointer depends on claim()
+	// failing against *this* incarnation — reusing the descriptor would
+	// let the stale entry claim (and misplace) the next one. The
+	// descriptor falls to the garbage collector instead.
 	noRecycle atomic.Bool
+
+	// unpooled, when true, promises that this incarnation has never been
+	// inserted into a scheduler pool (and will not be before its first
+	// dispatch), so a YieldTo hint dispatch leaves no stale entry behind
+	// and need not poison recycling. Set via MarkUnpooled by creators that
+	// hand the fresh unit straight to an executor (MassiveThreads'
+	// work-first creation); cleared the moment the unit yields or
+	// suspends, because the requeue that follows is a pool insertion.
+	unpooled bool
 }
 
-// New creates a ULT in the Created state. The backing goroutine is spawned
-// immediately but stays parked until the first dispatch, so creation cost
-// is one goroutine spawn plus channel allocations — deliberately heavier
-// than a Tasklet, as in the paper. Descriptors of freed ULTs are reused
-// from a pool (the resume channel rides along; the done channel is closed
-// on completion and must be fresh).
+// New creates a ULT in the Created state. On a recycled descriptor this is
+// a freelist pop, a field reset and a generation bump, and the first
+// dispatch binds a parked trampoline goroutine from the central idle
+// pool — so the steady-state create/dispatch cycle spawns nothing and
+// allocates nothing. Only a cold start pays for a fresh descriptor, its
+// resume channel and a goroutine spawn — deliberately still heavier than
+// a Tasklet, as in the paper.
 func New(fn Func) *ULT {
-	t, _ := ultPool.Get().(*ULT)
-	if t == nil {
-		t = &ULT{resume: make(chan struct{})}
-	} else {
+	t := acquire()
+	t.fn = fn
+	return t
+}
+
+// NewWith creates a ULT whose body is the package-level body applied to
+// arg, avoiding the per-create closure allocation of New. Runtimes thread
+// their per-unit state through the handle they return to the caller
+// anyway; arg is typically that handle (a pointer conversion to any does
+// not allocate).
+func NewWith(body BodyFunc, arg any) *ULT {
+	t := acquire()
+	t.bodyFn = body
+	t.bodyArg = arg
+	return t
+}
+
+// acquire pops a recycled descriptor from the freelist, or builds a
+// fresh one. No goroutine is involved until the first dispatch.
+func acquire() *ULT {
+	var t *ULT
+	select {
+	case t = <-ultFree:
 		t.gen.Add(1)
 		t.releases.Store(0)
 		t.freed.Store(false)
 		t.owner = nil
 		t.err = nil
 		t.label = ""
+		t.fn = nil
+		t.bodyFn = nil
+		t.bodyArg = nil
+		t.unpooled = false
+		t.bound = false
+		t.waitCh.Store(nil)
+		t.hook.Store(nil)
+	default:
+		t = &ULT{resume: make(chan struct{})}
 	}
 	t.id = nextID()
-	t.fn = fn
-	t.done = make(chan struct{})
 	t.migratable = true
 	t.status.Store(int32(StatusCreated))
-	go t.main()
-	t.started = true
 	return t
 }
 
@@ -217,10 +346,38 @@ func NewPinned(fn Func) *ULT {
 	return t
 }
 
-func (t *ULT) main() {
-	<-t.resume
-	t.runBody()
-	t.finish()
+// bind hands a first-dispatched incarnation to a trampoline goroutine:
+// a parked one from the central idle pool when available, a fresh spawn
+// otherwise. Called by the dispatching executor with the claim won.
+func bind(t *ULT) {
+	select {
+	case trampolineIdle <- t:
+	default:
+		go trampoline(t)
+	}
+}
+
+// trampoline is a pooled worker goroutine: run the assigned incarnation's
+// body, publish completion, hand the control token back, release the
+// descriptor, then park in the central idle pool for the next assignment.
+// The goroutine is the incarnation's stack for exactly one binding —
+// yields and suspends park it on the descriptor's resume channel
+// mid-body — and at completion the binding dissolves, so a descriptor
+// that is never freed (a dropped fire-and-forget handle) is plain
+// garbage, not a parked-goroutine leak. Idle goroutines beyond the cap
+// exit instead of parking.
+func trampoline(t *ULT) {
+	for {
+		t.runBody()
+		t.finish()
+		t.release()
+		if idleTrampolines.Add(1) > maxIdleTrampolines {
+			idleTrampolines.Add(-1)
+			return
+		}
+		t = <-trampolineIdle
+		idleTrampolines.Add(-1)
+	}
 }
 
 // runBody executes the ULT body with panic containment: a panicking work
@@ -234,28 +391,56 @@ func (t *ULT) runBody() {
 			t.err = fmt.Errorf("ult: work unit %d panicked: %v", t.id, r)
 		}
 	}()
+	if t.bodyFn != nil {
+		t.bodyFn(t, t.bodyArg)
+		return
+	}
 	t.fn(t)
 }
 
-// finish marks the ULT done and returns control to the owning executor.
-// The release is the goroutine's last act: a joiner can observe Done and
-// call Free while the hand-back send is still in flight, so the
-// descriptor must not be recyclable before the send has completed.
+// finish publishes completion and returns control to the owning executor:
+// the status and the generation-counted completion word are stored, the
+// lazy waiter channel is closed, the parked joiner (if any) is woken, and
+// only then does the terminal hand-back release the executor. The release
+// that makes the descriptor recyclable is the trampoline's next step
+// after finish returns, so a joiner that observes Done and frees cannot
+// recycle the descriptor out from under this sequence.
 func (t *ULT) finish() {
 	owner := t.owner
 	t.status.Store(int32(StatusDone))
-	close(t.done)
+	t.comp.Store(t.gen.Load() + 1)
+	t.sealWaiters(owner)
 	owner.handback <- handoff{t: t, st: StatusDone}
-	t.release()
 }
 
-// release records that one of the two parties (terminal hand-back, Free)
-// is done with the descriptor; the second one recycles it, unless the
-// descriptor was hint-dispatched (see DispatchHint) and must die with
-// its stale pool entry.
+// sealWaiters publishes completion to both waiter slots: the lazy DoneChan
+// channel is closed (and the slot sealed so later DoneChan calls get the
+// shared pre-closed channel), and the registered park-slot waiter is run
+// while the executor's control token is still held.
+func (t *ULT) sealWaiters(owner *Executor) {
+	if w := t.waitCh.Swap(&closedChan); w != nil && w != &closedChan {
+		close(*w)
+	}
+	if h := t.hook.Swap(&sealedWaiter); h != nil && h != &sealedWaiter {
+		h.Fn(owner)
+	}
+}
+
+// release records that one of the two parties (the trampoline's terminal
+// step, Free) is finished with the descriptor; the second one recycles
+// it. A descriptor that cannot be recycled — hint-poisoned incarnation,
+// full freelist, or a Free that never comes — is simply garbage: no
+// goroutine is parked inside it.
 func (t *ULT) release() {
-	if t.releases.Add(1) == releaseParties && !t.noRecycle.Load() {
-		ultPool.Put(t)
+	if t.releases.Add(1) != releaseParties {
+		return
+	}
+	if t.noRecycle.Load() {
+		return
+	}
+	select {
+	case ultFree <- t:
+	default:
 	}
 }
 
@@ -268,12 +453,98 @@ func (t *ULT) ID() uint64 { return t.id }
 // Status implements Unit.
 func (t *ULT) Status() Status { return Status(t.status.Load()) }
 
-// Done reports whether the ULT body has returned.
-func (t *ULT) Done() bool { return t.Status() == StatusDone }
+// Done reports whether this incarnation's body has returned. It reads the
+// generation-counted completion word, which — unlike the status word — is
+// never reset when the descriptor is recycled, so completion once
+// observed stays observed.
+func (t *ULT) Done() bool { return t.comp.Load() > t.gen.Load() }
 
-// DoneChan exposes the completion channel for select-based joins (the
-// mechanism the Go runtime model uses).
-func (t *ULT) DoneChan() <-chan struct{} { return t.done }
+// Gen returns the descriptor's incarnation number. Handles that can
+// outlive their unit's free-and-recycle capture it at creation and poll
+// completion with DoneAt instead of Done.
+func (t *ULT) Gen() uint64 { return t.gen.Load() }
+
+// DoneAt reports whether incarnation gen has published completion. The
+// completion word only grows, so — unlike every other method — DoneAt
+// stays correct even after the descriptor was freed and recycled: a stale
+// handle keeps reading true forever. This is what lets runtimes without
+// an explicit user-facing free (the join releases the descriptor) answer
+// Done from old handles safely.
+func (t *ULT) DoneAt(gen uint64) bool { return t.comp.Load() > gen }
+
+// Closed returns the shared pre-closed channel, for handle-level DoneChan
+// wrappers that must answer after their descriptor was freed.
+func Closed() <-chan struct{} { return closedChan }
+
+// DoneChan exposes a channel closed on completion for select-based joins
+// (the mechanism the Go runtime model uses). The channel is allocated
+// lazily on first call — status- and park-based joiners never pay for it —
+// and completed units share one pre-closed channel.
+func (t *ULT) DoneChan() <-chan struct{} {
+	if w := t.waitCh.Load(); w != nil {
+		return *w
+	}
+	nc := make(chan struct{})
+	if t.waitCh.CompareAndSwap(nil, &nc) {
+		// finish had not sealed at the CAS, so it will observe nc in the
+		// slot and close it.
+		return nc
+	}
+	return *t.waitCh.Load()
+}
+
+// SetWaiter registers w in the unit's single-waiter park slot. It returns
+// true when the registration won the slot — w.Fn will then run exactly
+// once, on the finishing unit's goroutine — and false when completion was
+// already published or another waiter holds the slot (callers fall back
+// to a polling join). After a successful SetWaiter the joiner must park
+// (Suspend), unconditionally: the waiter's wake spin-waits for it.
+func (t *ULT) SetWaiter(w *DoneWaiter) bool {
+	return t.hook.CompareAndSwap(nil, w)
+}
+
+// ResumeAndRequeue is the wake half of the parking join: it transitions a
+// joiner that parked (or is about to park) via Suspend back to Ready —
+// spinning out the tiny window between the joiner's SetWaiter and the
+// Blocked store inside its Suspend — and then hands it to requeue for
+// pool reinsertion. Intended to be called from a DoneWaiter.Fn.
+func ResumeAndRequeue(j *ULT, requeue func(*ULT)) {
+	for !j.Resume() {
+		if j.Done() {
+			return
+		}
+		runtime.Gosched()
+	}
+	requeue(j)
+}
+
+// WaiterSlot is the park-slot surface shared by ULT and Tasklet
+// descriptors.
+type WaiterSlot interface {
+	SetWaiter(*DoneWaiter) bool
+}
+
+// ParkJoinStep performs one wait step of a parking join: it registers
+// joiner in slot and suspends it, reporting true; when the slot is
+// unavailable (completion already published, or another waiter holds it)
+// it reports false and the caller polls instead. On resume, the finishing
+// unit has handed the joiner to requeue together with the executor whose
+// control token it held — backends that need an owner-side pool insertion
+// (the Chase–Lev deques) use that executor, everyone else ignores it.
+//
+// Safety: the caller must hold the handle-level right to free the target
+// (a join claim) before parking — its own pending free is what keeps the
+// descriptor out of the reuse pool while the registration is in flight.
+func ParkJoinStep(joiner *ULT, slot WaiterSlot, requeue func(j *ULT, owner *Executor)) bool {
+	w := &DoneWaiter{Fn: func(owner *Executor) {
+		ResumeAndRequeue(joiner, func(j *ULT) { requeue(j, owner) })
+	}}
+	if slot.SetWaiter(w) {
+		joiner.Suspend()
+		return true
+	}
+	return false
+}
 
 // Err returns the panic recovered from the body, or nil. Only meaningful
 // once the ULT is Done.
@@ -294,6 +565,13 @@ func (t *ULT) SetLabel(s string) { t.label = s }
 // Label returns the debugging name (may be empty).
 func (t *ULT) Label() string { return t.label }
 
+// MarkUnpooled promises that this unit will reach its first dispatch
+// without ever being inserted into a scheduler pool — the creator hands it
+// to an executor directly (a work-first YieldTo). A hint dispatch of an
+// unpooled unit leaves no stale pool entry behind, so the descriptor stays
+// recyclable. Must be called before the unit is made Ready.
+func (t *ULT) MarkUnpooled() { t.unpooled = true }
+
 // Freed reports whether Free has been called on the ULT.
 func (t *ULT) Freed() bool { return t.freed.Load() }
 
@@ -303,17 +581,19 @@ func (t *ULT) Freed() bool { return t.freed.Load() }
 // Freeing a unit twice or freeing an unfinished unit is an error.
 //
 // Free returns the descriptor to the reuse pool (once the backing
-// goroutine's hand-back has also completed). The caller must not touch
-// the ULT — not even Status or DoneChan — after Free returns: the
-// descriptor may already be serving a new work unit.
+// goroutine's terminal hand-back has also completed). The caller must
+// not touch the ULT — not even Status or DoneChan — after Free returns:
+// the descriptor may already be serving a new work unit.
 func (t *ULT) Free() error {
-	if t.Status() != StatusDone {
+	if !t.Done() {
 		return ErrNotDone
 	}
 	if !t.freed.CompareAndSwap(false, true) {
 		return ErrFreed
 	}
 	t.fn = nil
+	t.bodyFn = nil
+	t.bodyArg = nil
 	t.release()
 	return nil
 }
@@ -338,6 +618,7 @@ func (t *ULT) claim() bool {
 // owner, and the hand-off must go to the executor that dispatched us.
 func (t *ULT) Yield() {
 	owner := t.owner
+	t.unpooled = false // the requeue that follows is a pool insertion
 	t.status.Store(int32(StatusReady))
 	owner.handback <- handoff{t: t, st: StatusReady}
 	<-t.resume
@@ -359,6 +640,7 @@ func (t *ULT) YieldTo(target *ULT) {
 // the ULT body.
 func (t *ULT) Suspend() {
 	owner := t.owner
+	t.unpooled = false // the eventual requeue is a pool insertion
 	t.status.Store(int32(StatusBlocked))
 	owner.handback <- handoff{t: t, st: StatusBlocked}
 	<-t.resume
@@ -384,9 +666,11 @@ type Tasklet struct {
 	freed  atomic.Bool
 	// err records a panic recovered from the body; read after Done.
 	err error
-	// doneCh is allocated lazily by DoneChan for callers that join on a
-	// channel; plain status polling does not pay for it.
+	// doneCh is allocated eagerly by NewTaskletWithDone for callers that
+	// join on a channel; plain status polling does not pay for it.
 	doneCh chan struct{}
+	// hook is the single-waiter park slot (see ULT.SetWaiter).
+	hook atomic.Pointer[DoneWaiter]
 	// releases counts the parties (completion publication, Free) done
 	// with the descriptor; the second one recycles it.
 	releases atomic.Int32
@@ -406,11 +690,27 @@ func NewTasklet(fn TaskletFunc) *Tasklet {
 		t.freed.Store(false)
 		t.err = nil
 		t.doneCh = nil
+		t.hook.Store(nil)
 	}
 	t.id = nextID()
 	t.fn = fn
 	t.status.Store(int32(StatusCreated))
 	return t
+}
+
+// NewTaskletBulk creates one tasklet per body, in body order. Descriptor
+// acquisition is inherently per-unit (one pool hit each, allocation-free
+// in steady state); the batching win of a bulk create is on the enqueue
+// side — pair this with queue.FIFO.PushBatch or
+// queue.Deque.PushBottomBatch and a single executor wake, as the runtime
+// bulk creators do. The returned tasklets still need MarkReady plus pool
+// insertion.
+func NewTaskletBulk(fns []func()) []*Tasklet {
+	out := make([]*Tasklet, len(fns))
+	for i, fn := range fns {
+		out[i] = NewTasklet(fn)
+	}
+	return out
 }
 
 // NewTaskletWithDone creates a tasklet whose completion can be awaited on
@@ -437,6 +737,13 @@ func (t *Tasklet) Done() bool { return t.Status() == StatusDone }
 // created with NewTaskletWithDone; otherwise it returns nil.
 func (t *Tasklet) DoneChan() <-chan struct{} { return t.doneCh }
 
+// SetWaiter registers w in the tasklet's single-waiter park slot, with
+// exactly the ULT.SetWaiter contract: true means w.Fn runs once on the
+// executor that runs the tasklet inline, and the caller must park.
+func (t *Tasklet) SetWaiter(w *DoneWaiter) bool {
+	return t.hook.CompareAndSwap(nil, w)
+}
+
 // markReady transitions the tasklet to Ready (pool insertion).
 func (t *Tasklet) markReady() { t.status.Store(int32(StatusReady)) }
 
@@ -445,9 +752,9 @@ func (t *Tasklet) claim() bool {
 	return t.status.CompareAndSwap(int32(StatusReady), int32(StatusRunning))
 }
 
-// run executes the tasklet body inline, with the same panic containment
-// as ULT bodies.
-func (t *Tasklet) run() {
+// run executes the tasklet body inline on executor e, with the same panic
+// containment as ULT bodies.
+func (t *Tasklet) run(e *Executor) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -459,6 +766,9 @@ func (t *Tasklet) run() {
 	t.status.Store(int32(StatusDone))
 	if t.doneCh != nil {
 		close(t.doneCh)
+	}
+	if h := t.hook.Swap(&sealedWaiter); h != nil && h != &sealedWaiter {
+		h.Fn(e)
 	}
 	t.release()
 }

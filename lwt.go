@@ -8,11 +8,23 @@
 //
 // The API is the GLT-shaped second revision of the reduced function set
 // the paper distills in Table II and Listing 4: initialize a backend from
-// a Config, create ULTs and tasklets (optionally pinned to an executor),
-// yield, join, synchronize, finalize. Every backend implements it; the
-// paper's central claim — that this small set suffices for the common
-// parallel patterns — is exercised by this module's examples, tests and
-// benchmark harness.
+// a Config, create ULTs and tasklets (optionally pinned to an executor,
+// individually or in bulk), yield, join, synchronize, finalize. Every
+// backend implements it; the paper's central claim — that this small set
+// suffices for the common parallel patterns — is exercised by this
+// module's examples, tests and benchmark harness.
+//
+// Create/join is the measured hot path (the paper's Figures 2–3), and it
+// runs spawn-free and allocation-free in steady state: work-unit
+// descriptors — backing goroutine included — are pooled, Join both
+// synchronizes and releases the descriptor, and a joining work unit
+// parks in the target's waiter slot to be resumed directly by the
+// finishing unit instead of polling. The contract is the C libraries'
+// own: a Handle must not be used after Join returns, except Done, which
+// answers from a generation-counted completion word and stays correct
+// forever. Runtime.ULTCreateBulk and Runtime.TaskletCreateBulk submit
+// whole batches with one pool insertion and one executor wake, which is
+// what the loop- and task-pattern figures (4–8) ride.
 //
 // Quickstart (Listing 4's shape, v2 surface):
 //
