@@ -496,9 +496,12 @@ func BenchmarkULTCreateJoin(b *testing.B) {
 // every registered backend under open-loop load: a fixed producer group
 // submits all b.N requests without waiting for completions (arrival is
 // decoupled from service, as in real traffic), then awaits every Future.
-// Besides ns/op it reports requests/second and the serving layer's own
-// P50/P99 request latency, making the backends' serving behaviour
-// directly comparable.
+// The shards axis compares the single-pump engine against a 4-shard
+// pool at a constant total executor budget (GOMAXPROCS executors split
+// across shards), so the measured delta is the dispatcher bottleneck,
+// not added parallelism. Besides ns/op it reports requests/second and
+// the serving layer's own P50/P99 request latency, making the backends'
+// serving behaviour directly comparable.
 func BenchmarkServeThroughput(b *testing.B) {
 	const producers = 4
 	work := func() (float32, error) {
@@ -508,56 +511,62 @@ func BenchmarkServeThroughput(b *testing.B) {
 		return v[len(v)-1], nil
 	}
 	for _, backend := range lwt.Backends() {
-		b.Run(backend, func(b *testing.B) {
-			srv, err := lwt.NewServer(lwt.ServeOptions{
-				Backend: backend, Threads: 4,
-				QueueDepth: 256, Batch: 32, LatencyWindow: 1 << 16,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer srv.Close()
-			sub := srv.Submitter()
-			futs := make([][]*lwt.Future[float32], producers)
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for p := 0; p < producers; p++ {
-				share := b.N / producers
-				if p < b.N%producers {
-					share++
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(b *testing.B) {
+				threads := runtime.GOMAXPROCS(0) / shards
+				if threads < 1 {
+					threads = 1
 				}
-				wg.Add(1)
-				go func(p, share int) {
-					defer wg.Done()
-					fs := make([]*lwt.Future[float32], 0, share)
-					for i := 0; i < share; i++ {
-						f, err := lwt.Submit(sub, context.Background(), work)
-						if err != nil {
-							b.Errorf("submit: %v", err)
-							break
+				srv, err := lwt.NewServer(lwt.ServeOptions{
+					Backend: backend, Threads: threads, Shards: shards,
+					QueueDepth: 256, Batch: 32, LatencyWindow: 1 << 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				sub := srv.Submitter()
+				futs := make([][]*lwt.Future[float32], producers)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for p := 0; p < producers; p++ {
+					share := b.N / producers
+					if p < b.N%producers {
+						share++
+					}
+					wg.Add(1)
+					go func(p, share int) {
+						defer wg.Done()
+						fs := make([]*lwt.Future[float32], 0, share)
+						for i := 0; i < share; i++ {
+							f, err := lwt.Submit(sub, context.Background(), work)
+							if err != nil {
+								b.Errorf("submit: %v", err)
+								break
+							}
+							fs = append(fs, f)
 						}
-						fs = append(fs, f)
-					}
-					futs[p] = fs
-				}(p, share)
-			}
-			wg.Wait()
-			for _, fs := range futs {
-				for _, f := range fs {
-					if _, err := f.Wait(context.Background()); err != nil {
-						b.Fatalf("wait: %v", err)
+						futs[p] = fs
+					}(p, share)
+				}
+				wg.Wait()
+				for _, fs := range futs {
+					for _, f := range fs {
+						if _, err := f.Wait(context.Background()); err != nil {
+							b.Fatalf("wait: %v", err)
+						}
 					}
 				}
-			}
-			b.StopTimer()
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(b.N)/secs, "req/s")
-			}
-			if m := srv.Metrics(); m.Latency.Reps > 0 {
-				b.ReportMetric(float64(m.Latency.P50)/1e3, "p50-µs")
-				b.ReportMetric(float64(m.Latency.P99)/1e3, "p99-µs")
-			}
-		})
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "req/s")
+				}
+				if m := srv.Metrics(); m.Latency.Reps > 0 {
+					b.ReportMetric(float64(m.Latency.P50)/1e3, "p50-µs")
+					b.ReportMetric(float64(m.Latency.P99)/1e3, "p99-µs")
+				}
+			})
+		}
 	}
 }
 

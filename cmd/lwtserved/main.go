@@ -1,23 +1,41 @@
 // Lwtserved is the serving subsystem end to end: an HTTP server that
 // answers compute requests by submitting work into LWT backends through
-// the serve layer. Every registered backend serves concurrently; the
-// ?backend= query parameter selects which runtime executes a request.
+// the serve layer's shard pool. Every registered backend serves
+// concurrently; the ?backend= query parameter selects which runtime
+// executes a request, -shards runs that many independent runtimes per
+// backend, and -router picks how unkeyed requests spread across them.
 //
 // Endpoints:
 //
 //	/fib?n=28&cutoff=12&backend=argobots   recursive task parallelism (ULT per branch)
 //	/dgemm?n=96&chunks=4&backend=qthreads  BLAS-3 GEMM decomposed across ULTs
 //	/parfor?n=1048576&backend=go           parallel for over a vector via the omp layer
-//	/metrics                               per-backend serve.Metrics as JSON
+//	/metrics                               per-backend aggregate + per-shard serve.Metrics as JSON
 //	/backends                              registered backend names
 //
-// Admission control maps to HTTP: a saturated backend answers 503 with
-// Retry-After; pass wait=1 to block (with the request's context) instead
-// of fast-failing. Request latency percentiles come from the serving
-// layer's own metrics window.
+// Flags:
 //
-//	go run ./cmd/lwtserved -addr :8080
-//	curl 'localhost:8080/fib?n=30&backend=massivethreads'
+//	-shards N      backend runtime shards per backend (0: one per CPU)
+//	-router NAME   unkeyed routing policy: p2c (default), roundrobin, random
+//	-drain D       graceful-drain budget at shutdown (0: unbounded)
+//	-threads N     executors per shard
+//	-queue N       submission queue depth per shard
+//	-inflight N    max in-flight work units per shard (0: queue depth)
+//	-batch N       requests launched per pump wakeup
+//	-scheduler S   ready-pool policy per backend runtime
+//
+// Admission control maps to HTTP: a saturated backend answers 503 with
+// Retry-After (after one re-route to the least-loaded shard); pass
+// wait=1 to block (with the request's context) instead of fast-failing.
+// Pass key=SESSION to pin the request to one shard by key hash — every
+// request with the same key hits the same runtime, so its backend-local
+// state stays warm. Request latency percentiles come from the serving
+// layer's own metrics window. On SIGINT/SIGTERM the daemon stops
+// admission, drains every shard (each accepted request resolves), and
+// exits 0.
+//
+//	go run ./cmd/lwtserved -addr :8080 -shards 4
+//	curl 'localhost:8080/fib?n=30&backend=massivethreads&key=sess-7'
 package main
 
 import (
@@ -32,6 +50,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	lwt "repro"
@@ -42,11 +61,14 @@ import (
 
 var (
 	addr      = flag.String("addr", ":8080", "listen address")
-	threads   = flag.Int("threads", 4, "executors per backend runtime")
+	threads   = flag.Int("threads", 4, "executors per backend runtime shard")
 	scheduler = flag.String("scheduler", "", "ready-pool policy per backend (fifo|lifo|priority|random; empty: backend default)")
-	queue     = flag.Int("queue", 1024, "submission queue depth per backend")
-	inflight  = flag.Int("inflight", 0, "max in-flight work units per backend (0: queue depth)")
+	shards    = flag.Int("shards", 0, "backend runtime shards per backend (0: one per CPU)")
+	router    = flag.String("router", "p2c", "unkeyed shard routing policy (p2c|roundrobin|random)")
+	queue     = flag.Int("queue", 1024, "submission queue depth per shard")
+	inflight  = flag.Int("inflight", 0, "max in-flight work units per shard (0: queue depth)")
 	batch     = flag.Int("batch", 64, "requests launched per pump wakeup")
+	drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown (0: unbounded)")
 )
 
 // registry lazily creates one serving engine and one omp worker per
@@ -63,9 +85,17 @@ func (g *registry) server(backend string) (*lwt.Server, error) {
 	if s, ok := g.servers[backend]; ok {
 		return s, nil
 	}
+	// Each server gets its own router instance so round-robin cursors
+	// and the like are never shared across backends.
+	rt, err := lwt.RouterByName(*router)
+	if err != nil {
+		return nil, err
+	}
 	s, err := lwt.NewServer(lwt.ServeOptions{
 		Backend: backend, Threads: *threads, Scheduler: *scheduler,
+		Shards: *shards, Router: rt,
 		QueueDepth: *queue, MaxInFlight: *inflight, Batch: *batch,
+		DrainTimeout: *drain,
 	})
 	if err != nil {
 		return nil, err
@@ -236,6 +266,23 @@ func handle(g *registry, compute func(r *http.Request, sub *lwt.Submitter, n int
 	}
 }
 
+// submitULT routes one ULT-shaped request: ?key= pins it to a shard by
+// affinity hash, ?wait=1 blocks on a full queue instead of fast-failing
+// with 503.
+func submitULT(r *http.Request, sub *lwt.Submitter, body func(lwt.Ctx) (float64, error)) (*lwt.Future[float64], error) {
+	key := r.URL.Query().Get("key")
+	if r.URL.Query().Get("wait") == "1" {
+		if key != "" {
+			return lwt.SubmitULTKeyed(sub, r.Context(), key, body)
+		}
+		return lwt.SubmitULT(sub, r.Context(), body)
+	}
+	if key != "" {
+		return lwt.TrySubmitULTKeyed(sub, key, body)
+	}
+	return lwt.TrySubmitULT(sub, body)
+}
+
 // fib computes fib(n) with a ULT per left branch below the cutoff.
 func fib(c lwt.Ctx, n, cutoff int) uint64 {
 	if n < 2 {
@@ -253,6 +300,9 @@ func fib(c lwt.Ctx, n, cutoff int) uint64 {
 
 func main() {
 	flag.Parse()
+	if _, err := lwt.RouterByName(*router); err != nil {
+		log.Fatalf("lwtserved: %v", err)
+	}
 	g := &registry{servers: map[string]*lwt.Server{}, omps: map[string]*ompWorker{}}
 
 	mux := http.NewServeMux()
@@ -268,10 +318,7 @@ func main() {
 			cutoff = n - 20
 		}
 		body := func(c lwt.Ctx) (float64, error) { return float64(fib(c, n, cutoff)), nil }
-		if r.URL.Query().Get("wait") == "1" {
-			return lwt.SubmitULT(sub, r.Context(), body)
-		}
-		return lwt.TrySubmitULT(sub, body)
+		return submitULT(r, sub, body)
 	}, 28, 45))
 
 	// BLAS-3: C ← A·B + C decomposed into row-range ULTs.
@@ -304,10 +351,7 @@ func main() {
 			}
 			return sum, nil
 		}
-		if r.URL.Query().Get("wait") == "1" {
-			return lwt.SubmitULT(sub, r.Context(), body)
-		}
-		return lwt.TrySubmitULT(sub, body)
+		return submitULT(r, sub, body)
 	}, 96, 512))
 
 	// Loop parallelism through the omp directive layer, on its own
@@ -333,6 +377,12 @@ func main() {
 		reply(w, http.StatusOK, result{Backend: backend, N: n, Value: float64(blas.Sasum(v)), Micros: time.Since(t0).Microseconds()})
 	})
 
+	// backendMetrics is one backend's /metrics row: the cross-shard
+	// aggregate plus one row per shard.
+	type backendMetrics struct {
+		Aggregate serve.Metrics   `json:"aggregate"`
+		Shards    []serve.Metrics `json:"shards"`
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		g.mu.Lock()
 		names := make([]string, 0, len(g.servers))
@@ -340,9 +390,10 @@ func main() {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		out := make([]serve.Metrics, 0, len(names))
+		out := make([]backendMetrics, 0, len(names))
 		for _, name := range names {
-			out = append(out, g.servers[name].Metrics())
+			agg, shards := g.servers[name].Snapshot()
+			out = append(out, backendMetrics{Aggregate: agg, Shards: shards})
 		}
 		g.mu.Unlock()
 		reply(w, http.StatusOK, out)
@@ -355,16 +406,30 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("lwtserved: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 	}()
-	log.Printf("lwtserved: listening on %s (backends: %v)", *addr, lwt.Backends())
+	log.Printf("lwtserved: listening on %s (shards=%d router=%s backends=%v)",
+		*addr, *shards, *router, lwt.Backends())
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	// Graceful drain: every backend's shards run their accepted requests
+	// to completion (bounded by -drain) before the runtimes finalize.
+	// Any request a shard could not run inside the budget still resolves
+	// its future — with ErrClosed — and is counted here.
 	g.closeAll()
+	g.mu.Lock()
+	var completed, rejected uint64
+	for _, s := range g.servers {
+		m := s.Metrics()
+		completed += m.Completed
+		rejected += m.Rejected
+	}
+	g.mu.Unlock()
+	log.Printf("lwtserved: drained cleanly (completed=%d, rejected-at-deadline=%d)", completed, rejected)
 }

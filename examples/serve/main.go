@@ -2,10 +2,13 @@
 // pattern the Table II API cannot express (work created outside the
 // backend's main thread, results returned, overload rejected). A pool
 // of producer goroutines submits BLAS work and fib ULT trees to every
-// backend in turn, deliberately overruns the queue to show ErrSaturated,
-// and prints the serving metrics each backend accumulated.
+// backend in turn — spread across a pool of runtime shards by
+// power-of-two-choices, with a slice of keyed traffic pinned to shards
+// by session — deliberately overruns the queues to show ErrSaturated,
+// and prints the serving metrics each backend accumulated, with the
+// per-shard traffic split.
 //
-//	go run ./examples/serve -threads 4 -requests 200
+//	go run ./examples/serve -threads 2 -shards 2 -requests 200
 package main
 
 import (
@@ -22,14 +25,15 @@ import (
 )
 
 func main() {
-	threads := flag.Int("threads", 4, "executors per backend")
+	threads := flag.Int("threads", 2, "executors per shard")
+	shards := flag.Int("shards", 2, "runtime shards per backend")
 	requests := flag.Int("requests", 200, "requests per backend")
 	producers := flag.Int("producers", 4, "producer goroutines")
 	flag.Parse()
 
 	for _, backend := range lwt.Backends() {
 		srv, err := lwt.NewServer(lwt.ServeOptions{
-			Backend: backend, Threads: *threads, QueueDepth: 64,
+			Backend: backend, Threads: *threads, Shards: *shards, QueueDepth: 64,
 		})
 		if err != nil {
 			log.Fatalf("serve: %v", err)
@@ -53,6 +57,24 @@ func main() {
 							log.Fatalf("%s: SubmitULT: %v", backend, err)
 						}
 						if v := f.MustWait(); v != 987 {
+							wrong.Add(1)
+						}
+						continue
+					}
+					if i%10 == 5 {
+						// A keyed request: producer p's "session" always
+						// lands on the same shard, keeping that runtime's
+						// local state warm.
+						f, err := lwt.SubmitKeyed(sub, context.Background(), fmt.Sprintf("session-%d", p), func() (float32, error) {
+							v := make([]float32, 256)
+							blas.Fill(v, 4)
+							blas.Sscal(v, 0.25)
+							return blas.Sasum(v), nil
+						})
+						if err != nil {
+							log.Fatalf("%s: SubmitKeyed: %v", backend, err)
+						}
+						if v := f.MustWait(); v != 256 {
 							wrong.Add(1)
 						}
 						continue
@@ -96,9 +118,17 @@ func main() {
 		}
 
 		m := srv.Metrics()
+		sm := srv.ShardMetrics()
 		srv.Close()
-		fmt.Printf("%-26s completed=%-5d p50=%-10v p99=%-10v %8.0f req/s  saturated rejections seen: %d\n",
-			backend, m.Completed, m.Latency.P50, m.Latency.P99, m.Throughput, saturated)
+		split := ""
+		for i, s := range sm {
+			if i > 0 {
+				split += "/"
+			}
+			split += fmt.Sprint(s.Completed)
+		}
+		fmt.Printf("%-26s completed=%-5d per-shard=%-12s p50=%-10v p99=%-10v %8.0f req/s  saturated rejections seen: %d\n",
+			backend, m.Completed, split, m.Latency.P50, m.Latency.P99, m.Throughput, saturated)
 		if wrong.Load() != 0 {
 			log.Fatalf("%s: %d wrong results", backend, wrong.Load())
 		}

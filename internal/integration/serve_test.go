@@ -22,7 +22,7 @@ import (
 func TestServeEveryBackend(t *testing.T) {
 	for _, backend := range lwt.Backends() {
 		t.Run(backend, func(t *testing.T) {
-			s, err := serve.New(serve.Options{Backend: backend, Threads: 2, QueueDepth: 64})
+			s, err := serve.New(serve.Options{Backend: backend, Threads: 2, Shards: 1, QueueDepth: 64})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,6 +99,203 @@ func TestServeEveryBackend(t *testing.T) {
 	}
 }
 
+// TestServeShardedEveryBackend runs the shard pool on every registered
+// backend: four independent runtimes behind one server, round-robin
+// routed unkeyed traffic (deterministically hitting every shard), keyed
+// traffic pinned by session, and ULT-shaped requests spawning children
+// on whichever shard they land on. Per-shard metrics must account for
+// exactly the traffic each shard saw.
+func TestServeShardedEveryBackend(t *testing.T) {
+	const shards = 4
+	for _, backend := range lwt.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			s, err := serve.New(serve.Options{
+				Backend: backend, Threads: 1, Shards: shards,
+				Router: &serve.RoundRobin{}, QueueDepth: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if s.NumShards() != shards {
+				t.Fatalf("NumShards = %d, want %d", s.NumShards(), shards)
+			}
+			sub := s.Submitter()
+
+			const producers, per = 4, 20
+			keyed := make([]uint64, shards)
+			var keyedMu sync.Mutex
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					key := "session-" + string(rune('a'+p))
+					for i := 0; i < per; i++ {
+						switch i % 4 {
+						case 0:
+							// ULT-shaped: spawn and join a child on the
+							// shard this request routed to.
+							f, err := serve.SubmitULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+								var child int
+								h := c.ULTCreate(func(core.Ctx) { child = i })
+								c.Join(h)
+								return child, nil
+							})
+							if err != nil {
+								t.Errorf("SubmitULT: %v", err)
+								return
+							}
+							if v, err := f.Wait(context.Background()); err != nil || v != i {
+								t.Errorf("ULT wait = (%v, %v), want (%d, nil)", v, err, i)
+								return
+							}
+						case 1:
+							// Keyed: this producer's whole session pins to
+							// one shard.
+							keyedMu.Lock()
+							keyed[s.ShardOf(key)]++
+							keyedMu.Unlock()
+							f, err := serve.SubmitKeyed(sub, context.Background(), key, func() (int, error) { return p, nil })
+							if err != nil {
+								t.Errorf("SubmitKeyed: %v", err)
+								return
+							}
+							if v, err := f.Wait(context.Background()); err != nil || v != p {
+								t.Errorf("keyed wait = (%v, %v), want (%d, nil)", v, err, p)
+								return
+							}
+						default:
+							f, err := serve.Submit(sub, context.Background(), func() (int, error) { return p*per + i, nil })
+							if err != nil {
+								t.Errorf("Submit: %v", err)
+								return
+							}
+							if v, err := f.Wait(context.Background()); err != nil || v != p*per+i {
+								t.Errorf("wait = (%v, %v), want (%d, nil)", v, err, p*per+i)
+								return
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+
+			agg := s.Metrics()
+			if agg.Completed != producers*per {
+				t.Fatalf("Completed = %d, want %d", agg.Completed, producers*per)
+			}
+			sm := s.ShardMetrics()
+			var sum uint64
+			hit := 0
+			for i, m := range sm {
+				sum += m.Completed
+				if m.Completed > 0 {
+					hit++
+				}
+				// Every shard saw at least its keyed sessions.
+				if m.Submitted < keyed[i] {
+					t.Fatalf("shard %d submitted %d < %d keyed requests pinned to it", i, m.Submitted, keyed[i])
+				}
+			}
+			if sum != agg.Completed {
+				t.Fatalf("shard completions sum %d != aggregate %d", sum, agg.Completed)
+			}
+			// Round-robin over 60+ unkeyed requests deterministically
+			// touches every shard.
+			if hit != shards {
+				t.Fatalf("traffic reached only %d of %d shards", hit, shards)
+			}
+			if agg.InFlight != 0 || agg.QueueDepth != 0 {
+				t.Fatalf("leftover work: inflight=%d queued=%d", agg.InFlight, agg.QueueDepth)
+			}
+		})
+	}
+}
+
+// TestServeShardedDrainUnderLoad closes a 4-shard server while
+// producers are still submitting on every backend: Close must stop
+// admission, run down every shard's queue, and leave no accepted Future
+// unresolved — the no-dropped-futures drain contract under live load.
+func TestServeShardedDrainUnderLoad(t *testing.T) {
+	for _, backend := range lwt.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			s, err := serve.New(serve.Options{
+				Backend: backend, Threads: 1, Shards: 4,
+				QueueDepth: 16, MaxInFlight: 8, Batch: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := s.Submitter()
+			var mu sync.Mutex
+			var accepted []*serve.Future[int]
+			var wg sync.WaitGroup
+			for p := 0; p < 4; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						var f *serve.Future[int]
+						var err error
+						switch i % 3 {
+						case 0:
+							f, err = serve.TrySubmit(sub, func() (int, error) { return i, nil })
+						case 1:
+							f, err = serve.Submit(sub, context.Background(), func() (int, error) { return i, nil })
+						default:
+							f, err = serve.SubmitKeyed(sub, context.Background(), "drain-session", func() (int, error) { return i, nil })
+						}
+						if errors.Is(err, serve.ErrClosed) {
+							return // the drain shut the door: expected exit
+						}
+						if errors.Is(err, serve.ErrSaturated) {
+							continue
+						}
+						if err != nil {
+							t.Errorf("submit: %v", err)
+							return
+						}
+						mu.Lock()
+						accepted = append(accepted, f)
+						mu.Unlock()
+					}
+				}(p)
+			}
+			// Close while the producers are mid-flight.
+			time.Sleep(2 * time.Millisecond)
+			s.Close()
+			wg.Wait()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			resolved := 0
+			for i, f := range accepted {
+				if _, err := f.Wait(ctx); err != nil && !errors.Is(err, serve.ErrClosed) {
+					t.Fatalf("future %d resolved to %v", i, err)
+				}
+				if !f.Ready() {
+					t.Fatalf("future %d not resolved after drain", i)
+				}
+				resolved++
+			}
+			if resolved != len(accepted) {
+				t.Fatalf("resolved %d of %d accepted futures", resolved, len(accepted))
+			}
+			// Drain accounting: every accepted request either ran or was
+			// rejected at the door — nothing vanished.
+			m := s.Metrics()
+			if m.Submitted != m.Completed+m.Rejected {
+				t.Fatalf("drain accounting: submitted %d != completed %d + rejected %d",
+					m.Submitted, m.Completed, m.Rejected)
+			}
+			if int(m.Submitted) != len(accepted) {
+				t.Fatalf("Submitted = %d, accepted futures = %d", m.Submitted, len(accepted))
+			}
+		})
+	}
+}
+
 // TestServeSaturationEveryBackend verifies the admission-control
 // contract on every backend: with the single in-flight slot occupied and
 // the queue full, TrySubmit fast-rejects with ErrSaturated instead of
@@ -108,7 +305,7 @@ func TestServeSaturationEveryBackend(t *testing.T) {
 	for _, backend := range lwt.Backends() {
 		t.Run(backend, func(t *testing.T) {
 			s, err := serve.New(serve.Options{
-				Backend: backend, Threads: 2,
+				Backend: backend, Threads: 2, Shards: 1,
 				QueueDepth: 2, MaxInFlight: 1, Batch: 4,
 			})
 			if err != nil {

@@ -8,7 +8,7 @@ import (
 	"repro/internal/microbench"
 )
 
-// metrics is the server's internal counter and latency-sample state.
+// metrics is one shard's internal counter and latency-sample state.
 type metrics struct {
 	submitted atomic.Uint64 // accepted into the queue
 	completed atomic.Uint64 // request bodies finished (incl. failed/panicked)
@@ -20,11 +20,10 @@ type metrics struct {
 
 	// lats is a ring of recent end-to-end request latencies
 	// (submission to completion), the window Metrics summarizes.
-	mu    sync.Mutex
-	lats  []time.Duration
-	next  int
-	wrap  bool
-	start time.Time
+	mu   sync.Mutex
+	lats []time.Duration
+	next int
+	wrap bool
 }
 
 // observe records one completed request's latency.
@@ -55,12 +54,21 @@ func (m *metrics) window() []time.Duration {
 	return out
 }
 
-// Metrics is a point-in-time snapshot of a server's counters and recent
+// Metrics is a point-in-time snapshot of serving counters and recent
 // latency distribution — the throughput/queue-depth/percentile view a
-// serving deployment watches.
+// serving deployment watches. Server.Metrics returns the aggregate
+// across shards (Shard == -1); Server.ShardMetrics returns one entry
+// per shard.
 type Metrics struct {
 	// Backend is the serving backend's registered name.
 	Backend string
+	// Shard is the shard index this snapshot covers, or -1 for the
+	// whole-server aggregate.
+	Shard int
+	// Shards is the server's shard count.
+	Shards int
+	// Router is the name of the router spreading unkeyed submissions.
+	Router string
 	// Submitted counts requests accepted into the queue.
 	Submitted uint64
 	// Completed counts finished request bodies, including those that

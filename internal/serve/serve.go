@@ -6,22 +6,28 @@
 // unit, joins return no values, and nothing pushes back when producers
 // outrun the runtime.
 //
-// The design is a bounded multi-producer queue feeding a pump that owns
-// the backend's main thread:
+// The engine is a pool of shards. Each shard is an independent backend
+// runtime behind its own bounded multi-producer queue and pump goroutine
+// (the backend's main thread); a pluggable Router spreads unkeyed
+// submissions across shards, and keyed submissions pin to one shard by
+// hash so backend-local state stays warm:
 //
-//	producers (any goroutine)          pump goroutine (backend main thread)
-//	  Submit / TrySubmit  ──▶  bounded MPSC queue  ──▶  batch: TaskletCreate /
-//	        │                                            ULTCreate, then Yield
-//	        ▼                                                   │
-//	   Future[T]  ◀──────── complete(value, err, panic) ◀───────┘
+//	producers (any goroutine)
+//	  Submit / TrySubmit ──Router──▶ shard 0: queue ──▶ pump ──▶ runtime 0
+//	  SubmitKeyed(key)   ──FNV-1a──▶ shard 1: queue ──▶ pump ──▶ runtime 1
+//	        │                        …
+//	        ▼                        shard N-1: queue ─▶ pump ──▶ runtime N-1
+//	   Future[T]  ◀── complete(value, err, panic) ◀── any shard's executor
 //
 // Every runtime interaction — creation, yielding, finalization — happens
-// on the pump goroutine, so backends whose master must drive its own
-// scheduler (Converse's return mode, §VIII-B1) serve traffic exactly like
-// preemptive ones. Admission control is explicit: TrySubmit fast-rejects
-// with ErrSaturated when the queue is full, Submit blocks with context
-// cancellation, and Close drains accepted work before finalizing the
-// backend.
+// on the owning shard's pump goroutine, so backends whose master must
+// drive its own scheduler (Converse's return mode, §VIII-B1) serve
+// traffic exactly like preemptive ones. Admission control is two-level:
+// a full shard re-routes one submission once (to the least-loaded shard)
+// before TrySubmit surfaces ErrSaturated, blocking Submit parks on the
+// least-loaded shard, and Close is a graceful drain — admission stops,
+// every shard runs down its queue (bounded by Options.DrainTimeout),
+// and every accepted Future resolves.
 package serve
 
 import (
@@ -40,23 +46,26 @@ import (
 
 var (
 	// ErrSaturated is the fast-reject returned when the submission
-	// queue is at QueueDepth — the backpressure signal, returned
-	// instead of blocking or deadlocking.
+	// queues are at QueueDepth — the backpressure signal, returned
+	// instead of blocking or deadlocking. Unkeyed submissions are
+	// re-routed once before it surfaces; keyed submissions surface it
+	// directly (re-routing would break affinity).
 	ErrSaturated = errors.New("serve: submission queue saturated")
 	// ErrClosed is returned for submissions to a closed server, and
-	// resolves Futures of requests still queued at shutdown.
+	// resolves Futures of requests still queued when the drain deadline
+	// expires at shutdown.
 	ErrClosed = errors.New("serve: server closed")
 )
 
 // Defaults for Options fields left zero.
 const (
-	// DefaultQueueDepth bounds the submission queue.
+	// DefaultQueueDepth bounds each shard's submission queue.
 	DefaultQueueDepth = 1024
 	// DefaultBatch is the largest request group launched per pump
 	// wakeup.
 	DefaultBatch = 64
-	// DefaultLatencyWindow is the number of recent latency samples the
-	// metrics keep.
+	// DefaultLatencyWindow is the number of recent latency samples each
+	// shard's metrics keep.
 	DefaultLatencyWindow = 4096
 )
 
@@ -65,40 +74,58 @@ type Options struct {
 	// Backend is the registered backend name (see core.Backends);
 	// empty means "go".
 	Backend string
-	// Threads is the executor count; <= 0 means runtime.NumCPU().
+	// Threads is the executor count per shard; <= 0 means
+	// runtime.NumCPU() divided by the shard count (at least 1), so a
+	// zero-value Options keeps the pool's total executor budget at one
+	// per CPU rather than multiplying shards by CPUs.
 	Threads int
 	// Scheduler names the backend's ready-pool policy (core.Config.
 	// Scheduler); empty means the backend default. Requests the backend
 	// cannot honor degrade per the unified API's negotiation rules.
 	Scheduler string
-	// QueueDepth bounds the submission queue; <= 0 means
-	// DefaultQueueDepth. A full queue fast-rejects TrySubmit with
-	// ErrSaturated and blocks Submit.
+	// Shards is the number of independent backend runtimes the server
+	// runs, each behind its own queue and pump; <= 0 means
+	// runtime.NumCPU(). One shard reproduces the unsharded engine.
+	Shards int
+	// Router spreads unkeyed submissions across shards; nil means
+	// power-of-two-choices on shard depth (P2C). See RouterByName.
+	Router Router
+	// QueueDepth bounds each shard's submission queue; <= 0 means
+	// DefaultQueueDepth. With every candidate shard's queue full,
+	// TrySubmit fast-rejects with ErrSaturated and Submit blocks.
 	QueueDepth int
 	// Batch caps the number of requests launched per pump wakeup —
 	// queued requests are turned into work units in groups, amortizing
 	// the pump's scheduling step; <= 0 means DefaultBatch.
 	Batch int
-	// MaxInFlight caps launched-but-unfinished work units. At the cap
-	// the pump stops launching, so the submission queue fills and
+	// MaxInFlight caps launched-but-unfinished work units per shard. At
+	// the cap the shard's pump stops launching, so its queue fills and
 	// admission control engages; without it every burst would pour
 	// straight into the backend's unbounded pools. <= 0 means
 	// QueueDepth.
 	MaxInFlight int
-	// LatencyWindow is the recent-sample count kept for percentile
-	// metrics; <= 0 means DefaultLatencyWindow.
+	// LatencyWindow is the recent-sample count kept per shard for
+	// percentile metrics; <= 0 means DefaultLatencyWindow.
 	LatencyWindow int
+	// DrainTimeout bounds how long Close lets each shard keep launching
+	// queued requests. Work already launched always runs to completion;
+	// once the deadline passes, requests still queued resolve their
+	// Futures with ErrClosed instead of running. Zero means drain
+	// without a deadline.
+	DrainTimeout time.Duration
 	// Tracer, when non-nil, records one KindUser interval per request
-	// (submission to completion, Unit = request id).
+	// (submission to completion, Unit = request id, Exec = -(shard+1)
+	// so each shard gets its own synthetic lane).
 	Tracer *trace.Recorder
 }
 
 // request is one queued submission.
 type request struct {
-	id  uint64
-	ctx context.Context // submission context; nil means background
-	ult bool            // needs a stackful ULT (body takes a Ctx)
-	enq time.Time
+	id    uint64
+	shard *shard          // owning shard, set before enqueue
+	ctx   context.Context // submission context; nil means background
+	ult   bool            // needs a stackful ULT (body takes a Ctx)
+	enq   time.Time
 	// run executes the body and resolves the Future; the Ctx is nil
 	// for tasklet-shaped bodies.
 	run func(core.Ctx)
@@ -107,30 +134,80 @@ type request struct {
 	fail func(error)
 }
 
-// Server is a request-serving engine over one backend runtime. Create
-// one with New, submit through Submitter, stop with Close.
-type Server struct {
-	opts Options
-	reqs chan *request
-	quit chan struct{}
-	done chan struct{}
-
-	closed   atomic.Bool
-	active   atomic.Int64 // producers currently inside a submit call
+// shard is one independent serving lane: a backend runtime, its bounded
+// queue, its pump goroutine, and its slice of the metrics.
+type shard struct {
+	s        *Server
+	id       int
+	reqs     chan *request
 	inflight atomic.Int64 // launched-but-unfinished work units
-	nextID   atomic.Uint64
+	queued   atomic.Int64 // accepted-but-unlaunched requests
 	m        metrics
+	done     chan struct{} // pump exited, runtime finalized
 }
 
-// New starts a server: it spawns the pump goroutine, initializes the
-// named backend on it, and returns once the backend is serving (or its
-// initialization failed).
+// load is the routing signal: accepted-but-unlaunched plus in-flight
+// requests, two atomic loads.
+func (sh *shard) load() int {
+	return int(sh.queued.Load() + sh.inflight.Load())
+}
+
+// commit settles the admission accounting for a request that just
+// entered this shard's queue — the single place the accepted-submission
+// counters are bumped, shared by the non-blocking and parked paths.
+func (sh *shard) commit() {
+	sh.queued.Add(1)
+	sh.m.submitted.Add(1)
+}
+
+// tryEnqueue is the non-blocking admission step onto this shard.
+func (sh *shard) tryEnqueue(r *request) bool {
+	r.shard = sh
+	select {
+	case sh.reqs <- r:
+		sh.commit()
+		return true
+	default:
+		return false
+	}
+}
+
+// Server is a request-serving engine over a pool of backend runtimes.
+// Create one with New, submit through Submitter, stop with Close.
+type Server struct {
+	opts   Options
+	router Router
+	shards []*shard
+	quit   chan struct{}
+
+	closed atomic.Bool
+	active atomic.Int64 // producers currently inside a submit call
+	nextID atomic.Uint64
+	start  time.Time
+	// drainBy is the shutdown deadline in unix nanoseconds (0 = none).
+	// It is written before quit closes, so pumps that observed the
+	// close see it.
+	drainBy atomic.Int64
+}
+
+// New starts a server: it spawns one pump goroutine per shard, each
+// initializing its own instance of the named backend, and returns once
+// every shard is serving (or any initialization failed, in which case
+// the shards that did start are torn down).
 func New(opts Options) (*Server, error) {
 	if opts.Backend == "" {
 		opts.Backend = "go"
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.NumCPU()
+	}
 	if opts.Threads <= 0 {
-		opts.Threads = runtime.NumCPU()
+		// Split the CPU budget across the pool: defaulting both fields
+		// yields NumCPU total executors, not Shards x NumCPU.
+		opts.Threads = runtime.NumCPU() / opts.Shards
+		if opts.Threads < 1 {
+			opts.Threads = 1
+		}
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = DefaultQueueDepth
@@ -144,18 +221,43 @@ func New(opts Options) (*Server, error) {
 	if opts.LatencyWindow <= 0 {
 		opts.LatencyWindow = DefaultLatencyWindow
 	}
-	s := &Server{
-		opts: opts,
-		reqs: make(chan *request, opts.QueueDepth),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+	router := opts.Router
+	if router == nil {
+		router = P2C{}
 	}
-	s.m.lats = make([]time.Duration, opts.LatencyWindow)
-	s.m.start = time.Now()
-	ready := make(chan error)
-	go s.pump(ready)
-	if err := <-ready; err != nil {
-		return nil, fmt.Errorf("serve: start %q: %w", opts.Backend, err)
+	s := &Server{
+		opts:   opts,
+		router: router,
+		shards: make([]*shard, opts.Shards),
+		quit:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	ready := make(chan error, opts.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			s:    s,
+			id:   i,
+			reqs: make(chan *request, opts.QueueDepth),
+			done: make(chan struct{}),
+		}
+		sh.m.lats = make([]time.Duration, opts.LatencyWindow)
+		s.shards[i] = sh
+		go sh.pump(ready)
+	}
+	var firstErr error
+	for range s.shards {
+		if err := <-ready; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// Tear down the shards that did start.
+		s.closed.Store(true)
+		close(s.quit)
+		for _, sh := range s.shards {
+			<-sh.done
+		}
+		return nil, fmt.Errorf("serve: start %q: %w", opts.Backend, firstErr)
 	}
 	return s, nil
 }
@@ -172,50 +274,65 @@ func MustNew(opts Options) *Server {
 // Backend reports the serving backend's name.
 func (s *Server) Backend() string { return s.opts.Backend }
 
+// NumShards reports the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Router reports the router spreading unkeyed submissions.
+func (s *Server) Router() Router { return s.router }
+
+// ShardOf reports the shard index keyed submissions with this affinity
+// key pin to — stable for the server's whole lifetime.
+func (s *Server) ShardOf(key string) int { return keyShard(key, len(s.shards)) }
+
+// loadOf is the Router's load probe.
+func (s *Server) loadOf(i int) int { return s.shards[i].load() }
+
+// leastLoaded scans for the shard with the smallest depth — the
+// re-route target and the blocking submit's parking spot. The scan is
+// O(shards) of atomic loads, off the fast path (it runs only after the
+// router's pick saturated).
+func (s *Server) leastLoaded() *shard {
+	best := s.shards[0]
+	bestLoad := best.load()
+	for _, sh := range s.shards[1:] {
+		if l := sh.load(); l < bestLoad {
+			best, bestLoad = sh, l
+		}
+	}
+	return best
+}
+
 // Submitter returns the server's injection front-end. It is safe for any
 // number of goroutines and can be handed to producers that should not be
 // able to Close the server.
 func (s *Server) Submitter() *Submitter { return &Submitter{s: s} }
 
-// Metrics snapshots the server's counters and recent latency window.
-func (s *Server) Metrics() Metrics {
-	up := time.Since(s.m.start)
-	mt := Metrics{
-		Backend:    s.opts.Backend,
-		Submitted:  s.m.submitted.Load(),
-		Completed:  s.m.completed.Load(),
-		Saturated:  s.m.saturated.Load(),
-		Canceled:   s.m.canceled.Load(),
-		Rejected:   s.m.rejected.Load(),
-		Failed:     s.m.failed.Load(),
-		Panicked:   s.m.panicked.Load(),
-		QueueDepth: len(s.reqs),
-		InFlight:   int(s.inflight.Load()),
-		Uptime:     up,
-	}
-	if secs := up.Seconds(); secs > 0 {
-		mt.Throughput = float64(mt.Completed) / secs
-	}
-	if w := s.m.window(); len(w) > 0 {
-		mt.Latency = microbench.Summarize(w)
-	}
-	return mt
-}
-
-// Close stops the server: new submissions are rejected with ErrClosed,
-// requests accepted before Close are run to completion, requests racing
-// with Close resolve to ErrClosed, and the backend is finalized. It
-// blocks until the pump has exited and is idempotent.
+// Close stops the server with a graceful drain: new submissions are
+// rejected with ErrClosed, every shard runs the requests accepted before
+// Close to completion (bounded by Options.DrainTimeout — past the
+// deadline, still-queued requests resolve to ErrClosed instead of
+// running), requests racing with Close resolve to ErrClosed, and each
+// shard's backend is finalized once its pump has drained. No accepted
+// Future is left unresolved. Close blocks until every pump has exited
+// and is idempotent.
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
+		if s.opts.DrainTimeout > 0 {
+			// Written before close(quit): the channel close publishes
+			// it to every pump.
+			s.drainBy.Store(time.Now().Add(s.opts.DrainTimeout).UnixNano())
+		}
 		close(s.quit)
 	}
-	<-s.done
+	for _, sh := range s.shards {
+		<-sh.done
+	}
 }
 
-// pump is the backend's main thread: it owns the runtime end to end and
-// is the only goroutine that touches it.
-func (s *Server) pump(ready chan<- error) {
+// pump is one shard's backend main thread: it owns that shard's runtime
+// end to end and is the only goroutine that touches it.
+func (sh *shard) pump(ready chan<- error) {
+	s := sh.s
 	rt, err := core.Open(core.Config{
 		Backend:   s.opts.Backend,
 		Executors: s.opts.Threads,
@@ -223,20 +340,21 @@ func (s *Server) pump(ready chan<- error) {
 	})
 	if err != nil {
 		ready <- err
-		close(s.done)
+		close(sh.done)
 		return
 	}
 	ready <- nil
 	batch := make([]*request, 0, s.opts.Batch)
 	for {
 		batch = batch[:0]
-		if s.inflight.Load() == 0 {
+		if sh.inflight.Load() == 0 {
 			// Fully idle: park until traffic or shutdown arrives.
 			select {
-			case r := <-s.reqs:
+			case r := <-sh.reqs:
+				sh.queued.Add(-1)
 				batch = append(batch, r)
 			case <-s.quit:
-				s.shutdown(rt)
+				sh.shutdown(rt)
 				return
 			}
 		} else {
@@ -257,9 +375,10 @@ func (s *Server) pump(ready chan<- error) {
 		// units per wakeup, so one scheduler step admits many requests.
 		// The MaxInFlight cap leaves the excess queued, which is what
 		// lets the bounded queue fill and reject.
-		for len(batch) < s.opts.Batch && int(s.inflight.Load())+len(batch) < s.opts.MaxInFlight {
+		for len(batch) < s.opts.Batch && int(sh.inflight.Load())+len(batch) < s.opts.MaxInFlight {
 			select {
-			case r := <-s.reqs:
+			case r := <-sh.reqs:
+				sh.queued.Add(-1)
 				batch = append(batch, r)
 			default:
 				goto collected
@@ -267,11 +386,11 @@ func (s *Server) pump(ready chan<- error) {
 		}
 	collected:
 		for _, r := range batch {
-			s.launch(rt, r)
+			sh.launch(rt, r)
 		}
 		select {
 		case <-s.quit:
-			s.shutdown(rt)
+			sh.shutdown(rt)
 			return
 		default:
 		}
@@ -280,15 +399,15 @@ func (s *Server) pump(ready chan<- error) {
 
 // launch turns one accepted request into a backend work unit, dropping
 // it instead if its submission context was cancelled while queued.
-func (s *Server) launch(rt *core.Runtime, r *request) {
+func (sh *shard) launch(rt *core.Runtime, r *request) {
 	if r.ctx != nil {
 		if err := r.ctx.Err(); err != nil {
-			s.m.canceled.Add(1)
+			sh.m.canceled.Add(1)
 			r.fail(err)
 			return
 		}
 	}
-	s.inflight.Add(1)
+	sh.inflight.Add(1)
 	if r.ult {
 		rt.ULTCreate(r.run)
 	} else {
@@ -296,42 +415,79 @@ func (s *Server) launch(rt *core.Runtime, r *request) {
 	}
 }
 
-// shutdown drains the server on the pump goroutine: accepted requests
-// run to completion, in-flight work is driven until done, straggling
+// shutdown drains one shard on its pump goroutine: accepted requests
+// run to completion (until the drain deadline, after which they resolve
+// to ErrClosed unrun), in-flight work is driven until done, straggling
 // producers are waited out and anything they enqueued is rejected, then
-// the backend is finalized.
-func (s *Server) shutdown(rt *core.Runtime) {
-	defer close(s.done)
-	// Run everything accepted before Close.
-	for {
-		select {
-		case r := <-s.reqs:
-			s.launch(rt, r)
-			continue
-		default:
-		}
-		break
+// the shard's backend is finalized. Every accepted Future resolves.
+func (sh *shard) shutdown(rt *core.Runtime) {
+	defer close(sh.done)
+	s := sh.s
+	deadline := s.drainBy.Load()
+	expired := func() bool {
+		return deadline != 0 && time.Now().UnixNano() >= deadline
 	}
-	for s.inflight.Load() > 0 {
+	// Run everything accepted before Close, paced at MaxInFlight so the
+	// drain cannot overload the backend. Past the deadline, requests
+	// still queued resolve to ErrClosed instead of running.
+drain:
+	for {
+		if expired() {
+			for {
+				select {
+				case r := <-sh.reqs:
+					sh.queued.Add(-1)
+					sh.m.rejected.Add(1)
+					r.fail(ErrClosed)
+					continue
+				default:
+				}
+				break drain
+			}
+		}
+		if int(sh.inflight.Load()) >= s.opts.MaxInFlight {
+			rt.Yield()
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case r := <-sh.reqs:
+			sh.queued.Add(-1)
+			sh.launch(rt, r)
+		default:
+			break drain
+		}
+	}
+	// Launched work always runs to completion — a live work unit cannot
+	// be abandoned without corrupting the backend — so the deadline
+	// bounds queue drain, not execution.
+	for sh.inflight.Load() > 0 {
 		rt.Yield()
 		runtime.Gosched()
 	}
 	// Producers that passed the closed check concurrently with Close
 	// are counted in active; drain-reject until they are gone so no
-	// Future is left unresolved and no producer is left blocked.
+	// Future is left unresolved and no producer is left blocked. The
+	// counter is server-wide (a straggler may target any shard), so
+	// every shard holds its queue open until the last producer exits.
 	for s.active.Load() > 0 {
 		select {
-		case r := <-s.reqs:
-			s.m.rejected.Add(1)
+		case r := <-sh.reqs:
+			sh.queued.Add(-1)
+			sh.m.rejected.Add(1)
 			r.fail(ErrClosed)
 		default:
 			runtime.Gosched()
 		}
 	}
+	// A straggler's enqueue happens before its active-counter
+	// decrement, so once active reached zero everything it sent is
+	// already buffered; one final sweep resolves it.
 	for {
 		select {
-		case r := <-s.reqs:
-			s.m.rejected.Add(1)
+		case r := <-sh.reqs:
+			sh.queued.Add(-1)
+			sh.m.rejected.Add(1)
 			r.fail(ErrClosed)
 			continue
 		default:
@@ -342,16 +498,16 @@ func (s *Server) shutdown(rt *core.Runtime) {
 }
 
 // finish settles one completed request's accounting and trace.
-func (s *Server) finish(r *request) {
+func (sh *shard) finish(r *request) {
 	lat := time.Since(r.enq)
-	s.inflight.Add(-1)
-	s.m.observe(lat)
-	if s.opts.Tracer != nil {
-		// Exec -1 is the synthetic "requests" lane: the work ran on
-		// some backend executor, but the interval belongs to the
-		// request, submission to completion.
-		s.opts.Tracer.Record(trace.Event{
-			Exec: -1, Kind: trace.KindUser, Unit: r.id,
+	sh.inflight.Add(-1)
+	sh.m.observe(lat)
+	if t := sh.s.opts.Tracer; t != nil {
+		// Exec -(shard+1) is the shard's synthetic "requests" lane: the
+		// work ran on some backend executor, but the interval belongs
+		// to the request, submission to completion.
+		t.Record(trace.Event{
+			Exec: -(sh.id + 1), Kind: trace.KindUser, Unit: r.id,
 			Start: r.enq, Dur: lat, Label: "request",
 		})
 	}
@@ -386,25 +542,30 @@ func makeRequest[T any](s *Server, ctx context.Context, ult bool, fn func(core.C
 		f.complete(zero, err)
 	}
 	r.run = func(c core.Ctx) {
+		sh := r.shard
 		defer func() {
 			if p := recover(); p != nil {
-				s.m.panicked.Add(1)
+				sh.m.panicked.Add(1)
 				var zero T
 				f.complete(zero, &PanicError{Value: p, Stack: debug.Stack()})
 			}
-			s.finish(r)
+			sh.finish(r)
 		}()
 		v, err := fn(c)
 		if err != nil {
-			s.m.failed.Add(1)
+			sh.m.failed.Add(1)
 		}
 		f.complete(v, err)
 	}
 	return r, f
 }
 
-// trySubmit is the non-blocking admission path.
-func trySubmit[T any](sub *Submitter, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+// trySubmit is the non-blocking admission path with two-level admission:
+// the router's pick is tried first; if that shard's queue is full the
+// request is re-routed once to the least-loaded shard before
+// ErrSaturated surfaces. pin >= 0 bypasses the router and disables the
+// re-route (keyed affinity).
+func trySubmit[T any](sub *Submitter, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
 	s := sub.s
 	s.active.Add(1)
 	defer s.active.Add(-1)
@@ -412,18 +573,30 @@ func trySubmit[T any](sub *Submitter, ult bool, fn func(core.Ctx) (T, error)) (*
 		return nil, ErrClosed
 	}
 	r, f := makeRequest(s, nil, ult, fn)
-	select {
-	case s.reqs <- r:
-		s.m.submitted.Add(1)
-		return f, nil
-	default:
-		s.m.saturated.Add(1)
+	if pin >= 0 {
+		sh := s.shards[pin%len(s.shards)]
+		if sh.tryEnqueue(r) {
+			return f, nil
+		}
+		sh.m.saturated.Add(1)
 		return nil, ErrSaturated
 	}
+	sh := s.shards[s.router.Pick(len(s.shards), s.loadOf)]
+	if sh.tryEnqueue(r) {
+		return f, nil
+	}
+	if alt := s.leastLoaded(); alt != sh && alt.tryEnqueue(r) {
+		return f, nil
+	}
+	sh.m.saturated.Add(1)
+	return nil, ErrSaturated
 }
 
-// submit is the blocking admission path with context cancellation.
-func submit[T any](sub *Submitter, ctx context.Context, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+// submit is the blocking admission path with context cancellation: it
+// first tries the router's pick without blocking, then parks on the
+// least-loaded shard. pin >= 0 pins both attempts to one shard (keyed
+// affinity).
+func submit[T any](sub *Submitter, ctx context.Context, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
 	s := sub.s
 	s.active.Add(1)
 	defer s.active.Add(-1)
@@ -431,16 +604,29 @@ func submit[T any](sub *Submitter, ctx context.Context, ult bool, fn func(core.C
 		return nil, ErrClosed
 	}
 	r, f := makeRequest(s, ctx, ult, fn)
+	var sh *shard
+	if pin >= 0 {
+		sh = s.shards[pin%len(s.shards)]
+	} else {
+		sh = s.shards[s.router.Pick(len(s.shards), s.loadOf)]
+	}
+	if sh.tryEnqueue(r) {
+		return f, nil
+	}
+	if pin < 0 {
+		sh = s.leastLoaded()
+	}
 	var cancel <-chan struct{}
 	if ctx != nil {
 		cancel = ctx.Done()
 	}
+	r.shard = sh
 	select {
-	case s.reqs <- r:
-		s.m.submitted.Add(1)
+	case sh.reqs <- r:
+		sh.commit()
 		return f, nil
 	case <-cancel:
-		s.m.canceled.Add(1)
+		sh.m.canceled.Add(1)
 		return nil, ctx.Err()
 	case <-s.quit:
 		return nil, ErrClosed
@@ -448,26 +634,134 @@ func submit[T any](sub *Submitter, ctx context.Context, ult bool, fn func(core.C
 }
 
 // Submit queues fn as a tasklet-shaped request (stackless body, no
-// cooperative context), blocking while the queue is full until space
+// cooperative context), blocking while the queues are full until space
 // frees, ctx is cancelled, or the server closes.
 func Submit[T any](sub *Submitter, ctx context.Context, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, false, func(core.Ctx) (T, error) { return fn() })
+	return submit(sub, ctx, -1, false, func(core.Ctx) (T, error) { return fn() })
 }
 
-// TrySubmit is Submit without blocking: a full queue returns
-// ErrSaturated immediately — the admission-control fast path.
+// TrySubmit is Submit without blocking: with the routed shard full and
+// one re-route exhausted it returns ErrSaturated immediately — the
+// admission-control fast path.
 func TrySubmit[T any](sub *Submitter, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, false, func(core.Ctx) (T, error) { return fn() })
+	return trySubmit(sub, -1, false, func(core.Ctx) (T, error) { return fn() })
 }
 
 // SubmitULT queues fn as a stackful ULT whose body receives the
 // cooperative context — for requests that spawn and join child work
 // units (nested parallelism on the serving runtime).
 func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, true, fn)
+	return submit(sub, ctx, -1, true, fn)
 }
 
 // TrySubmitULT is SubmitULT with ErrSaturated fast-reject.
 func TrySubmitULT[T any](sub *Submitter, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, true, fn)
+	return trySubmit(sub, -1, true, fn)
+}
+
+// SubmitKeyed is Submit with shard affinity: every submission carrying
+// the same key lands on the same shard (FNV-1a of the key), so a
+// session's requests keep hitting one backend runtime and its warm
+// local state — FEBs, placement hints, pool caches. A blocked keyed
+// submission parks on its pinned shard (affinity is never traded for
+// an emptier queue).
+func SubmitKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func() (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// TrySubmitKeyed is SubmitKeyed without blocking: a full pinned shard
+// returns ErrSaturated directly — no re-route, affinity is the
+// contract.
+func TrySubmitKeyed[T any](sub *Submitter, key string, fn func() (T, error)) (*Future[T], error) {
+	return trySubmit(sub, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// SubmitULTKeyed is SubmitKeyed for stackful request bodies that spawn
+// and join children on the pinned shard's runtime.
+func SubmitULTKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, sub.s.ShardOf(key), true, fn)
+}
+
+// TrySubmitULTKeyed is SubmitULTKeyed with ErrSaturated fast-reject on
+// the pinned shard.
+func TrySubmitULTKeyed[T any](sub *Submitter, key string, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return trySubmit(sub, sub.s.ShardOf(key), true, fn)
+}
+
+// Snapshot reads the server's counters and latency windows once and
+// returns both views: the cross-shard aggregate (Metrics.Shard == -1)
+// and the per-shard breakdown (entry i is shard i). Each shard's
+// latency ring is locked and copied a single time, shared by both
+// views — the form a metrics scrape that wants aggregate and
+// breakdown together should use.
+func (s *Server) Snapshot() (Metrics, []Metrics) {
+	up := time.Since(s.start)
+	agg := Metrics{
+		Backend: s.opts.Backend,
+		Shard:   -1,
+		Shards:  len(s.shards),
+		Router:  s.router.Name(),
+		Uptime:  up,
+	}
+	per := make([]Metrics, len(s.shards))
+	var window []time.Duration
+	for i, sh := range s.shards {
+		mt := Metrics{
+			Backend:    s.opts.Backend,
+			Shard:      i,
+			Shards:     len(s.shards),
+			Router:     s.router.Name(),
+			Submitted:  sh.m.submitted.Load(),
+			Completed:  sh.m.completed.Load(),
+			Saturated:  sh.m.saturated.Load(),
+			Canceled:   sh.m.canceled.Load(),
+			Rejected:   sh.m.rejected.Load(),
+			Failed:     sh.m.failed.Load(),
+			Panicked:   sh.m.panicked.Load(),
+			QueueDepth: len(sh.reqs),
+			InFlight:   int(sh.inflight.Load()),
+			Uptime:     up,
+		}
+		w := sh.m.window()
+		if secs := up.Seconds(); secs > 0 {
+			mt.Throughput = float64(mt.Completed) / secs
+		}
+		if len(w) > 0 {
+			mt.Latency = microbench.Summarize(w)
+		}
+		per[i] = mt
+		window = append(window, w...)
+		agg.Submitted += mt.Submitted
+		agg.Completed += mt.Completed
+		agg.Saturated += mt.Saturated
+		agg.Canceled += mt.Canceled
+		agg.Rejected += mt.Rejected
+		agg.Failed += mt.Failed
+		agg.Panicked += mt.Panicked
+		agg.QueueDepth += mt.QueueDepth
+		agg.InFlight += mt.InFlight
+	}
+	if secs := up.Seconds(); secs > 0 {
+		agg.Throughput = float64(agg.Completed) / secs
+	}
+	if len(window) > 0 {
+		agg.Latency = microbench.Summarize(window)
+	}
+	return agg, per
+}
+
+// Metrics snapshots the server's counters and recent latency windows,
+// aggregated across every shard (Metrics.Shard is -1). Use ShardMetrics
+// for the per-shard breakdown, or Snapshot for both in one pass.
+func (s *Server) Metrics() Metrics {
+	agg, _ := s.Snapshot()
+	return agg
+}
+
+// ShardMetrics snapshots each shard's own counters and latency window;
+// entry i is shard i (Metrics.Shard = i). The sum over entries is
+// Metrics().
+func (s *Server) ShardMetrics() []Metrics {
+	_, per := s.Snapshot()
+	return per
 }

@@ -13,13 +13,14 @@ import (
 	"repro/internal/trace"
 )
 
-// gated returns a server sized so that exactly one request can be in
-// flight, a request body that blocks on the gate, and the gate itself —
-// the deterministic setup for saturation and cancellation tests.
+// gated returns a single-shard server sized so that exactly one request
+// can be in flight, a request body that blocks on the gate, and the gate
+// itself — the deterministic setup for saturation and cancellation
+// tests.
 func gated(t *testing.T) (*Server, *Submitter, chan struct{}, chan struct{}) {
 	t.Helper()
 	s, err := New(Options{
-		Backend: "go", Threads: 1,
+		Backend: "go", Threads: 1, Shards: 1,
 		QueueDepth: 2, MaxInFlight: 1, Batch: 8,
 	})
 	if err != nil {

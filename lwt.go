@@ -73,18 +73,24 @@
 // under their own names.
 //
 // On top of the unified API sits the serving layer (NewServer): a
-// concurrent task-submission engine that lets arbitrary goroutines
-// inject work into any backend through a bounded queue with Future
-// results, admission control (ErrSaturated) and per-request metrics —
-// the external-submission path the paper's reduced function set lacks.
-// cmd/lwtserved serves HTTP compute traffic through it on every backend.
+// sharded task-submission engine that lets arbitrary goroutines inject
+// work into any backend. ServeOptions.Shards independent backend
+// runtimes sit behind one Server, each with its own bounded queue and
+// pump goroutine; a pluggable Router (power-of-two-choices by default,
+// see RouterByName) spreads unkeyed submissions, SubmitKeyed pins a
+// session's requests to one shard by key hash, admission control is
+// two-level (a full shard re-routes once before ErrSaturated
+// surfaces), and Close drains gracefully — every accepted Future
+// resolves. cmd/lwtserved serves HTTP compute traffic through it on
+// every backend.
 //
-//	srv := lwt.MustNewServer(lwt.ServeOptions{Backend: "argobots"})
+//	srv := lwt.MustNewServer(lwt.ServeOptions{Backend: "argobots", Shards: 4})
 //	defer srv.Close()
 //	f, err := lwt.Submit(srv.Submitter(), ctx, func() (int, error) {
 //		return compute(), nil
 //	})
 //	v, err := f.Wait(ctx)
+//	g, err := lwt.SubmitKeyed(srv.Submitter(), ctx, sessionID, handle)
 package lwt
 
 import (
@@ -184,14 +190,19 @@ func Register(name string, f func() Backend) {
 
 // --- Serving layer ---
 
-// Server is a request-serving engine over one backend: a pump goroutine
-// owns the backend's main thread and turns externally submitted requests
-// into work units.
+// Server is a request-serving engine over a pool of backend runtime
+// shards: each shard's pump goroutine owns its runtime's main thread
+// and turns externally submitted requests into work units.
 type Server = serve.Server
 
-// ServeOptions configures a Server (backend, executors, scheduler
-// policy, queue depth, in-flight cap, batch size, tracer).
+// ServeOptions configures a Server (backend, executors per shard,
+// scheduler policy, shard count, router, queue depth, in-flight cap,
+// batch size, drain timeout, tracer).
 type ServeOptions = serve.Options
+
+// Router picks the shard for each unkeyed submission; see RouterByName
+// for the built-in policies.
+type Router = serve.Router
 
 // Submitter is the thread-safe, multi-producer injection front-end of a
 // Server.
@@ -242,3 +253,33 @@ func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(Ctx) (T, erro
 func TrySubmitULT[T any](sub *Submitter, fn func(Ctx) (T, error)) (*Future[T], error) {
 	return serve.TrySubmitULT(sub, fn)
 }
+
+// SubmitKeyed is Submit with shard affinity: every submission carrying
+// the same key runs on the same backend runtime shard (FNV-1a of the
+// key), keeping that shard's backend-local state warm for the session.
+func SubmitKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func() (T, error)) (*Future[T], error) {
+	return serve.SubmitKeyed(sub, ctx, key, fn)
+}
+
+// TrySubmitKeyed is SubmitKeyed without blocking: a full pinned shard
+// returns ErrSaturated directly — affinity is never traded for an
+// emptier queue.
+func TrySubmitKeyed[T any](sub *Submitter, key string, fn func() (T, error)) (*Future[T], error) {
+	return serve.TrySubmitKeyed(sub, key, fn)
+}
+
+// SubmitULTKeyed is SubmitKeyed for stackful request bodies that spawn
+// and join children on the pinned shard's runtime.
+func SubmitULTKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.SubmitULTKeyed(sub, ctx, key, fn)
+}
+
+// TrySubmitULTKeyed is SubmitULTKeyed with ErrSaturated fast-reject on
+// the pinned shard.
+func TrySubmitULTKeyed[T any](sub *Submitter, key string, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.TrySubmitULTKeyed(sub, key, fn)
+}
+
+// RouterByName returns a fresh submission router: "p2c" (the default,
+// power-of-two-choices on shard depth), "roundrobin", or "random".
+func RouterByName(name string) (Router, error) { return serve.RouterByName(name) }

@@ -1,6 +1,7 @@
 package lwt_test
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -156,4 +157,55 @@ func (b *fakeBackend) ULTCreateTo(executor int, fn func(lwt.Ctx)) lwt.Handle {
 func (b *fakeBackend) TaskletCreate(fn func()) lwt.Handle {
 	fn()
 	return &fakeHandle{done: true}
+}
+
+// TestPublicShardedServing pins the root-package sharded serving
+// surface: ServeOptions shard fields, RouterByName, keyed submission
+// with stable affinity, and per-shard metrics.
+func TestPublicShardedServing(t *testing.T) {
+	router, err := lwt.RouterByName("roundrobin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lwt.NewServer(lwt.ServeOptions{
+		Backend: "go", Threads: 1, Shards: 2, Router: router, QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sub := srv.Submitter()
+	if srv.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", srv.NumShards())
+	}
+	for i := 0; i < 20; i++ {
+		f, err := lwt.SubmitKeyed(sub, context.Background(), "sess", func() (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := f.MustWait(); v != i {
+			t.Fatalf("keyed result = %d, want %d", v, i)
+		}
+	}
+	pinned := srv.ShardOf("sess")
+	sm := srv.ShardMetrics()
+	if sm[pinned].Submitted != 20 || sm[1-pinned].Submitted != 0 {
+		t.Fatalf("keyed affinity split = %d/%d, want 20 on shard %d",
+			sm[0].Submitted, sm[1].Submitted, pinned)
+	}
+	f, err := lwt.SubmitULTKeyed(sub, context.Background(), "sess", func(c lwt.Ctx) (int, error) {
+		var child int
+		h := c.ULTCreate(func(lwt.Ctx) { child = 9 })
+		c.Join(h)
+		return child, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f.MustWait(); v != 9 {
+		t.Fatalf("keyed ULT result = %d", v)
+	}
+	if m := srv.Metrics(); m.Shard != -1 || m.Shards != 2 || m.Completed != 21 {
+		t.Fatalf("aggregate metrics = %+v", m)
+	}
 }
