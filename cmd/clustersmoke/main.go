@@ -1,0 +1,466 @@
+// Clustersmoke drives the distributed serving tier end to end, as CI's
+// cluster-smoke job and as a local acceptance check:
+//
+//  1. boots N lwtserved workers on ephemeral ports (parsing each
+//     "listening on <addr>" line) and one lwtgate over them,
+//  2. drives keyed + unkeyed fib/dgemm/parfor across every backend
+//     through the gate and verifies results,
+//  3. maps keyed sessions to workers (X-LWT-Worker), then SIGKILLs one
+//     worker mid-load and asserts zero lost requests — every request
+//     gets a terminal response (success or explicit error, no hangs) —
+//     while keyed traffic pinned to survivors never changes worker,
+//  4. verifies the gate ejected the dead worker, that only the dead
+//     worker's ~1/N key share remapped (bounded reshuffle), and that
+//     the remapped keys sit stably on survivors,
+//  5. SIGTERMs the gate and the surviving workers and asserts each
+//     drains cleanly with exit 0.
+//
+// Worker and gate logs land in -logdir for archival. Exit status 0
+// means the whole scenario passed.
+//
+//	go build -o lwtgate ./cmd/lwtgate && go build -o lwtserved ./cmd/lwtserved
+//	go run ./cmd/clustersmoke -gate ./lwtgate -worker ./lwtserved
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+var (
+	gateBin   = flag.String("gate", "", "path to the lwtgate binary (required)")
+	workerBin = flag.String("worker", "", "path to the lwtserved binary (required)")
+	nWorkers  = flag.Int("n", 3, "worker process count")
+	logDir    = flag.String("logdir", ".", "directory for gate/worker logs")
+	loadFor   = flag.Duration("load", 4*time.Second, "duration of the kill-mid-load phase")
+	loaders   = flag.Int("loaders", 6, "concurrent load goroutines")
+	keyCount  = flag.Int("keys", 120, "keyed sessions tracked for affinity/reshuffle checks")
+)
+
+// client enforces the no-hangs terminal-response guarantee: any request
+// that cannot produce a response inside the timeout counts as lost.
+var client = &http.Client{Timeout: 90 * time.Second}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// proc is one supervised child process with a scanned log.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	addr chan string // actual bound address, sent once
+
+	mu       sync.Mutex
+	exited   bool
+	exitCode int
+	waitDone chan struct{}
+}
+
+// startProc launches bin, tees its output to logdir/<name>.log, and
+// watches for the parseable "listening on <addr>" line.
+func startProc(name, bin string, args ...string) (*proc, error) {
+	logPath := filepath.Join(*logDir, name+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
+	}
+	p := &proc{name: name, addr: make(chan string, 1), waitDone: make(chan struct{})}
+	p.cmd = exec.Command(bin, args...)
+	pr, pw := io.Pipe()
+	p.cmd.Stdout = pw
+	p.cmd.Stderr = pw
+	go func() {
+		defer logFile.Close()
+		sc := bufio.NewScanner(pr)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logFile, line)
+			if !announced {
+				if m := listenRe.FindStringSubmatch(line); m != nil {
+					announced = true
+					p.addr <- m[1]
+				}
+			}
+		}
+	}()
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	go func() {
+		err := p.cmd.Wait()
+		pw.Close()
+		p.mu.Lock()
+		p.exited = true
+		p.exitCode = 0
+		if err != nil {
+			p.exitCode = -1
+			if ee, ok := err.(*exec.ExitError); ok {
+				p.exitCode = ee.ExitCode()
+			}
+		}
+		p.mu.Unlock()
+		close(p.waitDone)
+	}()
+	return p, nil
+}
+
+// waitAddr blocks for the announced listen address.
+func (p *proc) waitAddr(d time.Duration) (string, error) {
+	select {
+	case a := <-p.addr:
+		return a, nil
+	case <-p.waitDone:
+		return "", fmt.Errorf("%s exited before announcing its address (see %s.log)", p.name, p.name)
+	case <-time.After(d):
+		return "", fmt.Errorf("%s did not announce its address within %v", p.name, d)
+	}
+}
+
+// signalAndWait sends sig and waits for exit, returning the exit code.
+func (p *proc) signalAndWait(sig syscall.Signal, d time.Duration) (int, error) {
+	_ = p.cmd.Process.Signal(sig)
+	select {
+	case <-p.waitDone:
+	case <-time.After(d):
+		_ = p.cmd.Process.Kill()
+		return -1, fmt.Errorf("%s did not exit within %v of %v", p.name, d, sig)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exitCode, nil
+}
+
+func (p *proc) kill() {
+	p.mu.Lock()
+	exited := p.exited
+	p.mu.Unlock()
+	if !exited && p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+}
+
+// failures accumulates check failures; the scenario keeps going where
+// it safely can so one run reports as much as possible.
+var failures atomic.Int32
+
+func failf(format string, args ...any) {
+	failures.Add(1)
+	log.Printf("FAIL: "+format, args...)
+}
+
+func fatalf(procs []*proc, format string, args ...any) {
+	log.Printf("FATAL: "+format, args...)
+	for _, p := range procs {
+		if p != nil {
+			p.kill()
+		}
+	}
+	os.Exit(1)
+}
+
+// getJSON issues a GET and decodes the body into out (when non-nil).
+// It returns the status and serving worker id; a transport error or
+// timeout returns lost=true — the smoke's definition of a lost request.
+func getJSON(url string, out any) (status int, worker string, lost bool, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, "", true, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if jerr := json.Unmarshal(body, out); jerr != nil {
+			return resp.StatusCode, "", false, fmt.Errorf("decode %s: %w (body %q)", url, jerr, body)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("X-Lwt-Worker"), false, nil
+}
+
+type computeResult struct {
+	Backend string  `json:"backend"`
+	Value   float64 `json:"value"`
+}
+
+type workerRow struct {
+	ID    string
+	State string
+}
+
+func main() {
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if *gateBin == "" || *workerBin == "" {
+		log.Fatal("clustersmoke: -gate and -worker are required")
+	}
+	if err := os.MkdirAll(*logDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Phase 1: boot N workers + 1 gate on ephemeral ports.
+	var procs []*proc
+	var workerProcs []*proc
+	var workerAddrs []string
+	for i := 0; i < *nWorkers; i++ {
+		p, err := startProc(fmt.Sprintf("worker-%d", i), *workerBin,
+			"-addr", "127.0.0.1:0", "-shards", "2", "-threads", "1",
+			"-queue", "256", "-batch", "16", "-drain", "20s")
+		if err != nil {
+			fatalf(procs, "%v", err)
+		}
+		procs = append(procs, p)
+		workerProcs = append(workerProcs, p)
+		a, err := p.waitAddr(30 * time.Second)
+		if err != nil {
+			fatalf(procs, "%v", err)
+		}
+		workerAddrs = append(workerAddrs, a)
+		log.Printf("worker-%d listening on %s", i, a)
+	}
+	gate, err := startProc("gate", *gateBin,
+		"-addr", "127.0.0.1:0", "-workers", strings.Join(workerAddrs, ","),
+		"-check-interval", "200ms", "-check-timeout", "1s",
+		"-fail-after", "2", "-ready-after", "2", "-retries", "2", "-drain", "20s")
+	if err != nil {
+		fatalf(procs, "%v", err)
+	}
+	procs = append(procs, gate)
+	gateAddr, err := gate.waitAddr(30 * time.Second)
+	if err != nil {
+		fatalf(procs, "%v", err)
+	}
+	gateURL := "http://" + gateAddr
+	log.Printf("gate listening on %s over %v", gateAddr, workerAddrs)
+
+	ok := false
+	for i := 0; i < 100; i++ {
+		if status, _, _, _ := getJSON(gateURL+"/readyz", nil); status == http.StatusOK {
+			ok = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ok {
+		fatalf(procs, "gate never became ready")
+	}
+
+	// ---- Phase 2: keyed + unkeyed fib/dgemm/parfor on every backend,
+	// proxied through the gate.
+	var backends []string
+	if status, _, _, err := getJSON(gateURL+"/backends", &backends); err != nil || status != http.StatusOK || len(backends) == 0 {
+		fatalf(procs, "listing backends through gate: status %d err %v", status, err)
+	}
+	log.Printf("driving backends through gate: %v", backends)
+	for _, b := range backends {
+		var r computeResult
+		if status, _, _, err := getJSON(gateURL+"/fib?n=22&wait=1&backend="+b, &r); status != http.StatusOK || err != nil || r.Value != 17711 {
+			failf("backend %s: fib(22) status %d value %v err %v", b, status, r.Value, err)
+		}
+		if status, _, _, err := getJSON(gateURL+"/dgemm?n=48&wait=1&backend="+b, &r); status != http.StatusOK || err != nil || r.Value <= 0 {
+			failf("backend %s: dgemm status %d value %v err %v", b, status, r.Value, err)
+		}
+		if status, _, _, err := getJSON(gateURL+"/parfor?n=65536&backend="+b, &r); status != http.StatusOK || err != nil || r.Value <= 0 {
+			failf("backend %s: parfor status %d value %v err %v", b, status, r.Value, err)
+		}
+		if status, worker, _, err := getJSON(gateURL+"/fib?n=20&wait=1&backend="+b+"&key=smoke-"+b, &r); status != http.StatusOK || err != nil || r.Value != 6765 || worker == "" {
+			failf("backend %s: keyed fib(20) status %d value %v worker %q err %v", b, status, r.Value, worker, err)
+		}
+	}
+
+	// ---- Phase 3: map keyed sessions to workers and pin the map.
+	keyOf := func(i int) string { return fmt.Sprintf("sess-%d", i) }
+	owner := make(map[string]string, *keyCount)
+	for i := 0; i < *keyCount; i++ {
+		key := keyOf(i)
+		status, worker, _, err := getJSON(gateURL+"/fib?n=12&wait=1&key="+key, nil)
+		if status != http.StatusOK || worker == "" || err != nil {
+			fatalf(procs, "affinity map: key %s status %d worker %q err %v", key, status, worker, err)
+		}
+		owner[key] = worker
+	}
+	for i := 0; i < *keyCount; i++ {
+		key := keyOf(i)
+		if _, worker, _, _ := getJSON(gateURL+"/fib?n=12&wait=1&key="+key, nil); worker != owner[key] {
+			failf("affinity unstable before kill: key %s moved %s -> %s", key, owner[key], worker)
+		}
+	}
+	perWorker := map[string]int{}
+	for _, w := range owner {
+		perWorker[w]++
+	}
+	log.Printf("keyed sessions per worker: %v", perWorker)
+
+	// ---- Phase 4: concurrent keyed+unkeyed load across backends;
+	// SIGKILL one worker mid-stream. Every request must get a terminal
+	// response, and keys pinned to survivors must never change worker.
+	victim := workerProcs[1]
+	victimAddr := workerAddrs[1]
+	var killed atomic.Bool
+	var sent, okResp, explicitErr, lost, affinityViolations atomic.Int64
+
+	loadBackends := backends
+	var wg sync.WaitGroup
+	end := time.Now().Add(*loadFor)
+	for g := 0; g < *loaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(end); i++ {
+				b := loadBackends[(g+i)%len(loadBackends)]
+				var path, wantWorker string
+				switch i % 4 {
+				case 0:
+					key := keyOf((g*(*keyCount)/8 + i) % *keyCount)
+					path = "/fib?n=16&wait=1&backend=" + b + "&key=" + key
+					if w := owner[key]; w != victimAddr {
+						wantWorker = w
+					}
+				case 1:
+					path = "/fib?n=16&wait=1&backend=" + b
+				case 2:
+					path = "/dgemm?n=32&wait=1&backend=" + b
+				default:
+					path = "/parfor?n=8192&backend=" + b
+				}
+				sent.Add(1)
+				status, worker, isLost, _ := getJSON(gateURL+path, nil)
+				switch {
+				case isLost:
+					lost.Add(1)
+				case status == http.StatusOK:
+					okResp.Add(1)
+				default:
+					explicitErr.Add(1)
+				}
+				// The affinity contract under failure: a key pinned to a
+				// surviving worker never moves, even while the victim is
+				// dying. (Keys pinned to the victim may fail over.)
+				if !isLost && status == http.StatusOK && wantWorker != "" && worker != wantWorker {
+					affinityViolations.Add(1)
+					failf("load: key pinned to survivor %s served by %s", wantWorker, worker)
+				}
+			}
+		}(g)
+	}
+	go func() {
+		time.Sleep(*loadFor / 4)
+		killed.Store(true)
+		log.Printf("SIGKILLing worker-1 (%s) mid-load", victimAddr)
+		_ = victim.cmd.Process.Kill()
+	}()
+	wg.Wait()
+	if !killed.Load() {
+		failf("load phase ended before the kill fired — raise -load")
+	}
+	log.Printf("load done: sent=%d ok=%d explicit-errors=%d lost=%d",
+		sent.Load(), okResp.Load(), explicitErr.Load(), lost.Load())
+	if lost.Load() != 0 {
+		failf("%d requests lost (no terminal response)", lost.Load())
+	}
+	if okResp.Load() == 0 {
+		failf("no successful responses under load")
+	}
+	if e, s := explicitErr.Load(), sent.Load(); e*20 > s {
+		failf("explicit errors %d exceed 5%% of %d sent", e, s)
+	}
+
+	// ---- Phase 5: the gate must have ejected the victim; keys pinned
+	// to survivors stay put, the victim's keys remap stably onto
+	// survivors, and nothing else reshuffles.
+	ejected := false
+	for i := 0; i < 50; i++ {
+		var rows []workerRow
+		if status, _, _, err := getJSON(gateURL+"/cluster/workers", &rows); status == http.StatusOK && err == nil {
+			for _, r := range rows {
+				if r.ID == victimAddr && r.State == "ejected" {
+					ejected = true
+				}
+			}
+		}
+		if ejected {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ejected {
+		failf("gate never ejected killed worker %s", victimAddr)
+	}
+	moved := 0
+	newOwner := make(map[string]string, *keyCount)
+	for i := 0; i < *keyCount; i++ {
+		key := keyOf(i)
+		status, worker, _, err := getJSON(gateURL+"/fib?n=12&wait=1&key="+key, nil)
+		if status != http.StatusOK || err != nil {
+			failf("post-kill keyed request %s: status %d err %v", key, status, err)
+			continue
+		}
+		newOwner[key] = worker
+		switch {
+		case worker == victimAddr:
+			failf("key %s still routed to killed worker", key)
+		case owner[key] == victimAddr:
+			moved++
+		case worker != owner[key]:
+			failf("bounded reshuffle violated: key %s on survivor %s moved to %s", key, owner[key], worker)
+		}
+	}
+	// The victim's share is ~K/N (consistent hashing's bound); well
+	// under half the keys for N=3 even with ring imbalance.
+	if moved != perWorker[victimAddr] {
+		failf("moved %d keys, expected exactly the victim's %d", moved, perWorker[victimAddr])
+	}
+	if 2*moved >= *keyCount {
+		failf("reshuffle unbounded: %d/%d keys moved", moved, *keyCount)
+	}
+	log.Printf("bounded reshuffle: %d/%d keys remapped (victim owned %d)", moved, *keyCount, perWorker[victimAddr])
+	for i := 0; i < *keyCount; i++ {
+		key := keyOf(i)
+		if _, worker, _, _ := getJSON(gateURL+"/fib?n=12&wait=1&key="+key, nil); worker != newOwner[key] {
+			failf("post-kill affinity unstable: key %s moved %s -> %s", key, newOwner[key], worker)
+		}
+	}
+
+	// ---- Phase 6: graceful drain — gate first, then surviving
+	// workers; each must exit 0 after a clean flush.
+	if code, err := gate.signalAndWait(syscall.SIGTERM, 30*time.Second); err != nil || code != 0 {
+		failf("gate drain: exit=%d err=%v", code, err)
+	} else if !logContains("gate", "drained cleanly") {
+		failf("gate log missing 'drained cleanly'")
+	}
+	for i, p := range workerProcs {
+		if p == victim {
+			continue
+		}
+		if code, err := p.signalAndWait(syscall.SIGTERM, 30*time.Second); err != nil || code != 0 {
+			failf("worker-%d drain: exit=%d err=%v", i, code, err)
+		} else if !logContains(fmt.Sprintf("worker-%d", i), "drained cleanly") {
+			failf("worker-%d log missing 'drained cleanly'", i)
+		}
+	}
+
+	if n := failures.Load(); n > 0 {
+		log.Fatalf("cluster smoke FAILED: %d check(s) failed", n)
+	}
+	log.Printf("cluster smoke PASSED: %d workers, %d requests under load, 1 kill, 0 lost, %d/%d keys reshuffled, clean drains",
+		*nWorkers, sent.Load(), moved, *keyCount)
+}
+
+// logContains greps one child's archived log.
+func logContains(name, substr string) bool {
+	b, err := os.ReadFile(filepath.Join(*logDir, name+".log"))
+	return err == nil && strings.Contains(string(b), substr)
+}

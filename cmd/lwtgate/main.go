@@ -1,0 +1,149 @@
+// Lwtgate is the cluster front proxy: one HTTP endpoint that spreads
+// requests over N lwtserved worker processes, scaling the serving tier
+// past a single Go process. It is the multi-process mirror of the
+// in-process shard pool — what serve's Router does for shards inside
+// one daemon, the gate does for whole workers:
+//
+//   - ?key= requests pin to a worker by consistent hashing (FNV-1a +
+//     virtual nodes), so keyed sessions keep hitting one process's warm
+//     runtimes, and worker add/remove remaps only the departed worker's
+//     ~1/N share of the key space.
+//   - Unkeyed requests route by power-of-two-choices over per-worker
+//     in-flight and recent-latency estimates; worker 503s feed the
+//     estimate as backpressure and re-route the request once, exactly
+//     like the in-process p2c + re-route-once design.
+//   - Active /healthz checks eject unresponsive workers and re-admit
+//     recovered ones; connection failures retry idempotent requests on
+//     the next candidate (ring successor for keyed, new p2c pick for
+//     unkeyed), bounded by -retries.
+//
+// Endpoints (everything else is proxied to a worker):
+//
+//	/cluster/metrics   gate + per-worker routing counters as JSON
+//	/cluster/workers   per-worker state (healthy/ejected, load, EWMA)
+//	/healthz           gate liveness
+//	/readyz            gate readiness (503 once draining)
+//
+// On SIGINT/SIGTERM the gate stops admission (/readyz flips to 503,
+// new requests are refused), flushes in-flight proxied requests
+// (bounded by -drain), and exits 0 — the graceful-drain contract the
+// workers themselves keep, applied at the cluster tier.
+//
+// -addr accepts :0; the actual bound address is printed as a parseable
+// "listening on <addr>" line before serving.
+//
+//	go run ./cmd/lwtgate -addr :9090 -workers 127.0.0.1:8081,127.0.0.1:8082
+//	curl 'localhost:9090/fib?n=30&backend=argobots&key=sess-7'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+var (
+	addr    = flag.String("addr", ":9090", "listen address (:0 binds an ephemeral port, announced via the 'listening on' log line)")
+	workers = flag.String("workers", "", "comma-separated lwtserved worker addresses (host:port), required")
+	vnodes  = flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per worker on the consistent-hash ring")
+	retries = flag.Int("retries", cluster.DefaultRetries, "extra attempts per idempotent request (conn failures / unkeyed 503s); negative disables")
+
+	checkEvery   = flag.Duration("check-interval", 500*time.Millisecond, "health-probe interval")
+	checkTimeout = flag.Duration("check-timeout", 2*time.Second, "health-probe timeout")
+	failAfter    = flag.Int("fail-after", 3, "consecutive failed probes/connections that eject a worker")
+	readyAfter   = flag.Int("ready-after", 2, "consecutive passing probes that re-admit an ejected worker")
+
+	drain    = flag.Duration("drain", 30*time.Second, "in-flight flush budget at shutdown (0: unbounded)")
+	notReady = flag.Duration("notready-grace", 250*time.Millisecond, "window between /readyz flipping 503 and the listener closing, so upstream probes observe the flip")
+)
+
+func main() {
+	flag.Parse()
+	addrs := strings.Split(*workers, ",")
+	table := cluster.NewTable(*vnodes, cluster.HealthPolicy{
+		FailThreshold: *failAfter,
+		OKThreshold:   *readyAfter,
+	})
+	n := 0
+	for _, a := range addrs {
+		if strings.TrimSpace(a) == "" {
+			continue
+		}
+		if _, err := table.Add(a); err != nil {
+			log.Fatalf("lwtgate: %v", err)
+		}
+		n++
+	}
+	if n == 0 {
+		log.Fatal("lwtgate: -workers requires at least one worker address")
+	}
+
+	gw := cluster.New(cluster.Options{Table: table, Retries: *retries})
+	checker := cluster.NewChecker(table, cluster.HealthConfig{
+		Interval: *checkEvery,
+		Timeout:  *checkTimeout,
+	})
+	checker.Start()
+
+	// Control endpoints first; the gateway is the catch-all proxy.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/metrics", gw.MetricsHandler())
+	mux.HandleFunc("/cluster/workers", gw.WorkersHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if gw.Draining() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.Handle("/", gw)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("lwtgate: %v", err)
+	}
+	hs := &http.Server{Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// Stop admission before flushing: readiness flips and the
+		// proxy refuses new requests, then Shutdown waits out the
+		// in-flight ones (bounded by -drain).
+		gw.StartDrain()
+		log.Println("lwtgate: draining")
+		// Admission is already off (the proxy 503s new work), but hold
+		// the listener open briefly so /readyz probes observe the flip
+		// instead of racing a connection refusal.
+		time.Sleep(*notReady)
+		ctx := context.Background()
+		if *drain > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *drain)
+			defer cancel()
+		}
+		_ = hs.Shutdown(ctx)
+	}()
+	log.Printf("lwtgate: listening on %s (workers=%v retries=%d vnodes=%d)",
+		ln.Addr(), table.Ring().Members(), *retries, *vnodes)
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	checker.Stop()
+	m := gw.Snapshot()
+	log.Printf("lwtgate: drained cleanly (proxied=%d retried=%d reroutes503=%d failed=%d rejected-draining=%d)",
+		m.Proxied, m.Retried, m.Reroutes503, m.Failed, m.RejectedDraining)
+}

@@ -12,6 +12,8 @@
 //	/parfor?n=1048576&backend=go           parallel for over a vector via the omp layer
 //	/metrics                               per-backend aggregate + per-shard serve.Metrics as JSON
 //	/backends                              registered backend names
+//	/healthz                               liveness (200 while the process serves)
+//	/readyz                                readiness (503 from the moment SIGTERM arrives)
 //
 // Flags:
 //
@@ -30,9 +32,14 @@
 // Pass key=SESSION to pin the request to one shard by key hash — every
 // request with the same key hits the same runtime, so its backend-local
 // state stays warm. Request latency percentiles come from the serving
-// layer's own metrics window. On SIGINT/SIGTERM the daemon stops
-// admission, drains every shard (each accepted request resolves), and
-// exits 0.
+// layer's own metrics window. On SIGINT/SIGTERM the daemon flips
+// /readyz to 503 first (so a cluster router stops sending work), then
+// stops admission, drains every shard (each accepted request resolves),
+// and exits 0.
+//
+// -addr accepts :0 for an ephemeral port; the daemon prints the actual
+// bound address as a parseable "listening on <addr>" line before
+// serving, so lwtgate and CI can boot N workers without port races.
 //
 //	go run ./cmd/lwtserved -addr :8080 -shards 4
 //	curl 'localhost:8080/fib?n=30&backend=massivethreads&key=sess-7'
@@ -44,12 +51,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,7 +69,7 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", ":8080", "listen address")
+	addr      = flag.String("addr", ":8080", "listen address (:0 binds an ephemeral port, announced via the 'listening on' log line)")
 	threads   = flag.Int("threads", 4, "executors per backend runtime shard")
 	scheduler = flag.String("scheduler", "", "ready-pool policy per backend (fifo|lifo|priority|random; empty: backend default)")
 	shards    = flag.Int("shards", 0, "backend runtime shards per backend (0: one per CPU)")
@@ -69,6 +78,7 @@ var (
 	inflight  = flag.Int("inflight", 0, "max in-flight work units per shard (0: queue depth)")
 	batch     = flag.Int("batch", 64, "requests launched per pump wakeup")
 	drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown (0: unbounded)")
+	notReady  = flag.Duration("notready-grace", 250*time.Millisecond, "window between /readyz flipping 503 and the listener closing, so health probes observe the flip")
 )
 
 // registry lazily creates one serving engine and one omp worker per
@@ -403,19 +413,51 @@ func main() {
 		reply(w, http.StatusOK, lwt.Backends())
 	})
 
-	hs := &http.Server{Addr: *addr, Handler: mux}
+	// Liveness vs readiness: /healthz answers 200 for the process's
+	// whole life (a router's health checker probes it), while /readyz
+	// flips to 503 the moment a shutdown signal arrives — *before* the
+	// drain starts — so a cluster router stops routing new work to a
+	// draining worker while its in-flight requests finish.
+	var ready atomic.Bool
+	ready.Store(true)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			reply(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+			return
+		}
+		reply(w, http.StatusOK, map[string]bool{"ready": true})
+	})
+
+	// Listen before announcing: -addr :0 binds an ephemeral port, and
+	// the "listening on <addr>" line below carries the real address in
+	// a parseable form for lwtgate/CI supervisors scraping the log.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("lwtserved: %v", err)
+	}
+	hs := &http.Server{Handler: mux}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("lwtserved: shutting down")
+		ready.Store(false)
+		log.Println("lwtserved: readiness off, shutting down")
+		// Keep the listener open briefly after the readiness flip:
+		// Shutdown closes listeners immediately, and a router probing
+		// /readyz should see the 503 (stop sending) rather than a
+		// connection refusal racing the in-flight work it already sent.
+		time.Sleep(*notReady)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 	}()
 	log.Printf("lwtserved: listening on %s (shards=%d router=%s backends=%v)",
-		*addr, *shards, *router, lwt.Backends())
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		ln.Addr(), *shards, *router, lwt.Backends())
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	// Graceful drain: every backend's shards run their accepted requests

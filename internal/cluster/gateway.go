@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerHeader is set on every proxied response to the id of the
+// worker that produced it — the observable a client (or the smoke
+// harness) uses to verify keyed affinity.
+const WorkerHeader = "X-LWT-Worker"
+
+// DefaultRetries is the bounded retry budget: extra attempts after the
+// first, spent only on idempotent requests whose failure is safe to
+// replay (connection failures, or worker 503s on unkeyed requests).
+const DefaultRetries = 2
+
+// Options configures a Gateway.
+type Options struct {
+	// Table is the worker membership and routing state (required).
+	Table *Table
+	// Retries is the extra-attempt budget per request; 0 means
+	// DefaultRetries, negative means no retries.
+	Retries int
+	// Client issues proxied requests; nil means a dedicated client
+	// with keep-alive pooling sized for a worker fleet. Redirects are
+	// never followed — the gateway relays the worker's response as-is.
+	Client *http.Client
+}
+
+// Gateway is the cluster front proxy: an http.Handler that forwards
+// each request to a worker picked by key affinity (consistent hash)
+// or load (p2c), with bounded retry and backpressure-aware estimates.
+// Mount the gateway's own control endpoints (health, metrics) on a mux
+// *before* the gateway itself — it proxies every path it is given.
+type Gateway struct {
+	table   *Table
+	retries int
+	client  *http.Client
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	proxied     atomic.Uint64 // requests entering the proxy path
+	retried     atomic.Uint64 // extra attempts spent
+	reroute503  atomic.Uint64 // unkeyed re-routes after a worker 503
+	failedConn  atomic.Uint64 // requests answered 502 (every candidate failed)
+	rejectedGon atomic.Uint64 // requests answered 503 while draining
+}
+
+// New returns a gateway over the table.
+func New(opts Options) *Gateway {
+	if opts.Table == nil {
+		panic("cluster: Options.Table is required")
+	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        512,
+				MaxIdleConnsPerHost: 128,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		}
+	}
+	return &Gateway{table: opts.Table, retries: retries, client: client}
+}
+
+// Table returns the gateway's routing table.
+func (g *Gateway) Table() *Table { return g.table }
+
+// Draining reports whether StartDrain has been called.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// StartDrain stops admission: subsequent requests are rejected with
+// 503 (and /readyz built on Draining flips), while requests already
+// being proxied run to completion — the same stop-admission/flush
+// contract the in-process Server.Close drain keeps, applied at the
+// process boundary. The HTTP server's Shutdown then waits out the
+// in-flight connections.
+func (g *Gateway) StartDrain() { g.draining.Store(true) }
+
+// InFlight reports requests currently being proxied.
+func (g *Gateway) InFlight() int64 { return g.inflight.Load() }
+
+// ServeHTTP implements the proxy: candidate selection, bounded retry,
+// response relay.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		g.rejectedGon.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "gate draining")
+		return
+	}
+	g.inflight.Add(1)
+	defer g.inflight.Add(-1)
+	g.proxied.Add(1)
+
+	key := r.URL.Query().Get("key")
+	// Replaying a request is safe only when the method is idempotent
+	// and there is no body to re-send.
+	retryable := (r.Method == http.MethodGet || r.Method == http.MethodHead) && r.ContentLength == 0
+
+	attempts := 1 + g.retries
+	var keyed []*Worker
+	tried := make(map[*Worker]bool, attempts)
+	if key != "" {
+		keyed = g.table.KeyedCandidates(key)
+		if len(keyed) < attempts {
+			attempts = len(keyed)
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		var wk *Worker
+		if key != "" {
+			wk = keyed[attempt]
+		} else {
+			wk = g.table.PickUnkeyed(tried)
+		}
+		if wk == nil {
+			break
+		}
+		tried[wk] = true
+		if attempt > 0 {
+			g.retried.Add(1)
+		}
+		wk.requests.Add(1)
+
+		resp, err := g.forward(wk, r)
+		if err != nil {
+			// Transport failure: the request never produced a response.
+			// Feed the health thresholds (a dead worker ejects after a
+			// few of these without waiting for the next probe round)
+			// and move to the next candidate if replay is safe.
+			wk.conns.Add(1)
+			g.table.NoteFailure(wk)
+			lastErr = err
+			if !retryable {
+				writeError(w, http.StatusBadGateway, fmt.Sprintf("worker %s: %v", wk.ID, err))
+				return
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Worker backpressure: feed the load estimate. Unkeyed
+			// requests re-route to another worker (the cluster-level
+			// mirror of the in-process re-route-once before
+			// ErrSaturated); keyed requests relay the 503 — affinity is
+			// never traded for an emptier worker.
+			wk.observe503()
+			if key == "" && retryable && attempt+1 < attempts {
+				g.reroute503.Add(1)
+				drainBody(resp)
+				continue
+			}
+		}
+		relay(w, resp, wk.ID)
+		return
+	}
+	if lastErr != nil {
+		g.failedConn.Add(1)
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("no worker reachable: %v", lastErr))
+		return
+	}
+	// No candidates at all (empty table) — explicit terminal error.
+	g.failedConn.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no worker available")
+}
+
+// forward sends one attempt to wk, tracking in-flight and latency.
+func (g *Gateway) forward(wk *Worker, r *http.Request) (*http.Response, error) {
+	u := *wk.URL
+	u.Path = r.URL.Path
+	u.RawPath = r.URL.RawPath
+	u.RawQuery = r.URL.RawQuery
+	var body io.Reader
+	if r.ContentLength != 0 {
+		body = r.Body
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), body)
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(req.Header, r.Header)
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		req.Header.Set("X-Forwarded-For", host)
+	}
+	wk.inflight.Add(1)
+	t0 := time.Now()
+	resp, err := g.client.Do(req)
+	wk.inflight.Add(-1)
+	if err != nil {
+		return nil, err
+	}
+	// Latency feeds the estimate only for responses that did work;
+	// 503s go through the penalty instead (a fast shed must not look
+	// like a fast worker).
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		wk.observe(time.Since(t0))
+	}
+	return resp, nil
+}
+
+// relay copies the worker's response to the client, stamping the
+// serving worker's id.
+func relay(w http.ResponseWriter, resp *http.Response, workerID string) {
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set(WorkerHeader, workerID)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// drainBody discards a response being retried so its connection is
+// reusable.
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+}
+
+// hopHeaders are the RFC 9110 hop-by-hop headers a proxy must not
+// relay.
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// copyHeaders copies everything but hop-by-hop headers into dst.
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the gateway's own JSON error envelope (matching
+// the workers' error shape, so clients parse one format).
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthConfig configures the active checker.
+type HealthConfig struct {
+	// Interval between probe rounds (<= 0 means 500ms).
+	Interval time.Duration
+	// Timeout for one probe (<= 0 means 2s).
+	Timeout time.Duration
+	// Path is the liveness endpoint probed on each worker
+	// (empty means "/healthz").
+	Path string
+	// Client issues the probes; nil means a dedicated default client.
+	Client *http.Client
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Path == "" {
+		c.Path = "/healthz"
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Checker actively probes every worker's health endpoint on an
+// interval, feeding the table's ejection/re-admission thresholds.
+// Probes within a round run concurrently, so one hung worker cannot
+// starve the others' checks; a round still joins before the next so a
+// slow endpoint is probed once at a time.
+//
+// The checker is the recovery path: the proxy's passive connection
+// failures can eject a dead worker mid-traffic, but only passing
+// probes bring it back.
+type Checker struct {
+	table *Table
+	cfg   HealthConfig
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewChecker returns an unstarted checker over the table.
+func NewChecker(table *Table, cfg HealthConfig) *Checker {
+	return &Checker{
+		table: table,
+		cfg:   cfg.withDefaults(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop. One probe round runs immediately so a
+// gateway booted against a dead worker ejects it without waiting out
+// the first interval.
+func (c *Checker) Start() {
+	go func() {
+		defer close(c.done)
+		c.probeAll()
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.probeAll()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for the in-flight round to finish.
+// Safe to call more than once.
+func (c *Checker) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// probeAll runs one concurrent probe round over the current members.
+func (c *Checker) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range c.table.Workers() {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			if c.probe(w) {
+				c.table.NoteSuccess(w)
+			} else {
+				c.table.NoteFailure(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe issues one health request; any 2xx is a pass.
+func (c *Checker) probe(w *Worker) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL.String()+c.cfg.Path, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubWorker is an httptest-backed fake lwtserved: it answers /healthz
+// by a toggleable flag and everything else with a canned body naming
+// itself.
+type stubWorker struct {
+	srv    *httptest.Server
+	alive  atomic.Bool
+	status atomic.Int32  // non-health response status; 0 means 200
+	hits   atomic.Uint64 // non-health requests served
+}
+
+func newStubWorker(t *testing.T, name string) *stubWorker {
+	t.Helper()
+	w := &stubWorker{}
+	w.alive.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if !w.alive.Load() {
+			http.Error(rw, "down", http.StatusServiceUnavailable)
+			return
+		}
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
+		w.hits.Add(1)
+		if s := w.status.Load(); s != 0 && s != http.StatusOK {
+			if s == http.StatusServiceUnavailable {
+				rw.Header().Set("Retry-After", "1")
+			}
+			http.Error(rw, "stub status", int(s))
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_, _ = rw.Write([]byte(`{"worker":"` + name + `"}`))
+	})
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *stubWorker) addr() string { return w.srv.Listener.Addr().String() }
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealthEjectionReadmissionCycle drives a full health cycle
+// against stub workers: a worker failing probes is ejected after the
+// fail threshold, routing stops sending it traffic, and once its
+// probes pass again it is re-admitted and traffic returns.
+func TestHealthEjectionReadmissionCycle(t *testing.T) {
+	a, b := newStubWorker(t, "a"), newStubWorker(t, "b")
+	table := NewTable(64, HealthPolicy{FailThreshold: 2, OKThreshold: 2})
+	wa, err := table.Add(a.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Add(b.addr()); err != nil {
+		t.Fatal(err)
+	}
+	checker := NewChecker(table, HealthConfig{Interval: 5 * time.Millisecond, Timeout: time.Second})
+	checker.Start()
+	defer checker.Stop()
+
+	waitFor(t, 2*time.Second, "both workers healthy", func() bool {
+		for _, w := range table.Workers() {
+			if !w.Healthy() {
+				return false
+			}
+		}
+		return true
+	})
+
+	a.alive.Store(false)
+	waitFor(t, 2*time.Second, "worker a ejected", func() bool { return !wa.Healthy() })
+	if got := wa.ejections.Load(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+
+	// While ejected, unkeyed picks avoid a entirely.
+	for i := 0; i < 50; i++ {
+		if w := table.PickUnkeyed(nil); w == wa {
+			t.Fatal("PickUnkeyed chose the ejected worker with a healthy one available")
+		}
+	}
+	// Keyed candidates demote a to the back of every failover list.
+	for _, key := range []string{"s1", "s2", "s3", "s4"} {
+		cands := table.KeyedCandidates(key)
+		if len(cands) != 2 || cands[0] == wa {
+			t.Fatalf("key %q candidates lead with ejected worker: %v", key, ids(cands))
+		}
+	}
+
+	a.alive.Store(true)
+	waitFor(t, 2*time.Second, "worker a re-admitted", func() bool { return wa.Healthy() })
+	if got := wa.readmissions.Load(); got != 1 {
+		t.Fatalf("readmissions = %d, want 1", got)
+	}
+	// Affinity restored: keys owned by a lead with a again.
+	ring := table.Ring()
+	for k := 0; k < 100; k++ {
+		key := "cycle-" + string(rune('a'+k%26)) + string(rune('0'+k/26))
+		if ring.Lookup(key) == wa.ID {
+			if cands := table.KeyedCandidates(key); cands[0] != wa {
+				t.Fatalf("key %q owned by re-admitted worker leads with %q", key, cands[0].ID)
+			}
+		}
+	}
+}
+
+// TestPassiveConnFailureEjects pins the fast path: repeated transport
+// failures reported by the proxy eject a dead worker without waiting
+// for the active checker.
+func TestPassiveConnFailureEjects(t *testing.T) {
+	table := NewTable(64, HealthPolicy{FailThreshold: 3, OKThreshold: 2})
+	w, err := table.Add("127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if table.NoteFailure(w) {
+			t.Fatalf("ejected after %d failures, threshold is 3", i+1)
+		}
+	}
+	if !table.NoteFailure(w) {
+		t.Fatal("third failure did not eject")
+	}
+	if w.Healthy() {
+		t.Fatal("worker still healthy after ejection")
+	}
+	// One success is not enough to re-admit at OKThreshold 2.
+	if table.NoteSuccess(w) {
+		t.Fatal("re-admitted after one success, threshold is 2")
+	}
+	if !table.NoteSuccess(w) {
+		t.Fatal("second success did not re-admit")
+	}
+	if !w.Healthy() {
+		t.Fatal("worker not healthy after re-admission")
+	}
+}
+
+func ids(ws []*Worker) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.ID
+	}
+	return out
+}

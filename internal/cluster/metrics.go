@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// WorkerMetrics is one worker's point-in-time routing view.
+type WorkerMetrics struct {
+	// ID is the worker's host:port (the ring member id).
+	ID string
+	// State is "healthy" or "ejected".
+	State string
+	// InFlight is the number of proxied requests outstanding on this
+	// worker right now.
+	InFlight int64
+	// EWMAMicros is the recent-latency estimate feeding p2c, in
+	// microseconds.
+	EWMAMicros int64
+	// Penalty is the current 503-backpressure surcharge on the load
+	// score (decays on success).
+	Penalty int64
+	// Requests counts proxied attempts sent to this worker (retries
+	// included).
+	Requests uint64
+	// ConnFailures counts transport-level failures against this worker.
+	ConnFailures uint64
+	// Responses503 counts 503s this worker answered.
+	Responses503 uint64
+	// Ejections and Readmissions count health-state transitions.
+	Ejections    uint64
+	Readmissions uint64
+}
+
+// Metrics is the gateway's operational snapshot.
+type Metrics struct {
+	// Workers is the per-worker breakdown, in addition order.
+	Workers []WorkerMetrics
+	// Members is the current ring membership size.
+	Members int
+	// Healthy is how many members routing currently considers.
+	Healthy int
+	// Draining reports whether admission has stopped.
+	Draining bool
+	// InFlight is the number of requests inside the proxy path now.
+	InFlight int64
+	// Proxied counts requests that entered the proxy path.
+	Proxied uint64
+	// Retried counts extra attempts spent (connection-failure and
+	// 503 re-routes combined).
+	Retried uint64
+	// Reroutes503 counts unkeyed re-routes taken after a worker 503.
+	Reroutes503 uint64
+	// Failed counts requests answered with the gateway's own terminal
+	// error (502/503) after exhausting candidates.
+	Failed uint64
+	// RejectedDraining counts requests refused because the gate was
+	// draining.
+	RejectedDraining uint64
+}
+
+// Snapshot reads the gateway and worker counters once.
+func (g *Gateway) Snapshot() Metrics {
+	workers := g.table.Workers()
+	m := Metrics{
+		Workers:          make([]WorkerMetrics, 0, len(workers)),
+		Members:          len(workers),
+		Draining:         g.draining.Load(),
+		InFlight:         g.inflight.Load(),
+		Proxied:          g.proxied.Load(),
+		Retried:          g.retried.Load(),
+		Reroutes503:      g.reroute503.Load(),
+		Failed:           g.failedConn.Load(),
+		RejectedDraining: g.rejectedGon.Load(),
+	}
+	for _, w := range workers {
+		state := "healthy"
+		if !w.Healthy() {
+			state = "ejected"
+		} else {
+			m.Healthy++
+		}
+		m.Workers = append(m.Workers, WorkerMetrics{
+			ID:           w.ID,
+			State:        state,
+			InFlight:     w.inflight.Load(),
+			EWMAMicros:   time.Duration(w.ewma.Load()).Microseconds(),
+			Penalty:      w.penalty.Load(),
+			Requests:     w.requests.Load(),
+			ConnFailures: w.conns.Load(),
+			Responses503: w.resp503.Load(),
+			Ejections:    w.ejections.Load(),
+			Readmissions: w.readmissions.Load(),
+		})
+	}
+	return m
+}
+
+// MetricsHandler serves the gateway snapshot as indented JSON — mount
+// it on a control path (lwtgate uses /cluster/metrics) ahead of the
+// proxy catch-all.
+func (g *Gateway) MetricsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, g.Snapshot())
+	}
+}
+
+// WorkersHandler serves just the per-worker rows (lwtgate mounts it at
+// /cluster/workers) — the view the smoke harness polls to watch an
+// ejection land.
+func (g *Gateway) WorkersHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, g.Snapshot().Workers)
+	}
+}

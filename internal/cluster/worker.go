@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker states. Ejection is a routing state, not a membership change:
+// an ejected worker keeps its ring points, so its keys fail over to
+// ring successors while it is out and snap back on re-admission — the
+// reshuffle-bounding property only permanent Remove gives up.
+const (
+	// StateHealthy routes normally.
+	StateHealthy int32 = iota
+	// StateEjected is skipped by routing until health checks pass again.
+	StateEjected
+)
+
+// ewmaShift is the EWMA decay: new = old - old/8 + sample/8, an ~8
+// sample half-window that tracks latency shifts within a burst.
+const ewmaShift = 3
+
+// penaltyBump is the load-estimate surcharge one worker 503 adds. A
+// saturated worker answers 503 *fast*, so a pure latency estimate
+// would reward it with more traffic; the additive penalty makes
+// backpressure visible to p2c instead, and successful responses decay
+// it (halved per success) so the worker wins traffic back gradually.
+const penaltyBump = 8
+
+// Worker is one lwtserved process the gateway routes to.
+type Worker struct {
+	// ID is the worker's host:port — the ring member id and the value
+	// reported in the X-LWT-Worker response header.
+	ID string
+	// URL is the worker's base URL (scheme + host).
+	URL *url.URL
+
+	inflight atomic.Int64 // proxied requests currently outstanding
+	ewma     atomic.Int64 // recent response latency estimate, nanoseconds
+	penalty  atomic.Int64 // 503-backpressure surcharge, decays on success
+	state    atomic.Int32 // StateHealthy | StateEjected
+
+	// Health transitions are threshold-counted under a mutex so the
+	// active checker and passive connection-failure reports interleave
+	// without losing a transition.
+	hmu        sync.Mutex
+	consecFail int
+	consecOK   int
+
+	requests     atomic.Uint64 // proxied requests sent (incl. retried attempts)
+	conns        atomic.Uint64 // transport/connection failures
+	resp503      atomic.Uint64 // 503 responses observed
+	ejections    atomic.Uint64
+	readmissions atomic.Uint64
+}
+
+// newWorker parses addr ("host:port" or a full http URL) into a Worker.
+func newWorker(addr string) (*Worker, error) {
+	raw := strings.TrimSpace(addr)
+	if raw == "" {
+		return nil, fmt.Errorf("cluster: empty worker address")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker address %q: %w", addr, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("cluster: worker address %q: unsupported scheme %q", addr, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("cluster: worker address %q: no host", addr)
+	}
+	return &Worker{ID: u.Host, URL: &url.URL{Scheme: u.Scheme, Host: u.Host}}, nil
+}
+
+// Healthy reports whether routing should consider this worker.
+func (w *Worker) Healthy() bool { return w.state.Load() == StateHealthy }
+
+// InFlight reports the outstanding proxied-request count.
+func (w *Worker) InFlight() int64 { return w.inflight.Load() }
+
+// score is the p2c load estimate: outstanding requests (plus the 503
+// penalty, plus one so an idle worker still weighs its latency) scaled
+// by recent latency. The +1ms latency floor keeps a just-started
+// worker from looking infinitely fast.
+func (w *Worker) score() int64 {
+	return (w.inflight.Load() + w.penalty.Load() + 1) * (w.ewma.Load() + int64(time.Millisecond))
+}
+
+// observe folds one successful response's latency into the estimate
+// and decays the 503 penalty. The EWMA update is load/store rather
+// than CAS — a lost race drops one sample from an estimate, which is
+// noise, not corruption.
+func (w *Worker) observe(d time.Duration) {
+	old := w.ewma.Load()
+	w.ewma.Store(old - old>>ewmaShift + int64(d)>>ewmaShift)
+	if p := w.penalty.Load(); p > 0 {
+		w.penalty.Store(p >> 1)
+	}
+}
+
+// observe503 feeds one worker 503 into the load estimate.
+func (w *Worker) observe503() {
+	w.resp503.Add(1)
+	if p := w.penalty.Load(); p < 1<<20 {
+		w.penalty.Store(p + penaltyBump)
+	}
+}
+
+// noteSuccess records one passing health probe; after okThresh
+// consecutive passes an ejected worker is re-admitted. Reports whether
+// this call performed the re-admission.
+func (w *Worker) noteSuccess(okThresh int) bool {
+	w.hmu.Lock()
+	defer w.hmu.Unlock()
+	w.consecFail = 0
+	w.consecOK++
+	if w.state.Load() == StateEjected && w.consecOK >= okThresh {
+		w.state.Store(StateHealthy)
+		w.readmissions.Add(1)
+		w.penalty.Store(0)
+		return true
+	}
+	return false
+}
+
+// noteFailure records one failed probe or connection failure; after
+// failThresh consecutive failures the worker is ejected. Reports
+// whether this call performed the ejection.
+func (w *Worker) noteFailure(failThresh int) bool {
+	w.hmu.Lock()
+	defer w.hmu.Unlock()
+	w.consecOK = 0
+	w.consecFail++
+	if w.state.Load() == StateHealthy && w.consecFail >= failThresh {
+		w.state.Store(StateEjected)
+		w.ejections.Add(1)
+		return true
+	}
+	return false
+}
+
+// HealthPolicy sets the ejection/re-admission thresholds shared by the
+// active checker and the proxy's passive connection-failure reports.
+type HealthPolicy struct {
+	// FailThreshold is the consecutive-failure count that ejects
+	// (<= 0 means 3).
+	FailThreshold int
+	// OKThreshold is the consecutive-success count that re-admits an
+	// ejected worker (<= 0 means 2).
+	OKThreshold int
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = 3
+	}
+	if p.OKThreshold <= 0 {
+		p.OKThreshold = 2
+	}
+	return p
+}
+
+// Table is the gateway's membership view: the worker set, their ring,
+// and the routing picks. Safe for concurrent use.
+type Table struct {
+	policy HealthPolicy
+	ring   *Ring
+
+	mu      sync.RWMutex
+	workers map[string]*Worker
+	order   []*Worker // stable iteration order (addition order)
+}
+
+// NewTable returns an empty table routing over a fresh ring.
+func NewTable(vnodes int, policy HealthPolicy) *Table {
+	return &Table{
+		policy:  policy.withDefaults(),
+		ring:    NewRing(vnodes),
+		workers: make(map[string]*Worker),
+	}
+}
+
+// Ring exposes the membership ring (for tests and introspection).
+func (t *Table) Ring() *Ring { return t.ring }
+
+// Add parses addr, registers the worker, and joins it to the ring.
+// Re-adding a known address returns the existing worker.
+func (t *Table) Add(addr string) (*Worker, error) {
+	w, err := newWorker(addr)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if old, ok := t.workers[w.ID]; ok {
+		t.mu.Unlock()
+		return old, nil
+	}
+	t.workers[w.ID] = w
+	t.order = append(t.order, w)
+	t.mu.Unlock()
+	t.ring.Add(w.ID)
+	return w, nil
+}
+
+// Remove permanently drops a worker from the table and the ring,
+// remapping its key share to ring successors.
+func (t *Table) Remove(id string) {
+	t.mu.Lock()
+	if _, ok := t.workers[id]; ok {
+		delete(t.workers, id)
+		kept := t.order[:0]
+		for _, w := range t.order {
+			if w.ID != id {
+				kept = append(kept, w)
+			}
+		}
+		t.order = kept
+	}
+	t.mu.Unlock()
+	t.ring.Remove(id)
+}
+
+// Get returns the worker with this id, or nil.
+func (t *Table) Get(id string) *Worker {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.workers[id]
+}
+
+// Workers returns every worker in addition order.
+func (t *Table) Workers() []*Worker {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Worker, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// NoteSuccess/NoteFailure apply one health observation under the
+// table's policy. They are the single entry point for both the active
+// checker and the proxy's passive connection-failure signal.
+func (t *Table) NoteSuccess(w *Worker) bool { return w.noteSuccess(t.policy.OKThreshold) }
+func (t *Table) NoteFailure(w *Worker) bool { return w.noteFailure(t.policy.FailThreshold) }
+
+// KeyedCandidates returns the attempt order for a keyed request: the
+// ring's failover sequence with healthy workers first (each group in
+// ring order). The pinned owner always leads while healthy — that is
+// the affinity guarantee — and ejected workers are still listed last
+// so a fully-ejected table fails open to real connection attempts
+// rather than synthesizing a 503 from possibly-stale health state.
+func (t *Table) KeyedCandidates(key string) []*Worker {
+	ids := t.ring.LookupN(key, t.ring.Size())
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Worker, 0, len(ids))
+	for _, id := range ids {
+		if w := t.workers[id]; w != nil && w.Healthy() {
+			out = append(out, w)
+		}
+	}
+	for _, id := range ids {
+		if w := t.workers[id]; w != nil && !w.Healthy() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PickUnkeyed chooses a worker for an unkeyed request by
+// power-of-two-choices over the load scores of healthy workers not in
+// tried, mirroring the in-process shard router one level up. With no
+// healthy untried worker it falls back to ejected untried ones (fail
+// open, cheapest first), and returns nil only when every worker has
+// been tried.
+func (t *Table) PickUnkeyed(tried map[*Worker]bool) *Worker {
+	t.mu.RLock()
+	candidates := make([]*Worker, 0, len(t.order))
+	for _, w := range t.order {
+		if w.Healthy() && !tried[w] {
+			candidates = append(candidates, w)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, w := range t.order {
+			if !tried[w] {
+				candidates = append(candidates, w)
+			}
+		}
+	}
+	t.mu.RUnlock()
+	switch len(candidates) {
+	case 0:
+		return nil
+	case 1:
+		return candidates[0]
+	}
+	a, b := rand.IntN(len(candidates)), rand.IntN(len(candidates))
+	if candidates[b].score() < candidates[a].score() {
+		return candidates[b]
+	}
+	return candidates[a]
+}
