@@ -23,9 +23,11 @@ package lwt_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	lwt "repro"
 	"repro/internal/argobots"
@@ -566,6 +568,141 @@ func BenchmarkServeThroughput(b *testing.B) {
 					b.ReportMetric(float64(m.Latency.P99)/1e3, "p99-µs")
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkServeIOThroughput measures what the async-I/O reactor buys
+// the serving layer: every request simulates a 10ms downstream call,
+// either blocking its executor for the duration (time.Sleep in the
+// handler — the pre-reactor behaviour) or parking on the reactor
+// (lwt.Sleep — the handler holds no executor while it waits). The
+// executor budget is fixed at 4 split across the shard axis, so
+// blocking throughput is capped near executors/10ms = 400 req/s while
+// reactor throughput is capped by MaxInFlight — the measured gap is the
+// executor occupancy the reactor reclaims, not added parallelism.
+//
+// With LWT_BENCH_IO_JSON set, the best (minimum ns/op) cell per
+// backend/mode/shards lands in BENCH_fig-io.json for cmd/benchgate —
+// series "backend/mode" over the shards axis, figure number 10 (the
+// paper's figures end at 8; 10 is this repo's serving extension). The
+// emission is opt-in so a -benchtime=1x smoke run cannot overwrite a
+// properly measured baseline cell with a single-shot sample.
+func BenchmarkServeIOThroughput(b *testing.B) {
+	const ioWait = 10 * time.Millisecond
+	const producers = 32
+	const totalExecutors = 4
+	modes := []string{"blocking", "reactor"}
+	shardAxis := []int{1, 4}
+	type ioCell struct {
+		system string
+		shards int
+	}
+	best := map[ioCell]int64{}
+	for _, backend := range lwt.Backends() {
+		for _, mode := range modes {
+			for _, shards := range shardAxis {
+				mode := mode
+				b.Run(fmt.Sprintf("%s/%s/shards=%d", backend, mode, shards), func(b *testing.B) {
+					threads := totalExecutors / shards
+					if threads < 1 {
+						threads = 1
+					}
+					srv, err := lwt.NewServer(lwt.ServeOptions{
+						Backend: backend, Threads: threads, Shards: shards,
+						QueueDepth: 256, Batch: 32, LatencyWindow: 1 << 14,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srv.Close()
+					sub := srv.Submitter()
+					body := func(c lwt.Ctx) (float64, error) {
+						if mode == "blocking" {
+							time.Sleep(ioWait)
+						} else {
+							lwt.Sleep(c, ioWait)
+						}
+						return 1, nil
+					}
+					futs := make([][]*lwt.Future[float64], producers)
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for p := 0; p < producers; p++ {
+						share := b.N / producers
+						if p < b.N%producers {
+							share++
+						}
+						wg.Add(1)
+						go func(p, share int) {
+							defer wg.Done()
+							fs := make([]*lwt.Future[float64], 0, share)
+							for i := 0; i < share; i++ {
+								f, err := lwt.SubmitULT(sub, context.Background(), body)
+								if err != nil {
+									b.Errorf("submit: %v", err)
+									break
+								}
+								fs = append(fs, f)
+							}
+							futs[p] = fs
+						}(p, share)
+					}
+					wg.Wait()
+					for _, fs := range futs {
+						for _, f := range fs {
+							if _, err := f.Wait(context.Background()); err != nil {
+								b.Fatalf("wait: %v", err)
+							}
+						}
+					}
+					b.StopTimer()
+					if secs := b.Elapsed().Seconds(); secs > 0 {
+						b.ReportMetric(float64(b.N)/secs, "req/s")
+					}
+					nsop := b.Elapsed().Nanoseconds() / int64(b.N)
+					key := ioCell{system: backend + "/" + mode, shards: shards}
+					if prev, ok := best[key]; !ok || nsop < prev {
+						best[key] = nsop
+					}
+				})
+			}
+		}
+	}
+	if os.Getenv("LWT_BENCH_IO_JSON") == "" {
+		return
+	}
+	fig := microbench.FigureJSON{
+		Figure:  10,
+		Pattern: "fig-io",
+		Title:   "Serve throughput under 10ms simulated I/O: blocking vs reactor handlers",
+		Env: microbench.EnvJSON{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+	}
+	for _, backend := range lwt.Backends() {
+		for _, mode := range modes {
+			s := microbench.SeriesJSON{System: backend + "/" + mode}
+			for _, shards := range shardAxis {
+				nsop, ok := best[ioCell{system: s.System, shards: shards}]
+				if !ok {
+					continue
+				}
+				s.Points = append(s.Points, microbench.PointJSON{
+					Threads: shards, MeanNs: nsop, MinNs: nsop, MaxNs: nsop, Reps: 1,
+				})
+			}
+			if len(s.Points) > 0 {
+				fig.Series = append(fig.Series, s)
+			}
+		}
+	}
+	if len(fig.Series) > 0 {
+		if err := microbench.WriteFigureJSON("BENCH_fig-io.json", fig); err != nil {
+			b.Fatalf("write BENCH_fig-io.json: %v", err)
 		}
 	}
 }

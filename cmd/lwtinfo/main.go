@@ -45,23 +45,63 @@ func main() {
 
 	if *backends {
 		fmt.Println()
-		fmt.Println("Registered unified-API backends (live capabilities, v2 surface):")
-		fmt.Printf("  %-26s %-6s %-5s %-8s %-8s %-9s %-9s %-6s %s\n",
-			"backend", "levels", "units", "tasklets", "yield-to", "placement", "sync", "execs", "schedulers")
-		for _, name := range core.Backends() {
-			r := core.MustOpen(core.Config{Backend: name, Executors: 2})
-			c := r.Caps()
-			execs := r.NumExecutors()
-			r.Finalize()
-			fmt.Printf("  %-26s %-6d %-5d %-8v %-8v %-9v %-9s %-6d %s\n",
-				name, c.HierarchyLevels, c.WorkUnitTypes, c.Tasklets, c.YieldTo,
-				c.Placement, c.SyncMechanism, execs, strings.Join(c.Schedulers, ","))
-		}
-		fmt.Println()
-		fmt.Println("Degradation rules: a Config.Scheduler outside the backend's list")
-		fmt.Println("falls back to the default policy — recorded by Open (Degradations),")
-		fmt.Println("or an error under Config.Strict. Per-call fallbacks follow the")
-		fmt.Println("capability flags: ULTCreateTo without placement creates locally;")
-		fmt.Println("YieldTo without yield-to support degrades to Yield.")
+		fmt.Print(renderBackends())
 	}
+}
+
+// aioResumeRule is the per-backend half of the AsyncIO column: where a
+// work unit parked on the async-I/O reactor continues when the reactor
+// resumes it.
+func aioResumeRule(name string) string {
+	switch name {
+	case "argobots":
+		return "issuing execution stream's private pool (placement preserved)"
+	case "argobots-shared":
+		return "the shared pool"
+	case "qthreads", "qthreads-pernode":
+		return "issuing shepherd's pool (placement preserved)"
+	case "massivethreads", "massivethreads-helpfirst":
+		return "shared injection queue (any worker may pick it up, as a steal would)"
+	case "converse":
+		return "issuing processor's queue (placement preserved)"
+	case "go":
+		return "the shared global queue"
+	default:
+		return "backend-defined"
+	}
+}
+
+// renderBackends renders the live capability report — the table, the
+// per-backend async-I/O resume rules, and the degradation rules —
+// separated from main so a unit test can pin the output.
+func renderBackends() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Registered unified-API backends (live capabilities, v2 surface):")
+	fmt.Fprintf(&b, "  %-26s %-6s %-5s %-8s %-8s %-9s %-9s %-5s %-6s %s\n",
+		"backend", "levels", "units", "tasklets", "yield-to", "placement", "sync", "aio", "execs", "schedulers")
+	names := core.Backends()
+	for _, name := range names {
+		r := core.MustOpen(core.Config{Backend: name, Executors: 2})
+		c := r.Caps()
+		execs := r.NumExecutors()
+		r.Finalize()
+		fmt.Fprintf(&b, "  %-26s %-6d %-5d %-8v %-8v %-9v %-9s %-5v %-6d %s\n",
+			name, c.HierarchyLevels, c.WorkUnitTypes, c.Tasklets, c.YieldTo,
+			c.Placement, c.SyncMechanism, c.AsyncIO, execs, strings.Join(c.Schedulers, ","))
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "Async-I/O resume rules (where a work unit parked on the reactor continues):")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-26s %s\n", name, aioResumeRule(name))
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "Degradation rules: a Config.Scheduler outside the backend's list")
+	fmt.Fprintln(&b, "falls back to the default policy — recorded by Open (Degradations),")
+	fmt.Fprintln(&b, "or an error under Config.Strict. Per-call fallbacks follow the")
+	fmt.Fprintln(&b, "capability flags: ULTCreateTo without placement creates locally;")
+	fmt.Fprintln(&b, "YieldTo without yield-to support degrades to Yield. The async-I/O")
+	fmt.Fprintln(&b, "waits (Sleep, Deadline, AwaitIO, ReadIO, WriteIO) park the work unit")
+	fmt.Fprintln(&b, "off its executor where the aio column is true, yield-poll on a")
+	fmt.Fprintln(&b, "context without park support, and block plainly with no context.")
+	return b.String()
 }

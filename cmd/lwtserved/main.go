@@ -10,6 +10,11 @@
 //	/fib?n=28&cutoff=12&backend=argobots   recursive task parallelism (ULT per branch)
 //	/dgemm?n=96&chunks=4&backend=qthreads  BLAS-3 GEMM decomposed across ULTs
 //	/parfor?n=1048576&backend=go           parallel for over a vector via the omp layer
+//	/io?ms=10&backend=go                   simulated I/O: the handler parks on the
+//	                                       async-I/O reactor for ms milliseconds, holding
+//	                                       no executor while it waits
+//	/fibio?n=24&fan=4&ms=10&backend=go     fib compute overlapped with a fan of parked
+//	                                       I/O waits (downstream-call shape)
 //	/metrics                               per-backend aggregate + per-shard serve.Metrics as JSON
 //	/backends                              registered backend names
 //	/healthz                               liveness (200 while the process serves)
@@ -363,6 +368,48 @@ func main() {
 		}
 		return submitULT(r, sub, body)
 	}, 96, 512))
+
+	// Simulated I/O: the handler parks on the async-I/O reactor for
+	// ?ms= milliseconds. On AsyncIO backends the wait holds no executor
+	// — the serving layer discounts parked handlers from its in-flight
+	// gate — so a burst of these does not serialize on executor count
+	// the way a blocking sleep would. Returns the measured wait in
+	// milliseconds.
+	mux.HandleFunc("/io", handle(g, func(r *http.Request, sub *lwt.Submitter, n int) (*lwt.Future[float64], error) {
+		body := func(c lwt.Ctx) (float64, error) {
+			t0 := time.Now()
+			lwt.Sleep(c, time.Duration(n)*time.Millisecond)
+			return float64(time.Since(t0).Microseconds()) / 1e3, nil
+		}
+		return submitULT(r, sub, body)
+	}, 10, 10_000))
+
+	// Compute overlapped with I/O: fan out ?fan= parked waits of ?ms=
+	// milliseconds (the shape of a request issuing downstream calls),
+	// run the fib tree while they sleep, then join the fan. Ideal
+	// latency is max(compute, ms), not compute + fan*ms.
+	mux.HandleFunc("/fibio", handle(g, func(r *http.Request, sub *lwt.Submitter, n int) (*lwt.Future[float64], error) {
+		cutoff := qint(r, "cutoff", 12, 2, 64)
+		if cutoff < n-20 {
+			cutoff = n - 20
+		}
+		fan := qint(r, "fan", 4, 1, 64)
+		ms := qint(r, "ms", 10, 0, 10_000)
+		body := func(c lwt.Ctx) (float64, error) {
+			hs := make([]lwt.Handle, fan)
+			for i := range hs {
+				hs[i] = c.ULTCreate(func(cc lwt.Ctx) {
+					lwt.Sleep(cc, time.Duration(ms)*time.Millisecond)
+				})
+			}
+			v := fib(c, n, cutoff)
+			for _, h := range hs {
+				c.Join(h)
+			}
+			return float64(v), nil
+		}
+		return submitULT(r, sub, body)
+	}, 24, 45))
 
 	// Loop parallelism through the omp directive layer, on its own
 	// master goroutine per backend.

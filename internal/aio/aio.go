@@ -1,0 +1,315 @@
+// Package aio is a ULT-aware asynchronous I/O reactor: it lets a work
+// unit sleep, await a deadline, read, write, or wait on a future by
+// parking the *work unit* on a poller instead of blocking its executor.
+//
+// The blocking problem it solves is the one the serving layer exposes:
+// the unified API makes create/join/yield cheap on every backend, but a
+// handler that calls time.Sleep or a blocking Read occupies its executor
+// for the full wait — one slow request caps a whole shard. aio moves the
+// wait onto a single reactor goroutine: the issuing unit registers an
+// operation, parks exactly like a parking join (the unit suspends and
+// hands its executor back to the scheduler), and the reactor — timer
+// heap for sleeps and deadlines, readiness polling over deadline-capable
+// connections for I/O — completes the operation's generation-counted
+// completion word and resumes the unit into its home pool through the
+// same ResumeAndRequeue path the join machinery uses. Placement is
+// preserved: the park/unpark pair is built by the backend at issue time
+// and pushes the resumed unit to the pool it was running from.
+//
+// The package is substrate-agnostic: it knows nothing about executors or
+// pools. A backend supplies a Parker — Park suspends the calling unit,
+// Unpark (called once, from the reactor) resumes it — and everything
+// else is stdlib. Backends that cannot foreign-resume a unit degrade to
+// PollParker, the documented poll fallback: the unit stays scheduled and
+// yields between completion-word checks, trading executor occupancy for
+// correctness.
+//
+// Readiness detection for reads and writes is two-tier. The portable
+// default drives each operation from a per-op completer goroutine that
+// attempts the I/O in bounded deadline quanta (SetReadDeadline/
+// SetWriteDeadline a few tens of milliseconds out, attempt, loop on
+// timeout): the goroutine blocks in Go's runtime netpoller — the
+// process-wide readiness engine every Go program already pays for —
+// while the work unit itself stays parked off its executor, which is the
+// resource the serving layer actually rations. (A deadline already in
+// the past does NOT work as a non-blocking probe: both net.Pipe and the
+// internal/poll fd path report deadline exceeded before attempting the
+// transfer, so data is never consumed.) Build with -tags aio_epoll on
+// Linux to move deadline-capable descriptors onto the reactor instead:
+// epoll readiness events wake the reactor, which attempts the operation
+// with a short deadline budget — a ready descriptor completes
+// immediately, a spurious event costs at most the budget (see
+// poll_epoll.go). Readers without deadline support (regular files,
+// bytes.Buffer) are offloaded to a one-shot blocking goroutine; the
+// unit still parks.
+package aio
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Parker couples a blocking operation to the work unit that issued it.
+//
+// Park suspends the calling work unit until Unpark; it must be called by
+// the unit itself, exactly once per issued operation, immediately after
+// the operation is registered. Unpark resumes the unit into its home
+// pool; the reactor calls it exactly once, after the operation's results
+// are published. Unpark may be called from any goroutine and may spin
+// briefly until the unit has actually parked (the ResumeAndRequeue
+// contract), which is why the park must be unconditional: checking for
+// completion first and skipping the park would leave the reactor
+// spinning against a unit that never suspends.
+type Parker interface {
+	Park()
+	Unpark()
+}
+
+// pollParker is the degradation for backends that cannot foreign-resume:
+// Park yields the work unit once and the waiter loops on the completion
+// word. Unpark is never called (ops carrying a pollParker complete
+// without one).
+type pollParker struct{ yield func() }
+
+func (p pollParker) Park()   { p.yield() }
+func (p pollParker) Unpark() {}
+
+// PollParker adapts a yield function into the polling degradation: the
+// waiting unit stays scheduled and yields between completion checks
+// instead of parking. Use it where the backend denies resuming a unit
+// from outside its scheduler.
+func PollParker(yield func()) Parker { return pollParker{yield: yield} }
+
+// wait blocks the issuing work unit until o completes. Parking mode
+// parks exactly once — the reactor's completion store happens-before the
+// Unpark that makes Park return, so the check afterwards is a safety
+// net, not a spin. Poll mode (nil parker) yields between checks.
+func wait(o *op, g uint64, yield func()) {
+	if o.parker != nil {
+		o.parker.Park()
+		for !o.doneAt(g) {
+			runtime.Gosched()
+		}
+		return
+	}
+	for !o.doneAt(g) {
+		if yield != nil {
+			yield()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// splitParker maps the public Parker to the op's parking field and the
+// poll-mode yield: a PollParker never receives Unpark and its yield runs
+// in the waiter's loop; a nil Parker polls with runtime.Gosched (callers
+// outside any runtime, e.g. tests or the main thread).
+func splitParker(p Parker) (parked Parker, yield func()) {
+	switch v := p.(type) {
+	case nil:
+		return nil, nil
+	case pollParker:
+		return nil, v.yield
+	default:
+		return p, nil
+	}
+}
+
+// Sleep blocks the calling work unit for at least d without occupying
+// its executor: the unit parks and the reactor's timer heap resumes it.
+func Sleep(p Parker, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	parker, yield := splitParker(p)
+	o := acquire(parker)
+	g := o.gen
+	Default().addTimer(o, time.Now().Add(d))
+	wait(o, g, yield)
+	release(o)
+}
+
+// Deadline blocks the calling work unit until ctx is cancelled or its
+// deadline passes, and returns ctx.Err(). A context that can never be
+// done (Done() == nil) returns nil immediately rather than parking
+// forever.
+func Deadline(p Parker, ctx context.Context) error {
+	if ctx.Done() == nil {
+		return nil
+	}
+	parker, yield := splitParker(p)
+	o := acquire(parker)
+	g := o.gen
+	stop := context.AfterFunc(ctx, func() {
+		o.complete(0, ctx.Err())
+	})
+	defer stop()
+	wait(o, g, yield)
+	err := o.err
+	release(o)
+	return err
+}
+
+// Await blocks the calling work unit until done is closed (a Future's
+// Done channel, typically). The wait costs one short-lived watcher
+// goroutine in parking mode; poll mode selects inline.
+func Await(p Parker, done <-chan struct{}) {
+	select {
+	case <-done:
+		return
+	default:
+	}
+	parker, yield := splitParker(p)
+	if parker == nil {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if yield != nil {
+					yield()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+	o := acquire(parker)
+	g := o.gen
+	go func() {
+		<-done
+		o.complete(0, nil)
+	}()
+	wait(o, g, nil)
+	release(o)
+}
+
+// deadlineReader can be attempted in bounded quanta: with a read
+// deadline a short interval out, Read returns os.ErrDeadlineExceeded
+// after at most that interval instead of blocking indefinitely.
+type deadlineReader interface {
+	io.Reader
+	SetReadDeadline(t time.Time) error
+}
+
+// deadlineWriter is the write-side twin.
+type deadlineWriter interface {
+	io.Writer
+	SetWriteDeadline(t time.Time) error
+}
+
+// ioQuantum bounds each attempt a portable completer goroutine makes:
+// long enough that a healthy descriptor almost always completes in one
+// attempt, short enough that the loop re-checks the world at a human
+// timescale.
+const ioQuantum = 50 * time.Millisecond
+
+// runAttempts drives o to completion from a completer goroutine — the
+// portable path when no readiness engine is compiled in or the
+// descriptor could not be armed. Each attempt is bounded by ioQuantum,
+// so the goroutine revisits the loop instead of blocking forever in a
+// single call.
+func runAttempts(o *op) {
+	for {
+		done, n, err := o.attempt(ioQuantum)
+		if done {
+			o.complete(n, err)
+			return
+		}
+	}
+}
+
+// Read reads from r into buf without occupying the calling unit's
+// executor. Deadline-capable readers (net.Conn, os pipes) run on the
+// epoll reactor when compiled in, otherwise on a completer goroutine
+// attempting in deadline quanta; anything else is offloaded to a
+// one-shot blocking goroutine. Like io.Reader, it returns after one
+// successful read, which may be short.
+func Read(p Parker, r io.Reader, buf []byte) (int, error) {
+	parker, yield := splitParker(p)
+	o := acquire(parker)
+	g := o.gen
+	if dr, ok := r.(deadlineReader); ok {
+		o.attempt = func(budget time.Duration) (bool, int, error) {
+			dr.SetReadDeadline(time.Now().Add(budget))
+			n, err := dr.Read(buf)
+			if n == 0 && isDeadline(err) {
+				return false, 0, nil
+			}
+			dr.SetReadDeadline(time.Time{})
+			if n > 0 && isDeadline(err) {
+				err = nil
+			}
+			return true, n, err
+		}
+		o.conn = r
+		o.mode = waitRead
+		if !Default().addIO(o) {
+			go runAttempts(o)
+		}
+	} else {
+		go func() {
+			n, err := r.Read(buf)
+			o.complete(n, err)
+		}()
+	}
+	wait(o, g, yield)
+	n, err := o.n, o.err
+	release(o)
+	return n, err
+}
+
+// Write writes buf to w without occupying the calling unit's executor;
+// it loops attempts until the whole buffer is written or an error
+// surfaces, mirroring io.Writer's contract.
+func Write(p Parker, w io.Writer, buf []byte) (int, error) {
+	parker, yield := splitParker(p)
+	o := acquire(parker)
+	g := o.gen
+	if dw, ok := w.(deadlineWriter); ok {
+		written := 0
+		o.attempt = func(budget time.Duration) (bool, int, error) {
+			dw.SetWriteDeadline(time.Now().Add(budget))
+			n, err := dw.Write(buf[written:])
+			written += n
+			if written < len(buf) && isDeadline(err) {
+				return false, 0, nil
+			}
+			dw.SetWriteDeadline(time.Time{})
+			if written == len(buf) && isDeadline(err) {
+				err = nil
+			}
+			return true, written, err
+		}
+		o.conn = w
+		o.mode = waitWrite
+		if !Default().addIO(o) {
+			go runAttempts(o)
+		}
+	} else {
+		go func() {
+			n, err := w.Write(buf)
+			o.complete(n, err)
+		}()
+	}
+	wait(o, g, yield)
+	n, err := o.n, o.err
+	release(o)
+	return n, err
+}
+
+// isDeadline reports whether err is the deadline-exceeded sentinel (in
+// either its os or net.Error clothing).
+func isDeadline(err error) bool {
+	if err == nil {
+		return false
+	}
+	type timeouter interface{ Timeout() bool }
+	if t, ok := err.(timeouter); ok && t.Timeout() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+//go:build aio_epoll && linux
+
+package aio
+
+import (
+	"sync"
+	"syscall"
+	"time"
+)
+
+// With epoll readiness events driving wakeups, the safety tick only
+// backstops descriptors epoll could not register (no syscall.Conn, e.g.
+// net.Pipe) and lost-event paranoia.
+const defaultPollEvery = 2 * time.Millisecond
+
+// epollPoller turns kernel readiness events into reactor wakeups. It is
+// deliberately a hint engine, not a completion engine: events wake the
+// reactor, which runs the same non-blocking deadline attempts as the
+// portable build. That keeps every correctness property (single
+// completer, generation counting, park/unpark ordering) identical across
+// builds — the tag only changes how promptly the reactor notices
+// readiness.
+//
+// Registrations are EPOLLONESHOT: each armed descriptor reports once,
+// and a failed attempt re-arms it, so a persistently-ready-but-short
+// descriptor cannot spin the event loop.
+type epollPoller struct {
+	r    *Reactor
+	epfd int
+
+	mu   sync.Mutex
+	byFD map[int32]*op
+	fds  map[*op]int32
+}
+
+// newPoller starts the epoll event loop, or returns nil (falling back to
+// the tick) if epoll is unavailable.
+func newPoller(r *Reactor) poller {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	p := &epollPoller{
+		r:    r,
+		epfd: epfd,
+		byFD: make(map[int32]*op),
+		fds:  make(map[*op]int32),
+	}
+	go p.loop()
+	return p
+}
+
+// arm registers interest in o's descriptor. Descriptors that cannot be
+// reached (not a syscall.Conn, raw-control failure, or an fd already
+// armed for another op) stay on the tick path.
+func (p *epollPoller) arm(o *op) bool {
+	sc, ok := o.conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	var fd int32 = -1
+	if err := rc.Control(func(u uintptr) { fd = int32(u) }); err != nil || fd < 0 {
+		return false
+	}
+
+	events := uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP)
+	if o.mode == waitWrite {
+		events = syscall.EPOLLOUT
+	}
+	ev := syscall.EpollEvent{Events: events | syscall.EPOLLONESHOT, Fd: fd}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if owner, busy := p.byFD[fd]; busy && owner != o {
+		return false
+	}
+	ctl := syscall.EPOLL_CTL_ADD
+	if _, rearm := p.fds[o]; rearm {
+		ctl = syscall.EPOLL_CTL_MOD
+	}
+	if err := syscall.EpollCtl(p.epfd, ctl, int(fd), &ev); err != nil {
+		if err != syscall.EEXIST {
+			return false
+		}
+		if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, int(fd), &ev); err != nil {
+			return false
+		}
+	}
+	p.byFD[fd] = o
+	p.fds[o] = fd
+	return true
+}
+
+// disarm drops o's registration after completion.
+func (p *epollPoller) disarm(o *op) {
+	p.mu.Lock()
+	fd, ok := p.fds[o]
+	if ok {
+		delete(p.fds, o)
+		delete(p.byFD, fd)
+	}
+	p.mu.Unlock()
+	if ok {
+		syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, int(fd), nil)
+	}
+}
+
+// loop blocks in EpollWait and nudges the reactor on every event batch.
+// A failed attempt re-arms in attemptIO via arm, so oneshot events never
+// strand a descriptor.
+func (p *epollPoller) loop() {
+	events := make([]syscall.EpollEvent, 64)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		if n > 0 {
+			p.r.wakeup()
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !aio_epoll
+
+package aio
+
+import "time"
+
+// Without a readiness engine the reactor retries pending I/O on a short
+// tick: cheap enough to stay invisible next to real I/O latencies, tight
+// enough that a ready descriptor waits at most half a millisecond.
+const defaultPollEvery = 500 * time.Microsecond
+
+// newPoller returns nil: the portable build has no readiness engine and
+// relies on the deadline-attempt tick alone.
+func newPoller(r *Reactor) poller { return nil }

@@ -624,3 +624,18 @@ func (c *Context) SelfID() uint64 { return c.self.ID() }
 // stable; with the shared pool it reflects whichever stream popped the
 // unit last.
 func (c *Context) XStreamID() int { return c.self.Owner().ID() }
+
+// IOPark builds the park/unpark pair the aio reactor blocks this ULT
+// with: park suspends the ULT (the ES hands control back to its
+// scheduler and serves other units), and unpark — callable from any
+// goroutine — resumes it into the pool of the ES it was running on when
+// the pair was built, preserving ThreadCreateTo placement across the
+// wait. Build a fresh pair per operation: the home ES is captured at
+// issue time.
+func (c *Context) IOPark() (park func(), unpark func()) {
+	self, rt := c.self, c.rt
+	es := self.Owner().ID()
+	return func() { self.Suspend() }, func() {
+		ult.ResumeAndRequeue(self, func(j *ult.ULT) { rt.pushTo(j, es) })
+	}
+}

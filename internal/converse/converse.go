@@ -411,6 +411,22 @@ func (cc *CthCtx) Join(target *Cth) {
 	target.release()
 }
 
+// IOPark builds the park/unpark pair the aio reactor blocks this ULT
+// with: park suspends it (CthSuspend), and unpark — callable from any
+// goroutine — awakens it back into its own processor's queue
+// (CthAwaken; SyncSend already proves foreign pushes into processor
+// queues are safe). ULTs never migrate between processors, so placement
+// is preserved by construction. On processor 0 the resumed unit runs
+// only when the master next drives Yield — the return-mode caveat the
+// serving layer's pump already accommodates by yielding while requests
+// are in flight.
+func (cc *CthCtx) IOPark() (park func(), unpark func()) {
+	self, q := cc.self, cc.p.q
+	return func() { self.Suspend() }, func() {
+		ult.ResumeAndRequeue(self, func(j *ult.ULT) { q.Push(j) })
+	}
+}
+
 // YieldTo hands control directly to another local ULT (CthYieldTo).
 func (cc *CthCtx) YieldTo(target *Cth) { cc.self.YieldTo(target.u) }
 

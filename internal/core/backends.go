@@ -210,10 +210,16 @@ func (b *argoBackend) Caps() Capabilities {
 		Placement:     b.pools == argobots.PrivatePools,
 		Schedulers:    sched.Names(),
 		SyncMechanism: "atomic",
+		AsyncIO:       true,
 	}
 }
 
 func (c *argoCtx) Yield() { c.c.Yield() }
+
+// IOPark exposes the substrate's park/unpark pair: the resumed ULT
+// returns to the pool of the execution stream it was issued from, so a
+// wait through aio preserves ULTCreateTo placement.
+func (c *argoCtx) IOPark() (park func(), unpark func()) { return c.c.IOPark() }
 
 // YieldTo hands control directly to the target ULT
 // (ABT_thread_yield_to) — the operation only Argobots grants in Table I.
@@ -416,10 +422,16 @@ func (b *qtBackend) Caps() Capabilities {
 		Placement:     true,
 		Schedulers:    sched.Names(),
 		SyncMechanism: "feb",
+		AsyncIO:       true,
 	}
 }
 
 func (c *qtCtx) Yield() { c.c.Yield() }
+
+// IOPark exposes the substrate's park/unpark pair: the resumed thread
+// returns to its shepherd's pool, preserving ForkTo placement across a
+// wait.
+func (c *qtCtx) IOPark() (park func(), unpark func()) { return c.c.IOPark() }
 
 // YieldTo degrades to a plain Yield: Qthreads exposes no direct control
 // transfer (Table I).
@@ -547,10 +559,17 @@ func (b *mtBackend) Caps() Capabilities {
 		// work-first / help-first variant choice is the backend name).
 		Schedulers:    []string{sched.NameFIFO},
 		SyncMechanism: "atomic",
+		AsyncIO:       true,
 	}
 }
 
 func (c *mtCtx) Yield() { c.c.Yield() }
+
+// IOPark exposes the substrate's park/unpark pair. MassiveThreads has
+// no placement promise to preserve (Caps().Placement is false): the
+// resumed thread lands on the shared injection queue and any worker may
+// pick it up, exactly as a steal would move it.
+func (c *mtCtx) IOPark() (park func(), unpark func()) { return c.c.IOPark() }
 
 // YieldTo degrades to a plain Yield: Table I grants MassiveThreads no
 // direct control transfer (the substrate's hand-off is reserved for the
@@ -746,10 +765,16 @@ func (b *cvBackend) Caps() Capabilities {
 		Placement:     true,
 		Schedulers:    sched.Names(),
 		SyncMechanism: "atomic",
+		AsyncIO:       true,
 	}
 }
 
 func (c *cvCtx) Yield() { c.c.Yield() }
+
+// IOPark exposes the substrate's park/unpark pair: the resumed Cth
+// returns to its processor's queue, preserving CthCreateTo placement
+// across a wait.
+func (c *cvCtx) IOPark() (park func(), unpark func()) { return c.c.IOPark() }
 
 // YieldTo degrades to a plain Yield at the unified layer: Table I grants
 // direct transfer to Argobots only (Converse's CthYieldTo stays a
@@ -890,8 +915,14 @@ func (b *goBackend) Caps() Capabilities {
 		Placement:     false,
 		Schedulers:    []string{sched.NameFIFO},
 		SyncMechanism: "atomic",
+		AsyncIO:       true,
 	}
 }
+
+// IOPark exposes the substrate's park/unpark pair: the resumed
+// goroutine-model unit lands on the shared global queue (the only pool
+// the model has).
+func (c *goCtx) IOPark() (park func(), unpark func()) { return c.c.IOPark() }
 
 // Yield degrades to the substrate's reschedule (the runtime.Gosched
 // analogue): the modeled programming surface has no yield operation

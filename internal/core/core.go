@@ -118,6 +118,15 @@ type Capabilities struct {
 	// table, Qthreads) or "atomic" (CAS words polled with cooperative
 	// yields).
 	SyncMechanism string
+	// AsyncIO reports that a blocking wait issued through the aio
+	// surface (Sleep, Deadline, Read, Write, Await) parks the work unit
+	// on the reactor and frees its executor, resuming into the unit's
+	// home pool when the operation completes. Backends without it (or
+	// call sites without a ULT context, e.g. tasklets) degrade
+	// explicitly: the wait still completes, but by yield-polling on the
+	// executor — or plain blocking where not even a yield is available —
+	// rather than parking.
+	AsyncIO bool
 }
 
 // SupportsScheduler reports whether the named policy is in the

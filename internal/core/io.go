@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/aio"
+)
+
+// This file is the unified API's async-I/O surface: package-level waits
+// that free the calling work unit's executor instead of blocking it.
+// Each call resolves the strongest waiting mechanism the call site
+// supports and degrades explicitly from there:
+//
+//  1. A ULT context whose backend can foreign-resume (the context
+//     implements ioParkable) parks the unit on the aio reactor; the
+//     reactor resumes it into its home pool when the operation
+//     completes. This is the Capabilities.AsyncIO promise.
+//  2. A context without IOPark stays scheduled and yield-polls the
+//     completion word (aio.PollParker over Ctx.Yield) — correct
+//     everywhere, but the wait occupies the executor.
+//  3. A nil context (tasklet bodies, plain goroutines, the main thread)
+//     blocks in the ordinary Go way: time.Sleep, a blocking Read, a
+//     channel receive. There is no unit to park and no scheduler to
+//     yield to.
+
+// ioParkable is implemented by backend contexts whose substrate can
+// suspend the running work unit and later resume it from an arbitrary
+// goroutine (the reactor). IOPark returns a fresh park/unpark pair
+// bound to the unit's current placement: park suspends the calling
+// unit, unpark resumes it into the pool it was issued from. The pair is
+// valid for exactly one operation — placement is captured at issue
+// time, so a new pair must be minted per wait.
+type ioParkable interface {
+	IOPark() (park func(), unpark func())
+}
+
+// funcParker adapts an IOPark pair to the aio.Parker contract.
+type funcParker struct {
+	park   func()
+	unpark func()
+}
+
+func (f funcParker) Park()   { f.park() }
+func (f funcParker) Unpark() { f.unpark() }
+
+// parkerFor maps a non-nil context to its strongest aio waiting
+// mechanism: a real parker when the backend can foreign-resume, the
+// yield-polling degradation otherwise.
+func parkerFor(c Ctx) aio.Parker {
+	if p, ok := c.(ioParkable); ok {
+		park, unpark := p.IOPark()
+		return funcParker{park: park, unpark: unpark}
+	}
+	return aio.PollParker(c.Yield)
+}
+
+// Sleep blocks the calling work unit for at least d. On an AsyncIO
+// backend the unit parks on the reactor's timer heap and its executor
+// runs other work for the duration; degradations per the file comment.
+func Sleep(c Ctx, d time.Duration) {
+	if c == nil {
+		time.Sleep(d)
+		return
+	}
+	aio.Sleep(parkerFor(c), d)
+}
+
+// Deadline blocks the calling work unit until ctx is cancelled or its
+// deadline passes, returning ctx.Err(). A context that can never be
+// done returns nil immediately.
+func Deadline(c Ctx, ctx context.Context) error {
+	if c == nil {
+		if ctx.Done() == nil {
+			return nil
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return aio.Deadline(parkerFor(c), ctx)
+}
+
+// AwaitIO blocks the calling work unit until done is closed — a
+// future's completion channel in whatever shape the caller has one
+// (context.Context.Done(), a close-on-finish signal).
+func AwaitIO(c Ctx, done <-chan struct{}) {
+	if c == nil {
+		<-done
+		return
+	}
+	aio.Await(parkerFor(c), done)
+}
+
+// ReadIO reads from r into buf without occupying the calling unit's
+// executor while the data is in flight. Like io.Reader, one successful
+// read may be short.
+func ReadIO(c Ctx, r io.Reader, buf []byte) (int, error) {
+	if c == nil {
+		return r.Read(buf)
+	}
+	return aio.Read(parkerFor(c), r, buf)
+}
+
+// WriteIO writes all of buf to w without occupying the calling unit's
+// executor while the bytes drain.
+func WriteIO(c Ctx, w io.Writer, buf []byte) (int, error) {
+	if c == nil {
+		return w.Write(buf)
+	}
+	return aio.Write(parkerFor(c), w, buf)
+}

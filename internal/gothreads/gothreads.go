@@ -289,6 +289,18 @@ func (c *Context) Gosched() { c.self.Yield() }
 // in the Go model — but it lets the unified layer answer ExecutorID.
 func (c *Context) ThreadID() int { return c.self.Owner().ID() }
 
+// IOPark builds the park/unpark pair the aio reactor blocks this
+// goroutine with: park suspends it, and unpark — callable from any
+// goroutine, exactly like Join's watcher fallback — resumes it into the
+// global queue, from which any scheduler thread may pick it up (the
+// model has no placement to preserve).
+func (c *Context) IOPark() (park func(), unpark func()) {
+	self, rt := c.self, c.rt
+	return func() { self.Suspend() }, func() {
+		ult.ResumeAndRequeue(self, func(j *ult.ULT) { rt.shared.Push(j) })
+	}
+}
+
 // Go spawns a goroutine from inside a goroutine.
 func (c *Context) Go(fn func(*Context)) *G { return c.rt.Go(fn) }
 

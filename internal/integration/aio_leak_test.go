@@ -1,0 +1,75 @@
+package integration
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	lwt "repro"
+)
+
+// TestNoGoroutineLeakAcrossAsyncIOCycles is the async-I/O twin of the
+// spawn-free regression gate: a steady-state cycle of parked sleeps and
+// reactor-driven reads must not accumulate goroutines on any backend.
+// The reactor itself is one permanent goroutine — started during warmup
+// so the baseline includes it — and the portable read path's completer
+// goroutines are one-shot: each exits when its operation completes, so
+// the settled count must stay flat across 10k cycles.
+func TestNoGoroutineLeakAcrossAsyncIOCycles(t *testing.T) {
+	const cycles = 10_000
+	for _, backend := range lwt.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			r, err := lwt.Open(lwt.Config{Backend: backend, Executors: 2})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer r.Finalize()
+
+			// A feeder goroutine keeps one byte available on the pipe;
+			// net.Pipe writes rendezvous with reads, so it stays blocked
+			// until a cycle consumes. Started before the baseline, shut
+			// down by the deferred Close after the verdict.
+			client, server := net.Pipe()
+			defer client.Close()
+			defer server.Close()
+			go func() {
+				one := []byte{42}
+				for {
+					if _, err := client.Write(one); err != nil {
+						return
+					}
+				}
+			}()
+
+			buf := make([]byte, 1)
+			cycle := func(i int) {
+				r.Join(r.ULTCreate(func(c lwt.Ctx) {
+					if i%2 == 0 {
+						lwt.Sleep(c, time.Microsecond)
+					} else {
+						lwt.ReadIO(c, server, buf)
+					}
+				}))
+			}
+			// Warm the descriptor pools, the op pool, and the reactor
+			// goroutine to steady state before taking the baseline.
+			for i := 0; i < 200; i++ {
+				cycle(i)
+			}
+			base := settledGoroutines()
+			for i := 0; i < cycles; i++ {
+				cycle(i)
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			after := settledGoroutines()
+			for after > base+50 && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+				after = settledGoroutines()
+			}
+			if after > base+50 {
+				t.Fatalf("goroutines grew from %d to %d across %d async-I/O cycles",
+					base, after, cycles)
+			}
+		})
+	}
+}

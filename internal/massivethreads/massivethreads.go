@@ -58,7 +58,13 @@ type Runtime struct {
 	primary *ult.ULT
 	// pWaiter is the primary's reusable park-slot entry for main-thread
 	// joins (serial, so one instance suffices allocation-free).
-	pWaiter  *ult.DoneWaiter
+	pWaiter *ult.DoneWaiter
+	// inject receives units resumed from outside the runtime (the aio
+	// reactor). The Chase–Lev deques are owner-only at the bottom end, so
+	// a foreign goroutine cannot push into them; the MPMC injection queue
+	// is the one container every worker may push to and polls between its
+	// own deque and stealing.
+	inject   *queue.Shared
 	shutdown atomic.Bool
 	wg       sync.WaitGroup
 	finished atomic.Bool
@@ -71,6 +77,9 @@ type Worker struct {
 	exec *ult.Executor
 	dq   *queue.Deque
 	rng  *rand.Rand
+	// tick alternates the loop's source priority between the local
+	// deque and the runtime's injection queue (see loop).
+	tick uint64
 }
 
 // ID returns the worker's rank.
@@ -137,7 +146,7 @@ func Init(nworkers int, policy Policy) *Runtime {
 	if nworkers < 1 {
 		panic(fmt.Sprintf("massivethreads: nworkers = %d, need >= 1", nworkers))
 	}
-	rt := &Runtime{policy: policy}
+	rt := &Runtime{policy: policy, inject: queue.NewShared(64)}
 	rt.workers = make([]*Worker, nworkers)
 	for i := range rt.workers {
 		rt.workers[i] = &Worker{
@@ -315,7 +324,26 @@ func (w *Worker) loop(adopted bool) {
 			}
 			continue
 		}
-		u := w.dq.PopFront()
+		// Alternate the first source between the deque and the
+		// injection queue. Deque-first-always starves injected resumes
+		// when the deque never drains — a main flow yield-spinning on a
+		// parked unit's result re-enters the deque every cycle, so with
+		// one worker the resume sitting in inject would never run
+		// (livelock, caught live by the serve I/O benchmark). Inject-
+		// first-always has the mirror problem under a steady resume
+		// stream. Alternating bounds either source's wait to one
+		// dispatch.
+		w.tick++
+		var u ult.Unit
+		if w.tick&1 == 0 {
+			if u = w.rt.inject.Pop(); u == nil {
+				u = w.dq.PopFront()
+			}
+		} else {
+			if u = w.dq.PopFront(); u == nil {
+				u = w.rt.inject.Pop()
+			}
+		}
 		if u == nil {
 			u = w.steal()
 		}
@@ -400,3 +428,16 @@ func (c *Context) Yield() { c.self.Yield() }
 
 // WorkerID reports the rank of the worker currently running the ULT.
 func (c *Context) WorkerID() int { return c.self.Owner().ID() }
+
+// IOPark builds the park/unpark pair the aio reactor blocks this ULT
+// with: park suspends it (the worker keeps serving its deque), and
+// unpark — callable from any goroutine — resumes it through the
+// runtime's MPMC injection queue, which any worker may pop. As with
+// work stealing, the unit may resume on a different worker than it
+// parked on; the model has no placement guarantee to preserve.
+func (c *Context) IOPark() (park func(), unpark func()) {
+	self, rt := c.self, c.rt
+	return func() { self.Suspend() }, func() {
+		ult.ResumeAndRequeue(self, func(j *ult.ULT) { rt.inject.Push(j) })
+	}
+}

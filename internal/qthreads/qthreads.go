@@ -361,6 +361,18 @@ func (c *Context) Yield() { c.self.Yield() }
 // Shepherd reports the shepherd the qthread was forked to.
 func (c *Context) Shepherd() int { return c.shep.id }
 
+// IOPark builds the park/unpark pair the aio reactor blocks this
+// qthread with: park suspends it (the worker serves the shepherd queue
+// meanwhile), and unpark — callable from any goroutine — resumes it
+// into its own shepherd's queue (sched.Policy pushes are MPMC-safe),
+// preserving fork_to placement across the wait.
+func (c *Context) IOPark() (park func(), unpark func()) {
+	self, pool := c.self, c.shep.pool
+	return func() { self.Suspend() }, func() {
+		ult.ResumeAndRequeue(self, func(j *ult.ULT) { pool.Push(j) })
+	}
+}
+
 // Fork creates a child qthread in the same shepherd's queue.
 func (c *Context) Fork(fn func(*Context)) *Thread {
 	return c.rt.ForkTo(fn, c.shep.id)

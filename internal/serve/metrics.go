@@ -90,6 +90,11 @@ type Metrics struct {
 	QueueDepth int
 	// InFlight is the number of launched-but-unfinished work units.
 	InFlight int
+	// IOParked is how many of InFlight are currently parked on the
+	// async-I/O reactor: launched, unfinished, but holding no executor.
+	// The admission gate discounts them, so InFlight may legitimately
+	// exceed MaxInFlight by up to IOParked.
+	IOParked int
 	// Uptime is the time since the server started.
 	Uptime time.Duration
 	// Throughput is Completed divided by Uptime, in requests/second.

@@ -141,6 +141,14 @@ type shard struct {
 	id       int
 	reqs     chan *request
 	inflight atomic.Int64 // launched-but-unfinished work units
+	// ioparked counts the subset of inflight currently parked on the
+	// async-I/O reactor (lwt.Sleep, ReadIO, ...): launched and
+	// unfinished, but holding no executor. The pump's admission gate and
+	// the shutdown pacer meter true CPU occupancy — inflight minus
+	// ioparked — so handlers waiting on I/O do not cap the shard's
+	// concurrency; the drain loop keeps watching total inflight, because
+	// a parked handler still owes a completion.
+	ioparked atomic.Int64
 	queued   atomic.Int64 // accepted-but-unlaunched requests
 	m        metrics
 	done     chan struct{} // pump exited, runtime finalized
@@ -375,7 +383,10 @@ func (sh *shard) pump(ready chan<- error) {
 		// units per wakeup, so one scheduler step admits many requests.
 		// The MaxInFlight cap leaves the excess queued, which is what
 		// lets the bounded queue fill and reject.
-		for len(batch) < s.opts.Batch && int(sh.inflight.Load())+len(batch) < s.opts.MaxInFlight {
+		// The gate meters executor occupancy, not liveness: work units
+		// parked on the async-I/O reactor hold no executor, so they are
+		// discounted and the shard keeps admitting while they wait.
+		for len(batch) < s.opts.Batch && int(sh.inflight.Load()-sh.ioparked.Load())+len(batch) < s.opts.MaxInFlight {
 			select {
 			case r := <-sh.reqs:
 				sh.queued.Add(-1)
@@ -445,7 +456,7 @@ drain:
 				break drain
 			}
 		}
-		if int(sh.inflight.Load()) >= s.opts.MaxInFlight {
+		if int(sh.inflight.Load()-sh.ioparked.Load()) >= s.opts.MaxInFlight {
 			rt.Yield()
 			runtime.Gosched()
 			continue
@@ -513,6 +524,35 @@ func (sh *shard) finish(r *request) {
 	}
 }
 
+// ioParkable mirrors the async-I/O layer's park hook: a backend context
+// implementing it can suspend its work unit off the executor and be
+// resumed from the reactor.
+type ioParkable interface {
+	IOPark() (park func(), unpark func())
+}
+
+// parkCountingCtx wraps a handler's context on AsyncIO backends so the
+// shard can tell which in-flight work units are parked on the reactor.
+// The park half of every minted pair brackets the suspension with the
+// ioparked counter — both adjustments run on the work unit's own
+// goroutine (before suspending, after resuming), so the accounting is
+// exact, not sampled.
+type parkCountingCtx struct {
+	core.Ctx
+	sh *shard
+}
+
+func (c parkCountingCtx) IOPark() (func(), func()) {
+	park, unpark := c.Ctx.(ioParkable).IOPark()
+	sh := c.sh
+	counted := func() {
+		sh.ioparked.Add(1)
+		park()
+		sh.ioparked.Add(-1)
+	}
+	return counted, unpark
+}
+
 // Submitter is the multi-producer, thread-safe injection front-end: the
 // missing external-submission path of the Table II API. All methods may
 // be called from any goroutine, concurrently.
@@ -543,6 +583,9 @@ func makeRequest[T any](s *Server, ctx context.Context, ult bool, fn func(core.C
 	}
 	r.run = func(c core.Ctx) {
 		sh := r.shard
+		if _, ok := c.(ioParkable); ok {
+			c = parkCountingCtx{Ctx: c, sh: sh}
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				sh.m.panicked.Add(1)
@@ -720,6 +763,7 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 			Panicked:   sh.m.panicked.Load(),
 			QueueDepth: len(sh.reqs),
 			InFlight:   int(sh.inflight.Load()),
+			IOParked:   int(sh.ioparked.Load()),
 			Uptime:     up,
 		}
 		w := sh.m.window()
@@ -740,6 +784,7 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 		agg.Panicked += mt.Panicked
 		agg.QueueDepth += mt.QueueDepth
 		agg.InFlight += mt.InFlight
+		agg.IOParked += mt.IOParked
 	}
 	if secs := up.Seconds(); secs > 0 {
 		agg.Throughput = float64(agg.Completed) / secs

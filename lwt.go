@@ -95,6 +95,8 @@ package lwt
 
 import (
 	"context"
+	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/serve"
@@ -187,6 +189,35 @@ func Backends() []string { return core.Backends() }
 func Register(name string, f func() Backend) {
 	core.Register(name, func() core.Backend { return f() })
 }
+
+// --- Async I/O ---
+//
+// The waits below free the calling work unit's executor instead of
+// blocking it: on a backend whose Capabilities report AsyncIO, the unit
+// parks on a process-wide reactor and is resumed into its home pool
+// when the wait completes. Where parking is unavailable the wait
+// degrades explicitly — yield-polling inside a work unit without a
+// parkable substrate, plain blocking when c is nil (no unit to park).
+
+// Sleep blocks the calling work unit for at least d without occupying
+// its executor.
+func Sleep(c Ctx, d time.Duration) { core.Sleep(c, d) }
+
+// Deadline blocks the calling work unit until ctx is cancelled or its
+// deadline passes, returning ctx.Err().
+func Deadline(c Ctx, ctx context.Context) error { return core.Deadline(c, ctx) }
+
+// AwaitIO blocks the calling work unit until done is closed (a future's
+// completion channel, a context's Done).
+func AwaitIO(c Ctx, done <-chan struct{}) { core.AwaitIO(c, done) }
+
+// ReadIO reads from r into buf without occupying the calling unit's
+// executor while the data is in flight.
+func ReadIO(c Ctx, r io.Reader, buf []byte) (int, error) { return core.ReadIO(c, r, buf) }
+
+// WriteIO writes all of buf to w without occupying the calling unit's
+// executor while the bytes drain.
+func WriteIO(c Ctx, w io.Writer, buf []byte) (int, error) { return core.WriteIO(c, w, buf) }
 
 // --- Serving layer ---
 
