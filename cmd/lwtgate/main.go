@@ -20,7 +20,10 @@
 // Endpoints (everything else is proxied to a worker):
 //
 //	/cluster/metrics   gate + per-worker routing counters as JSON
+//	                   (?format=prom for the Prometheus view)
 //	/cluster/workers   per-worker state (healthy/ejected, load, EWMA)
+//	/metrics           Prometheus text exposition: per-worker load
+//	                   estimates, ejections, retries, gate counters
 //	/healthz           gate liveness
 //	/readyz            gate readiness (503 once draining)
 //
@@ -98,6 +101,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster/metrics", gw.MetricsHandler())
 	mux.HandleFunc("/cluster/workers", gw.WorkersHandler())
+	mux.HandleFunc("/metrics", gw.PromHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})

@@ -15,10 +15,24 @@
 //	                                       no executor while it waits
 //	/fibio?n=24&fan=4&ms=10&backend=go     fib compute overlapped with a fan of parked
 //	                                       I/O waits (downstream-call shape)
-//	/metrics                               per-backend aggregate + per-shard serve.Metrics as JSON
+//	/metrics                               Prometheus text exposition: per-shard queue depth,
+//	                                       in-flight, I/O-parked, latency histograms, and
+//	                                       scheduler steal/contention counters
+//	/metrics.json                          per-backend aggregate + per-shard serve.Metrics as JSON
+//	/debug/trace                           flight-recorder dump; ?format=json (default) for the
+//	                                       raw dump, chrome for chrome://tracing / Perfetto,
+//	                                       breakdown for the paper-style percentage table
 //	/backends                              registered backend names
 //	/healthz                               liveness (200 while the process serves)
 //	/readyz                                readiness (503 from the moment SIGTERM arrives)
+//
+// Tracing is always on: every backend executor and serve shard records
+// into bounded per-executor ring buffers (a flight recorder — newest
+// events win). Besides the /debug/trace endpoint, SIGUSR2 writes a dump
+// file into -trace-dir, and the serving layer's anomaly watchdog writes
+// one automatically when it sees a P99 latency spike or sustained
+// saturation — while the recorder's window still holds the anomaly.
+// Set LWT_TRACE_OFF=1 to disable recording entirely.
 //
 // Flags:
 //
@@ -55,13 +69,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -69,7 +86,9 @@ import (
 
 	lwt "repro"
 	"repro/internal/blas"
+	"repro/internal/prom"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/omp"
 )
 
@@ -84,7 +103,33 @@ var (
 	batch     = flag.Int("batch", 64, "requests launched per pump wakeup")
 	drain     = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown (0: unbounded)")
 	notReady  = flag.Duration("notready-grace", 250*time.Millisecond, "window between /readyz flipping 503 and the listener closing, so health probes observe the flip")
+	traceDir  = flag.String("trace-dir", ".", "directory for flight-recorder dump files (SIGUSR2 and anomaly dumps)")
+	anomEvery = flag.Duration("anomaly-interval", serve.DefaultAnomalyInterval, "anomaly watchdog sample period")
 )
+
+// dumpTrace snapshots the process-global flight recorder and writes it
+// to a timestamped file in -trace-dir. Used by the SIGUSR2 handler and
+// the serve anomaly watchdog; /debug/trace streams instead.
+func dumpTrace(reason string) {
+	d := trace.Default().Snapshot(reason)
+	tag := reason
+	if i := strings.IndexAny(tag, ": "); i >= 0 {
+		tag = tag[:i]
+	}
+	name := filepath.Join(*traceDir,
+		fmt.Sprintf("lwt-trace-%s-%s.json", tag, time.Now().Format("20060102-150405.000")))
+	f, err := os.Create(name)
+	if err != nil {
+		log.Printf("lwtserved: trace dump: %v", err)
+		return
+	}
+	defer f.Close()
+	if _, err := d.WriteTo(f); err != nil {
+		log.Printf("lwtserved: trace dump: %v", err)
+		return
+	}
+	log.Printf("lwtserved: trace dump (%s): %d events -> %s", reason, len(d.Events), name)
+}
 
 // registry lazily creates one serving engine and one omp worker per
 // backend, on first use.
@@ -111,6 +156,13 @@ func (g *registry) server(backend string) (*lwt.Server, error) {
 		Shards: *shards, Router: rt,
 		QueueDepth: *queue, MaxInFlight: *inflight, Batch: *batch,
 		DrainTimeout: *drain,
+		// Anomaly-triggered flight-recorder dump: the watchdog fires
+		// while the trace window still holds the spike it detected.
+		AnomalyInterval: *anomEvery,
+		OnAnomaly: func(reason string, m serve.Metrics) {
+			log.Printf("lwtserved: anomaly on %s: %s", backend, reason)
+			dumpTrace("anomaly-" + backend)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -440,7 +492,8 @@ func main() {
 		Aggregate serve.Metrics   `json:"aggregate"`
 		Shards    []serve.Metrics `json:"shards"`
 	}
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	// snapshotAll reads every live server once, in stable backend order.
+	snapshotAll := func() []backendMetrics {
 		g.mu.Lock()
 		names := make([]string, 0, len(g.servers))
 		for name := range g.servers {
@@ -453,7 +506,43 @@ func main() {
 			out = append(out, backendMetrics{Aggregate: agg, Shards: shards})
 		}
 		g.mu.Unlock()
-		reply(w, http.StatusOK, out)
+		return out
+	}
+
+	// Prometheus text exposition (the scrape target); the previous JSON
+	// view moved to /metrics.json.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		views := make([]serve.View, 0, 8)
+		for _, bm := range snapshotAll() {
+			views = append(views, serve.View{Aggregate: bm.Aggregate, Shards: bm.Shards})
+		}
+		w.Header().Set("Content-Type", prom.ContentType)
+		_, _ = serve.WriteProm(w, views...)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, snapshotAll())
+	})
+
+	// Flight-recorder dump on demand. The snapshot is non-destructive:
+	// the rings keep recording while (and after) it is taken.
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		d := trace.Default().Snapshot("http")
+		switch f := r.URL.Query().Get("format"); f {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = d.WriteTo(w)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="lwt-trace-chrome.json"`)
+			_ = trace.WriteChromeTrace(w, d.Events)
+		case "breakdown":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			sum := trace.Summarize(d.Events)
+			_, _ = io.WriteString(w, sum.Render())
+		default:
+			reply(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("unknown format %q (json|chrome|breakdown)", f)})
+		}
 	})
 
 	mux.HandleFunc("/backends", func(w http.ResponseWriter, r *http.Request) {
@@ -487,6 +576,15 @@ func main() {
 		log.Fatalf("lwtserved: %v", err)
 	}
 	hs := &http.Server{Handler: mux}
+	// SIGUSR2: dump the flight recorder to -trace-dir without disturbing
+	// service — the operator's "what just happened" trigger.
+	go func() {
+		usr2 := make(chan os.Signal, 1)
+		signal.Notify(usr2, syscall.SIGUSR2)
+		for range usr2 {
+			dumpTrace("sigusr2")
+		}
+	}()
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,20 +1,28 @@
-// Command lwttrace runs one of the paper's microbenchmark patterns with
-// scheduling-event tracing enabled and prints the aggregate time
-// breakdown (optionally exporting a Chrome trace-event JSON for
-// chrome://tracing / Perfetto). It makes claims like §IX-D's "Converse
-// Threads expends up to 75 % of its execution time in performing barrier
-// and yield operations" directly observable.
+// Command lwttrace analyzes flight-recorder traces. It either runs one
+// of the paper's microbenchmark patterns live with tracing enabled, or
+// loads a dump produced by a running daemon (lwtserved's /debug/trace
+// endpoint, a SIGUSR2 dump file, or an anomaly dump), and prints the
+// paper-style aggregate time-breakdown table with percentages —
+// making claims like §IX-D's "Converse Threads expends up to 75 % of
+// its execution time in performing barrier and yield operations"
+// directly observable. Either source can additionally be exported as
+// Chrome trace-event JSON for chrome://tracing / Perfetto.
 //
 // Usage:
 //
 //	lwttrace -runtime argobots -tasks 1000 -threads 4
 //	lwttrace -runtime converse -tasks 1000 -threads 4 -chrome trace.json
+//	lwttrace -dump trace-dump.json
+//	lwttrace -dump http://127.0.0.1:8080/debug/trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/argobots"
 	"repro/internal/converse"
@@ -22,31 +30,56 @@ import (
 )
 
 func main() {
-	rtName := flag.String("runtime", "argobots", "runtime to trace: argobots or converse")
+	rtName := flag.String("runtime", "argobots", "runtime to trace live: argobots or converse")
 	threads := flag.Int("threads", 4, "execution streams / processors")
 	tasks := flag.Int("tasks", 1000, "work units to create")
+	dump := flag.String("dump", "", "analyze a flight-recorder dump instead of running live: a file path, or an http(s) URL such as http://host:port/debug/trace")
 	chrome := flag.String("chrome", "", "write Chrome trace-event JSON to this file")
 	flag.Parse()
 
-	rec := trace.NewRecorder(1 << 20)
-	switch *rtName {
-	case "argobots":
-		runArgobots(rec, *threads, *tasks)
-	case "converse":
-		runConverse(rec, *threads, *tasks)
-	default:
-		fmt.Fprintf(os.Stderr, "lwttrace: unknown runtime %q\n", *rtName)
-		os.Exit(2)
+	var events []trace.Event
+	if *dump != "" {
+		d, err := loadDump(*dump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lwttrace: %v\n", err)
+			os.Exit(1)
+		}
+		if d.Disabled {
+			fmt.Fprintln(os.Stderr, "lwttrace: dump was taken with tracing disabled (LWT_TRACE_OFF)")
+			os.Exit(1)
+		}
+		fmt.Printf("dump taken %s", d.TakenAt.Format("2006-01-02 15:04:05.000"))
+		if d.Reason != "" {
+			fmt.Printf(" (%s)", d.Reason)
+		}
+		fmt.Printf(": %d lanes, %d events\n", len(d.Lanes), len(d.Events))
+		for _, l := range d.Lanes {
+			over := uint64(0)
+			if l.Written > uint64(l.Slots) {
+				over = l.Written - uint64(l.Slots)
+			}
+			fmt.Printf("  lane %-24s exec %3d  written %8d  overwritten %8d  dropped %d\n",
+				l.Name, l.Exec, l.Written, over, l.Dropped)
+		}
+		events = d.Events
+	} else {
+		rec := trace.NewRecorder(1 << 16)
+		switch *rtName {
+		case "argobots":
+			runArgobots(rec, *threads, *tasks)
+		case "converse":
+			runConverse(rec, *threads, *tasks)
+		default:
+			fmt.Fprintf(os.Stderr, "lwttrace: unknown runtime %q\n", *rtName)
+			os.Exit(2)
+		}
+		events = rec.Events()
 	}
 
-	events := rec.Events()
 	sum := trace.Summarize(events)
 	fmt.Print(sum.Render())
 	fmt.Printf("sync share (barrier+yield): %.1f%%\n",
 		100*sum.Fraction(trace.KindBarrier, trace.KindYield))
-	if rec.Dropped() > 0 {
-		fmt.Printf("(%d events dropped past recorder capacity)\n", rec.Dropped())
-	}
 
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
@@ -61,6 +94,38 @@ func main() {
 		}
 		fmt.Printf("chrome trace written to %s\n", *chrome)
 	}
+}
+
+// loadDump reads a dump from a file path or fetches it from a URL
+// (lwtserved's /debug/trace). A URL without an explicit format query
+// gets ?format=json appended so a breakdown- or chrome-format endpoint
+// still yields a parseable dump.
+func loadDump(src string) (*trace.Dump, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		if !strings.Contains(src, "format=") {
+			sep := "?"
+			if strings.Contains(src, "?") {
+				sep = "&"
+			}
+			src += sep + "format=json"
+		}
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return nil, fmt.Errorf("GET %s: %s: %s", src, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return trace.ReadDump(resp.Body)
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadDump(f)
 }
 
 // runArgobots traces the Figure 5 pattern (tasks from a single creator).

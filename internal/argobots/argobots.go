@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/ult"
@@ -54,8 +55,10 @@ type Config struct {
 	XStreams int
 	// Pools selects private-per-ES or shared pools.
 	Pools PoolKind
-	// Tracer, when non-nil, records scheduling events (dispatches,
-	// tasklet executions, idle spins) for offline analysis.
+	// Tracer records scheduling events (dispatches, tasklet executions,
+	// steals, idle episodes) into per-stream flight-recorder rings. Nil
+	// selects the process-global recorder (trace.Default), which is what
+	// production deployments run; tests inject their own.
 	Tracer *trace.Recorder
 	// BasePolicy, when non-nil, constructs the base scheduling policy of
 	// each pool (the bottom of every stream's stackable scheduler, or of
@@ -498,7 +501,12 @@ func (x *XStream) loop(adopted bool) {
 			requeue(t)
 		}
 	}
-	tracer := x.rt.cfg.Tracer
+	rec := x.rt.cfg.Tracer
+	if rec == nil {
+		rec = trace.Default()
+	}
+	bat := rec.Ring(fmt.Sprintf("argobots/es%d", x.exec.ID()), x.exec.ID()).Batcher()
+	defer bat.Close()
 	for {
 		// A YieldTo hint bypasses the scheduler entirely.
 		if res, h, ok := x.exec.DispatchHint(); ok {
@@ -519,12 +527,17 @@ func (x *XStream) loop(adopted bool) {
 			if x.rt.shutdown.Load() {
 				return
 			}
-			tracer.Instant(x.exec.ID(), trace.KindIdle, 0)
 			if x.rt.parker != nil {
-				// Passive idle policy: sleep until work is pushed.
+				// Passive idle policy: about to sleep until work is
+				// pushed, a known-genuine idle transition.
+				bat.IdleNow()
 				x.rt.parker.ParkIf(epoch)
 				continue
 			}
+			// One idle interval per episode (sustained empty polling to
+			// next dispatch), so an idle stream cannot flood its ring
+			// with per-poll events.
+			bat.Idle()
 			x.exec.NoteIdle()
 			continue
 		}
@@ -532,10 +545,27 @@ func (x *XStream) loop(adopted bool) {
 		if u.Kind() == ult.KindTasklet {
 			kind = trace.KindTasklet
 		}
-		tracer.Span(x.exec.ID(), kind, u.ID(), func() {
-			x.exec.RunUnit(u, requeue)
-		})
+		bat.Begin()
+		x.exec.RunUnit(u, requeue)
+		bat.Note(kind, 1)
 	}
+}
+
+// SchedStats sums the pool counters across the runtime's schedulers —
+// one shared pool or every stream's private stack.
+func (rt *Runtime) SchedStats() queue.Counts {
+	if rt.shared != nil {
+		return rt.shared.Counts()
+	}
+	rt.mu.Lock()
+	xs := make([]*XStream, len(rt.xstreams))
+	copy(xs, rt.xstreams)
+	rt.mu.Unlock()
+	var c queue.Counts
+	for _, x := range xs {
+		c = c.Plus(x.sched.Counts())
+	}
+	return c
 }
 
 // --- Context: operations valid inside a running ULT ---

@@ -1,0 +1,42 @@
+// Package cluster is the distributed serving tier over the in-process
+// engine: it scales the PR 5 shard pool past one Go process by routing
+// HTTP requests across N lwtserved worker processes. The shape mirrors
+// the in-process design one level up — what a Router does for shards
+// inside one Server, the gateway does for whole workers:
+//
+//	clients
+//	  GET /fib?key=sess-7 ──ring (FNV-1a + vnodes)──▶ worker 10.0.0.1:8080
+//	  GET /fib            ──p2c (in-flight×latency)─▶ worker 10.0.0.2:8080
+//	        │                                         worker 10.0.0.3:8080  (ejected)
+//	        ▼                                              ▲
+//	   response  ◀── bounded retry on conn failure ──  health checks
+//
+// Keyed requests pin to a worker by consistent hashing, so sessions
+// keep hitting one process's warm runtimes and membership changes
+// remap only the departed worker's share of the key space. Unkeyed
+// requests spread by power-of-two-choices over live load estimates,
+// with worker 503s feeding the estimate as backpressure. Active health
+// checks eject dead workers and re-admit recovered ones; connection
+// failures retry idempotent requests on the next candidate, bounded.
+//
+// # Observability
+//
+// Gateway.Snapshot returns a Metrics value: gateway-level gauges
+// (Members, Healthy, InFlight, Draining) and counters (Proxied,
+// Retried, Failed, RejectedDraining), plus one WorkerMetrics per
+// member. Each worker row carries the raw load-estimate inputs —
+// InFlight, the latency EWMA in microseconds, and the 503-backpressure
+// Penalty — and the composed p2c score the router actually compares:
+//
+//	Score = (InFlight + Penalty + 1) × (EWMA + 1ms floor)
+//
+// Lower scores route sooner; the +1 and the floor keep a cold worker
+// from scoring zero and absorbing the whole arrival burst. Ejections
+// and Readmissions count health-state transitions, so a worker that
+// flaps is visible as a counter pair growing in lockstep rather than as
+// a gauge blinking between scrapes. Metrics.WriteProm renders the
+// snapshot as a Prometheus text-0.0.4 page; Gateway.PromHandler mounts
+// it (lwtgate serves it at /metrics and /cluster/metrics?format=prom),
+// and MetricsHandler keeps the JSON view. See TRACING.md for the family
+// list and scrape configuration.
+package cluster

@@ -3,6 +3,8 @@ package cluster
 import (
 	"net/http"
 	"time"
+
+	"repro/internal/prom"
 )
 
 // WorkerMetrics is one worker's point-in-time routing view.
@@ -20,6 +22,10 @@ type WorkerMetrics struct {
 	// Penalty is the current 503-backpressure surcharge on the load
 	// score (decays on success).
 	Penalty int64
+	// Score is the combined p2c load estimate routing compares:
+	// (InFlight + Penalty + 1) × (latency EWMA + 1ms floor), in
+	// nanosecond-scaled units — lower routes sooner.
+	Score int64
 	// Requests counts proxied attempts sent to this worker (retries
 	// included).
 	Requests uint64
@@ -86,6 +92,7 @@ func (g *Gateway) Snapshot() Metrics {
 			InFlight:     w.inflight.Load(),
 			EWMAMicros:   time.Duration(w.ewma.Load()).Microseconds(),
 			Penalty:      w.penalty.Load(),
+			Score:        w.score(),
 			Requests:     w.requests.Load(),
 			ConnFailures: w.conns.Load(),
 			Responses503: w.resp503.Load(),
@@ -96,12 +103,26 @@ func (g *Gateway) Snapshot() Metrics {
 	return m
 }
 
-// MetricsHandler serves the gateway snapshot as indented JSON — mount
-// it on a control path (lwtgate uses /cluster/metrics) ahead of the
-// proxy catch-all.
+// MetricsHandler serves the gateway snapshot — indented JSON by
+// default, Prometheus text exposition with ?format=prom. Mount it on a
+// control path (lwtgate uses /cluster/metrics) ahead of the proxy
+// catch-all.
 func (g *Gateway) MetricsHandler() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			g.PromHandler()(w, r)
+			return
+		}
 		writeJSON(w, http.StatusOK, g.Snapshot())
+	}
+}
+
+// PromHandler serves the snapshot as a Prometheus scrape page (lwtgate
+// also mounts it directly at /metrics).
+func (g *Gateway) PromHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", prom.ContentType)
+		_, _ = g.Snapshot().WriteProm(w)
 	}
 }
 

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/prom"
+)
+
+// WriteProm renders the gateway snapshot as a Prometheus text
+// exposition page: gate-wide gauges and counters, then the per-worker
+// routing view — health, in-flight, the p2c load score and its latency
+// EWMA, and the ejection/retry counters — labeled {worker} with the
+// ring member id. This is the scrape-side twin of the JSON
+// /cluster/metrics view.
+func (m Metrics) WriteProm(w io.Writer) (int64, error) {
+	pw := prom.NewWriter()
+
+	b01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	pw.Family("lwt_gate_members", "Workers on the consistent-hash ring.", prom.Gauge)
+	pw.Sample("lwt_gate_members", float64(m.Members))
+	pw.Family("lwt_gate_healthy", "Ring members routing currently considers.", prom.Gauge)
+	pw.Sample("lwt_gate_healthy", float64(m.Healthy))
+	pw.Family("lwt_gate_draining", "1 while admission is stopped for shutdown.", prom.Gauge)
+	pw.Sample("lwt_gate_draining", b01(m.Draining))
+	pw.Family("lwt_gate_inflight", "Requests inside the proxy path right now.", prom.Gauge)
+	pw.Sample("lwt_gate_inflight", float64(m.InFlight))
+
+	gateCounters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"lwt_gate_proxied_total", "Requests that entered the proxy path.", m.Proxied},
+		{"lwt_gate_retried_total", "Extra attempts spent on connection failures and 503 re-routes.", m.Retried},
+		{"lwt_gate_reroutes503_total", "Unkeyed re-routes taken after a worker 503.", m.Reroutes503},
+		{"lwt_gate_failed_total", "Requests answered with the gate's own terminal error.", m.Failed},
+		{"lwt_gate_rejected_draining_total", "Requests refused because the gate was draining.", m.RejectedDraining},
+	}
+	for _, c := range gateCounters {
+		pw.Family(c.name, c.help, prom.Counter)
+		pw.Sample(c.name, float64(c.v))
+	}
+
+	pw.Family("lwt_gate_worker_healthy", "1 while the worker is routable, 0 while ejected.", prom.Gauge)
+	for _, wm := range m.Workers {
+		pw.Sample("lwt_gate_worker_healthy", b01(wm.State == "healthy"), "worker", wm.ID)
+	}
+	pw.Family("lwt_gate_worker_inflight", "Proxied requests outstanding on the worker.", prom.Gauge)
+	for _, wm := range m.Workers {
+		pw.Sample("lwt_gate_worker_inflight", float64(wm.InFlight), "worker", wm.ID)
+	}
+	pw.Family("lwt_gate_worker_score", "p2c load estimate: (inflight+penalty+1) x (latency EWMA + 1ms); lower routes sooner.", prom.Gauge)
+	for _, wm := range m.Workers {
+		pw.Sample("lwt_gate_worker_score", float64(wm.Score), "worker", wm.ID)
+	}
+	pw.Family("lwt_gate_worker_ewma_seconds", "Recent-latency estimate feeding the load score.", prom.Gauge)
+	for _, wm := range m.Workers {
+		pw.Sample("lwt_gate_worker_ewma_seconds",
+			(time.Duration(wm.EWMAMicros) * time.Microsecond).Seconds(), "worker", wm.ID)
+	}
+	pw.Family("lwt_gate_worker_penalty", "Current 503-backpressure surcharge on the load score.", prom.Gauge)
+	for _, wm := range m.Workers {
+		pw.Sample("lwt_gate_worker_penalty", float64(wm.Penalty), "worker", wm.ID)
+	}
+
+	workerCounters := []struct {
+		name, help string
+		get        func(WorkerMetrics) uint64
+	}{
+		{"lwt_gate_worker_requests_total", "Proxied attempts sent to the worker, retries included.", func(w WorkerMetrics) uint64 { return w.Requests }},
+		{"lwt_gate_worker_conn_failures_total", "Transport-level failures against the worker.", func(w WorkerMetrics) uint64 { return w.ConnFailures }},
+		{"lwt_gate_worker_responses503_total", "503 responses the worker answered.", func(w WorkerMetrics) uint64 { return w.Responses503 }},
+		{"lwt_gate_worker_ejections_total", "Health-check ejections of the worker.", func(w WorkerMetrics) uint64 { return w.Ejections }},
+		{"lwt_gate_worker_readmissions_total", "Re-admissions after recovery.", func(w WorkerMetrics) uint64 { return w.Readmissions }},
+	}
+	for _, c := range workerCounters {
+		pw.Family(c.name, c.help, prom.Counter)
+		for _, wm := range m.Workers {
+			pw.Sample(c.name, float64(c.get(wm)), "worker", wm.ID)
+		}
+	}
+	return pw.WriteTo(w)
+}

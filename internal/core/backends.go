@@ -9,6 +9,7 @@ import (
 	"repro/internal/gothreads"
 	"repro/internal/massivethreads"
 	"repro/internal/qthreads"
+	"repro/internal/queue"
 	"repro/internal/sched"
 )
 
@@ -121,6 +122,9 @@ func (b *argoBackend) Init(cfg Config) error {
 }
 
 func (b *argoBackend) NumExecutors() int { return b.rt.NumXStreams() }
+
+// SchedStats implements SchedStatsReporter from the substrate's pools.
+func (b *argoBackend) SchedStats() queue.Counts { return b.rt.SchedStats() }
 
 func (b *argoBackend) ULTCreate(fn func(Ctx)) Handle {
 	return &argoULT{b: b, pinned: -1, th: b.rt.ThreadCreate(func(c *argobots.Context) {
@@ -340,6 +344,9 @@ func (b *qtBackend) Init(cfg Config) error {
 // single shepherd serving every worker, so its one executor is rank 0.
 func (b *qtBackend) NumExecutors() int { return b.rt.NumShepherds() }
 
+// SchedStats implements SchedStatsReporter from the substrate's pools.
+func (b *qtBackend) SchedStats() queue.Counts { return b.rt.SchedStats() }
+
 func (b *qtBackend) ULTCreate(fn func(Ctx)) Handle {
 	// Round-robin fork_to, the dispatch §VIII-B3 selects.
 	shep := int(b.rrNext.Add(1)-1) % b.rt.NumShepherds()
@@ -496,6 +503,9 @@ func (b *mtBackend) Init(cfg Config) error {
 
 func (b *mtBackend) NumExecutors() int { return b.rt.NumWorkers() }
 
+// SchedStats implements SchedStatsReporter from the substrate's pools.
+func (b *mtBackend) SchedStats() queue.Counts { return b.rt.SchedStats() }
+
 func (b *mtBackend) ULTCreate(fn func(Ctx)) Handle {
 	return &mtULT{th: b.rt.Create(func(c *massivethreads.Context) {
 		fn(&mtCtx{b: b, c: c})
@@ -643,6 +653,9 @@ func (b *cvBackend) Init(cfg Config) error {
 }
 
 func (b *cvBackend) NumExecutors() int { return b.rt.NumProcs() }
+
+// SchedStats implements SchedStatsReporter from the substrate's pools.
+func (b *cvBackend) SchedStats() queue.Counts { return b.rt.SchedStats() }
 
 // ULTCreate is restricted to the local processor: CthCreate cannot target
 // remote queues (§VIII-B1's restriction on Converse in nested scenarios).
@@ -852,6 +865,9 @@ func (b *goBackend) Init(cfg Config) error {
 }
 
 func (b *goBackend) NumExecutors() int { return b.rt.NumThreads() }
+
+// SchedStats implements SchedStatsReporter from the substrate's pools.
+func (b *goBackend) SchedStats() queue.Counts { return b.rt.SchedStats() }
 
 func (b *goBackend) ULTCreate(fn func(Ctx)) Handle {
 	return &goULT{b: b, g: b.rt.Go(func(c *gothreads.Context) {

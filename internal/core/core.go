@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/queue"
 	"repro/internal/sched"
 )
 
@@ -381,6 +382,25 @@ func (r *Runtime) Degradations() []Degradation {
 // NumExecutors reports the executor-group size (the placement domain
 // count for ULTCreateTo).
 func (r *Runtime) NumExecutors() int { return r.b.NumExecutors() }
+
+// SchedStatsReporter is the optional Backend extension exposing the
+// summed ready-pool counters (queue.Stats snapshots) of the substrate's
+// schedulers. Every bundled backend implements it; the serving tier's
+// /metrics export reads it.
+type SchedStatsReporter interface {
+	// SchedStats reports the aggregated pool counters.
+	SchedStats() queue.Counts
+}
+
+// SchedStats reports the backend's aggregated ready-pool counters —
+// pushes, pops, steals, contention, empty polls — or zeros when the
+// backend does not keep them.
+func (r *Runtime) SchedStats() queue.Counts {
+	if sr, ok := r.b.(SchedStatsReporter); ok {
+		return sr.SchedStats()
+	}
+	return queue.Counts{}
+}
 
 // ULTCreate creates a ULT (Table II row "ULT creation").
 func (r *Runtime) ULTCreate(fn func(Ctx)) Handle { return r.b.ULTCreate(fn) }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/queue"
+	"repro/internal/trace"
 	"repro/internal/ult"
 )
 
@@ -254,12 +255,15 @@ func (rt *Runtime) Finalize() {
 // synchronization again).
 func (t *thread) loop() {
 	defer t.rt.wg.Done()
+	bat := trace.Default().Ring(fmt.Sprintf("go/m%d", t.exec.ID()), t.exec.ID()).Batcher()
+	defer bat.Close()
 	for {
 		u := t.rt.shared.Pop()
 		if u == nil {
 			if t.rt.shutdown.Load() {
 				return
 			}
+			bat.Idle()
 			t.exec.NoteIdle()
 			continue
 		}
@@ -267,11 +271,17 @@ func (t *thread) loop() {
 		if !ok {
 			panic("gothreads: only goroutine units exist in this model")
 		}
-		if res := t.exec.Dispatch(g); res == ult.DispatchYielded {
+		bat.Begin()
+		res := t.exec.Dispatch(g)
+		bat.Note(trace.KindDispatch, 1)
+		if res == ult.DispatchYielded {
 			t.rt.shared.Push(g)
 		}
 	}
 }
+
+// SchedStats snapshots the global queue's counters.
+func (rt *Runtime) SchedStats() queue.Counts { return rt.shared.Stats().Snapshot() }
 
 // --- Context ---
 

@@ -103,11 +103,13 @@ func TestTaskletVsULTCostOrdering(t *testing.T) {
 	}
 	rt.Finalize()
 	sum := trace.Summarize(rec.Events())
-	if sum.Counts[trace.KindTasklet] != n {
-		t.Fatalf("tasklet executions = %d, want %d", sum.Counts[trace.KindTasklet], n)
+	// Executor lanes batch dispatch events (trace.Batcher), so unit
+	// counts live in the summed Unit fields, not the event count.
+	if sum.Units[trace.KindTasklet] != n {
+		t.Fatalf("tasklet executions = %d, want %d", sum.Units[trace.KindTasklet], n)
 	}
-	if sum.Counts[trace.KindDispatch] < n {
-		t.Fatalf("ULT dispatches = %d, want >= %d", sum.Counts[trace.KindDispatch], n)
+	if sum.Units[trace.KindDispatch] < n {
+		t.Fatalf("ULT dispatches = %d, want >= %d", sum.Units[trace.KindDispatch], n)
 	}
 }
 

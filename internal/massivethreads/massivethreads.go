@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/queue"
+	"repro/internal/trace"
 	"repro/internal/ult"
 )
 
@@ -80,6 +81,10 @@ type Worker struct {
 	// tick alternates the loop's source priority between the local
 	// deque and the runtime's injection queue (see loop).
 	tick uint64
+	// ring is the worker's flight-recorder lane, acquired by loop; bat
+	// coalesces its per-unit dispatch events into per-burst intervals.
+	ring *trace.Ring
+	bat  *trace.Batcher
 }
 
 // ID returns the worker's rank.
@@ -182,6 +187,16 @@ func (rt *Runtime) Policy() Policy { return rt.policy }
 
 // Steals reports the total number of successful work steals.
 func (rt *Runtime) Steals() uint64 { return rt.steals.Load() }
+
+// SchedStats sums the container counters across every worker deque and
+// the shared injection queue.
+func (rt *Runtime) SchedStats() queue.Counts {
+	var c queue.Counts
+	for _, w := range rt.workers {
+		c = c.Plus(w.dq.Stats().Snapshot())
+	}
+	return c.Plus(rt.inject.Stats().Snapshot())
+}
 
 // Create creates a ULT from the Init goroutine (myth_create from main).
 // Under work-first the main flow is pushed to worker 0's deque and the
@@ -316,6 +331,10 @@ func (w *Worker) loop(adopted bool) {
 			requeue(t)
 		}
 	}
+	w.ring = trace.Default().Ring(
+		fmt.Sprintf("massivethreads/w%d", w.exec.ID()), w.exec.ID())
+	w.bat = w.ring.Batcher()
+	defer w.bat.Close()
 	for {
 		if res, h, ok := w.exec.DispatchHint(); ok {
 			// Work-first hand-off: the new ULT runs here directly.
@@ -351,6 +370,7 @@ func (w *Worker) loop(adopted bool) {
 			if w.rt.shutdown.Load() {
 				return
 			}
+			w.bat.Idle()
 			w.exec.NoteIdle()
 			continue
 		}
@@ -366,7 +386,10 @@ func (w *Worker) runUnit(u ult.Unit) {
 	if !ok {
 		panic("massivethreads: only ULT work units exist in this model")
 	}
-	if res := w.exec.Dispatch(t); res == ult.DispatchYielded {
+	w.bat.Begin()
+	res := w.exec.Dispatch(t)
+	w.bat.Note(trace.KindDispatch, 1)
+	if res == ult.DispatchYielded {
 		w.dq.PushBottom(t)
 	}
 }
@@ -387,6 +410,7 @@ func (w *Worker) steal() ult.Unit {
 		if u := victim.dq.StealTop(); u != nil {
 			w.rt.steals.Add(1)
 			w.exec.Stats().Steals.Add(1)
+			w.ring.Instant(trace.KindSteal, u.ID())
 			return u
 		}
 	}

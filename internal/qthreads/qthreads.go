@@ -21,6 +21,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/ult"
 )
 
@@ -328,6 +329,9 @@ func (rt *Runtime) Finalize() {
 func (w *Worker) loop() {
 	rt := w.shep.rt
 	defer rt.wg.Done()
+	bat := trace.Default().Ring(
+		fmt.Sprintf("qthreads/shep%d/es%d", w.shep.id, w.exec.ID()), w.exec.ID()).Batcher()
+	defer bat.Close()
 	for {
 		if res, h, ok := w.exec.DispatchHint(); ok {
 			if res == ult.DispatchYielded {
@@ -340,6 +344,7 @@ func (w *Worker) loop() {
 			if rt.shutdown.Load() {
 				return
 			}
+			bat.Idle()
 			w.exec.NoteIdle()
 			continue
 		}
@@ -347,10 +352,22 @@ func (w *Worker) loop() {
 		if !ok {
 			panic("qthreads: only ULT work units exist in this model")
 		}
-		if res := w.exec.Dispatch(t); res == ult.DispatchYielded {
+		bat.Begin()
+		res := w.exec.Dispatch(t)
+		bat.Note(trace.KindDispatch, 1)
+		if res == ult.DispatchYielded {
 			sched.Requeue(w.shep.pool, t)
 		}
 	}
+}
+
+// SchedStats sums the pool counters across every shepherd queue.
+func (rt *Runtime) SchedStats() queue.Counts {
+	var c queue.Counts
+	for _, s := range rt.shepherds {
+		c = c.Plus(sched.CountsOf(s.pool))
+	}
+	return c
 }
 
 // --- Context: operations valid inside a running qthread ---

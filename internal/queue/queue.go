@@ -69,6 +69,48 @@ func (s *Stats) ContentionRatio() float64 {
 	return float64(s.Contended.Load()) / float64(ops)
 }
 
+// Counts is a plain-value snapshot of Stats, safe to copy, sum across
+// pools, and serialize — the export shape the serving tier's metrics
+// ride (serve Metrics, Prometheus /metrics).
+type Counts struct {
+	// Pushes counts successful insertions.
+	Pushes uint64 `json:"pushes"`
+	// Pops counts successful owner-side removals.
+	Pops uint64 `json:"pops"`
+	// Steals counts successful thief-side removals.
+	Steals uint64 `json:"steals"`
+	// Contended counts first-attempt failures (lost CAS or waited lock).
+	Contended uint64 `json:"contended"`
+	// EmptyPops counts removal attempts that found the pool empty.
+	EmptyPops uint64 `json:"empty_pops"`
+}
+
+// Snapshot reads the counters into a value. Each field is read with one
+// atomic load; the snapshot is per-field consistent, not cross-field.
+func (s *Stats) Snapshot() Counts {
+	if s == nil {
+		return Counts{}
+	}
+	return Counts{
+		Pushes:    s.Pushes.Load(),
+		Pops:      s.Pops.Load(),
+		Steals:    s.Steals.Load(),
+		Contended: s.Contended.Load(),
+		EmptyPops: s.EmptyPops.Load(),
+	}
+}
+
+// Plus returns the field-wise sum, for aggregating per-pool counts.
+func (c Counts) Plus(o Counts) Counts {
+	return Counts{
+		Pushes:    c.Pushes + o.Pushes,
+		Pops:      c.Pops + o.Pops,
+		Steals:    c.Steals + o.Steals,
+		Contended: c.Contended + o.Contended,
+		EmptyPops: c.EmptyPops + o.EmptyPops,
+	}
+}
+
 // lockCounting acquires mu, bumping the contention counter when the lock
 // was not immediately available.
 func lockCounting(mu *sync.Mutex, st *Stats) {

@@ -386,6 +386,53 @@ func (s *Stack) Len() int {
 	return n
 }
 
+// StatsProvider is the optional Policy extension instrumented pools
+// implement (FIFO and LIFO do; their containers count every operation).
+type StatsProvider interface {
+	// Stats exposes the underlying container counters.
+	Stats() *queue.Stats
+}
+
+// CountsReporter is the optional Policy extension for composite
+// policies that aggregate several instrumented containers.
+type CountsReporter interface {
+	// Counts reports the summed container counters.
+	Counts() queue.Counts
+}
+
+// CountsOf snapshots a policy's container counters; policies with no
+// instrumentation (Random) report zeros. This is the single entry point
+// the serving tier's metrics export uses — it never needs to know which
+// policy a pool runs.
+func CountsOf(p Policy) queue.Counts {
+	switch v := p.(type) {
+	case CountsReporter:
+		return v.Counts()
+	case StatsProvider:
+		return v.Stats().Snapshot()
+	}
+	return queue.Counts{}
+}
+
+// Counts implements CountsReporter by summing the priority classes.
+func (p *Priority) Counts() queue.Counts {
+	var c queue.Counts
+	for i := range p.classes {
+		c = c.Plus(p.classes[i].Stats().Snapshot())
+	}
+	return c
+}
+
+// Counts implements CountsReporter across all stacked policies, so a
+// stream's counters stay visible while an ad-hoc scheduler is pushed.
+func (s *Stack) Counts() queue.Counts {
+	var c queue.Counts
+	for _, p := range s.snapshot() {
+		c = c.Plus(CountsOf(p))
+	}
+	return c
+}
+
 // RoundRobin deals successive items to n targets in cyclic order: the
 // dispatch pattern the paper's microbenchmarks use when a master thread
 // pushes work units directly into other threads' pools (Converse

@@ -1,0 +1,70 @@
+// Package serve is the request-serving subsystem over the unified LWT
+// API: it turns any registered backend into a concurrent task-submission
+// engine that arbitrary goroutines can drive, which the paper's reduced
+// function set (Table II, Listing 4) cannot do on its own — work may only
+// be created from the backend's main thread or from inside a running work
+// unit, joins return no values, and nothing pushes back when producers
+// outrun the runtime.
+//
+// The engine is a pool of shards. Each shard is an independent backend
+// runtime behind its own bounded multi-producer queue and pump goroutine
+// (the backend's main thread); a pluggable Router spreads unkeyed
+// submissions across shards, and keyed submissions pin to one shard by
+// hash so backend-local state stays warm:
+//
+//	producers (any goroutine)
+//	  Submit / TrySubmit ──Router──▶ shard 0: queue ──▶ pump ──▶ runtime 0
+//	  SubmitKeyed(key)   ──FNV-1a──▶ shard 1: queue ──▶ pump ──▶ runtime 1
+//	        │                        …
+//	        ▼                        shard N-1: queue ─▶ pump ──▶ runtime N-1
+//	   Future[T]  ◀── complete(value, err, panic) ◀── any shard's executor
+//
+// Every runtime interaction — creation, yielding, finalization — happens
+// on the owning shard's pump goroutine, so backends whose master must
+// drive its own scheduler (Converse's return mode, §VIII-B1) serve
+// traffic exactly like preemptive ones. Admission control is two-level:
+// a full shard re-routes one submission once (to the least-loaded shard)
+// before TrySubmit surfaces ErrSaturated, blocking Submit parks on the
+// least-loaded shard, and Close is a graceful drain — admission stops,
+// every shard runs down its queue (bounded by Options.DrainTimeout),
+// and every accepted Future resolves.
+//
+// # Observability
+//
+// Server.Metrics returns one Metrics snapshot per shard plus an
+// aggregate. The counters (Submitted, Completed, Saturated, Canceled,
+// Rejected, Failed, Panicked) are monotonic over the Server's lifetime;
+// the gauges (QueueDepth, InFlight, IOParked) are instantaneous.
+// Invariants the fields keep:
+//
+//   - Admission accounting: InFlight counts requests that were accepted
+//     and have not yet resolved their Future, including requests parked
+//     on the async-I/O reactor (internal/aio). IOParked is the parked
+//     subset, so InFlight - IOParked is the work actually occupying the
+//     shard's runtime — the number the router's load estimate and the
+//     saturation checks are really about.
+//   - Drain accounting: after Close, Submitted stops growing, launched
+//     work always runs to completion, and every queued-but-unlaunched
+//     request past the drain deadline resolves its Future with
+//     ErrClosed. When drain returns, InFlight is zero and Submitted ==
+//     Completed + Canceled + Failed + Panicked + the ErrClosed
+//     remainder.
+//   - Latency is recorded per completion into both a bounded window
+//     (Latency, for P50/P99 quantiles) and a fixed-bound cumulative
+//     histogram (Hist over HistBounds, with LatencySum/Completed as the
+//     mean) — the histogram is what /metrics exports, since quantiles
+//     over a window cannot be aggregated across scrapes.
+//   - Sched carries the shard queue's cumulative queue.Counts (pushes,
+//     pops, steals, contended CAS retries, empty polls), surfaced so
+//     scheduler-level contention is visible next to request-level load.
+//
+// WriteProm renders any set of View snapshots as a Prometheus text-0.0.4
+// page (families contiguous across backends, as the format requires);
+// lwtserved mounts it at /metrics. Options.OnAnomaly arms a watchdog
+// that samples Metrics every AnomalyInterval and fires on a P99 spike or
+// sustained saturation — lwtserved uses it to dump the always-on flight
+// recorder (internal/trace) while the anomaly is still inside the ring
+// window. Request intervals are traced with 1-in-Options.TraceSample
+// sampling, plus every slow request. See TRACING.md for the operator
+// view of both surfaces.
+package serve

@@ -6,7 +6,27 @@ import (
 	"time"
 
 	"repro/internal/microbench"
+	"repro/internal/queue"
 )
+
+// histBounds are the fixed exponential upper bounds of the latency
+// histogram, chosen to straddle the paper's microsecond-scale work units
+// and real I/O-bound request times. The histogram has one more bucket
+// than bounds: the final, implicit bound is +Inf.
+var histBounds = [...]time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond,
+}
+
+const numHistBuckets = len(histBounds) + 1
+
+// HistBounds returns the latency histogram's bucket upper bounds. The
+// returned slice has len(Metrics.Hist)-1 entries; the last histogram
+// bucket is +Inf. Callers must not modify it.
+func HistBounds() []time.Duration { return histBounds[:] }
 
 // metrics is one shard's internal counter and latency-sample state.
 type metrics struct {
@@ -17,6 +37,12 @@ type metrics struct {
 	rejected  atomic.Uint64 // failed with ErrClosed at shutdown
 	failed    atomic.Uint64 // bodies that returned an error
 	panicked  atomic.Uint64 // bodies that panicked
+
+	// hist counts completed requests per latency bucket (non-cumulative
+	// here; Metrics.Hist exposes the Prometheus-style cumulative form).
+	// latSum accumulates every observed latency for the _sum series.
+	hist   [numHistBuckets]atomic.Uint64
+	latSum atomic.Int64
 
 	// lats is a ring of recent end-to-end request latencies
 	// (submission to completion), the window Metrics summarizes.
@@ -29,6 +55,12 @@ type metrics struct {
 // observe records one completed request's latency.
 func (m *metrics) observe(lat time.Duration) {
 	m.completed.Add(1)
+	b := 0
+	for b < len(histBounds) && lat > histBounds[b] {
+		b++
+	}
+	m.hist[b].Add(1)
+	m.latSum.Add(int64(lat))
 	m.mu.Lock()
 	if len(m.lats) > 0 {
 		m.lats[m.next] = lat
@@ -39,6 +71,19 @@ func (m *metrics) observe(lat time.Duration) {
 		}
 	}
 	m.mu.Unlock()
+}
+
+// histSnapshot reads the bucket counters once and returns the cumulative
+// (Prometheus "le"-style) histogram: entry i counts requests with
+// latency <= histBounds[i], the final entry counts everything observed.
+func (m *metrics) histSnapshot() []uint64 {
+	out := make([]uint64, numHistBuckets)
+	var run uint64
+	for i := range m.hist {
+		run += m.hist[i].Load()
+		out[i] = run
+	}
+	return out
 }
 
 // window snapshots the latency ring in no particular order.
@@ -105,4 +150,20 @@ type Metrics struct {
 	// blocking submits it includes time spent waiting out backpressure,
 	// not just queued-to-completion service time.
 	Latency microbench.Stats
+	// Hist is the cumulative end-to-end latency histogram over the
+	// server's whole lifetime (unlike Latency, which covers only the
+	// recent window): Hist[i] counts completed requests with latency
+	// <= HistBounds()[i], and the final entry — the +Inf bucket — counts
+	// every completion. Cumulative counts map directly onto Prometheus
+	// histogram "le" series.
+	Hist []uint64
+	// LatencySum is the sum of every completed request's end-to-end
+	// latency, the _sum companion to Hist.
+	LatencySum time.Duration
+	// Sched snapshots the shard runtime's scheduler pool counters —
+	// pushes, pops, steals, contended operations, empty polls — summed
+	// across the backend's executors (and across shards in the
+	// aggregate view). Zero-valued on backends without instrumented
+	// pools.
+	Sched queue.Counts
 }

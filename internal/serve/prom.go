@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/prom"
+)
+
+// View pairs one server's aggregate and per-shard metrics snapshot for
+// Prometheus export — the two values Server.Snapshot returns.
+type View struct {
+	Aggregate Metrics
+	Shards    []Metrics
+}
+
+// WriteProm renders serving metrics as one Prometheus text exposition
+// page: lifetime counters, instantaneous gauges, the end-to-end latency
+// histogram, and the backend scheduler-pool counters, all labeled
+// {backend, shard} so PromQL can sum or break down freely. It accepts
+// several views (lwtserved runs one server per backend) and keeps each
+// metric family's samples in a single contiguous block across all of
+// them, as the exposition format requires. Counter samples are
+// per-shard only — emitting aggregates alongside would double sum()
+// queries.
+func WriteProm(w io.Writer, views ...View) (int64, error) {
+	pw := prom.NewWriter()
+	pw.Family("lwt_serve_info", "Serving pool identity; value is always 1.", prom.Gauge)
+	for _, v := range views {
+		pw.Sample("lwt_serve_info", 1,
+			"backend", v.Aggregate.Backend, "router", v.Aggregate.Router,
+			"shards", strconv.Itoa(v.Aggregate.Shards))
+	}
+	pw.Family("lwt_serve_uptime_seconds", "Time since the server started.", prom.Gauge)
+	for _, v := range views {
+		pw.Sample("lwt_serve_uptime_seconds", v.Aggregate.Uptime.Seconds(),
+			"backend", v.Aggregate.Backend)
+	}
+
+	counters := []struct {
+		name, help string
+		get        func(Metrics) uint64
+	}{
+		{"lwt_serve_submitted_total", "Requests accepted into a shard queue.", func(m Metrics) uint64 { return m.Submitted }},
+		{"lwt_serve_completed_total", "Request bodies finished, including failures and panics.", func(m Metrics) uint64 { return m.Completed }},
+		{"lwt_serve_saturated_total", "Submissions fast-rejected with ErrSaturated.", func(m Metrics) uint64 { return m.Saturated }},
+		{"lwt_serve_canceled_total", "Submissions cancelled by their context before launch.", func(m Metrics) uint64 { return m.Canceled }},
+		{"lwt_serve_rejected_total", "Queued requests failed with ErrClosed at shutdown.", func(m Metrics) uint64 { return m.Rejected }},
+		{"lwt_serve_failed_total", "Request bodies that returned an error.", func(m Metrics) uint64 { return m.Failed }},
+		{"lwt_serve_panicked_total", "Request bodies whose panic was captured.", func(m Metrics) uint64 { return m.Panicked }},
+	}
+	gauges := []struct {
+		name, help string
+		get        func(Metrics) int
+	}{
+		{"lwt_serve_queue_depth", "Requests waiting in the shard's submission queue.", func(m Metrics) int { return m.QueueDepth }},
+		{"lwt_serve_inflight", "Launched-but-unfinished work units on the shard.", func(m Metrics) int { return m.InFlight }},
+		{"lwt_serve_ioparked", "In-flight work units parked on the async-I/O reactor.", func(m Metrics) int { return m.IOParked }},
+	}
+	sched := []struct {
+		name, help string
+		get        func(Metrics) uint64
+	}{
+		{"lwt_sched_pushes_total", "Work units pushed into the backend's scheduler pools.", func(m Metrics) uint64 { return m.Sched.Pushes }},
+		{"lwt_sched_pops_total", "Work units popped by their owning executor.", func(m Metrics) uint64 { return m.Sched.Pops }},
+		{"lwt_sched_steals_total", "Work units stolen from another executor's pool.", func(m Metrics) uint64 { return m.Sched.Steals }},
+		{"lwt_sched_contended_total", "Pool operations that hit contention.", func(m Metrics) uint64 { return m.Sched.Contended }},
+		{"lwt_sched_empty_pops_total", "Pool polls that found nothing to run.", func(m Metrics) uint64 { return m.Sched.EmptyPops }},
+	}
+
+	shardLabels := func(m Metrics) []string {
+		return []string{"backend", m.Backend, "shard", strconv.Itoa(m.Shard)}
+	}
+	for _, c := range counters {
+		pw.Family(c.name, c.help, prom.Counter)
+		for _, v := range views {
+			for _, m := range v.Shards {
+				pw.Sample(c.name, float64(c.get(m)), shardLabels(m)...)
+			}
+		}
+	}
+	for _, g := range gauges {
+		pw.Family(g.name, g.help, prom.Gauge)
+		for _, v := range views {
+			for _, m := range v.Shards {
+				pw.Sample(g.name, float64(g.get(m)), shardLabels(m)...)
+			}
+		}
+	}
+	for _, c := range sched {
+		pw.Family(c.name, c.help, prom.Counter)
+		for _, v := range views {
+			for _, m := range v.Shards {
+				pw.Sample(c.name, float64(c.get(m)), shardLabels(m)...)
+			}
+		}
+	}
+
+	pw.Family("lwt_serve_latency_seconds",
+		"End-to-end request latency, submission call to completion.", prom.Histogram)
+	bounds := make([]float64, len(HistBounds()))
+	for i, b := range HistBounds() {
+		bounds[i] = b.Seconds()
+	}
+	for _, v := range views {
+		for _, m := range v.Shards {
+			if len(m.Hist) == 0 {
+				continue
+			}
+			pw.Histogram("lwt_serve_latency_seconds", bounds, m.Hist,
+				m.LatencySum.Seconds(), shardLabels(m)...)
+		}
+	}
+	return pw.WriteTo(w)
+}

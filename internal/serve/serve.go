@@ -1,33 +1,3 @@
-// Package serve is the request-serving subsystem over the unified LWT
-// API: it turns any registered backend into a concurrent task-submission
-// engine that arbitrary goroutines can drive, which the paper's reduced
-// function set (Table II, Listing 4) cannot do on its own — work may only
-// be created from the backend's main thread or from inside a running work
-// unit, joins return no values, and nothing pushes back when producers
-// outrun the runtime.
-//
-// The engine is a pool of shards. Each shard is an independent backend
-// runtime behind its own bounded multi-producer queue and pump goroutine
-// (the backend's main thread); a pluggable Router spreads unkeyed
-// submissions across shards, and keyed submissions pin to one shard by
-// hash so backend-local state stays warm:
-//
-//	producers (any goroutine)
-//	  Submit / TrySubmit ──Router──▶ shard 0: queue ──▶ pump ──▶ runtime 0
-//	  SubmitKeyed(key)   ──FNV-1a──▶ shard 1: queue ──▶ pump ──▶ runtime 1
-//	        │                        …
-//	        ▼                        shard N-1: queue ─▶ pump ──▶ runtime N-1
-//	   Future[T]  ◀── complete(value, err, panic) ◀── any shard's executor
-//
-// Every runtime interaction — creation, yielding, finalization — happens
-// on the owning shard's pump goroutine, so backends whose master must
-// drive its own scheduler (Converse's return mode, §VIII-B1) serve
-// traffic exactly like preemptive ones. Admission control is two-level:
-// a full shard re-routes one submission once (to the least-loaded shard)
-// before TrySubmit surfaces ErrSaturated, blocking Submit parks on the
-// least-loaded shard, and Close is a graceful drain — admission stops,
-// every shard runs down its queue (bounded by Options.DrainTimeout),
-// and every accepted Future resolves.
 package serve
 
 import (
@@ -67,6 +37,13 @@ const (
 	// DefaultLatencyWindow is the number of recent latency samples each
 	// shard's metrics keep.
 	DefaultLatencyWindow = 4096
+	// DefaultTraceSample is the request-trace sampling interval: one
+	// request in every DefaultTraceSample emits its KindUser interval.
+	DefaultTraceSample = 8
+	// slowTraceCutoff bypasses sampling: any request at least this slow
+	// is always traced, so the flight recorder never misses a tail-
+	// latency outlier between samples.
+	slowTraceCutoff = 25 * time.Millisecond
 )
 
 // Options configures a Server.
@@ -113,10 +90,29 @@ type Options struct {
 	// Futures with ErrClosed instead of running. Zero means drain
 	// without a deadline.
 	DrainTimeout time.Duration
-	// Tracer, when non-nil, records one KindUser interval per request
-	// (submission to completion, Unit = request id, Exec = -(shard+1)
-	// so each shard gets its own synthetic lane).
+	// Tracer records one KindUser interval per request (submission to
+	// completion, Unit = request id) into a per-shard flight-recorder
+	// lane (Exec = -(shard+1): the work ran on some backend executor,
+	// but the interval belongs to the request). Nil selects the
+	// process-global recorder (trace.Default) — tracing is always on
+	// unless LWT_TRACE_OFF disables the recorder itself.
 	Tracer *trace.Recorder
+	// TraceSample traces one request in every TraceSample (rounded up
+	// to a power of two; <= 0 means DefaultTraceSample, 1 means every
+	// request). Requests slower than 25ms are always traced regardless
+	// of sampling, so tail outliers never slip between samples.
+	TraceSample int
+	// OnAnomaly, when non-nil, arms the anomaly watchdog: Metrics() is
+	// sampled every AnomalyInterval and the callback fires when the
+	// detector sees a P99 spike against its EWMA baseline or sustained
+	// saturation growth (see anomalyDetector). The callback runs on the
+	// watchdog goroutine — lwtserved uses it to write a flight-recorder
+	// dump, which is the point: the trace window still holds the anomaly
+	// when the callback fires.
+	OnAnomaly func(reason string, m Metrics)
+	// AnomalyInterval is the watchdog sample period; <= 0 means
+	// DefaultAnomalyInterval. Ignored without OnAnomaly.
+	AnomalyInterval time.Duration
 }
 
 // request is one queued submission.
@@ -152,6 +148,13 @@ type shard struct {
 	queued   atomic.Int64 // accepted-but-unlaunched requests
 	m        metrics
 	done     chan struct{} // pump exited, runtime finalized
+	// ring is the shard's request lane in the flight recorder. It is
+	// multi-writer — finish runs on whichever backend executor completed
+	// the request — which the ring's claim protocol handles.
+	ring *trace.Ring
+	// rt publishes the shard's runtime to metrics scrapes (SchedStats);
+	// only the pump goroutine stores it.
+	rt atomic.Pointer[core.Runtime]
 }
 
 // load is the routing signal: accepted-but-unlaunched plus in-flight
@@ -196,6 +199,9 @@ type Server struct {
 	// It is written before quit closes, so pumps that observed the
 	// close see it.
 	drainBy atomic.Int64
+	// traceMask samples request traces: id&traceMask == 0 emits.
+	// TraceSample rounded up to a power of two, minus one.
+	traceMask uint64
 }
 
 // New starts a server: it spawns one pump goroutine per shard, each
@@ -229,6 +235,9 @@ func New(opts Options) (*Server, error) {
 	if opts.LatencyWindow <= 0 {
 		opts.LatencyWindow = DefaultLatencyWindow
 	}
+	if opts.TraceSample <= 0 {
+		opts.TraceSample = DefaultTraceSample
+	}
 	router := opts.Router
 	if router == nil {
 		router = P2C{}
@@ -240,6 +249,15 @@ func New(opts Options) (*Server, error) {
 		quit:   make(chan struct{}),
 		start:  time.Now(),
 	}
+	mask := uint64(1)
+	for int(mask) < opts.TraceSample {
+		mask <<= 1
+	}
+	s.traceMask = mask - 1
+	rec := opts.Tracer
+	if rec == nil {
+		rec = trace.Default()
+	}
 	ready := make(chan error, opts.Shards)
 	for i := range s.shards {
 		sh := &shard{
@@ -247,6 +265,7 @@ func New(opts Options) (*Server, error) {
 			id:   i,
 			reqs: make(chan *request, opts.QueueDepth),
 			done: make(chan struct{}),
+			ring: rec.SharedRing(fmt.Sprintf("serve/%s/shard%d", opts.Backend, i), -(i + 1)),
 		}
 		sh.m.lats = make([]time.Duration, opts.LatencyWindow)
 		s.shards[i] = sh
@@ -266,6 +285,9 @@ func New(opts Options) (*Server, error) {
 			<-sh.done
 		}
 		return nil, fmt.Errorf("serve: start %q: %w", opts.Backend, firstErr)
+	}
+	if opts.OnAnomaly != nil {
+		go s.watchAnomalies()
 	}
 	return s, nil
 }
@@ -348,9 +370,11 @@ func (sh *shard) pump(ready chan<- error) {
 	})
 	if err != nil {
 		ready <- err
+		sh.ring.Close()
 		close(sh.done)
 		return
 	}
+	sh.rt.Store(rt)
 	ready <- nil
 	batch := make([]*request, 0, s.opts.Batch)
 	for {
@@ -506,21 +530,21 @@ drain:
 		break
 	}
 	rt.Finalize()
+	sh.ring.Close()
 }
 
-// finish settles one completed request's accounting and trace.
+// finish settles one completed request's accounting and trace. The
+// trace emission costs no extra clock read — the latency measurement's
+// endpoints are reused (EmitAt) — and is sampled (Options.TraceSample)
+// so the always-on recorder charges the hot path one mask compare per
+// untraced request. Slow requests bypass the sampler: the window always
+// holds the outliers a post-incident dump is taken for.
 func (sh *shard) finish(r *request) {
 	lat := time.Since(r.enq)
 	sh.inflight.Add(-1)
 	sh.m.observe(lat)
-	if t := sh.s.opts.Tracer; t != nil {
-		// Exec -(shard+1) is the shard's synthetic "requests" lane: the
-		// work ran on some backend executor, but the interval belongs
-		// to the request, submission to completion.
-		t.Record(trace.Event{
-			Exec: -(sh.id + 1), Kind: trace.KindUser, Unit: r.id,
-			Start: r.enq, Dur: lat, Label: "request",
-		})
+	if r.id&sh.s.traceMask == 0 || lat >= slowTraceCutoff {
+		sh.ring.EmitAt(trace.KindUser, r.id, r.enq, lat)
 	}
 }
 
@@ -547,7 +571,9 @@ func (c parkCountingCtx) IOPark() (func(), func()) {
 	sh := c.sh
 	counted := func() {
 		sh.ioparked.Add(1)
+		start := sh.ring.Now()
 		park()
+		sh.ring.Interval(trace.KindPark, 0, start)
 		sh.ioparked.Add(-1)
 	}
 	return counted, unpark
@@ -765,6 +791,11 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 			InFlight:   int(sh.inflight.Load()),
 			IOParked:   int(sh.ioparked.Load()),
 			Uptime:     up,
+			Hist:       sh.m.histSnapshot(),
+			LatencySum: time.Duration(sh.m.latSum.Load()),
+		}
+		if rt := sh.rt.Load(); rt != nil {
+			mt.Sched = rt.SchedStats()
 		}
 		w := sh.m.window()
 		if secs := up.Seconds(); secs > 0 {
@@ -785,6 +816,14 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 		agg.QueueDepth += mt.QueueDepth
 		agg.InFlight += mt.InFlight
 		agg.IOParked += mt.IOParked
+		agg.LatencySum += mt.LatencySum
+		agg.Sched = agg.Sched.Plus(mt.Sched)
+		if agg.Hist == nil {
+			agg.Hist = make([]uint64, len(mt.Hist))
+		}
+		for b, v := range mt.Hist {
+			agg.Hist[b] += v
+		}
 	}
 	if secs := up.Seconds(); secs > 0 {
 		agg.Throughput = float64(agg.Completed) / secs

@@ -260,7 +260,8 @@ func TestConcurrentProducers(t *testing.T) {
 
 func TestTracerRecordsRequestIntervals(t *testing.T) {
 	rec := trace.NewRecorder(128)
-	s := MustNew(Options{Backend: "go", Threads: 2, Tracer: rec})
+	// TraceSample 1 defeats the request sampler: every interval emits.
+	s := MustNew(Options{Backend: "go", Threads: 2, Tracer: rec, TraceSample: 1})
 	for i := 0; i < 5; i++ {
 		f, err := Submit(s.Submitter(), context.Background(), func() (int, error) { return i, nil })
 		if err != nil {

@@ -1,0 +1,170 @@
+package trace
+
+// batchCap bounds how many units one batched dispatch interval may
+// cover, so a saturated executor still publishes a fresh event a few
+// hundred units at worst after the burst began.
+const batchCap = 256
+
+// Batcher coalesces an executor loop's per-unit dispatch events into
+// per-burst intervals. Tracing every unit individually costs two clock
+// reads per unit — more than the <2% overhead budget allows when units
+// are microseconds long — so the batcher reads the clock only at burst
+// boundaries: one interval spans a run of consecutive same-kind units,
+// its Unit field carrying the unit count instead of an id. Time shares
+// (the paper's breakdown percentages) stay exact, because the interval
+// covers precisely the busy span; only per-unit attribution is
+// coarsened. Clock reads chain — a flush's end timestamp is the next
+// batch's start — so a saturated executor pays one read per batchCap
+// units, amortized to well under a nanosecond each.
+//
+// A Batcher belongs to one executor loop goroutine (it is not
+// synchronized) and is nil-safe like the ring it wraps. The loop calls
+// Begin when it finds work, Note after each unit, Idle on an empty
+// poll, and Close on shutdown:
+//
+//	u, ok := pop()
+//	if !ok { bat.Idle(); continue }
+//	bat.Begin()
+//	run(u)
+//	bat.Note(KindDispatch, 1)
+//
+// idleAfter is the Idle debounce: this many consecutive empty polls
+// before the loop is considered idle. A saturated executor whose queue
+// momentarily blinks empty between refills would otherwise pay the full
+// idle-episode cost (two clock reads, two emits) per blink — measured
+// at roughly two events per work unit on a single-CPU serve benchmark —
+// so sub-threshold gaps fold into the surrounding busy burst instead.
+const idleAfter = 4
+
+type Batcher struct {
+	ring      *Ring
+	kind      Kind
+	count     uint64
+	start     int64 // burst start on the recorder clock; 0 = no burst open
+	idleStart int64
+	idling    bool
+	empties   uint32 // consecutive empty polls since the last unit
+}
+
+// Batcher wraps the ring in a per-burst coalescer. Nil ring → nil
+// batcher, whose methods all no-op.
+func (r *Ring) Batcher() *Batcher {
+	if r == nil {
+		return nil
+	}
+	return &Batcher{ring: r}
+}
+
+// Begin opens a busy burst: call it when the loop has found work,
+// before running it. Ends an open idle episode (emitting its KindIdle
+// interval) and stamps the burst start. A no-op mid-burst, so calling
+// it before every unit costs one branch.
+func (b *Batcher) Begin() {
+	if b == nil {
+		return
+	}
+	b.empties = 0
+	if b.start != 0 {
+		return
+	}
+	now := b.ring.Now()
+	if b.idling {
+		b.ring.Emit(KindIdle, 0, b.idleStart, now-b.idleStart, 0)
+		b.idling = false
+	}
+	b.start = now
+}
+
+// Note records n units of kind k just run. Units accumulate into the
+// open batch; a kind change or the batchCap flushes the batch as one
+// interval first. The caller must have opened the burst with Begin.
+func (b *Batcher) Note(k Kind, n uint64) {
+	if b == nil {
+		return
+	}
+	if b.count > 0 && (k != b.kind || b.count >= batchCap) {
+		b.flush()
+	}
+	if b.count == 0 {
+		b.kind = k
+	}
+	b.count += n
+}
+
+// flush emits the open batch as one interval whose Unit field is the
+// unit count, and chains the burst start to the flush time so the next
+// batch needs no fresh clock read.
+func (b *Batcher) flush() {
+	now := b.ring.Now()
+	if b.count > 0 {
+		b.ring.Emit(b.kind, b.count, b.start, now-b.start, 0)
+	}
+	b.start = now
+	b.count = 0
+}
+
+// Flush publishes the open batch without opening an idle episode — for
+// externally driven loops (converse's master-driven processor 0) whose
+// gaps between drives are not executor idleness. The chained timestamp
+// is discarded so the next Begin reads a fresh clock.
+func (b *Batcher) Flush() {
+	if b == nil || b.count == 0 {
+		return
+	}
+	b.flush()
+	b.start = 0
+}
+
+// Idle marks an empty poll. The first idleAfter-1 consecutive calls
+// only bump a counter — a busy loop whose queue blinks empty between
+// refills stays "busy", its brief gaps folded into the surrounding
+// burst — and the idleAfter-th opens a real idle episode, spanning
+// until the next Begin. Repeated calls while already idle are free, so
+// busy-wait loops may call it every empty iteration.
+func (b *Batcher) Idle() {
+	if b == nil || b.idling {
+		return
+	}
+	if b.empties++; b.empties < idleAfter {
+		return
+	}
+	b.idleNow()
+}
+
+// IdleNow opens the idle episode without the debounce — for loops about
+// to park (argobots' passive idle policy), where the poll is already
+// known to be a genuine idle transition, not a queue blink.
+func (b *Batcher) IdleNow() {
+	if b == nil || b.idling {
+		return
+	}
+	b.idleNow()
+}
+
+func (b *Batcher) idleNow() {
+	if b.count > 0 {
+		b.flush() // reads the clock and leaves it in b.start
+	}
+	if b.start != 0 {
+		b.idleStart = b.start
+	} else {
+		b.idleStart = b.ring.Now()
+	}
+	b.idling = true
+	b.start = 0
+}
+
+// Close flushes whatever is open — the busy batch or the idle episode —
+// and returns the ring to its recorder.
+func (b *Batcher) Close() {
+	if b == nil {
+		return
+	}
+	if b.idling {
+		b.ring.Interval(KindIdle, 0, b.idleStart)
+		b.idling = false
+	} else if b.count > 0 {
+		b.flush()
+	}
+	b.ring.Close()
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Dump is a flight-recorder snapshot: the retained window of events
+// across every lane, plus per-lane accounting. It is the interchange
+// format between a running daemon (/debug/trace, SIGUSR2, anomaly
+// dumps) and offline tooling (cmd/lwttrace).
+type Dump struct {
+	// TakenAt is the wall-clock snapshot time.
+	TakenAt time.Time `json:"taken_at"`
+	// Reason records what triggered the dump: "request", "signal",
+	// "anomaly: ...", or empty for programmatic snapshots.
+	Reason string `json:"reason,omitempty"`
+	// Disabled is true when the recorder was built with LWT_TRACE_OFF;
+	// such dumps carry no lanes or events.
+	Disabled bool `json:"disabled,omitempty"`
+	// Lanes describes every ring in the registry, including closed
+	// rings whose events are still retained.
+	Lanes []LaneInfo `json:"lanes,omitempty"`
+	// Events is the merged window, ordered by start time.
+	Events []Event `json:"events"`
+}
+
+// LaneInfo is one ring's accounting at snapshot time.
+type LaneInfo struct {
+	// Name is the lane name ("argobots/es1", "serve/go/shard0", ...).
+	Name string `json:"name"`
+	// Exec is the owning executor's identifier.
+	Exec int `json:"exec"`
+	// Slots is the ring capacity; min(Written, Slots) events are retained.
+	Slots int `json:"slots"`
+	// Written is the lifetime claim count; Written − Slots events (when
+	// positive) have been overwritten — that is the recorder working.
+	Written uint64 `json:"written"`
+	// Dropped counts emits abandoned because the writer was lapped a
+	// full ring mid-write; nonzero means the ring is undersized.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// WriteTo serializes the dump as JSON.
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	err := enc.Encode(d)
+	return cw.n, err
+}
+
+// ReadDump parses a dump previously serialized with WriteTo (or fetched
+// from /debug/trace?format=json).
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Recorder owns the flight recorder's ring registry. Writers acquire
+// rings (Ring) and emit into them without ever touching the recorder
+// again; readers take consistent samples (Snapshot, Events) without
+// stopping the writers. All timestamps are nanoseconds since the
+// recorder's epoch, read from the monotonic clock exactly once per
+// emission.
+type Recorder struct {
+	epoch    time.Time
+	perRing  int
+	disabled bool
+
+	mu    sync.Mutex
+	rings []*Ring // every ring ever allocated; closed rings stay until reuse
+	free  []*Ring // closed rings available for reacquisition
+}
+
+// NewRecorder returns an enabled recorder whose rings each hold
+// slotsPerLane events (rounded up to a power of two, minimum 16).
+func NewRecorder(slotsPerLane int) *Recorder {
+	n := 16
+	for n < slotsPerLane {
+		n <<= 1
+	}
+	return &Recorder{epoch: time.Now(), perRing: n}
+}
+
+// defaultRecorder builds the process-global recorder from the
+// environment: LWT_TRACE_OFF=1 disables it entirely (Ring returns nil,
+// so every emission reduces to a nil check), LWT_TRACE_SLOTS sizes the
+// per-lane window (default 2048).
+var defaultRecorder = sync.OnceValue(func() *Recorder {
+	if v := os.Getenv("LWT_TRACE_OFF"); v != "" && v != "0" {
+		return &Recorder{epoch: time.Now(), disabled: true}
+	}
+	slots := 2048
+	if v := os.Getenv("LWT_TRACE_SLOTS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			slots = n
+		}
+	}
+	return NewRecorder(slots)
+})
+
+// Default returns the process-global recorder every backend records
+// into unless a caller injects its own. Built once, on first use.
+func Default() *Recorder { return defaultRecorder() }
+
+// Enabled reports whether the recorder records at all. Nil-safe.
+func (r *Recorder) Enabled() bool { return r != nil && !r.disabled }
+
+// Epoch is the recorder's time zero; Now readings are offsets from it.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// Now returns nanoseconds since the epoch from the monotonic clock.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// Ring acquires a single-writer event lane for the named writer: one
+// goroutine owns the write side for the ring's lifetime and emission
+// takes the owner-local fast path (no interlocked instructions). A
+// closed ring is reused (cleared) before a new one is allocated, so a
+// process that repeatedly opens and closes runtimes keeps a bounded
+// ring set. On a nil or disabled recorder the result is nil, which
+// every Ring method accepts.
+func (r *Recorder) Ring(name string, exec int) *Ring {
+	return r.ring(name, exec, false)
+}
+
+// SharedRing acquires a multi-writer event lane: any goroutine may emit
+// concurrently (serve's request lanes, where completions land on
+// whichever backend executor ran them). Emission claims slots with a
+// fetch-add + CAS instead of the owner-local fast path.
+func (r *Recorder) SharedRing(name string, exec int) *Ring {
+	return r.ring(name, exec, true)
+}
+
+func (r *Recorder) ring(name string, exec int, mw bool) *Ring {
+	if r == nil || r.disabled {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.free); n > 0 {
+		rg := r.free[n-1]
+		r.free = r.free[:n-1]
+		rg.reset(name, exec)
+		rg.mw = mw
+		return rg
+	}
+	rg := &Ring{rec: r, name: name, exec: exec, mw: mw, mask: uint64(r.perRing - 1), slots: make([]slot, r.perRing)}
+	r.rings = append(r.rings, rg)
+	return rg
+}
+
+// Close returns the ring to its recorder for reuse. The caller must be
+// done emitting; the ring's events remain visible in dumps until a new
+// writer reacquires it. Nil-safe.
+func (r *Ring) Close() {
+	if r == nil {
+		return
+	}
+	rec := r.rec
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, f := range rec.free {
+		if f == r {
+			return // already closed
+		}
+	}
+	rec.free = append(rec.free, r)
+}
+
+// Events decodes every retained event across all lanes, ordered by
+// start time. Safe to call while writers are emitting; see Snapshot.
+func (r *Recorder) Events() []Event {
+	d := r.Snapshot("")
+	if d == nil {
+		return nil
+	}
+	return d.Events
+}
+
+// Snapshot samples the recorder without stopping writers: each lane's
+// published slots are decoded under the per-slot seq check, slots torn
+// by a concurrent overwrite are skipped, and the surviving events are
+// merged in start-time order. The result is a consistent view of the
+// recent past — the flight-recorder window — not a global barrier.
+func (r *Recorder) Snapshot(reason string) *Dump {
+	if r == nil {
+		return nil
+	}
+	d := &Dump{TakenAt: time.Now(), Reason: reason, Disabled: r.disabled}
+	if r.disabled {
+		return d
+	}
+	r.mu.Lock()
+	rings := make([]*Ring, len(r.rings))
+	copy(rings, r.rings)
+	r.mu.Unlock()
+
+	var all []decoded
+	for _, rg := range rings {
+		d.Lanes = append(d.Lanes, LaneInfo{
+			Name:    rg.name,
+			Exec:    rg.exec,
+			Slots:   len(rg.slots),
+			Written: rg.Written(),
+			Dropped: rg.Dropped(),
+		})
+		all = append(all, rg.snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].ev.Start.Equal(all[j].ev.Start) {
+			return all[i].ev.Start.Before(all[j].ev.Start)
+		}
+		return all[i].order < all[j].order
+	})
+	d.Events = make([]Event, len(all))
+	for i, de := range all {
+		d.Events[i] = de.ev
+	}
+	return d
+}
+
+// Reset clears every lane. Only meaningful between quiescent phases
+// (e.g. tests): a writer emitting concurrently with Reset may republish
+// into a cleared slot.
+func (r *Recorder) Reset() {
+	if r == nil || r.disabled {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rg := range r.rings {
+		rg.reset(rg.name, rg.exec)
+	}
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary aggregates a trace into the per-kind time breakdown the paper
+// argues from (§IX-D).
+type Summary struct {
+	// Counts is the number of events per kind.
+	Counts map[Kind]int
+	// Units sums each event's Unit field per kind. For the batched
+	// executor kinds (dispatch, tasklet — see Batcher) the Unit field
+	// carries the batch's unit count, so the sum is the number of work
+	// units executed; for identity kinds (user, steal) Unit is an id
+	// and the sum is not meaningful.
+	Units map[Kind]uint64
+	// ByKind is the total recorded duration per kind.
+	ByKind map[Kind]time.Duration
+	// Execs lists the executor identifiers seen, ascending.
+	Execs []int
+	// Span is the wall-clock extent from the earliest event start to
+	// the latest event end.
+	Span time.Duration
+}
+
+// Summarize aggregates events (from Recorder.Events or a Dump).
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: make(map[Kind]int), Units: make(map[Kind]uint64), ByKind: make(map[Kind]time.Duration)}
+	if len(events) == 0 {
+		return s
+	}
+	execs := make(map[int]bool)
+	var first, last time.Time
+	for i, e := range events {
+		s.Counts[e.Kind]++
+		s.Units[e.Kind] += e.Unit
+		s.ByKind[e.Kind] += e.Dur
+		execs[e.Exec] = true
+		end := e.Start.Add(e.Dur)
+		if i == 0 || e.Start.Before(first) {
+			first = e.Start
+		}
+		if i == 0 || end.After(last) {
+			last = end
+		}
+	}
+	for x := range execs {
+		s.Execs = append(s.Execs, x)
+	}
+	sort.Ints(s.Execs)
+	s.Span = last.Sub(first)
+	return s
+}
+
+// total is the denominator for Fraction and the Render percentage
+// column: the sum of recorded durations across all kinds.
+func (s Summary) total() time.Duration {
+	var t time.Duration
+	for _, d := range s.ByKind {
+		t += d
+	}
+	return t
+}
+
+// Fraction reports the share of total recorded time spent in the given
+// kinds — the arithmetic behind claims like "Converse Threads expends
+// up to 75% of its execution time in performing barrier and yield
+// operations". 0 when nothing was recorded.
+func (s Summary) Fraction(kinds ...Kind) float64 {
+	t := s.total()
+	if t == 0 {
+		return 0
+	}
+	var part time.Duration
+	for _, k := range kinds {
+		part += s.ByKind[k]
+	}
+	return float64(part) / float64(t)
+}
+
+// Render formats the paper-style breakdown table: one row per kind with
+// event count, total time, and percentage of recorded time.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d executors, span %v\n", len(s.Execs), s.Span.Round(time.Microsecond))
+	total := s.total()
+	kinds := make([]Kind, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if s.ByKind[kinds[i]] != s.ByKind[kinds[j]] {
+			return s.ByKind[kinds[i]] > s.ByKind[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	fmt.Fprintf(&b, "%-10s %10s %14s %8s\n", "kind", "events", "time", "share")
+	for _, k := range kinds {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.ByKind[k]) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %14v %7.1f%%\n",
+			k.String(), s.Counts[k], s.ByKind[k].Round(time.Microsecond), pct)
+	}
+	return b.String()
+}
+
+// WriteChromeTrace emits the events as a Chrome trace-event JSON array
+// loadable in chrome://tracing or Perfetto. Intervals become complete
+// ("X") events and instants become instant ("i") events; executors map
+// to thread IDs. Events carrying a lane name additionally get one
+// thread_name metadata ("M") record per lane so the viewer labels rows
+// by lane rather than bare executor numbers.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	var base time.Time
+	for i, e := range events {
+		if i == 0 || e.Start.Before(base) {
+			base = e.Start
+		}
+	}
+	n := 0
+	emit := func(s string) error {
+		sep := ","
+		if n == 0 {
+			sep = ""
+		}
+		n++
+		_, err := io.WriteString(w, sep+s)
+		return err
+	}
+	named := make(map[int]string)
+	for _, e := range events {
+		if e.Lane != "" && named[e.Exec] == "" {
+			named[e.Exec] = e.Lane
+		}
+	}
+	lanes := make([]int, 0, len(named))
+	for tid := range named {
+		lanes = append(lanes, tid)
+	}
+	sort.Ints(lanes)
+	for _, tid := range lanes {
+		if err := emit(fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`,
+			tid, named[tid])); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		ts := float64(e.Start.Sub(base)) / float64(time.Microsecond)
+		var rec string
+		args := fmt.Sprintf(`{"unit":%d`, e.Unit)
+		if e.Label != "" {
+			args += fmt.Sprintf(`,"label":%q`, e.Label)
+		}
+		args += "}"
+		if e.Dur > 0 {
+			rec = fmt.Sprintf(
+				`{"name":%q,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":%s}`,
+				e.Kind.String(), e.Exec, ts, float64(e.Dur)/float64(time.Microsecond), args)
+		} else {
+			rec = fmt.Sprintf(
+				`{"name":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f,"args":%s}`,
+				e.Kind.String(), e.Exec, ts, args)
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]")
+	return err
+}

@@ -1,19 +1,50 @@
-// Package trace provides lightweight event tracing for the runtime
-// emulations: executors record scheduling events (dispatch, yield,
-// tasklet execution, steal, barrier, idle) into per-executor ring
-// buffers, and the package aggregates them into the kind of time
-// breakdown the paper argues from — e.g. "Converse Threads expends up to
-// 75 % of its execution time in performing barrier and yield operations"
-// (§IX-D). Traces can also be exported in the Chrome trace-event JSON
-// format for visual inspection.
+// Package trace is the runtime's always-on flight recorder: executors
+// record scheduling events (dispatch, tasklet execution, steal, barrier,
+// idle, I/O park) into per-executor lock-free ring buffers, and the
+// serving layer records one request interval per completion. The rings
+// are bounded and overwrite their oldest entries, so tracing stays
+// enabled under production load at a measured cost below 2% of serve
+// throughput (see TRACING.md for the current number) — the recorder is
+// meant to be *on* when the anomaly hits, not enabled afterwards.
+//
+// The package aggregates dumps into the kind of time breakdown the
+// paper argues from — e.g. "Converse Threads expends up to 75% of its
+// execution time in performing barrier and yield operations" (§IX-D) —
+// and exports the Chrome trace-event JSON format for visual inspection
+// in chrome://tracing or Perfetto.
+//
+// # Architecture
+//
+// A Recorder owns a registry of rings. Each executor loop acquires one
+// ring for the lifetime of the loop (Recorder.Ring) and is that ring's
+// only writer: the claim is an owner-local cursor load/store plus an
+// odd sequence store — the owner-local-cursor/atomic-publication idiom
+// of the Chase–Lev deque (internal/queue), applied to fixed-size slots,
+// with no interlocked instruction on the hot path. Serve's per-shard
+// request lanes (Recorder.SharedRing) are written by whichever executor
+// finishes a request; there a fetch-add claims the slot and a CAS takes
+// ownership. Two rate limiters keep always-on affordable: executor
+// loops coalesce per-unit dispatch events into per-burst intervals
+// (Batcher — one clock read per batch, Unit carries the unit count),
+// and the serving layer samples its request intervals (every Nth plus
+// every slow request; serve.Options.TraceSample).
+//
+// Readers never stop the writers: Snapshot walks every ring and decodes
+// slots under a per-slot sequence check (seq odd = being written, seq
+// even = published, seq encodes the claim cursor), discarding slots torn
+// by a concurrent overwrite. A dump is therefore a consistent sample of
+// the recent past, not a barrier — which is the point of a flight
+// recorder.
+//
+// The process-global recorder (Default) is what every backend uses
+// unless a test injects its own; LWT_TRACE_OFF=1 disables it (rings are
+// nil, recording is a nil-check) and LWT_TRACE_SLOTS sizes the per-ring
+// window.
 package trace
 
 import (
 	"encoding/json"
 	"fmt"
-	"io"
-	"sort"
-	"strings"
 	"sync"
 	"time"
 )
@@ -23,20 +54,34 @@ type Kind int
 
 // The traced event kinds.
 const (
-	// KindDispatch is a ULT dispatch interval.
+	// KindDispatch is a ULT dispatch interval. Executor loops batch
+	// consecutive dispatches (Batcher): one event spans the burst and
+	// Unit carries the number of units dispatched, not an id.
 	KindDispatch Kind = iota
-	// KindTasklet is an inline tasklet execution interval.
+	// KindTasklet is an inline tasklet execution interval, batched like
+	// KindDispatch (Unit = count).
 	KindTasklet
-	// KindYield is a yield hand-back instant.
+	// KindYield is a yield hand-back instant (or a master-thread yield
+	// interval on Converse).
 	KindYield
 	// KindSteal is a successful work steal instant.
 	KindSteal
 	// KindBarrier is a barrier wait interval.
 	KindBarrier
-	// KindIdle is an idle interval (no work found).
+	// KindIdle is an idle interval: from the dispatch cycle that first
+	// found no work to the one that found some. Executor loops emit one
+	// event per idle episode, not one per empty poll, so an idle
+	// executor cannot flood its ring.
 	KindIdle
-	// KindUser is an application-defined interval.
+	// KindUser is an application-defined interval; the serving layer
+	// records one per sampled request (serve.Options.TraceSample, plus
+	// every slow request), submission to completion, Unit = request id.
 	KindUser
+	// KindPark is an async-I/O park interval: the work unit was
+	// suspended on the reactor, holding no executor.
+	KindPark
+
+	numKinds = int(KindPark) + 1
 )
 
 // String names the kind.
@@ -56,231 +101,103 @@ func (k Kind) String() string {
 		return "idle"
 	case KindUser:
 		return "user"
+	case KindPark:
+		return "park"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// Event is one recorded event. Instantaneous events have Dur == 0.
-type Event struct {
-	// Exec is the recording executor's identifier.
-	Exec int
-	// Kind classifies the event.
-	Kind Kind
-	// Unit is the work-unit ID involved, or 0.
-	Unit uint64
-	// Start is the event start time.
-	Start time.Time
-	// Dur is the event duration (0 for instants).
-	Dur time.Duration
-	// Label is an optional annotation.
-	Label string
-}
-
-// Recorder collects events from any number of executors. A nil *Recorder
-// is valid and records nothing, so runtimes can be instrumented
-// unconditionally.
-type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	cap    int
-	drops  uint64
-	t0     time.Time
-}
-
-// NewRecorder returns a recorder bounded to capacity events (older events
-// are never evicted; past capacity new events are counted as dropped, so
-// a trace is always a prefix of the run).
-func NewRecorder(capacity int) *Recorder {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &Recorder{cap: capacity, t0: time.Now()}
-}
-
-// Record appends an event. Safe for concurrent use; no-op on nil.
-func (r *Recorder) Record(e Event) {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
-	if len(r.events) >= r.cap {
-		r.drops++
-	} else {
-		r.events = append(r.events, e)
-	}
-	r.mu.Unlock()
-}
-
-// Span records an interval event around fn. No-op wrapper on nil.
-func (r *Recorder) Span(exec int, kind Kind, unit uint64, fn func()) {
-	if r == nil {
-		fn()
-		return
-	}
-	start := time.Now()
-	fn()
-	r.Record(Event{Exec: exec, Kind: kind, Unit: unit, Start: start, Dur: time.Since(start)})
-}
-
-// Instant records a zero-duration event. No-op on nil.
-func (r *Recorder) Instant(exec int, kind Kind, unit uint64) {
-	if r == nil {
-		return
-	}
-	r.Record(Event{Exec: exec, Kind: kind, Unit: unit, Start: time.Now()})
-}
-
-// Events returns a copy of the recorded events in recording order.
-func (r *Recorder) Events() []Event {
-	if r == nil {
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
-}
-
-// Dropped reports how many events exceeded capacity.
-func (r *Recorder) Dropped() uint64 {
-	if r == nil {
-		return 0
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.drops
-}
-
-// Reset clears the recorder.
-func (r *Recorder) Reset() {
-	if r == nil {
-		return
-	}
-	r.mu.Lock()
-	r.events = r.events[:0]
-	r.drops = 0
-	r.t0 = time.Now()
-	r.mu.Unlock()
-}
-
-// Summary is the aggregate breakdown of a trace.
-type Summary struct {
-	// ByKind is total duration per interval kind.
-	ByKind map[Kind]time.Duration
-	// Counts is the event count per kind (including instants).
-	Counts map[Kind]int
-	// Execs is the set of executor IDs seen.
-	Execs []int
-	// Span is the wall interval from first event start to last event
-	// end.
-	Span time.Duration
-}
-
-// Summarize aggregates a trace.
-func Summarize(events []Event) Summary {
-	s := Summary{ByKind: map[Kind]time.Duration{}, Counts: map[Kind]int{}}
-	if len(events) == 0 {
-		return s
-	}
-	execSet := map[int]bool{}
-	first := events[0].Start
-	last := events[0].Start.Add(events[0].Dur)
-	for _, e := range events {
-		s.ByKind[e.Kind] += e.Dur
-		s.Counts[e.Kind]++
-		execSet[e.Exec] = true
-		if e.Start.Before(first) {
-			first = e.Start
-		}
-		if end := e.Start.Add(e.Dur); end.After(last) {
-			last = end
+// kindByName inverts String for dump round-trips.
+func kindByName(s string) (Kind, bool) {
+	for k := Kind(0); int(k) < numKinds; k++ {
+		if k.String() == s {
+			return k, true
 		}
 	}
-	for id := range execSet {
-		s.Execs = append(s.Execs, id)
-	}
-	sort.Ints(s.Execs)
-	s.Span = last.Sub(first)
-	return s
+	return 0, false
 }
 
-// Fraction reports the share of traced interval time spent in the given
-// kinds (e.g. barrier+yield for the paper's Converse observation).
-func (s Summary) Fraction(kinds ...Kind) float64 {
-	var total, sel time.Duration
-	for k, d := range s.ByKind {
-		total += d
-		for _, want := range kinds {
-			if k == want {
-				sel += d
-			}
+// MarshalJSON renders the kind by name, so dumps read as documentation.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts either the name or the numeric form.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if v, ok := kindByName(s); ok {
+			*k = v
+			return nil
 		}
+		return fmt.Errorf("trace: unknown kind %q", s)
 	}
-	if total == 0 {
-		return 0
-	}
-	return float64(sel) / float64(total)
-}
-
-// Render formats the summary as an aligned text table.
-func (s Summary) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "trace: %d executors, span %v\n", len(s.Execs), s.Span)
-	kinds := make([]Kind, 0, len(s.Counts))
-	for k := range s.Counts {
-		kinds = append(kinds, k)
-	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	for _, k := range kinds {
-		fmt.Fprintf(&b, "  %-9s count=%-7d time=%v\n", k, s.Counts[k], s.ByKind[k])
-	}
-	return b.String()
-}
-
-// chromeEvent is one entry of the Chrome trace-event format.
-type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
-}
-
-// WriteChromeTrace exports the events as a Chrome trace-event JSON array
-// (load in chrome://tracing or Perfetto). Executors map to thread lanes.
-func WriteChromeTrace(w io.Writer, events []Event) error {
-	if len(events) == 0 {
-		_, err := w.Write([]byte("[]"))
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
 		return err
 	}
-	t0 := events[0].Start
-	for _, e := range events {
-		if e.Start.Before(t0) {
-			t0 = e.Start
-		}
+	*k = Kind(n)
+	return nil
+}
+
+// Event is one decoded recorded event. Instantaneous events have
+// Dur == 0.
+type Event struct {
+	// Lane is the recording ring's name (e.g. "argobots/es1",
+	// "serve/go/shard0"); empty for hand-built events.
+	Lane string `json:"lane,omitempty"`
+	// Exec is the recording executor's identifier. Serve request lanes
+	// use -(shard+1): the work ran on some backend executor, but the
+	// interval belongs to the request.
+	Exec int `json:"exec"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Unit is the work-unit or request ID involved, or 0.
+	Unit uint64 `json:"unit,omitempty"`
+	// Start is the event start time.
+	Start time.Time `json:"start"`
+	// Dur is the event duration (0 for instants).
+	Dur time.Duration `json:"dur"`
+	// Label is an optional annotation (interned; see LabelCode).
+	Label string `json:"label,omitempty"`
+}
+
+// Labels are interned process-wide so a ring slot stores a fixed-size
+// code instead of a string header (a string cannot be published
+// atomically). Interning is for setup paths — executor loops and the
+// serving layer register their labels once and reuse the code.
+var labels = struct {
+	sync.Mutex
+	byName map[string]uint16
+	names  []string
+}{byName: map[string]uint16{"": 0}, names: []string{""}}
+
+// LabelCode interns a label and returns its fixed-size code for Emit.
+// Code 0 is the empty label. The table is process-wide and append-only;
+// registering more than 65535 distinct labels panics, which no
+// legitimate instrumentation does (labels name event classes, not
+// instances).
+func LabelCode(s string) uint16 {
+	labels.Lock()
+	defer labels.Unlock()
+	if c, ok := labels.byName[s]; ok {
+		return c
 	}
-	out := make([]chromeEvent, 0, len(events))
-	for _, e := range events {
-		ph := "X"
-		if e.Dur == 0 {
-			ph = "i"
-		}
-		name := e.Kind.String()
-		if e.Label != "" {
-			name += ":" + e.Label
-		}
-		out = append(out, chromeEvent{
-			Name: name,
-			Ph:   ph,
-			Ts:   float64(e.Start.Sub(t0)) / 1e3,
-			Dur:  float64(e.Dur) / 1e3,
-			PID:  1,
-			TID:  e.Exec,
-		})
+	if len(labels.names) > 0xFFFF {
+		panic("trace: label table overflow (labels must be event classes, not per-event data)")
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	c := uint16(len(labels.names))
+	labels.byName[s] = c
+	labels.names = append(labels.names, s)
+	return c
+}
+
+// labelName resolves a code back to its string; unknown codes (from a
+// dump produced by another process) decode as empty.
+func labelName(c uint16) string {
+	labels.Lock()
+	defer labels.Unlock()
+	if int(c) < len(labels.names) {
+		return labels.names[c]
+	}
+	return ""
 }

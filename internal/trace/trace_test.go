@@ -9,25 +9,49 @@ import (
 	"time"
 )
 
-func TestNilRecorderIsSafe(t *testing.T) {
+func TestNilRecorderAndRingAreSafe(t *testing.T) {
 	var r *Recorder
-	r.Record(Event{})
-	r.Instant(0, KindYield, 1)
-	ran := false
-	r.Span(0, KindDispatch, 1, func() { ran = true })
-	if !ran {
-		t.Fatal("nil recorder did not run the span body")
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
 	}
-	if r.Events() != nil || r.Dropped() != 0 {
+	if r.Events() != nil || r.Snapshot("x") != nil || r.Now() != 0 {
 		t.Fatal("nil recorder returned data")
+	}
+	rg := r.Ring("lane", 0)
+	if rg != nil {
+		t.Fatal("nil recorder handed out a ring")
+	}
+	rg.Instant(KindYield, 1)
+	rg.Interval(KindDispatch, 1, rg.Now())
+	rg.Emit(KindUser, 1, 0, 5, 0)
+	rg.Close()
+	if rg.Dropped() != 0 || rg.Written() != 0 || rg.Name() != "" || rg.Exec() != 0 {
+		t.Fatal("nil ring returned data")
 	}
 	r.Reset()
 }
 
-func TestRecordAndEvents(t *testing.T) {
-	r := NewRecorder(10)
-	r.Instant(3, KindSteal, 7)
-	r.Span(1, KindDispatch, 9, func() { time.Sleep(time.Millisecond) })
+func TestDisabledRecorderHandsOutNilRings(t *testing.T) {
+	r := &Recorder{epoch: time.Now(), disabled: true}
+	if r.Enabled() {
+		t.Fatal("disabled recorder reports enabled")
+	}
+	if rg := r.Ring("lane", 3); rg != nil {
+		t.Fatal("disabled recorder handed out a ring")
+	}
+	d := r.Snapshot("req")
+	if d == nil || !d.Disabled || len(d.Events) != 0 {
+		t.Fatalf("disabled snapshot = %+v", d)
+	}
+}
+
+func TestRingRecordAndDecode(t *testing.T) {
+	r := NewRecorder(64)
+	rg := r.Ring("test/es0", 3)
+	rg.Instant(KindSteal, 7)
+	start := rg.Now()
+	time.Sleep(time.Millisecond)
+	rg.Interval(KindDispatch, 9, start)
 	ev := r.Events()
 	if len(ev) != 2 {
 		t.Fatalf("events = %d, want 2", len(ev))
@@ -35,57 +59,215 @@ func TestRecordAndEvents(t *testing.T) {
 	if ev[0].Kind != KindSteal || ev[0].Exec != 3 || ev[0].Unit != 7 || ev[0].Dur != 0 {
 		t.Fatalf("instant event = %+v", ev[0])
 	}
-	if ev[1].Kind != KindDispatch || ev[1].Dur < time.Millisecond {
-		t.Fatalf("span event = %+v", ev[1])
+	if ev[0].Lane != "test/es0" {
+		t.Fatalf("lane = %q", ev[0].Lane)
+	}
+	if ev[1].Kind != KindDispatch || ev[1].Unit != 9 || ev[1].Dur < time.Millisecond {
+		t.Fatalf("interval event = %+v", ev[1])
+	}
+	if !ev[1].Start.After(ev[0].Start.Add(-time.Microsecond)) {
+		t.Fatalf("events out of order: %v then %v", ev[0].Start, ev[1].Start)
 	}
 }
 
-func TestCapacityDrops(t *testing.T) {
-	r := NewRecorder(3)
-	for i := 0; i < 10; i++ {
-		r.Instant(0, KindYield, uint64(i))
+// TestOverwriteOldest drives a ring far past capacity and checks that
+// exactly the newest window survives — flight-recorder semantics.
+func TestOverwriteOldest(t *testing.T) {
+	r := NewRecorder(16)
+	rg := r.Ring("wrap", 0)
+	const total = 100
+	for i := 0; i < total; i++ {
+		rg.Instant(KindYield, uint64(i))
 	}
-	if len(r.Events()) != 3 {
-		t.Fatalf("events = %d, want 3", len(r.Events()))
+	ev := r.Events()
+	if len(ev) != 16 {
+		t.Fatalf("retained = %d, want 16", len(ev))
 	}
-	if r.Dropped() != 7 {
-		t.Fatalf("dropped = %d, want 7", r.Dropped())
+	seen := make(map[uint64]bool)
+	for _, e := range ev {
+		if e.Unit < total-16 {
+			t.Fatalf("stale event survived: unit %d", e.Unit)
+		}
+		seen[e.Unit] = true
 	}
-	// The retained events are the prefix.
-	for i, e := range r.Events() {
-		if e.Unit != uint64(i) {
-			t.Fatalf("event %d unit = %d (not a prefix)", i, e.Unit)
+	if len(seen) != 16 {
+		t.Fatalf("window has duplicates: %d distinct units", len(seen))
+	}
+	if rg.Written() != total {
+		t.Fatalf("written = %d, want %d", rg.Written(), total)
+	}
+	if rg.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", rg.Dropped())
+	}
+}
+
+// TestSingleWriterConcurrentReader hammers one ring from its owner
+// while a reader snapshots continuously; run under -race this is the
+// core lock-free-protocol test. Every decoded event must be internally
+// consistent (unit echoes start).
+func TestSingleWriterConcurrentReader(t *testing.T) {
+	r := NewRecorder(128)
+	rg := r.Ring("race", 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			rg.Emit(KindTasklet, i, int64(i), int64(i), 0)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, e := range r.Events() {
+			if e.Kind != KindTasklet || e.Dur != e.Start.Sub(r.Epoch()) {
+				t.Errorf("torn event decoded: %+v", e)
+			}
 		}
 	}
+	close(stop)
+	wg.Wait()
 }
 
-func TestResetClears(t *testing.T) {
-	r := NewRecorder(2)
-	r.Instant(0, KindYield, 1)
-	r.Instant(0, KindYield, 2)
-	r.Instant(0, KindYield, 3) // dropped
-	r.Reset()
-	if len(r.Events()) != 0 || r.Dropped() != 0 {
-		t.Fatal("Reset did not clear the recorder")
-	}
-}
-
-func TestConcurrentRecording(t *testing.T) {
-	r := NewRecorder(100000)
+// TestMultiWriterRing exercises the fetch-add claim path with several
+// concurrent writers on one ring (the serve request-lane shape).
+func TestMultiWriterRing(t *testing.T) {
+	r := NewRecorder(1 << 14)
+	rg := r.SharedRing("multi", -1)
+	const writers, per = 8, 1000
 	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		g := g
+	for w := 0; w < writers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				r.Instant(g, KindYield, uint64(i))
+			for i := 0; i < per; i++ {
+				rg.Instant(KindUser, uint64(w*per+i))
 			}
 		}()
 	}
 	wg.Wait()
-	if got := len(r.Events()); got != 8000 {
-		t.Fatalf("events = %d, want 8000", got)
+	ev := r.Events()
+	if len(ev)+int(rg.Dropped()) != writers*per {
+		t.Fatalf("events %d + dropped %d != %d", len(ev), rg.Dropped(), writers*per)
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range ev {
+		if seen[e.Unit] {
+			t.Fatalf("unit %d recorded twice", e.Unit)
+		}
+		seen[e.Unit] = true
+	}
+}
+
+// TestDumpUnderLoadIsComplete snapshots while many lanes are actively
+// writing and checks the dump is coherent: lane accounting covers every
+// ring and each decoded event belongs to a registered lane.
+func TestDumpUnderLoadIsComplete(t *testing.T) {
+	r := NewRecorder(256)
+	const lanes = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		rg := r.Ring("load/"+string(rune('a'+l)), l)
+		rg.Instant(KindSteal, 0) // seed so every lane has data even if its goroutine lags
+		wg.Add(1)
+		go func(rg *Ring) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				st := rg.Now()
+				rg.Interval(KindDispatch, i, st)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(rg)
+	}
+	time.Sleep(20 * time.Millisecond)
+	d := r.Snapshot("test")
+	close(stop)
+	wg.Wait()
+	if len(d.Lanes) != lanes {
+		t.Fatalf("lanes = %d, want %d", len(d.Lanes), lanes)
+	}
+	byName := make(map[string]bool)
+	for _, li := range d.Lanes {
+		byName[li.Name] = true
+		if li.Written == 0 {
+			t.Fatalf("lane %s recorded nothing", li.Name)
+		}
+		if li.Slots != 256 {
+			t.Fatalf("lane %s slots = %d", li.Name, li.Slots)
+		}
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("dump under load decoded no events")
+	}
+	for _, e := range d.Events {
+		if !byName[e.Lane] {
+			t.Fatalf("event from unregistered lane %q", e.Lane)
+		}
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Start.Before(d.Events[i-1].Start) {
+			t.Fatal("dump events not ordered by start time")
+		}
+	}
+}
+
+func TestRingReuseAfterClose(t *testing.T) {
+	r := NewRecorder(32)
+	a := r.Ring("first", 0)
+	a.Instant(KindYield, 1)
+	a.Close()
+	// Closed ring's events remain visible until reuse.
+	if ev := r.Events(); len(ev) != 1 || ev[0].Lane != "first" {
+		t.Fatalf("closed ring events = %+v", ev)
+	}
+	b := r.Ring("second", 9)
+	if a != b {
+		t.Fatal("closed ring was not reused")
+	}
+	if ev := r.Events(); len(ev) != 0 {
+		t.Fatalf("reused ring kept stale events: %+v", ev)
+	}
+	b.Instant(KindSteal, 2)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Lane != "second" || ev[0].Exec != 9 {
+		t.Fatalf("reused ring events = %+v", ev)
+	}
+	b.Close()
+	b.Close() // double close is a no-op
+	if c := r.Ring("third", 1); c != b {
+		t.Fatal("double close corrupted the free list")
+	}
+}
+
+func TestLabelInterning(t *testing.T) {
+	c1 := LabelCode("trace-test-label")
+	c2 := LabelCode("trace-test-label")
+	if c1 != c2 {
+		t.Fatalf("label interned twice: %d vs %d", c1, c2)
+	}
+	if labelName(c1) != "trace-test-label" {
+		t.Fatalf("labelName(%d) = %q", c1, labelName(c1))
+	}
+	if LabelCode("") != 0 || labelName(0) != "" {
+		t.Fatal("empty label is not code 0")
+	}
+	r := NewRecorder(16)
+	rg := r.Ring("labeled", 0)
+	rg.Emit(KindUser, 1, 0, 10, c1)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Label != "trace-test-label" {
+		t.Fatalf("labeled event = %+v", ev)
 	}
 }
 
@@ -142,12 +324,14 @@ func TestFractionReproducesConverseClaim(t *testing.T) {
 	}
 }
 
-func TestRender(t *testing.T) {
-	r := NewRecorder(10)
-	r.Span(0, KindDispatch, 1, func() {})
-	r.Instant(0, KindSteal, 2)
-	out := Summarize(r.Events()).Render()
-	for _, want := range []string{"dispatch", "steal", "1 executors"} {
+func TestRenderHasPercentages(t *testing.T) {
+	base := time.Now()
+	events := []Event{
+		{Exec: 0, Kind: KindDispatch, Start: base, Dur: 75 * time.Millisecond},
+		{Exec: 0, Kind: KindSteal, Start: base, Dur: 25 * time.Millisecond},
+	}
+	out := Summarize(events).Render()
+	for _, want := range []string{"dispatch", "steal", "1 executors", "75.0%", "25.0%"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
@@ -155,9 +339,13 @@ func TestRender(t *testing.T) {
 }
 
 func TestChromeTraceExport(t *testing.T) {
-	r := NewRecorder(10)
-	r.Span(2, KindDispatch, 1, func() { time.Sleep(time.Millisecond) })
-	r.Instant(3, KindSteal, 2)
+	r := NewRecorder(16)
+	rg := r.Ring("chrome/es2", 2)
+	st := rg.Now()
+	time.Sleep(time.Millisecond)
+	rg.Interval(KindDispatch, 1, st)
+	rg2 := r.Ring("chrome/es3", 3)
+	rg2.Instant(KindSteal, 2)
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
 		t.Fatal(err)
@@ -166,17 +354,27 @@ func TestChromeTraceExport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if len(decoded) != 2 {
-		t.Fatalf("entries = %d, want 2", len(decoded))
+	// 2 thread_name metadata records + 2 events.
+	if len(decoded) != 4 {
+		t.Fatalf("entries = %d, want 4", len(decoded))
 	}
-	if decoded[0]["name"] != "dispatch" || decoded[0]["ph"] != "X" {
-		t.Fatalf("span entry = %v", decoded[0])
+	if decoded[0]["ph"] != "M" || decoded[0]["name"] != "thread_name" {
+		t.Fatalf("metadata entry = %v", decoded[0])
 	}
-	if decoded[1]["name"] != "steal" || decoded[1]["ph"] != "i" {
-		t.Fatalf("instant entry = %v", decoded[1])
+	var span, instant map[string]any
+	for _, rec := range decoded[2:] {
+		switch rec["ph"] {
+		case "X":
+			span = rec
+		case "i":
+			instant = rec
+		}
 	}
-	if decoded[0]["tid"] != float64(2) {
-		t.Fatalf("tid = %v, want 2", decoded[0]["tid"])
+	if span == nil || span["name"] != "dispatch" || span["tid"] != float64(2) {
+		t.Fatalf("span entry = %v", span)
+	}
+	if instant == nil || instant["name"] != "steal" || instant["tid"] != float64(3) {
+		t.Fatalf("instant entry = %v", instant)
 	}
 }
 
@@ -190,22 +388,188 @@ func TestChromeTraceEmpty(t *testing.T) {
 	}
 }
 
+func TestDumpRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	rg := r.Ring("rt/es0", 0)
+	rg.Emit(KindPark, 42, 100, 200, LabelCode("io"))
+	d := r.Snapshot("unit test")
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != "unit test" || len(got.Lanes) != 1 || len(got.Events) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	e := got.Events[0]
+	if e.Kind != KindPark || e.Unit != 42 || e.Dur != 200 || e.Label != "io" || e.Lane != "rt/es0" {
+		t.Fatalf("event round trip = %+v", e)
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
 		KindDispatch: "dispatch", KindTasklet: "tasklet", KindYield: "yield",
-		KindSteal: "steal", KindBarrier: "barrier", KindIdle: "idle", KindUser: "user",
+		KindSteal: "steal", KindBarrier: "barrier", KindIdle: "idle",
+		KindUser: "user", KindPark: "park",
 	}
 	for k, w := range want {
 		if k.String() != w {
 			t.Fatalf("Kind(%d) = %q, want %q", k, k.String(), w)
 		}
 	}
+	for k := range want {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil || back != k {
+			t.Fatalf("kind JSON round trip %v -> %s -> %v (%v)", k, b, back, err)
+		}
+	}
 }
 
 func TestRecorderMinimumCapacity(t *testing.T) {
 	r := NewRecorder(0)
-	r.Instant(0, KindYield, 1)
+	rg := r.Ring("min", 0)
+	rg.Instant(KindYield, 1)
 	if len(r.Events()) != 1 {
 		t.Fatal("capacity floor not applied")
+	}
+	if len(rg.slots) != 16 {
+		t.Fatalf("floor = %d slots, want 16", len(rg.slots))
+	}
+}
+
+// TestBatcherCoalesces drives a batcher through a same-kind run, a kind
+// change, and the cap, checking units land in the Unit field and time is
+// conserved across the chained flushes.
+func TestBatcherCoalesces(t *testing.T) {
+	r := NewRecorder(256)
+	bat := r.Ring("bat", 0).Batcher()
+	bat.Begin()
+	for i := 0; i < 10; i++ {
+		bat.Note(KindDispatch, 1)
+	}
+	bat.Note(KindTasklet, 1) // kind change flushes the dispatch batch
+	bat.Close()
+	sum := Summarize(r.Events())
+	if sum.Units[KindDispatch] != 10 || sum.Counts[KindDispatch] != 1 {
+		t.Fatalf("dispatch: %d events, %d units; want 1 event of 10 units",
+			sum.Counts[KindDispatch], sum.Units[KindDispatch])
+	}
+	if sum.Units[KindTasklet] != 1 {
+		t.Fatalf("tasklet units = %d, want 1", sum.Units[KindTasklet])
+	}
+}
+
+func TestBatcherCapFlush(t *testing.T) {
+	r := NewRecorder(256)
+	bat := r.Ring("cap", 0).Batcher()
+	bat.Begin()
+	const units = 3 * batchCap >> 1 // one full batch plus a partial
+	for i := 0; i < units; i++ {
+		bat.Note(KindDispatch, 1)
+	}
+	bat.Close()
+	sum := Summarize(r.Events())
+	if sum.Units[KindDispatch] != units {
+		t.Fatalf("units = %d, want %d", sum.Units[KindDispatch], units)
+	}
+	if sum.Counts[KindDispatch] < 2 {
+		t.Fatalf("events = %d, want >= 2 (cap flush)", sum.Counts[KindDispatch])
+	}
+}
+
+// TestBatcherIdleDebounce checks that brief queue blinks do not open
+// idle episodes but sustained empty polling does.
+func TestBatcherIdleDebounce(t *testing.T) {
+	r := NewRecorder(256)
+	bat := r.Ring("idle", 0).Batcher()
+	bat.Begin()
+	bat.Note(KindDispatch, 1)
+	for i := 0; i < idleAfter-1; i++ {
+		bat.Idle() // below the debounce: still "busy"
+	}
+	bat.Begin()
+	bat.Note(KindDispatch, 1)
+	bat.Close()
+	if got := Summarize(r.Events()).Counts[KindIdle]; got != 0 {
+		t.Fatalf("idle events after sub-threshold blink = %d, want 0", got)
+	}
+
+	r.Reset()
+	bat = r.Ring("idle2", 0).Batcher()
+	bat.Begin()
+	bat.Note(KindDispatch, 1)
+	for i := 0; i < idleAfter+2; i++ {
+		bat.Idle() // sustained: crosses the debounce
+	}
+	bat.Begin() // closes the episode, emitting its interval
+	bat.Note(KindDispatch, 1)
+	bat.Close()
+	if got := Summarize(r.Events()).Counts[KindIdle]; got != 1 {
+		t.Fatalf("idle events after sustained polling = %d, want 1", got)
+	}
+}
+
+// TestBatcherIdleNow checks the undebounced transition (pre-park path)
+// and that Close emits a still-open idle episode.
+func TestBatcherIdleNow(t *testing.T) {
+	r := NewRecorder(256)
+	bat := r.Ring("park", 0).Batcher()
+	bat.Begin()
+	bat.Note(KindDispatch, 1)
+	bat.IdleNow()
+	bat.Close() // idle episode still open: Close emits it
+	sum := Summarize(r.Events())
+	if sum.Counts[KindIdle] != 1 {
+		t.Fatalf("idle events = %d, want 1", sum.Counts[KindIdle])
+	}
+	if sum.Units[KindDispatch] != 1 {
+		t.Fatalf("dispatch units = %d, want 1", sum.Units[KindDispatch])
+	}
+}
+
+func TestBatcherNilIsSafe(t *testing.T) {
+	var bat *Batcher
+	if bat = (*Ring)(nil).Batcher(); bat != nil {
+		t.Fatal("nil ring handed out a batcher")
+	}
+	bat.Begin()
+	bat.Note(KindDispatch, 1)
+	bat.Idle()
+	bat.IdleNow()
+	bat.Flush()
+	bat.Close()
+}
+
+func BenchmarkRingEmit(b *testing.B) {
+	r := NewRecorder(2048)
+	rg := r.Ring("bench", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rg.Emit(KindDispatch, uint64(i), int64(i), 10, 0)
+	}
+}
+
+func BenchmarkRingInterval(b *testing.B) {
+	r := NewRecorder(2048)
+	rg := r.Ring("bench", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rg.Interval(KindDispatch, uint64(i), rg.Now())
+	}
+}
+
+func BenchmarkNilRingEmit(b *testing.B) {
+	var rg *Ring
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rg.Interval(KindDispatch, uint64(i), rg.Now())
 	}
 }
