@@ -572,6 +572,88 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServeDeadlineThroughput measures what carrying an
+// end-to-end deadline costs the serving hot path: the same open-loop
+// producer group as BenchmarkServeThroughput, but every request is
+// submitted through SubmitDeadline with a budget that never fires
+// (30s), so the measured delta against the plain mode is pure deadline
+// bookkeeping — the per-request expiry check at launch and the
+// deadline plumbing through the queue — not any shedding. The modes
+// share one process so the comparison is same-machine, same-state;
+// the robustness acceptance gate is deadline/plain < 2% on the go
+// backend at shards=4.
+func BenchmarkServeDeadlineThroughput(b *testing.B) {
+	const producers = 4
+	work := func() (float32, error) {
+		v := make([]float32, 256)
+		blas.Iota(v)
+		blas.Sscal(v, 1.5)
+		return v[len(v)-1], nil
+	}
+	for _, backend := range lwt.Backends() {
+		for _, mode := range []string{"plain", "deadline"} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/%s", backend, mode), func(b *testing.B) {
+				const shards = 4
+				threads := runtime.GOMAXPROCS(0) / shards
+				if threads < 1 {
+					threads = 1
+				}
+				srv, err := lwt.NewServer(lwt.ServeOptions{
+					Backend: backend, Threads: threads, Shards: shards,
+					QueueDepth: 256, Batch: 32, LatencyWindow: 1 << 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				sub := srv.Submitter()
+				futs := make([][]*lwt.Future[float32], producers)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for p := 0; p < producers; p++ {
+					share := b.N / producers
+					if p < b.N%producers {
+						share++
+					}
+					wg.Add(1)
+					go func(p, share int) {
+						defer wg.Done()
+						fs := make([]*lwt.Future[float32], 0, share)
+						for i := 0; i < share; i++ {
+							var f *lwt.Future[float32]
+							var err error
+							if mode == "deadline" {
+								f, err = lwt.SubmitDeadline(sub, context.Background(), time.Now().Add(30*time.Second), work)
+							} else {
+								f, err = lwt.Submit(sub, context.Background(), work)
+							}
+							if err != nil {
+								b.Errorf("submit: %v", err)
+								break
+							}
+							fs = append(fs, f)
+						}
+						futs[p] = fs
+					}(p, share)
+				}
+				wg.Wait()
+				for _, fs := range futs {
+					for _, f := range fs {
+						if _, err := f.Wait(context.Background()); err != nil {
+							b.Fatalf("wait: %v", err)
+						}
+					}
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "req/s")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkServeIOThroughput measures what the async-I/O reactor buys
 // the serving layer: every request simulates a 10ms downstream call,
 // either blocking its executor for the duration (time.Sleep in the

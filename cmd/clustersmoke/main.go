@@ -5,7 +5,11 @@
 //     "listening on <addr>" line) and one lwtgate over them,
 //  2. drives keyed + unkeyed fib/dgemm/parfor across every backend
 //     through the gate and verifies results,
-//  3. maps keyed sessions to workers (X-LWT-Worker), then SIGKILLs one
+//  3. maps keyed sessions to workers (X-LWT-Worker), SIGSTOPs one
+//     worker under load — a frozen process whose sockets still accept —
+//     and asserts zero lost requests (the gate's attempt timeout cuts
+//     stranded attempts), ejection while frozen, and re-admission with
+//     restored affinity after SIGCONT; then SIGKILLs another
 //     worker mid-load and asserts zero lost requests — every request
 //     gets a terminal response (success or explicit error, no hangs) —
 //     while keyed traffic pinned to survivors never changes worker,
@@ -39,6 +43,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 var (
@@ -234,7 +240,8 @@ func main() {
 	gate, err := startProc("gate", *gateBin,
 		"-addr", "127.0.0.1:0", "-workers", strings.Join(workerAddrs, ","),
 		"-check-interval", "200ms", "-check-timeout", "1s",
-		"-fail-after", "2", "-ready-after", "2", "-retries", "2", "-drain", "20s")
+		"-fail-after", "2", "-ready-after", "2", "-retries", "2", "-drain", "20s",
+		"-attempt-timeout", "2s")
 	if err != nil {
 		fatalf(procs, "%v", err)
 	}
@@ -303,6 +310,101 @@ func main() {
 		perWorker[w]++
 	}
 	log.Printf("keyed sessions per worker: %v", perWorker)
+
+	// ---- Phase 3b: SIGSTOP worker-0 under load. A frozen process is
+	// the failure health checks alone cannot tell from slowness — its
+	// sockets still accept, nothing in userspace answers. The gate's
+	// attempt timeout must cut every stranded attempt (zero lost
+	// requests), the timed-out probes must eject it, and SIGCONT must
+	// bring it back with its key affinity intact.
+	frozen := workerProcs[0]
+	frozenAddr := workerAddrs[0]
+	log.Printf("SIGSTOPping worker-0 (%s) under load", frozenAddr)
+	if err := chaos.Pause(frozen.cmd.Process.Pid); err != nil {
+		fatalf(procs, "SIGSTOP worker-0: %v", err)
+	}
+	{
+		var fLost, fOK, fErr atomic.Int64
+		var fwg sync.WaitGroup
+		fEnd := time.Now().Add(4 * time.Second)
+		for g := 0; g < *loaders; g++ {
+			fwg.Add(1)
+			go func(g int) {
+				defer fwg.Done()
+				for i := 0; time.Now().Before(fEnd); i++ {
+					path := "/fib?n=12&wait=1"
+					if i%2 == 0 {
+						path += "&key=" + keyOf((g*(*keyCount)/8+i)%*keyCount)
+					}
+					status, _, isLost, _ := getJSON(gateURL+path, nil)
+					switch {
+					case isLost:
+						fLost.Add(1)
+					case status == http.StatusOK:
+						fOK.Add(1)
+					default:
+						fErr.Add(1)
+					}
+				}
+			}(g)
+		}
+		fwg.Wait()
+		log.Printf("frozen-worker load: ok=%d explicit-errors=%d lost=%d", fOK.Load(), fErr.Load(), fLost.Load())
+		if fLost.Load() != 0 {
+			failf("%d requests lost while worker-0 was frozen", fLost.Load())
+		}
+		if fOK.Load() == 0 {
+			failf("no successful responses while worker-0 was frozen")
+		}
+	}
+	frozenEjected := false
+	for i := 0; i < 50 && !frozenEjected; i++ {
+		var rows []workerRow
+		if status, _, _, err := getJSON(gateURL+"/cluster/workers", &rows); status == http.StatusOK && err == nil {
+			for _, r := range rows {
+				if r.ID == frozenAddr && r.State == "ejected" {
+					frozenEjected = true
+				}
+			}
+		}
+		if !frozenEjected {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !frozenEjected {
+		failf("gate never ejected frozen worker %s", frozenAddr)
+	}
+	if err := chaos.Resume(frozen.cmd.Process.Pid); err != nil {
+		fatalf(procs, "SIGCONT worker-0: %v", err)
+	}
+	// Re-admission plus breaker recovery: a key owned by the thawed
+	// worker routes back to it once probes pass and its breaker's
+	// half-open probe succeeds.
+	frozenKey := ""
+	for key, w := range owner {
+		if w == frozenAddr {
+			frozenKey = key
+			break
+		}
+	}
+	if frozenKey == "" {
+		failf("no keyed session mapped to worker-0; cannot verify thaw affinity")
+	} else {
+		restored := false
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, worker, _, _ := getJSON(gateURL+"/fib?n=12&wait=1&key="+frozenKey, nil); worker == frozenAddr {
+				restored = true
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		if !restored {
+			failf("thawed worker %s never got key %s back", frozenAddr, frozenKey)
+		} else {
+			log.Printf("worker-0 thawed: re-admitted, affinity restored")
+		}
+	}
 
 	// ---- Phase 4: concurrent keyed+unkeyed load across backends;
 	// SIGKILL one worker mid-stream. Every request must get a terminal
@@ -455,7 +557,7 @@ func main() {
 	if n := failures.Load(); n > 0 {
 		log.Fatalf("cluster smoke FAILED: %d check(s) failed", n)
 	}
-	log.Printf("cluster smoke PASSED: %d workers, %d requests under load, 1 kill, 0 lost, %d/%d keys reshuffled, clean drains",
+	log.Printf("cluster smoke PASSED: %d workers, %d requests under load, 1 freeze + 1 kill, 0 lost, %d/%d keys reshuffled, clean drains",
 		*nWorkers, sent.Load(), moved, *keyCount)
 }
 

@@ -16,6 +16,20 @@
 //     recovered ones; connection failures retry idempotent requests on
 //     the next candidate (ring successor for keyed, new p2c pick for
 //     unkeyed), bounded by -retries.
+//   - End-to-end deadlines: an X-LWT-Deadline-Ms header (or
+//     ?deadline_ms=) caps the whole proxied exchange — each attempt's
+//     context is cut at min(-attempt-timeout, remaining budget), the
+//     forwarded header carries the *remaining* milliseconds so workers
+//     shed queued work the client stopped waiting for, and a request
+//     whose budget runs out at the gate is answered 504 instead of
+//     burning further retries.
+//   - A per-worker circuit breaker (see internal/cluster doc) turns a
+//     failure *rate* — timeouts, resets from a sick-but-alive process —
+//     into fail-fast routing with a half-open probe for recovery,
+//     composing with (not replacing) health ejection.
+//   - Optional hedging (-hedge): idempotent unkeyed requests stuck past
+//     the recent P99 latency launch one extra attempt on another
+//     worker; first useful response wins, the loser is cancelled.
 //
 // Endpoints (everything else is proxied to a worker):
 //
@@ -65,6 +79,13 @@ var (
 	failAfter    = flag.Int("fail-after", 3, "consecutive failed probes/connections that eject a worker")
 	readyAfter   = flag.Int("ready-after", 2, "consecutive passing probes that re-admit an ejected worker")
 
+	attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt upstream timeout (0: bounded only by the request deadline)")
+	hedge          = flag.Bool("hedge", false, "hedge idempotent unkeyed requests with a second attempt after the P99-derived delay")
+	breakerWindow  = flag.Int("breaker-window", 0, "circuit-breaker sliding outcome window per worker, in attempts (0: default 20)")
+	breakerRatio   = flag.Float64("breaker-ratio", 0, "failure ratio over the window that opens a worker's breaker (0: default 0.5)")
+	breakerCool    = flag.Duration("breaker-cooldown", 0, "open-breaker fail-fast period before the half-open probe (0: default 2s)")
+	breakerOff     = flag.Bool("breaker-off", false, "disable the per-worker circuit breaker")
+
 	drain    = flag.Duration("drain", 30*time.Second, "in-flight flush budget at shutdown (0: unbounded)")
 	notReady = flag.Duration("notready-grace", 250*time.Millisecond, "window between /readyz flipping 503 and the listener closing, so upstream probes observe the flip")
 )
@@ -75,6 +96,12 @@ func main() {
 	table := cluster.NewTable(*vnodes, cluster.HealthPolicy{
 		FailThreshold: *failAfter,
 		OKThreshold:   *readyAfter,
+		Breaker: cluster.BreakerPolicy{
+			Window:       *breakerWindow,
+			FailureRatio: *breakerRatio,
+			Cooldown:     *breakerCool,
+			Disabled:     *breakerOff,
+		},
 	})
 	n := 0
 	for _, a := range addrs {
@@ -90,7 +117,12 @@ func main() {
 		log.Fatal("lwtgate: -workers requires at least one worker address")
 	}
 
-	gw := cluster.New(cluster.Options{Table: table, Retries: *retries})
+	gw := cluster.New(cluster.Options{
+		Table:          table,
+		Retries:        *retries,
+		AttemptTimeout: *attemptTimeout,
+		Hedge:          *hedge,
+	})
 	checker := cluster.NewChecker(table, cluster.HealthConfig{
 		Interval: *checkEvery,
 		Timeout:  *checkTimeout,

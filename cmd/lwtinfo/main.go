@@ -77,17 +77,25 @@ func aioResumeRule(name string) string {
 func renderBackends() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Registered unified-API backends (live capabilities, v2 surface):")
-	fmt.Fprintf(&b, "  %-26s %-6s %-5s %-8s %-8s %-9s %-9s %-5s %-6s %s\n",
-		"backend", "levels", "units", "tasklets", "yield-to", "placement", "sync", "aio", "execs", "schedulers")
+	fmt.Fprintf(&b, "  %-26s %-6s %-5s %-8s %-8s %-9s %-9s %-5s %-9s %-6s %s\n",
+		"backend", "levels", "units", "tasklets", "yield-to", "placement", "sync", "aio", "cancel", "execs", "schedulers")
 	names := core.Backends()
 	for _, name := range names {
 		r := core.MustOpen(core.Config{Backend: name, Executors: 2})
 		c := r.Caps()
 		execs := r.NumExecutors()
 		r.Finalize()
-		fmt.Fprintf(&b, "  %-26s %-6d %-5d %-8v %-8v %-9v %-9s %-5v %-6d %s\n",
+		// Cancellation rides the async-I/O reactor: where parks exist,
+		// a cancelled context wakes the parked work unit early
+		// (park-wake); without parks the wait loop polls the cancel
+		// channel between yields.
+		cancel := "yield-poll"
+		if c.AsyncIO {
+			cancel = "park-wake"
+		}
+		fmt.Fprintf(&b, "  %-26s %-6d %-5d %-8v %-8v %-9v %-9s %-5v %-9s %-6d %s\n",
 			name, c.HierarchyLevels, c.WorkUnitTypes, c.Tasklets, c.YieldTo,
-			c.Placement, c.SyncMechanism, c.AsyncIO, execs, strings.Join(c.Schedulers, ","))
+			c.Placement, c.SyncMechanism, c.AsyncIO, cancel, execs, strings.Join(c.Schedulers, ","))
 	}
 	fmt.Fprintln(&b)
 	fmt.Fprintln(&b, "Async-I/O resume rules (where a work unit parked on the reactor continues):")
@@ -103,5 +111,11 @@ func renderBackends() string {
 	fmt.Fprintln(&b, "waits (Sleep, Deadline, AwaitIO, ReadIO, WriteIO) park the work unit")
 	fmt.Fprintln(&b, "off its executor where the aio column is true, yield-poll on a")
 	fmt.Fprintln(&b, "context without park support, and block plainly with no context.")
+	fmt.Fprintln(&b, "Cancellation follows the cancel column: a Ctx whose deadline passes")
+	fmt.Fprintln(&b, "or whose submission context is cancelled fires core.Canceled(ctx);")
+	fmt.Fprintln(&b, "park-wake backends wake any parked Sleep/AwaitIO early with")
+	fmt.Fprintln(&b, "ErrCanceled, yield-poll backends observe it between polls. Handlers")
+	fmt.Fprintln(&b, "that never wait must check the channel themselves — cancellation is")
+	fmt.Fprintln(&b, "cooperative everywhere.")
 	return b.String()
 }

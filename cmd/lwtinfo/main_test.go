@@ -14,7 +14,7 @@ import (
 func TestRenderBackendsPinsCapabilityTable(t *testing.T) {
 	out := renderBackends()
 	header := "backend"
-	for _, col := range []string{"levels", "units", "tasklets", "yield-to", "placement", "sync", "aio", "execs", "schedulers"} {
+	for _, col := range []string{"levels", "units", "tasklets", "yield-to", "placement", "sync", "aio", "cancel", "execs", "schedulers"} {
 		header += " " + col
 	}
 	var headerLine string
@@ -38,11 +38,16 @@ func TestRenderBackendsPinsCapabilityTable(t *testing.T) {
 		found := false
 		for _, line := range strings.Split(table, "\n") {
 			fields := strings.Fields(line)
-			if len(fields) > 0 && fields[0] == name && len(fields) >= 10 {
+			if len(fields) > 0 && fields[0] == name && len(fields) >= 11 {
 				found = true
 				// Column 8 (0-indexed 7) is aio; every backend parks.
 				if fields[7] != "true" {
 					t.Errorf("%s: aio column = %q, want true", name, fields[7])
+				}
+				// Column 9 (0-indexed 8) is cancel: parking backends
+				// wake cancelled waits early.
+				if fields[8] != "park-wake" {
+					t.Errorf("%s: cancel column = %q, want park-wake", name, fields[8])
 				}
 			}
 		}

@@ -50,7 +50,11 @@
 // wait=1 to block (with the request's context) instead of fast-failing.
 // Pass key=SESSION to pin the request to one shard by key hash — every
 // request with the same key hits the same runtime, so its backend-local
-// state stays warm. Request latency percentiles come from the serving
+// state stays warm. An X-LWT-Deadline-Ms header (what lwtgate forwards)
+// or ?deadline_ms= parameter bounds the request end to end: still
+// queued when the budget runs out, it is shed without running; already
+// launched, the handler's parked waits wake early with a cancellation
+// error. Either way the response is 504 Gateway Timeout. Request latency percentiles come from the serving
 // layer's own metrics window. On SIGINT/SIGTERM the daemon flips
 // /readyz to 503 first (so a cluster router stops sending work), then
 // stops admission, drains every shard (each accepted request resolves),
@@ -67,6 +71,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -86,6 +91,7 @@ import (
 
 	lwt "repro"
 	"repro/internal/blas"
+	"repro/internal/cluster"
 	"repro/internal/prom"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -294,6 +300,20 @@ func submitErr(w http.ResponseWriter, err error) {
 	}
 }
 
+// waitErr maps a Future resolution error to HTTP: a request that died
+// because its end-to-end budget ran out — shed from the queue
+// (ErrExpired), cancelled mid-run (ErrCanceled), or the deadline-
+// carrying context gave out — answers 504 Gateway Timeout so the
+// caller can tell "out of time" from "handler failed" (500).
+func waitErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, lwt.ErrExpired) || errors.Is(err, lwt.ErrCanceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusGatewayTimeout
+	}
+	reply(w, status, map[string]string{"error": err.Error()})
+}
+
 // result is the common response envelope.
 type result struct {
 	Backend string  `json:"backend"`
@@ -324,30 +344,62 @@ func handle(g *registry, compute func(r *http.Request, sub *lwt.Submitter, n int
 			submitErr(w, err)
 			return
 		}
-		v, err := f.Wait(r.Context())
+		// The deadline bounds the Wait too: a body that never observes
+		// the cooperative cancel signal still must not hold the reply
+		// past the budget — the caller gets 504 while the work unit
+		// runs to completion in the background.
+		wctx := r.Context()
+		if dl := deadlineOf(r); !dl.IsZero() {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithDeadline(wctx, dl)
+			defer cancel()
+		}
+		v, err := f.Wait(wctx)
 		if err != nil {
-			reply(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			waitErr(w, err)
 			return
 		}
 		reply(w, http.StatusOK, result{Backend: backend, N: n, Value: v, Micros: time.Since(t0).Microseconds()})
 	}
 }
 
+// deadlineOf extracts a request's end-to-end completion budget: the
+// X-LWT-Deadline-Ms header (what lwtgate forwards, already decremented
+// by time spent upstream) or the ?deadline_ms= query parameter, in
+// integer milliseconds from now. Zero time means no deadline.
+func deadlineOf(r *http.Request) time.Time {
+	v := r.Header.Get(cluster.DeadlineHeader)
+	if v == "" {
+		v = r.URL.Query().Get("deadline_ms")
+	}
+	if v == "" {
+		return time.Time{}
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond)
+}
+
 // submitULT routes one ULT-shaped request: ?key= pins it to a shard by
 // affinity hash, ?wait=1 blocks on a full queue instead of fast-failing
-// with 503.
+// with 503, and a deadline (header or ?deadline_ms=) bounds the whole
+// stay — queued past the budget sheds with ErrExpired, launched
+// handlers see the cooperative cancellation signal.
 func submitULT(r *http.Request, sub *lwt.Submitter, body func(lwt.Ctx) (float64, error)) (*lwt.Future[float64], error) {
 	key := r.URL.Query().Get("key")
+	deadline := deadlineOf(r)
 	if r.URL.Query().Get("wait") == "1" {
 		if key != "" {
-			return lwt.SubmitULTKeyed(sub, r.Context(), key, body)
+			return lwt.SubmitULTKeyedDeadline(sub, r.Context(), key, deadline, body)
 		}
-		return lwt.SubmitULT(sub, r.Context(), body)
+		return lwt.SubmitULTDeadline(sub, r.Context(), deadline, body)
 	}
 	if key != "" {
-		return lwt.TrySubmitULTKeyed(sub, key, body)
+		return lwt.TrySubmitULTKeyedDeadline(sub, key, deadline, body)
 	}
-	return lwt.TrySubmitULT(sub, body)
+	return lwt.TrySubmitULTDeadline(sub, deadline, body)
 }
 
 // fib computes fib(n) with a ULT per left branch below the cutoff.
@@ -428,9 +480,14 @@ func main() {
 	// the way a blocking sleep would. Returns the measured wait in
 	// milliseconds.
 	mux.HandleFunc("/io", handle(g, func(r *http.Request, sub *lwt.Submitter, n int) (*lwt.Future[float64], error) {
+		// The documented knob is ?ms= (README, serve-smoke); ?n= keeps
+		// working as the handle()-provided fallback.
+		ms := qint(r, "ms", n, 1, 10_000)
 		body := func(c lwt.Ctx) (float64, error) {
 			t0 := time.Now()
-			lwt.Sleep(c, time.Duration(n)*time.Millisecond)
+			if err := lwt.Sleep(c, time.Duration(ms)*time.Millisecond); err != nil {
+				return 0, err // budget ran out mid-park: surface as 504
+			}
 			return float64(time.Since(t0).Microseconds()) / 1e3, nil
 		}
 		return submitULT(r, sub, body)

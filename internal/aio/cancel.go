@@ -1,0 +1,116 @@
+package aio
+
+import (
+	"errors"
+	"runtime"
+	"time"
+)
+
+// ErrCanceled is the early-wake sentinel of the cancelable waits:
+// SleepCancel and AwaitCancel return it when the cancel signal fires
+// before the wait's own completion. The serving layer maps it to a
+// request's deadline/cancellation signal, so a parked handler stops
+// waiting the moment its client's budget is gone instead of sleeping
+// past it.
+var ErrCanceled = errors.New("aio: wait canceled")
+
+// SleepCancel is Sleep with cooperative cancellation: the calling work
+// unit parks on the reactor's timer heap as usual, but if cancel closes
+// before the timer fires it wakes immediately with ErrCanceled instead
+// of sleeping out its budget. A nil cancel is exactly Sleep.
+//
+// Cancelable timers use a fresh, never-pooled descriptor. The cancel
+// watcher is a second potential completer whose CAS can land
+// arbitrarily late — after the waiter has observed the first
+// completion and returned. On a pooled descriptor that stale CAS could
+// land on a recycled incarnation (acquire resets the election word)
+// and corrupt it; on a GC-owned one it is harmless. The timer heap's
+// reference keeps the descriptor alive until its deadline pops or the
+// watcher removes it, whichever is first.
+func SleepCancel(p Parker, d time.Duration, cancel <-chan struct{}) error {
+	if cancel == nil {
+		Sleep(p, d)
+		return nil
+	}
+	select {
+	case <-cancel:
+		return ErrCanceled
+	default:
+	}
+	if d <= 0 {
+		return nil
+	}
+	parker, yield := splitParker(p)
+	o := &op{parker: parker, gen: 1, hidx: -1}
+	g := o.gen
+	Default().addTimer(o, time.Now().Add(d))
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-cancel:
+			o.complete(0, ErrCanceled)
+			// Best-effort heap hygiene: if the timer is still queued,
+			// drop it now rather than letting a long-deadline entry
+			// linger. A timer already popped by the reactor completes
+			// through the normal CAS election and loses.
+			Default().removeTimer(o)
+		case <-stop:
+		}
+	}()
+	wait(o, g, yield)
+	close(stop)
+	return o.err
+}
+
+// AwaitCancel is Await with cooperative cancellation: it returns nil
+// once done closes, ErrCanceled if cancel closes first. The parking
+// path costs one watcher goroutine selecting over both signals — a
+// single completer, so the pooled-descriptor protocol holds unchanged;
+// poll mode selects inline. A nil cancel is exactly Await.
+func AwaitCancel(p Parker, done, cancel <-chan struct{}) error {
+	if cancel == nil {
+		Await(p, done)
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	default:
+	}
+	select {
+	case <-cancel:
+		return ErrCanceled
+	default:
+	}
+	parker, yield := splitParker(p)
+	if parker == nil {
+		for {
+			select {
+			case <-done:
+				return nil
+			case <-cancel:
+				return ErrCanceled
+			default:
+				if yield != nil {
+					yield()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+	o := acquire(parker)
+	g := o.gen
+	go func() {
+		select {
+		case <-done:
+			o.complete(0, nil)
+		case <-cancel:
+			o.complete(0, ErrCanceled)
+		}
+	}()
+	wait(o, g, nil)
+	err := o.err
+	release(o)
+	return err
+}

@@ -1,0 +1,135 @@
+package aio
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSleepCancelNilIsSleep(t *testing.T) {
+	start := time.Now()
+	if err := SleepCancel(newChanParker(), 3*time.Millisecond, nil); err != nil {
+		t.Fatalf("SleepCancel(nil cancel) = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 3*time.Millisecond {
+		t.Fatalf("SleepCancel returned after %v, want >= 3ms", d)
+	}
+}
+
+func TestSleepCancelWakesEarly(t *testing.T) {
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	err := SleepCancel(newChanParker(), 5*time.Second, cancel)
+	if err != ErrCanceled {
+		t.Fatalf("SleepCancel = %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("SleepCancel woke after %v, want well under its 5s budget", d)
+	}
+}
+
+func TestSleepCancelAlreadyCanceled(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	start := time.Now()
+	if err := SleepCancel(newChanParker(), time.Second, cancel); err != ErrCanceled {
+		t.Fatalf("SleepCancel = %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("pre-canceled SleepCancel took %v, want immediate", d)
+	}
+}
+
+func TestSleepCancelTimerWins(t *testing.T) {
+	cancel := make(chan struct{})
+	defer close(cancel)
+	start := time.Now()
+	if err := SleepCancel(newChanParker(), 3*time.Millisecond, cancel); err != nil {
+		t.Fatalf("SleepCancel = %v, want nil (timer fired first)", err)
+	}
+	if d := time.Since(start); d < 3*time.Millisecond {
+		t.Fatalf("SleepCancel returned after %v, want >= 3ms", d)
+	}
+}
+
+func TestSleepCancelPollMode(t *testing.T) {
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(cancel)
+	}()
+	err := SleepCancel(PollParker(func() { time.Sleep(100 * time.Microsecond) }), 5*time.Second, cancel)
+	if err != ErrCanceled {
+		t.Fatalf("poll-mode SleepCancel = %v, want ErrCanceled", err)
+	}
+}
+
+func TestAwaitCancelDone(t *testing.T) {
+	done := make(chan struct{})
+	cancel := make(chan struct{})
+	defer close(cancel)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(done)
+	}()
+	if err := AwaitCancel(newChanParker(), done, cancel); err != nil {
+		t.Fatalf("AwaitCancel = %v, want nil", err)
+	}
+}
+
+func TestAwaitCancelCanceled(t *testing.T) {
+	done := make(chan struct{}) // never closes
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(cancel)
+	}()
+	if err := AwaitCancel(newChanParker(), done, cancel); err != ErrCanceled {
+		t.Fatalf("AwaitCancel = %v, want ErrCanceled", err)
+	}
+}
+
+func TestAwaitCancelPollMode(t *testing.T) {
+	done := make(chan struct{})
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(time.Millisecond)
+		close(cancel)
+	}()
+	err := AwaitCancel(PollParker(func() {}), done, cancel)
+	if err != ErrCanceled {
+		t.Fatalf("poll-mode AwaitCancel = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSleepCancelHammer races cancellation against short timers from
+// many goroutines — under -race this is the regression net for the
+// unpooled-descriptor design: a stale completer from a canceled sleep
+// must never corrupt another wait's pooled descriptor.
+func TestSleepCancelHammer(t *testing.T) {
+	const workers = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cancel := make(chan struct{})
+				go func() {
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+					close(cancel)
+				}()
+				_ = SleepCancel(newChanParker(), time.Duration(i%5)*200*time.Microsecond, cancel)
+				// Interleave pooled, non-cancelable waits so a stale
+				// completer would have pooled descriptors to corrupt.
+				Sleep(newChanParker(), 50*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

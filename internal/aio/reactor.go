@@ -85,6 +85,18 @@ func (r *Reactor) addTimer(o *op, when time.Time) {
 	r.wakeup()
 }
 
+// removeTimer drops o from the heap if it is still queued — the
+// cancel path's cleanup. Best-effort: an op the loop already popped
+// (hidx == -1) is completing concurrently through the CAS election and
+// needs no removal.
+func (r *Reactor) removeTimer(o *op) {
+	r.mu.Lock()
+	if o.hidx >= 0 {
+		heap.Remove(&r.timers, o.hidx)
+	}
+	r.mu.Unlock()
+}
+
 // reactorBudget bounds each attempt the reactor loop makes on a
 // readiness-armed op: a descriptor epoll reported ready completes well
 // inside it, a spurious event blocks the loop for at most this long.

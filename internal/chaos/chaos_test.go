@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixture boots a trivial worker and a chaos proxy in front of it.
+func fixture(t *testing.T, opts Options) (*Proxy, *httptest.Server) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("pong:" + r.URL.Path))
+	}))
+	t.Cleanup(backend.Close)
+	p, err := NewProxy(backend.Listener.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, backend
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, string(body), nil
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p, _ := fixture(t, Options{})
+	resp, body, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/x")
+	if err != nil || resp.StatusCode != http.StatusOK || body != "pong:/x" {
+		t.Fatalf("passthrough: err=%v status=%v body=%q", err, resp, body)
+	}
+	if p.Forwarded() != 1 || p.Injected() != 0 {
+		t.Fatalf("counters forwarded=%d injected=%d, want 1/0", p.Forwarded(), p.Injected())
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p, _ := fixture(t, Options{})
+	p.Inject(Latency, 80*time.Millisecond)
+	t0 := time.Now()
+	resp, body, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/x")
+	if err != nil || resp.StatusCode != http.StatusOK || body != "pong:/x" {
+		t.Fatalf("latency fault must still answer: err=%v body=%q", err, body)
+	}
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("answered in %v, want >= 80ms injected delay", d)
+	}
+	if p.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", p.Injected())
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	p, _ := fixture(t, Options{})
+	p.Inject(Reset, 0)
+	if _, _, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/x"); err == nil {
+		t.Fatal("reset fault produced a response, want transport error")
+	}
+	p.Clear()
+	if resp, _, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/x"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("Clear did not restore passthrough: err=%v", err)
+	}
+}
+
+func TestProxyBurst503(t *testing.T) {
+	p, backend := fixture(t, Options{})
+	p.Inject(Burst503, 0)
+	resp, body, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/x")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("burst503: err=%v status=%v", err, resp)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("injected 503 missing Retry-After")
+	}
+	if !strings.Contains(body, "chaos") {
+		t.Fatalf("injected 503 body = %q, want the chaos envelope", body)
+	}
+	// The worker itself never saw the request.
+	_ = backend
+	if p.Forwarded() != 0 {
+		t.Fatalf("503 burst forwarded %d requests, want 0", p.Forwarded())
+	}
+}
+
+func TestProxyBlackholeHangsUntilClientQuits(t *testing.T) {
+	p, _ := fixture(t, Options{})
+	p.Inject(Blackhole, 0)
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	t0 := time.Now()
+	_, _, err := get(t, client, "http://"+p.Addr()+"/x")
+	if err == nil {
+		t.Fatal("blackholed request answered, want client timeout")
+	}
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("client gave up in %v, before its own 100ms timeout — the proxy answered", d)
+	}
+}
+
+func TestProxySparesListedPaths(t *testing.T) {
+	p, _ := fixture(t, Options{Spare: []string{"/healthz"}})
+	p.Inject(Reset, 0)
+	// The data path resets...
+	if _, _, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/x"); err == nil {
+		t.Fatal("data path not faulted")
+	}
+	// ...while the spared path stays green.
+	resp, _, err := get(t, http.DefaultClient, "http://"+p.Addr()+"/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("spared /healthz faulted: err=%v", err)
+	}
+}
+
+// procState reads the single-letter state from /proc/<pid>/stat
+// (field 3): "T" is stopped, "S"/"R" running.
+func procState(t *testing.T, pid int) string {
+	t.Helper()
+	b, err := os.ReadFile("/proc/" + itoa(pid) + "/stat")
+	if err != nil {
+		t.Fatalf("read proc stat: %v", err)
+	}
+	// Fields: pid (comm) state ... — comm may contain spaces, so split
+	// after the closing paren.
+	s := string(b)
+	i := strings.LastIndexByte(s, ')')
+	fields := strings.Fields(s[i+1:])
+	return fields[0]
+}
+
+func itoa(n int) string {
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestPauseResume(t *testing.T) {
+	cmd := exec.Command("sleep", "60")
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot start sleep: %v", err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	pid := cmd.Process.Pid
+	if err := Pause(pid); err != nil {
+		t.Fatalf("Pause: %v", err)
+	}
+	waitState := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if procState(t, pid) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("pid %d state = %s, want %s", pid, procState(t, pid), want)
+	}
+	waitState("T")
+	if err := Resume(pid); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if got := procState(t, pid); got == "T" {
+		t.Fatalf("state after Resume still %s", got)
+	}
+}

@@ -19,6 +19,47 @@
 // checks eject dead workers and re-admit recovered ones; connection
 // failures retry idempotent requests on the next candidate, bounded.
 //
+// # Deadlines
+//
+// A request carrying X-LWT-Deadline-Ms (or ?deadline_ms=) is budgeted
+// end to end: each proxy attempt's context is bounded by
+// min(Options.AttemptTimeout, remaining budget), the forwarded header
+// carries the *remaining* milliseconds so the worker's serve layer can
+// shed queued work whose client stopped waiting, and when the budget
+// runs out at the gate the answer is an immediate 504 — retries never
+// outlive the deadline.
+//
+// # Circuit breaker
+//
+// Health ejection reacts to consecutive hard failures — a dead
+// process. The per-worker circuit breaker covers the sick-but-alive
+// process that still intermittently answers and so never trips a
+// consecutive counter: it watches the failure *rate* (attempt timeouts
+// and transport errors; a 503 is backpressure, not failure) over a
+// sliding window of settled attempts, per BreakerPolicy:
+//
+//	closed ──[failures/window ≥ FailureRatio over ≥ MinSamples]──▶ open
+//	open ──[Cooldown elapsed; next attempt admitted as probe]──▶ half-open
+//	half-open ──[probe succeeds]──▶ closed (window reset)
+//	half-open ──[probe fails]──▶ open (cooldown restarts)
+//
+// An open breaker removes the worker from first-choice routing
+// (Worker.Routable = Healthy ∧ breaker-admitting) but routing fails
+// open: keyed candidates demote breaker-blocked workers behind
+// routable ones and ejected ones last, so a key whose whole candidate
+// list is sick still reaches *something*. A request whose every
+// candidate is breaker-open is answered 503 with Retry-After set to
+// the longest remaining cooldown. Attempts cancelled by the client or
+// by a hedge race settle as drops — they say nothing about the worker
+// and never move the breaker. Transitions are traced (trace.KindBreaker,
+// Unit = new state) and exported (lwt_gate_breaker_state,
+// lwt_gate_worker_breaker_opens_total).
+//
+// Hedging (Options.Hedge) is the tail-latency complement: an
+// idempotent, unkeyed, body-less request stuck past the recent P99
+// launches one extra attempt on another admitted worker; the first
+// useful response wins and the loser's context is cancelled.
+//
 // # Observability
 //
 // Gateway.Snapshot returns a Metrics value: gateway-level gauges

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// faultWorker is a stub lwtserved with injectable behavior: response
+// delay, forced status (with a custom Retry-After), and connection
+// reset. It also records the deadline budget each request carried.
+type faultWorker struct {
+	srv        *httptest.Server
+	delay      atomic.Int64 // response delay, ns
+	status     atomic.Int32 // forced status; 0 = 200
+	retryAfter atomic.Value // string; Retry-After on forced 503
+	reset      atomic.Bool  // kill the connection instead of answering
+	lastBudget atomic.Int64 // DeadlineHeader ms seen on the last request
+	hits       atomic.Uint64
+}
+
+func newFaultWorker(t *testing.T, name string) *faultWorker {
+	t.Helper()
+	w := &faultWorker{}
+	w.retryAfter.Store("1")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
+		w.hits.Add(1)
+		if v := r.Header.Get(DeadlineHeader); v != "" {
+			if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+				w.lastBudget.Store(ms)
+			}
+		}
+		if w.reset.Load() {
+			hj, ok := rw.(http.Hijacker)
+			if !ok {
+				t.Error("response writer is not a hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if d := time.Duration(w.delay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if s := w.status.Load(); s != 0 && s != http.StatusOK {
+			if s == http.StatusServiceUnavailable {
+				rw.Header().Set("Retry-After", w.retryAfter.Load().(string))
+			}
+			http.Error(rw, "fault status", int(s))
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_, _ = rw.Write([]byte(`{"worker":"` + name + `"}`))
+	})
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *faultWorker) addr() string { return w.srv.Listener.Addr().String() }
+
+// faultFixture boots a gateway over n fault workers.
+type faultFixture struct {
+	gw      *Gateway
+	front   *httptest.Server
+	faults  []*faultWorker
+	workers []*Worker
+}
+
+func newFaultFixture(t *testing.T, n int, opts Options) *faultFixture {
+	t.Helper()
+	f := &faultFixture{}
+	if opts.Table == nil {
+		opts.Table = NewTable(64, HealthPolicy{FailThreshold: 1000, OKThreshold: 2})
+	}
+	for i := 0; i < n; i++ {
+		s := newFaultWorker(t, fmt.Sprintf("f%d", i))
+		w, err := opts.Table.Add(s.addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.faults = append(f.faults, s)
+		f.workers = append(f.workers, w)
+	}
+	f.gw = New(opts)
+	f.front = httptest.NewServer(f.gw)
+	t.Cleanup(f.front.Close)
+	return f
+}
+
+func (f *faultFixture) get(t *testing.T, path string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, f.front.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// keyOwnedBy finds a key the ring assigns to worker id.
+func keyOwnedBy(t *testing.T, gw *Gateway, id string) string {
+	t.Helper()
+	ring := gw.Table().Ring()
+	for k := 0; k < 20000; k++ {
+		key := fmt.Sprintf("sess-%d", k)
+		if ring.Lookup(key) == id {
+			return key
+		}
+	}
+	t.Fatalf("no key maps to worker %s", id)
+	return ""
+}
+
+// TestGatewayRelaysWorkerRetryAfter pins the backpressure contract end
+// to end: a keyed 503 relays the *worker's* Retry-After hint — the
+// worker knows its drain pace; the gate must not overwrite it with its
+// own constant.
+func TestGatewayRelaysWorkerRetryAfter(t *testing.T) {
+	f := newFaultFixture(t, 2, Options{})
+	key := keyOwnedBy(t, f.gw, f.workers[0].ID)
+	f.faults[0].status.Store(http.StatusServiceUnavailable)
+	f.faults[0].retryAfter.Store("7")
+	resp := f.get(t, "/fib?n=10&key="+key, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("keyed request to saturated worker: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want the worker's own %q relayed", ra, "7")
+	}
+	if wk := resp.Header.Get(WorkerHeader); wk != f.workers[0].ID {
+		t.Fatalf("503 relayed from %q, want pinned worker %q", wk, f.workers[0].ID)
+	}
+}
+
+// TestGatewayDeadlineBudgetExhausted pins the end-to-end ceiling: when
+// every attempt burns the client's budget, the gate answers 504 rather
+// than retrying past the deadline, and the response lands near the
+// budget, not after attempt-count × worker-latency.
+func TestGatewayDeadlineBudgetExhausted(t *testing.T) {
+	f := newFaultFixture(t, 2, Options{})
+	for _, fw := range f.faults {
+		fw.delay.Store(int64(500 * time.Millisecond))
+	}
+	t0 := time.Now()
+	resp := f.get(t, "/fib?n=10&deadline_ms=80", nil)
+	elapsed := time.Since(t0)
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("budget-exhausted request: status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline budget exhausted") {
+		t.Fatalf("504 body = %q, want the budget envelope", body)
+	}
+	// The ceiling must hold: one worker sleep is 500ms; an 80ms budget
+	// answered in ~80ms proves the attempt context was cut, not ridden
+	// out. Allow generous slack for a loaded CI box.
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("504 took %v, want ≈80ms (deadline must bound the attempt)", elapsed)
+	}
+	if got := f.gw.Snapshot().DeadlineExhausted; got == 0 {
+		t.Fatal("DeadlineExhausted counter not incremented")
+	}
+}
+
+// TestGatewayForwardDecrementsDeadline pins budget propagation: the
+// worker sees the *remaining* budget via DeadlineHeader, strictly
+// positive and no larger than what the client sent.
+func TestGatewayForwardDecrementsDeadline(t *testing.T) {
+	f := newFaultFixture(t, 1, Options{})
+	resp := f.get(t, "/fib?n=10", map[string]string{DeadlineHeader: "5000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	got := f.faults[0].lastBudget.Load()
+	if got <= 0 || got > 5000 {
+		t.Fatalf("worker saw budget %dms, want in (0, 5000]", got)
+	}
+	// The query form reaches the worker too (as a decremented header).
+	resp = f.get(t, "/fib?n=10&deadline_ms=3000", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	got = f.faults[0].lastBudget.Load()
+	if got <= 0 || got > 3000 {
+		t.Fatalf("worker saw budget %dms, want in (0, 3000]", got)
+	}
+}
+
+// TestGatewayBreakerOpensAndRecovers drives the full breaker cycle
+// through the proxy path: connection resets open the breaker (without
+// tripping health ejection — FailThreshold is out of reach), open
+// workers fail fast with an honest Retry-After, the cooldown admits a
+// probe, and a healthy probe closes the breaker and restores traffic.
+func TestGatewayBreakerOpensAndRecovers(t *testing.T) {
+	rec := trace.NewRecorder(256)
+	table := NewTable(64, HealthPolicy{
+		FailThreshold: 1000, OKThreshold: 2,
+		Breaker: BreakerPolicy{Window: 4, MinSamples: 2, FailureRatio: 0.5, Cooldown: 100 * time.Millisecond},
+	})
+	f := newFaultFixture(t, 1, Options{Table: table, Tracer: rec})
+	f.faults[0].reset.Store(true)
+
+	// Each GET spends its attempts on the resetting worker; two settled
+	// failures open the breaker.
+	for i := 0; i < 2; i++ {
+		resp := f.get(t, "/fib?n=10", nil)
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("request %d against resetting worker: status %d, want 502", i, resp.StatusCode)
+		}
+	}
+	if got := f.workers[0].BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state after resets = %s, want open", breakerStateName(got))
+	}
+	if f.workers[0].breakerOpens.Load() == 0 {
+		t.Fatal("breakerOpens counter not incremented")
+	}
+	if !f.workers[0].Healthy() {
+		t.Fatal("breaker test leaked into health ejection")
+	}
+
+	// Open breaker: the gate fails fast without touching the worker.
+	hitsBefore := f.faults[0].hits.Load()
+	resp := f.get(t, "/fib?n=10", nil)
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "breaker-open") {
+		t.Fatalf("open-breaker request: status %d (%s), want 503 breaker-open", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("open-breaker 503 missing Retry-After")
+	}
+	if f.faults[0].hits.Load() != hitsBefore {
+		t.Fatal("open breaker still sent traffic to the worker")
+	}
+
+	// Snapshot mirrors the state.
+	wm := f.gw.Snapshot().Workers[0]
+	if wm.Breaker != "open" || wm.BreakerState != BreakerOpen || wm.BreakerOpens == 0 {
+		t.Fatalf("snapshot breaker view = %+v, want open", wm)
+	}
+
+	// Recovery: heal the worker, wait out the cooldown, and the probe
+	// closes the breaker.
+	f.faults[0].reset.Store(false)
+	time.Sleep(120 * time.Millisecond)
+	resp = f.get(t, "/fib?n=10", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cooldown probe request: status %d, want 200", resp.StatusCode)
+	}
+	if got := f.workers[0].BreakerState(); got != BreakerClosed {
+		t.Fatalf("breaker state after successful probe = %s, want closed", breakerStateName(got))
+	}
+
+	// The transitions were traced on the gate lane.
+	var breakerEvents int
+	for _, ev := range rec.Snapshot("test").Events {
+		if ev.Kind == trace.KindBreaker {
+			breakerEvents++
+		}
+	}
+	if breakerEvents < 3 { // closed->open, open->half-open, half-open->closed
+		t.Fatalf("traced %d breaker transitions, want >= 3", breakerEvents)
+	}
+}
+
+// TestGatewayHedgeCutsTailLatency pins the hedge: with the primary
+// stuck in a 300ms stall and the hedge delay in the tens of
+// milliseconds, the second attempt answers long before the primary
+// would have, the hedge counter ticks, and the cancelled loser does not
+// poison its breaker.
+func TestGatewayHedgeCutsTailLatency(t *testing.T) {
+	f := newFaultFixture(t, 2, Options{Hedge: true})
+	slow, fast := f.faults[0], f.faults[1]
+	slowW, fastW := f.workers[0], f.workers[1]
+	// Bias p2c toward the slow worker by inflating the fast one's
+	// latency estimate, so the primary attempt is the one that stalls.
+	for i := 0; i < 32; i++ {
+		fastW.observe(50 * time.Millisecond)
+	}
+	slow.delay.Store(int64(300 * time.Millisecond))
+
+	// p2c samples with replacement, so even with the bias a try can put
+	// the primary on the fast worker (both samples land there) and
+	// finish with no hedge. Retry until a try actually stalls on the
+	// slow worker and hedges; the odds of 20 misses are 0.25^20.
+	var resp *http.Response
+	var elapsed time.Duration
+	hedged := false
+	for try := 0; try < 20 && !hedged; try++ {
+		before := f.gw.Snapshot().Hedges
+		t0 := time.Now()
+		resp = f.get(t, "/fib?n=10", nil)
+		elapsed = time.Since(t0)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("hedged request: status %d, want 200", resp.StatusCode)
+		}
+		hedged = f.gw.Snapshot().Hedges > before
+	}
+	if !hedged {
+		t.Fatal("no try routed its primary to the slow worker — hedge never fired")
+	}
+	if wk := resp.Header.Get(WorkerHeader); wk != fastW.ID {
+		t.Fatalf("hedged request served by %q, want the fast worker %q", wk, fastW.ID)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("hedged request took %v — the hedge did not cut the stall", elapsed)
+	}
+	if fast.hits.Load() == 0 {
+		t.Fatal("hedge attempt never reached the fast worker")
+	}
+	// The cancelled primary settles as a drop: no breaker damage, no
+	// health note.
+	waitFor(t, time.Second, "loser settle", func() bool {
+		return slowW.inflight.Load() == 0
+	})
+	if got := slowW.BreakerState(); got != BreakerClosed {
+		t.Fatalf("cancelled hedge loser moved its breaker to %s", breakerStateName(got))
+	}
+	if slowW.conns.Load() != 0 {
+		t.Fatal("cancelled hedge loser charged a connection failure")
+	}
+}
+
+// TestGatewayAttemptTimeoutRetriesWithinBudget pins the per-attempt
+// cut: a stalled first worker burns only AttemptTimeout, the retry
+// lands on the healthy peer, and the client still gets a 200.
+func TestGatewayAttemptTimeoutRetriesWithinBudget(t *testing.T) {
+	f := newFaultFixture(t, 2, Options{AttemptTimeout: 50 * time.Millisecond})
+	slow := f.faults[0]
+	slow.delay.Store(int64(2 * time.Second))
+	// Bias routing toward the stalled worker for the first attempt.
+	for i := 0; i < 32; i++ {
+		f.workers[1].observe(50 * time.Millisecond)
+	}
+	// p2c samples with replacement, so a try can route its primary to
+	// the healthy worker and return with nothing to retry. Retry until
+	// the primary lands on the stalled worker.
+	retried := false
+	for try := 0; try < 20 && !retried; try++ {
+		before := f.gw.Snapshot().Retried
+		t0 := time.Now()
+		resp := f.get(t, "/fib?n=10", nil)
+		elapsed := time.Since(t0)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200 via retry after attempt timeout", resp.StatusCode)
+		}
+		if wk := resp.Header.Get(WorkerHeader); wk != f.workers[1].ID {
+			t.Fatalf("served by %q, want the healthy worker %q", wk, f.workers[1].ID)
+		}
+		if elapsed >= 2*time.Second {
+			t.Fatalf("request took %v — the attempt timeout did not cut the stall", elapsed)
+		}
+		retried = f.gw.Snapshot().Retried > before
+	}
+	if !retried {
+		t.Fatal("no try routed its primary to the stalled worker — attempt timeout never exercised")
+	}
+}

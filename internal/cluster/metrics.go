@@ -36,6 +36,14 @@ type WorkerMetrics struct {
 	// Ejections and Readmissions count health-state transitions.
 	Ejections    uint64
 	Readmissions uint64
+	// Breaker is the circuit-breaker state: "closed", "half-open", or
+	// "open".
+	Breaker string
+	// BreakerState is the numeric breaker state (0 closed, 1 half-open,
+	// 2 open), matching the lwt_gate_breaker_state gauge.
+	BreakerState int32
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens uint64
 }
 
 // Metrics is the gateway's operational snapshot.
@@ -63,21 +71,28 @@ type Metrics struct {
 	// RejectedDraining counts requests refused because the gate was
 	// draining.
 	RejectedDraining uint64
+	// Hedges counts extra hedged attempts launched after the P99 delay.
+	Hedges uint64
+	// DeadlineExhausted counts requests answered 504 because the
+	// client's end-to-end budget ran out at the gate.
+	DeadlineExhausted uint64
 }
 
 // Snapshot reads the gateway and worker counters once.
 func (g *Gateway) Snapshot() Metrics {
 	workers := g.table.Workers()
 	m := Metrics{
-		Workers:          make([]WorkerMetrics, 0, len(workers)),
-		Members:          len(workers),
-		Draining:         g.draining.Load(),
-		InFlight:         g.inflight.Load(),
-		Proxied:          g.proxied.Load(),
-		Retried:          g.retried.Load(),
-		Reroutes503:      g.reroute503.Load(),
-		Failed:           g.failedConn.Load(),
-		RejectedDraining: g.rejectedGon.Load(),
+		Workers:           make([]WorkerMetrics, 0, len(workers)),
+		Members:           len(workers),
+		Draining:          g.draining.Load(),
+		InFlight:          g.inflight.Load(),
+		Proxied:           g.proxied.Load(),
+		Retried:           g.retried.Load(),
+		Reroutes503:       g.reroute503.Load(),
+		Failed:            g.failedConn.Load(),
+		RejectedDraining:  g.rejectedGon.Load(),
+		Hedges:            g.hedges.Load(),
+		DeadlineExhausted: g.expired504.Load(),
 	}
 	for _, w := range workers {
 		state := "healthy"
@@ -86,6 +101,7 @@ func (g *Gateway) Snapshot() Metrics {
 		} else {
 			m.Healthy++
 		}
+		bs := w.BreakerState()
 		m.Workers = append(m.Workers, WorkerMetrics{
 			ID:           w.ID,
 			State:        state,
@@ -98,6 +114,9 @@ func (g *Gateway) Snapshot() Metrics {
 			Responses503: w.resp503.Load(),
 			Ejections:    w.ejections.Load(),
 			Readmissions: w.readmissions.Load(),
+			Breaker:      breakerStateName(bs),
+			BreakerState: bs,
+			BreakerOpens: w.breakerOpens.Load(),
 		})
 	}
 	return m

@@ -40,6 +40,8 @@ func (m Metrics) WriteProm(w io.Writer) (int64, error) {
 		{"lwt_gate_reroutes503_total", "Unkeyed re-routes taken after a worker 503.", m.Reroutes503},
 		{"lwt_gate_failed_total", "Requests answered with the gate's own terminal error.", m.Failed},
 		{"lwt_gate_rejected_draining_total", "Requests refused because the gate was draining.", m.RejectedDraining},
+		{"lwt_gate_hedges_total", "Extra hedged attempts launched after the P99 delay.", m.Hedges},
+		{"lwt_gate_deadline_exhausted_total", "Requests answered 504 because the end-to-end budget ran out at the gate.", m.DeadlineExhausted},
 	}
 	for _, c := range gateCounters {
 		pw.Family(c.name, c.help, prom.Counter)
@@ -67,6 +69,10 @@ func (m Metrics) WriteProm(w io.Writer) (int64, error) {
 	for _, wm := range m.Workers {
 		pw.Sample("lwt_gate_worker_penalty", float64(wm.Penalty), "worker", wm.ID)
 	}
+	pw.Family("lwt_gate_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.", prom.Gauge)
+	for _, wm := range m.Workers {
+		pw.Sample("lwt_gate_breaker_state", float64(wm.BreakerState), "worker", wm.ID)
+	}
 
 	workerCounters := []struct {
 		name, help string
@@ -77,6 +83,7 @@ func (m Metrics) WriteProm(w io.Writer) (int64, error) {
 		{"lwt_gate_worker_responses503_total", "503 responses the worker answered.", func(w WorkerMetrics) uint64 { return w.Responses503 }},
 		{"lwt_gate_worker_ejections_total", "Health-check ejections of the worker.", func(w WorkerMetrics) uint64 { return w.Ejections }},
 		{"lwt_gate_worker_readmissions_total", "Re-admissions after recovery.", func(w WorkerMetrics) uint64 { return w.Readmissions }},
+		{"lwt_gate_worker_breaker_opens_total", "Circuit-breaker open transitions for the worker.", func(w WorkerMetrics) uint64 { return w.BreakerOpens }},
 	}
 	for _, c := range workerCounters {
 		pw.Family(c.name, c.help, prom.Counter)

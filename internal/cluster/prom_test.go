@@ -50,7 +50,9 @@ func TestGatewayPromExposition(t *testing.T) {
 			"lwt_gate_members", "lwt_gate_healthy", "lwt_gate_inflight",
 			"lwt_gate_proxied_total", "lwt_gate_worker_score",
 			"lwt_gate_worker_healthy", "lwt_gate_worker_requests_total",
-			"lwt_gate_worker_ejections_total",
+			"lwt_gate_worker_ejections_total", "lwt_gate_breaker_state",
+			"lwt_gate_hedges_total", "lwt_gate_deadline_exhausted_total",
+			"lwt_gate_worker_breaker_opens_total",
 		} {
 			if !strings.Contains(page, "# TYPE "+fam+" ") {
 				t.Errorf("%s: family %s missing", path, fam)
@@ -61,6 +63,13 @@ func TestGatewayPromExposition(t *testing.T) {
 		}
 		if v, ok := prom.Value(page, "lwt_gate_members", nil); !ok || v != 2 {
 			t.Fatalf("%s: members = %v ok=%v, want 2", path, v, ok)
+		}
+		// Healthy workers with no failures expose a closed breaker.
+		for _, w := range f.workers {
+			v, ok := prom.Value(page, "lwt_gate_breaker_state", map[string]string{"worker": w.ID})
+			if !ok || v != float64(BreakerClosed) {
+				t.Fatalf("%s: worker %s breaker_state = %v ok=%v, want closed (0)", path, w.ID, v, ok)
+			}
 		}
 		// Both workers expose a positive p2c score (idle floor is 1ms).
 		for _, w := range f.workers {

@@ -52,11 +52,17 @@ type Worker struct {
 	consecFail int
 	consecOK   int
 
+	// breaker is the per-worker circuit breaker, gating attempts on the
+	// recent error/timeout rate; composes with (does not replace)
+	// health ejection. Set by Table.Add.
+	breaker *breaker
+
 	requests     atomic.Uint64 // proxied requests sent (incl. retried attempts)
 	conns        atomic.Uint64 // transport/connection failures
 	resp503      atomic.Uint64 // 503 responses observed
 	ejections    atomic.Uint64
 	readmissions atomic.Uint64
+	breakerOpens atomic.Uint64 // closed/half-open -> open transitions
 }
 
 // newWorker parses addr ("host:port" or a full http URL) into a Worker.
@@ -83,6 +89,18 @@ func newWorker(addr string) (*Worker, error) {
 
 // Healthy reports whether routing should consider this worker.
 func (w *Worker) Healthy() bool { return w.state.Load() == StateHealthy }
+
+// Routable composes the two containment layers: health (consecutive
+// hard failures eject) and the circuit breaker (failure *rate* opens).
+// Routing prefers routable workers; the fail-open fallbacks still
+// reach unroutable ones when nothing else is left.
+func (w *Worker) Routable(now time.Time) bool {
+	return w.Healthy() && w.breaker.canRoute(now)
+}
+
+// BreakerState reads the worker's breaker state (BreakerClosed /
+// BreakerHalfOpen / BreakerOpen).
+func (w *Worker) BreakerState() int32 { return w.breaker.State() }
 
 // InFlight reports the outstanding proxied-request count.
 func (w *Worker) InFlight() int64 { return w.inflight.Load() }
@@ -149,7 +167,8 @@ func (w *Worker) noteFailure(failThresh int) bool {
 }
 
 // HealthPolicy sets the ejection/re-admission thresholds shared by the
-// active checker and the proxy's passive connection-failure reports.
+// active checker and the proxy's passive connection-failure reports,
+// plus the per-worker circuit-breaker policy.
 type HealthPolicy struct {
 	// FailThreshold is the consecutive-failure count that ejects
 	// (<= 0 means 3).
@@ -157,6 +176,9 @@ type HealthPolicy struct {
 	// OKThreshold is the consecutive-success count that re-admits an
 	// ejected worker (<= 0 means 2).
 	OKThreshold int
+	// Breaker configures each worker's circuit breaker (zero value:
+	// defaults; set Breaker.Disabled to turn breakers off).
+	Breaker BreakerPolicy
 }
 
 func (p HealthPolicy) withDefaults() HealthPolicy {
@@ -166,6 +188,7 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 	if p.OKThreshold <= 0 {
 		p.OKThreshold = 2
 	}
+	p.Breaker = p.Breaker.withDefaults()
 	return p
 }
 
@@ -174,6 +197,13 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 type Table struct {
 	policy HealthPolicy
 	ring   *Ring
+
+	// onBreaker, when set, observes every breaker state transition —
+	// the gateway hooks its trace ring here. Read at fire time (not
+	// capture time), so installing it after membership is populated
+	// still covers every worker. Called with the breaker's lock held:
+	// keep it cheap and never call back into the breaker or the table.
+	onBreaker atomic.Value // func(w *Worker, from, to int32)
 
 	mu      sync.RWMutex
 	workers map[string]*Worker
@@ -192,6 +222,12 @@ func NewTable(vnodes int, policy HealthPolicy) *Table {
 // Ring exposes the membership ring (for tests and introspection).
 func (t *Table) Ring() *Ring { return t.ring }
 
+// OnBreakerTransition installs the breaker-transition observer. It
+// covers every worker, whenever added.
+func (t *Table) OnBreakerTransition(fn func(w *Worker, from, to int32)) {
+	t.onBreaker.Store(fn)
+}
+
 // Add parses addr, registers the worker, and joins it to the ring.
 // Re-adding a known address returns the existing worker.
 func (t *Table) Add(addr string) (*Worker, error) {
@@ -203,6 +239,16 @@ func (t *Table) Add(addr string) (*Worker, error) {
 	if old, ok := t.workers[w.ID]; ok {
 		t.mu.Unlock()
 		return old, nil
+	}
+	w.breaker = newBreaker(t.policy.Breaker)
+	wk := w
+	w.breaker.onTransition = func(from, to int32) {
+		if to == BreakerOpen {
+			wk.breakerOpens.Add(1)
+		}
+		if fn, ok := t.onBreaker.Load().(func(w *Worker, from, to int32)); ok && fn != nil {
+			fn(wk, from, to)
+		}
 	}
 	t.workers[w.ID] = w
 	t.order = append(t.order, w)
@@ -252,18 +298,26 @@ func (t *Table) NoteSuccess(w *Worker) bool { return w.noteSuccess(t.policy.OKTh
 func (t *Table) NoteFailure(w *Worker) bool { return w.noteFailure(t.policy.FailThreshold) }
 
 // KeyedCandidates returns the attempt order for a keyed request: the
-// ring's failover sequence with healthy workers first (each group in
-// ring order). The pinned owner always leads while healthy — that is
-// the affinity guarantee — and ejected workers are still listed last
-// so a fully-ejected table fails open to real connection attempts
-// rather than synthesizing a 503 from possibly-stale health state.
+// ring's failover sequence with routable workers first (each group in
+// ring order). The pinned owner always leads while routable — that is
+// the affinity guarantee — workers held back only by an open breaker
+// come next (they are alive, just being rested), and ejected workers
+// are still listed last so a fully-ejected table fails open to real
+// connection attempts rather than synthesizing a 503 from
+// possibly-stale health state.
 func (t *Table) KeyedCandidates(key string) []*Worker {
 	ids := t.ring.LookupN(key, t.ring.Size())
+	now := time.Now()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]*Worker, 0, len(ids))
 	for _, id := range ids {
-		if w := t.workers[id]; w != nil && w.Healthy() {
+		if w := t.workers[id]; w != nil && w.Routable(now) {
+			out = append(out, w)
+		}
+	}
+	for _, id := range ids {
+		if w := t.workers[id]; w != nil && w.Healthy() && !w.Routable(now) {
 			out = append(out, w)
 		}
 	}
@@ -276,16 +330,17 @@ func (t *Table) KeyedCandidates(key string) []*Worker {
 }
 
 // PickUnkeyed chooses a worker for an unkeyed request by
-// power-of-two-choices over the load scores of healthy workers not in
-// tried, mirroring the in-process shard router one level up. With no
-// healthy untried worker it falls back to ejected untried ones (fail
-// open, cheapest first), and returns nil only when every worker has
-// been tried.
+// power-of-two-choices over the load scores of routable (healthy,
+// breaker-admitting) workers not in tried, mirroring the in-process
+// shard router one level up. With no routable untried worker it falls
+// back to any untried one (fail open, cheapest first), and returns nil
+// only when every worker has been tried.
 func (t *Table) PickUnkeyed(tried map[*Worker]bool) *Worker {
+	now := time.Now()
 	t.mu.RLock()
 	candidates := make([]*Worker, 0, len(t.order))
 	for _, w := range t.order {
-		if w.Healthy() && !tried[w] {
+		if w.Routable(now) && !tried[w] {
 			candidates = append(candidates, w)
 		}
 	}

@@ -25,6 +25,42 @@ import (
 //     channel receive. There is no unit to park and no scheduler to
 //     yield to.
 
+// ErrCanceled is the early-wake sentinel a cancelable wait returns
+// when the request's cancellation signal fires before the wait's own
+// completion (re-exported from the aio reactor so call sites need only
+// this package).
+var ErrCanceled = aio.ErrCanceled
+
+// Canceler is implemented by serving-layer contexts that carry a
+// cooperative cancellation signal. CancelCh returns a channel that is
+// closed when the request's deadline has passed or its client has gone
+// away — nil when the request carries neither. Sleep and AwaitIO
+// consult it automatically (a parked wait wakes early with
+// ErrCanceled); handler bodies can select on Canceled(c) at their own
+// safe points.
+type Canceler interface {
+	CancelCh() <-chan struct{}
+}
+
+// cancelOf extracts c's cancellation signal, nil when c carries none.
+func cancelOf(c Ctx) <-chan struct{} {
+	if cc, ok := c.(Canceler); ok {
+		return cc.CancelCh()
+	}
+	return nil
+}
+
+// Canceled returns the cooperative cancellation signal attached to c —
+// closed when the request's deadline passed or its submission context
+// was cancelled — or nil when c carries none (including nil c), which
+// blocks forever in a select exactly like context.Context.Done.
+func Canceled(c Ctx) <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return cancelOf(c)
+}
+
 // ioParkable is implemented by backend contexts whose substrate can
 // suspend the running work unit and later resume it from an arbitrary
 // goroutine (the reactor). IOPark returns a fresh park/unpark pair
@@ -59,12 +95,19 @@ func parkerFor(c Ctx) aio.Parker {
 // Sleep blocks the calling work unit for at least d. On an AsyncIO
 // backend the unit parks on the reactor's timer heap and its executor
 // runs other work for the duration; degradations per the file comment.
-func Sleep(c Ctx, d time.Duration) {
+// On a context carrying a cancellation signal (Canceler) the wait ends
+// early with ErrCanceled when the signal fires; otherwise Sleep always
+// returns nil.
+func Sleep(c Ctx, d time.Duration) error {
 	if c == nil {
 		time.Sleep(d)
-		return
+		return nil
+	}
+	if cancel := cancelOf(c); cancel != nil {
+		return aio.SleepCancel(parkerFor(c), d, cancel)
 	}
 	aio.Sleep(parkerFor(c), d)
+	return nil
 }
 
 // Deadline blocks the calling work unit until ctx is cancelled or its
@@ -83,13 +126,20 @@ func Deadline(c Ctx, ctx context.Context) error {
 
 // AwaitIO blocks the calling work unit until done is closed — a
 // future's completion channel in whatever shape the caller has one
-// (context.Context.Done(), a close-on-finish signal).
-func AwaitIO(c Ctx, done <-chan struct{}) {
+// (context.Context.Done(), a close-on-finish signal). On a context
+// carrying a cancellation signal (Canceler) the wait ends early with
+// ErrCanceled when the signal fires; otherwise AwaitIO always returns
+// nil.
+func AwaitIO(c Ctx, done <-chan struct{}) error {
 	if c == nil {
 		<-done
-		return
+		return nil
+	}
+	if cancel := cancelOf(c); cancel != nil {
+		return aio.AwaitCancel(parkerFor(c), done, cancel)
 	}
 	aio.Await(parkerFor(c), done)
+	return nil
 }
 
 // ReadIO reads from r into buf without occupying the calling unit's

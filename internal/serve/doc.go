@@ -49,6 +49,19 @@
 //     ErrClosed. When drain returns, InFlight is zero and Submitted ==
 //     Completed + Canceled + Failed + Panicked + the ErrClosed
 //     remainder.
+//   - Deadline accounting: every accepted request resolves exactly once
+//     — Submitted == Completed + Rejected + Expired after drain.
+//     Expired counts requests shed at launch because their deadline
+//     passed (or their context was cancelled) while queued; the handler
+//     body never ran. Canceled counts blocking Submits that gave up
+//     while parked waiting for queue space — those were never accepted,
+//     so they sit outside the identity. A request whose deadline
+//     expires after launch is *not* shed: launched work runs to
+//     completion, but its Ctx's cancellation channel (core.Canceled)
+//     fires so handlers — and any aio park they are blocked in — can
+//     return core.ErrCanceled early. Cancellation is strictly
+//     cooperative: a handler that ignores the channel runs to the end
+//     and counts as Completed.
 //   - Latency is recorded per completion into both a bounded window
 //     (Latency, for P50/P99 quantiles) and a fixed-bound cumulative
 //     histogram (Hist over HistBounds, with LatencySum/Completed as the

@@ -33,7 +33,8 @@ type metrics struct {
 	submitted atomic.Uint64 // accepted into the queue
 	completed atomic.Uint64 // request bodies finished (incl. failed/panicked)
 	saturated atomic.Uint64 // fast-rejected with ErrSaturated
-	canceled  atomic.Uint64 // cancelled while queued or blocked submitting
+	canceled  atomic.Uint64 // cancelled/expired while blocked submitting (never accepted)
+	expired   atomic.Uint64 // shed before launch: deadline passed or ctx cancelled while queued
 	rejected  atomic.Uint64 // failed with ErrClosed at shutdown
 	failed    atomic.Uint64 // bodies that returned an error
 	panicked  atomic.Uint64 // bodies that panicked
@@ -121,9 +122,16 @@ type Metrics struct {
 	Completed uint64
 	// Saturated counts submissions fast-rejected with ErrSaturated.
 	Saturated uint64
-	// Canceled counts submissions cancelled by their context while
-	// queued or while blocked on a full queue.
+	// Canceled counts submissions that gave up while blocked on a full
+	// queue — context cancelled or deadline passed before acceptance.
+	// They were never accepted, so they sit outside the drain identity.
 	Canceled uint64
+	// Expired counts accepted requests shed from the queue before
+	// launch: their deadline passed (ErrExpired) or their submission
+	// context was cancelled while they waited. Together with Completed
+	// and Rejected they account for every accepted request:
+	// Submitted == Completed + Rejected + Expired after a drain.
+	Expired uint64
 	// Rejected counts queued requests failed with ErrClosed at shutdown.
 	Rejected uint64
 	// Failed counts bodies that returned a non-nil error.

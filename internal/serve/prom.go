@@ -44,7 +44,8 @@ func WriteProm(w io.Writer, views ...View) (int64, error) {
 		{"lwt_serve_submitted_total", "Requests accepted into a shard queue.", func(m Metrics) uint64 { return m.Submitted }},
 		{"lwt_serve_completed_total", "Request bodies finished, including failures and panics.", func(m Metrics) uint64 { return m.Completed }},
 		{"lwt_serve_saturated_total", "Submissions fast-rejected with ErrSaturated.", func(m Metrics) uint64 { return m.Saturated }},
-		{"lwt_serve_canceled_total", "Submissions cancelled by their context before launch.", func(m Metrics) uint64 { return m.Canceled }},
+		{"lwt_serve_canceled_total", "Submissions that gave up while blocked on a full queue (never accepted).", func(m Metrics) uint64 { return m.Canceled }},
+		{"lwt_serve_expired_total", "Accepted requests shed before launch: deadline passed or context cancelled while queued.", func(m Metrics) uint64 { return m.Expired }},
 		{"lwt_serve_rejected_total", "Queued requests failed with ErrClosed at shutdown.", func(m Metrics) uint64 { return m.Rejected }},
 		{"lwt_serve_failed_total", "Request bodies that returned an error.", func(m Metrics) uint64 { return m.Failed }},
 		{"lwt_serve_panicked_total", "Request bodies whose panic was captured.", func(m Metrics) uint64 { return m.Panicked }},

@@ -43,6 +43,7 @@ func TestWritePromExposition(t *testing.T) {
 		"lwt_serve_submitted_total", "lwt_serve_completed_total",
 		"lwt_serve_queue_depth", "lwt_serve_inflight", "lwt_serve_ioparked",
 		"lwt_serve_latency_seconds", "lwt_sched_pushes_total", "lwt_sched_steals_total",
+		"lwt_serve_expired_total",
 	} {
 		if !strings.Contains(page, "# TYPE "+fam+" ") {
 			t.Errorf("family %s missing from exposition", fam)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,11 @@ var (
 	// resolves Futures of requests still queued when the drain deadline
 	// expires at shutdown.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrExpired resolves the Future of a deadline-carrying request
+	// whose budget ran out before launch: the pump sheds it from the
+	// queue instead of spending an executor on an answer nobody is
+	// waiting for. Counted in Metrics.Expired.
+	ErrExpired = errors.New("serve: request deadline expired before launch")
 )
 
 // Defaults for Options fields left zero.
@@ -122,12 +128,45 @@ type request struct {
 	ctx   context.Context // submission context; nil means background
 	ult   bool            // needs a stackful ULT (body takes a Ctx)
 	enq   time.Time
+	// deadline is the request's completion budget (zero: none). The
+	// pump sheds queued requests whose deadline has passed (one time
+	// comparison — no timer), and running handlers see it through the
+	// lazily built cancellation signal below.
+	deadline time.Time
+	// cancelOnce/cancelCh/stopCancel materialize the handler-visible
+	// cancellation signal (core.Canceler) on first use only: the hot
+	// path of an undeadlined — or deadlined but never-waiting — request
+	// never allocates a timer or context for it.
+	cancelOnce sync.Once
+	cancelCh   <-chan struct{}
+	stopCancel func()
 	// run executes the body and resolves the Future; the Ctx is nil
 	// for tasklet-shaped bodies.
 	run func(core.Ctx)
 	// fail resolves the Future with an error without running the body
 	// (cancellation and shutdown paths).
 	fail func(error)
+}
+
+// cancelSignal lazily builds the channel handlers and aio waits watch:
+// the submission context's Done when there is no deadline, a
+// deadline-armed derivation of it otherwise. Built at most once, on
+// the handler's own goroutine; finish releases the timer.
+func (r *request) cancelSignal() <-chan struct{} {
+	r.cancelOnce.Do(func() {
+		base := r.ctx
+		if base == nil {
+			base = context.Background()
+		}
+		if r.deadline.IsZero() {
+			r.cancelCh = base.Done()
+			return
+		}
+		dctx, stop := context.WithDeadline(base, r.deadline)
+		r.cancelCh = dctx.Done()
+		r.stopCancel = stop
+	})
+	return r.cancelCh
 }
 
 // shard is one independent serving lane: a backend runtime, its bounded
@@ -432,15 +471,26 @@ func (sh *shard) pump(ready chan<- error) {
 	}
 }
 
-// launch turns one accepted request into a backend work unit, dropping
-// it instead if its submission context was cancelled while queued.
+// launch turns one accepted request into a backend work unit — or
+// sheds it, exactly once, if its budget is already spent: a submission
+// context cancelled while queued or a deadline that passed fails the
+// Future (ctx.Err() / ErrExpired) without occupying an executor, and
+// counts as Expired in the drain identity
+// (Submitted == Completed + Rejected + Expired).
 func (sh *shard) launch(rt *core.Runtime, r *request) {
 	if r.ctx != nil {
 		if err := r.ctx.Err(); err != nil {
-			sh.m.canceled.Add(1)
+			sh.m.expired.Add(1)
+			sh.ring.Instant(trace.KindCancel, r.id)
 			r.fail(err)
 			return
 		}
+	}
+	if !r.deadline.IsZero() && !time.Now().Before(r.deadline) {
+		sh.m.expired.Add(1)
+		sh.ring.Instant(trace.KindCancel, r.id)
+		r.fail(ErrExpired)
+		return
 	}
 	sh.inflight.Add(1)
 	if r.ult {
@@ -543,6 +593,12 @@ func (sh *shard) finish(r *request) {
 	lat := time.Since(r.enq)
 	sh.inflight.Add(-1)
 	sh.m.observe(lat)
+	if r.stopCancel != nil {
+		// Release the deadline timer armed by cancelSignal. Same
+		// goroutine that built it (the handler's work unit), so the
+		// read is ordered after any Do.
+		r.stopCancel()
+	}
 	if r.id&sh.s.traceMask == 0 || lat >= slowTraceCutoff {
 		sh.ring.EmitAt(trace.KindUser, r.id, r.enq, lat)
 	}
@@ -555,18 +611,33 @@ type ioParkable interface {
 	IOPark() (park func(), unpark func())
 }
 
-// parkCountingCtx wraps a handler's context on AsyncIO backends so the
-// shard can tell which in-flight work units are parked on the reactor.
-// The park half of every minted pair brackets the suspension with the
-// ioparked counter — both adjustments run on the work unit's own
-// goroutine (before suspending, after resuming), so the accounting is
-// exact, not sampled.
-type parkCountingCtx struct {
+// requestCtx wraps every handler's backend context with the request's
+// cooperative cancellation signal: CancelCh (core.Canceler) is what
+// lets a running handler — and the aio waits it issues — observe that
+// its deadline passed or its client went away. The signal is built
+// lazily, so handlers that never look pay nothing.
+type requestCtx struct {
 	core.Ctx
+	r *request
+}
+
+func (c requestCtx) CancelCh() <-chan struct{} { return c.r.cancelSignal() }
+
+// parkRequestCtx is requestCtx on AsyncIO backends, adding the
+// park-counting IOPark so the shard can tell which in-flight work
+// units are parked on the reactor. Struct embedding (not interface
+// embedding) is load-bearing: embedding the Ctx interface would not
+// promote the concrete backend value's IOPark method, so the wrapper
+// re-mints it here. The park half of every minted pair brackets the
+// suspension with the ioparked counter — both adjustments run on the
+// work unit's own goroutine (before suspending, after resuming), so
+// the accounting is exact, not sampled.
+type parkRequestCtx struct {
+	requestCtx
 	sh *shard
 }
 
-func (c parkCountingCtx) IOPark() (func(), func()) {
+func (c parkRequestCtx) IOPark() (func(), func()) {
 	park, unpark := c.Ctx.(ioParkable).IOPark()
 	sh := c.sh
 	counted := func() {
@@ -595,13 +666,14 @@ func (sub *Submitter) Server() *Server { return sub.s }
 // end-to-end latency. That is deliberate — measuring from intended
 // arrival rather than from admission is what keeps open-loop percentiles
 // honest under backpressure (no coordinated omission).
-func makeRequest[T any](s *Server, ctx context.Context, ult bool, fn func(core.Ctx) (T, error)) (*request, *Future[T]) {
+func makeRequest[T any](s *Server, ctx context.Context, deadline time.Time, ult bool, fn func(core.Ctx) (T, error)) (*request, *Future[T]) {
 	f := newFuture[T]()
 	r := &request{
-		id:  s.nextID.Add(1),
-		ctx: ctx,
-		ult: ult,
-		enq: time.Now(),
+		id:       s.nextID.Add(1),
+		ctx:      ctx,
+		ult:      ult,
+		enq:      time.Now(),
+		deadline: deadline,
 	}
 	r.fail = func(err error) {
 		var zero T
@@ -609,8 +681,13 @@ func makeRequest[T any](s *Server, ctx context.Context, ult bool, fn func(core.C
 	}
 	r.run = func(c core.Ctx) {
 		sh := r.shard
-		if _, ok := c.(ioParkable); ok {
-			c = parkCountingCtx{Ctx: c, sh: sh}
+		if c != nil {
+			rc := requestCtx{Ctx: c, r: r}
+			if _, ok := c.(ioParkable); ok {
+				c = parkRequestCtx{requestCtx: rc, sh: sh}
+			} else {
+				c = rc
+			}
 		}
 		defer func() {
 			if p := recover(); p != nil {
@@ -634,14 +711,14 @@ func makeRequest[T any](s *Server, ctx context.Context, ult bool, fn func(core.C
 // request is re-routed once to the least-loaded shard before
 // ErrSaturated surfaces. pin >= 0 bypasses the router and disables the
 // re-route (keyed affinity).
-func trySubmit[T any](sub *Submitter, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+func trySubmit[T any](sub *Submitter, deadline time.Time, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
 	s := sub.s
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	r, f := makeRequest(s, nil, ult, fn)
+	r, f := makeRequest(s, nil, deadline, ult, fn)
 	if pin >= 0 {
 		sh := s.shards[pin%len(s.shards)]
 		if sh.tryEnqueue(r) {
@@ -664,15 +741,24 @@ func trySubmit[T any](sub *Submitter, pin int, ult bool, fn func(core.Ctx) (T, e
 // submit is the blocking admission path with context cancellation: it
 // first tries the router's pick without blocking, then parks on the
 // least-loaded shard. pin >= 0 pins both attempts to one shard (keyed
-// affinity).
-func submit[T any](sub *Submitter, ctx context.Context, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+// affinity). A deadline — explicit, or adopted from the submission
+// context — bounds the park too: a request that cannot even enqueue
+// inside its budget returns ErrExpired instead of blocking past it.
+func submit[T any](sub *Submitter, ctx context.Context, deadline time.Time, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
 	s := sub.s
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	r, f := makeRequest(s, ctx, ult, fn)
+	adopted := false // deadline came from ctx, whose Done covers the park
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok && (deadline.IsZero() || dl.Before(deadline)) {
+			deadline = dl
+			adopted = true
+		}
+	}
+	r, f := makeRequest(s, ctx, deadline, ult, fn)
 	var sh *shard
 	if pin >= 0 {
 		sh = s.shards[pin%len(s.shards)]
@@ -689,6 +775,19 @@ func submit[T any](sub *Submitter, ctx context.Context, pin int, ult bool, fn fu
 	if ctx != nil {
 		cancel = ctx.Done()
 	}
+	var expire <-chan time.Time
+	if !deadline.IsZero() && !adopted {
+		// The timer arms only on the blocked path — a queue with room
+		// never pays for it — and only for an explicit deadline: one
+		// adopted from ctx is already enforced by ctx.Done, and racing
+		// a second timer against the context's own would surface
+		// ErrExpired where callers armed DeadlineExceeded. Either way
+		// the submission was never accepted, so it counts as
+		// canceled-at-submit, outside the drain identity.
+		tm := time.NewTimer(time.Until(deadline))
+		defer tm.Stop()
+		expire = tm.C
+	}
 	r.shard = sh
 	select {
 	case sh.reqs <- r:
@@ -697,6 +796,14 @@ func submit[T any](sub *Submitter, ctx context.Context, pin int, ult bool, fn fu
 	case <-cancel:
 		sh.m.canceled.Add(1)
 		return nil, ctx.Err()
+	case <-expire:
+		sh.m.canceled.Add(1)
+		// A deadline adopted from ctx races ctx.Done here; surface the
+		// context's own error so callers see the sentinel they armed.
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, ErrExpired
 	case <-s.quit:
 		return nil, ErrClosed
 	}
@@ -704,28 +811,57 @@ func submit[T any](sub *Submitter, ctx context.Context, pin int, ult bool, fn fu
 
 // Submit queues fn as a tasklet-shaped request (stackless body, no
 // cooperative context), blocking while the queues are full until space
-// frees, ctx is cancelled, or the server closes.
+// frees, ctx is cancelled, or the server closes. A deadline on ctx is
+// adopted as the request's completion budget (see SubmitDeadline).
 func Submit[T any](sub *Submitter, ctx context.Context, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, -1, false, func(core.Ctx) (T, error) { return fn() })
+	return submit(sub, ctx, time.Time{}, -1, false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// SubmitDeadline is Submit with an explicit completion budget: a
+// request still queued when deadline passes is shed before launch
+// (its Future resolves to ErrExpired, counted in Metrics.Expired), a
+// blocked submission gives up at the deadline, and a launched handler
+// sees the budget through its context's cancellation signal
+// (core.Canceled; parked aio waits wake early with ErrCanceled). When
+// ctx also carries a deadline the earlier one wins.
+func SubmitDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, deadline, -1, false, func(core.Ctx) (T, error) { return fn() })
 }
 
 // TrySubmit is Submit without blocking: with the routed shard full and
 // one re-route exhausted it returns ErrSaturated immediately — the
 // admission-control fast path.
 func TrySubmit[T any](sub *Submitter, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, -1, false, func(core.Ctx) (T, error) { return fn() })
+	return trySubmit(sub, time.Time{}, -1, false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// TrySubmitDeadline is TrySubmit carrying a completion budget (the
+// non-blocking half of SubmitDeadline's contract).
+func TrySubmitDeadline[T any](sub *Submitter, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return trySubmit(sub, deadline, -1, false, func(core.Ctx) (T, error) { return fn() })
 }
 
 // SubmitULT queues fn as a stackful ULT whose body receives the
 // cooperative context — for requests that spawn and join child work
 // units (nested parallelism on the serving runtime).
 func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, -1, true, fn)
+	return submit(sub, ctx, time.Time{}, -1, true, fn)
+}
+
+// SubmitULTDeadline is SubmitULT with an explicit completion budget;
+// see SubmitDeadline for the budget's semantics.
+func SubmitULTDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, deadline, -1, true, fn)
 }
 
 // TrySubmitULT is SubmitULT with ErrSaturated fast-reject.
 func TrySubmitULT[T any](sub *Submitter, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, -1, true, fn)
+	return trySubmit(sub, time.Time{}, -1, true, fn)
+}
+
+// TrySubmitULTDeadline is TrySubmitULT carrying a completion budget.
+func TrySubmitULTDeadline[T any](sub *Submitter, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return trySubmit(sub, deadline, -1, true, fn)
 }
 
 // SubmitKeyed is Submit with shard affinity: every submission carrying
@@ -735,26 +871,49 @@ func TrySubmitULT[T any](sub *Submitter, fn func(core.Ctx) (T, error)) (*Future[
 // submission parks on its pinned shard (affinity is never traded for
 // an emptier queue).
 func SubmitKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
+	return submit(sub, ctx, time.Time{}, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
 }
 
 // TrySubmitKeyed is SubmitKeyed without blocking: a full pinned shard
 // returns ErrSaturated directly — no re-route, affinity is the
 // contract.
 func TrySubmitKeyed[T any](sub *Submitter, key string, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
+	return trySubmit(sub, time.Time{}, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// TrySubmitKeyedDeadline is TrySubmitKeyed carrying a completion
+// budget.
+func TrySubmitKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return trySubmit(sub, deadline, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
+}
+
+// SubmitKeyedDeadline is SubmitKeyed carrying a completion budget.
+func SubmitKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, deadline, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
 }
 
 // SubmitULTKeyed is SubmitKeyed for stackful request bodies that spawn
 // and join children on the pinned shard's runtime.
 func SubmitULTKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, sub.s.ShardOf(key), true, fn)
+	return submit(sub, ctx, time.Time{}, sub.s.ShardOf(key), true, fn)
 }
 
 // TrySubmitULTKeyed is SubmitULTKeyed with ErrSaturated fast-reject on
 // the pinned shard.
 func TrySubmitULTKeyed[T any](sub *Submitter, key string, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, sub.s.ShardOf(key), true, fn)
+	return trySubmit(sub, time.Time{}, sub.s.ShardOf(key), true, fn)
+}
+
+// TrySubmitULTKeyedDeadline is TrySubmitULTKeyed carrying a completion
+// budget.
+func TrySubmitULTKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return trySubmit(sub, deadline, sub.s.ShardOf(key), true, fn)
+}
+
+// SubmitULTKeyedDeadline is SubmitULTKeyed carrying a completion
+// budget.
+func SubmitULTKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+	return submit(sub, ctx, deadline, sub.s.ShardOf(key), true, fn)
 }
 
 // Snapshot reads the server's counters and latency windows once and
@@ -784,6 +943,7 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 			Completed:  sh.m.completed.Load(),
 			Saturated:  sh.m.saturated.Load(),
 			Canceled:   sh.m.canceled.Load(),
+			Expired:    sh.m.expired.Load(),
 			Rejected:   sh.m.rejected.Load(),
 			Failed:     sh.m.failed.Load(),
 			Panicked:   sh.m.panicked.Load(),
@@ -810,6 +970,7 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 		agg.Completed += mt.Completed
 		agg.Saturated += mt.Saturated
 		agg.Canceled += mt.Canceled
+		agg.Expired += mt.Expired
 		agg.Rejected += mt.Rejected
 		agg.Failed += mt.Failed
 		agg.Panicked += mt.Panicked

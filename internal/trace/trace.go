@@ -80,8 +80,16 @@ const (
 	// KindPark is an async-I/O park interval: the work unit was
 	// suspended on the reactor, holding no executor.
 	KindPark
+	// KindCancel is a cooperative-cancellation instant: a parked or
+	// queued request was woken or shed because its end-to-end budget
+	// ran out (deadline passed, client gone).
+	KindCancel
+	// KindBreaker is a circuit-breaker state transition instant at the
+	// gateway; Unit encodes the new state (0 closed, 1 half-open,
+	// 2 open).
+	KindBreaker
 
-	numKinds = int(KindPark) + 1
+	numKinds = int(KindBreaker) + 1
 )
 
 // String names the kind.
@@ -103,6 +111,10 @@ func (k Kind) String() string {
 		return "user"
 	case KindPark:
 		return "park"
+	case KindCancel:
+		return "cancel"
+	case KindBreaker:
+		return "breaker"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -199,17 +199,32 @@ func Register(name string, f func() Backend) {
 // degrades explicitly — yield-polling inside a work unit without a
 // parkable substrate, plain blocking when c is nil (no unit to park).
 
+// ErrCanceled is the early-wake sentinel a cancelable wait returns when
+// the request's cancellation signal fires before the wait's own
+// completion.
+var ErrCanceled = core.ErrCanceled
+
 // Sleep blocks the calling work unit for at least d without occupying
-// its executor.
-func Sleep(c Ctx, d time.Duration) { core.Sleep(c, d) }
+// its executor. On a serving-layer context carrying a cancellation
+// signal the wait ends early with ErrCanceled; otherwise Sleep returns
+// nil.
+func Sleep(c Ctx, d time.Duration) error { return core.Sleep(c, d) }
 
 // Deadline blocks the calling work unit until ctx is cancelled or its
 // deadline passes, returning ctx.Err().
 func Deadline(c Ctx, ctx context.Context) error { return core.Deadline(c, ctx) }
 
 // AwaitIO blocks the calling work unit until done is closed (a future's
-// completion channel, a context's Done).
-func AwaitIO(c Ctx, done <-chan struct{}) { core.AwaitIO(c, done) }
+// completion channel, a context's Done). On a serving-layer context
+// carrying a cancellation signal the wait ends early with ErrCanceled;
+// otherwise AwaitIO returns nil.
+func AwaitIO(c Ctx, done <-chan struct{}) error { return core.AwaitIO(c, done) }
+
+// Canceled returns the cooperative cancellation signal attached to c —
+// closed when the request's deadline passed or its submission context
+// was cancelled — or nil when c carries none, which blocks forever in a
+// select exactly like context.Context.Done.
+func Canceled(c Ctx) <-chan struct{} { return core.Canceled(c) }
 
 // ReadIO reads from r into buf without occupying the calling unit's
 // executor while the data is in flight.
@@ -255,6 +270,10 @@ var ErrSaturated = serve.ErrSaturated
 
 // ErrServerClosed is returned for submissions to a closed Server.
 var ErrServerClosed = serve.ErrClosed
+
+// ErrExpired resolves a Future whose request's deadline passed while it
+// waited in the queue — the request was shed before launch.
+var ErrExpired = serve.ErrExpired
 
 // NewServer starts a serving engine over the named backend.
 func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
@@ -309,6 +328,52 @@ func SubmitULTKeyed[T any](sub *Submitter, ctx context.Context, key string, fn f
 // the pinned shard.
 func TrySubmitULTKeyed[T any](sub *Submitter, key string, fn func(Ctx) (T, error)) (*Future[T], error) {
 	return serve.TrySubmitULTKeyed(sub, key, fn)
+}
+
+// SubmitDeadline is Submit with an end-to-end deadline: if the request
+// is still queued when the deadline passes it is shed before launch and
+// its Future resolves ErrExpired; once launched, the handler sees a
+// cooperative cancellation signal (Canceled, cancelable Sleep/AwaitIO).
+// A zero deadline means none; an earlier ctx deadline is adopted.
+func SubmitDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return serve.SubmitDeadline(sub, ctx, deadline, fn)
+}
+
+// SubmitULTDeadline is SubmitDeadline for stackful request bodies.
+func SubmitULTDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.SubmitULTDeadline(sub, ctx, deadline, fn)
+}
+
+// TrySubmitDeadline is SubmitDeadline with ErrSaturated fast-reject.
+func TrySubmitDeadline[T any](sub *Submitter, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return serve.TrySubmitDeadline(sub, deadline, fn)
+}
+
+// TrySubmitULTDeadline is SubmitULTDeadline with ErrSaturated
+// fast-reject.
+func TrySubmitULTDeadline[T any](sub *Submitter, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.TrySubmitULTDeadline(sub, deadline, fn)
+}
+
+// TrySubmitKeyedDeadline is TrySubmitKeyed with an end-to-end deadline.
+func TrySubmitKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return serve.TrySubmitKeyedDeadline(sub, key, deadline, fn)
+}
+
+// SubmitKeyedDeadline is SubmitKeyed with an end-to-end deadline.
+func SubmitKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
+	return serve.SubmitKeyedDeadline(sub, ctx, key, deadline, fn)
+}
+
+// SubmitULTKeyedDeadline is SubmitULTKeyed with an end-to-end deadline.
+func SubmitULTKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.SubmitULTKeyedDeadline(sub, ctx, key, deadline, fn)
+}
+
+// TrySubmitULTKeyedDeadline is TrySubmitULTKeyed with an end-to-end
+// deadline.
+func TrySubmitULTKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
+	return serve.TrySubmitULTKeyedDeadline(sub, key, deadline, fn)
 }
 
 // RouterByName returns a fresh submission router: "p2c" (the default,
