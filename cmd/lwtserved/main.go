@@ -36,14 +36,24 @@
 //
 // Flags:
 //
-//	-shards N      backend runtime shards per backend (0: one per CPU)
-//	-router NAME   unkeyed routing policy: p2c (default), roundrobin, random
-//	-drain D       graceful-drain budget at shutdown (0: unbounded)
-//	-threads N     executors per shard
-//	-queue N       submission queue depth per shard
-//	-inflight N    max in-flight work units per shard (0: queue depth)
-//	-batch N       requests launched per pump wakeup
-//	-scheduler S   ready-pool policy per backend runtime
+//	-shards N          backend runtime shards per backend (0: one per CPU)
+//	-router NAME       unkeyed routing policy: p2c (default), roundrobin, random
+//	-drain D           graceful-drain budget at shutdown (0: unbounded)
+//	-threads N         executors per shard
+//	-queue N           submission queue depth per shard
+//	-inflight N        max in-flight work units per shard (0: queue depth)
+//	-batch N           requests launched per pump wakeup
+//	-scheduler S       ready-pool policy per backend runtime
+//	-steal             idle shards steal unkeyed backlog from loaded ones
+//	                   (default on; keyed requests never move)
+//	-autoscale-max N   shard-pool ceiling per backend; sustained saturation
+//	                   grows the routing set toward it, sustained idleness
+//	                   shrinks back to -shards (0: autoscaling off)
+//	-scale-interval D  autoscaler sample period
+//	-topo MODE         topology-aware layout: off, detect (probe the host),
+//	                   paper (2x18x2), or an explicit SxCxP spec; derives
+//	                   -shards (one per core) and -threads (PUs per core)
+//	                   where those are unset
 //
 // Admission control maps to HTTP: a saturated backend answers 503 with
 // Retry-After (after one re-route to the least-loaded shard); pass
@@ -94,6 +104,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/prom"
 	"repro/internal/serve"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/omp"
 )
@@ -111,7 +122,32 @@ var (
 	notReady  = flag.Duration("notready-grace", 250*time.Millisecond, "window between /readyz flipping 503 and the listener closing, so health probes observe the flip")
 	traceDir  = flag.String("trace-dir", ".", "directory for flight-recorder dump files (SIGUSR2 and anomaly dumps)")
 	anomEvery = flag.Duration("anomaly-interval", serve.DefaultAnomalyInterval, "anomaly watchdog sample period")
+	steal     = flag.Bool("steal", true, "idle shards steal unkeyed queued requests from the most-loaded shard (keyed work never moves)")
+	scaleMax  = flag.Int("autoscale-max", 0, "autoscaler shard ceiling per backend (0 or <= -shards: autoscaling off)")
+	scaleTick = flag.Duration("scale-interval", serve.DefaultScaleInterval, "autoscaler sample period")
+	topoMode  = flag.String("topo", "off", "topology-aware shard layout: off, detect, paper, or SxCxP (e.g. 2x18x2)")
 )
+
+// resolveTopo maps the -topo flag onto a machine topology: "off" (nil —
+// flat layout), "detect" (probe the host), "paper" (the paper's 2x18x2
+// Xeon E5-2699v3 pair), or an explicit "SxCxP" spec.
+func resolveTopo(mode string) (*topo.Topology, error) {
+	switch mode {
+	case "", "off":
+		return nil, nil
+	case "detect":
+		t := topo.Detect()
+		return &t, nil
+	case "paper":
+		t := topo.Paper()
+		return &t, nil
+	}
+	var s, c, p int
+	if n, err := fmt.Sscanf(mode, "%dx%dx%d", &s, &c, &p); err != nil || n != 3 || s < 1 || c < 1 || p < 1 {
+		return nil, fmt.Errorf("bad -topo %q (off|detect|paper|SxCxP)", mode)
+	}
+	return &topo.Topology{Sockets: s, CoresPerSocket: c, PUsPerCore: p}, nil
+}
 
 // dumpTrace snapshots the process-global flight recorder and writes it
 // to a timestamped file in -trace-dir. Used by the SIGUSR2 handler and
@@ -143,6 +179,7 @@ type registry struct {
 	mu      sync.Mutex
 	servers map[string]*lwt.Server
 	omps    map[string]*ompWorker
+	topo    *topo.Topology // resolved -topo layout; nil means flat
 }
 
 func (g *registry) server(backend string) (*lwt.Server, error) {
@@ -162,6 +199,9 @@ func (g *registry) server(backend string) (*lwt.Server, error) {
 		Shards: *shards, Router: rt,
 		QueueDepth: *queue, MaxInFlight: *inflight, Batch: *batch,
 		DrainTimeout: *drain,
+		Steal:        *steal,
+		Scale:        lwt.AutoScale{MaxShards: *scaleMax, Interval: *scaleTick},
+		Topo:         g.topo,
 		// Anomaly-triggered flight-recorder dump: the watchdog fires
 		// while the trace window still holds the spike it detected.
 		AnomalyInterval: *anomEvery,
@@ -172,6 +212,9 @@ func (g *registry) server(backend string) (*lwt.Server, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if lay := s.Layout(); lay != "" {
+		log.Printf("lwtserved: %s topology layout: %s", backend, lay)
 	}
 	g.servers[backend] = s
 	return s, nil
@@ -392,14 +435,14 @@ func submitULT(r *http.Request, sub *lwt.Submitter, body func(lwt.Ctx) (float64,
 	deadline := deadlineOf(r)
 	if r.URL.Query().Get("wait") == "1" {
 		if key != "" {
-			return lwt.SubmitULTKeyedDeadline(sub, r.Context(), key, deadline, body)
+			return lwt.DoULT(sub, r.Context(), body, lwt.Req{Key: key, Deadline: deadline})
 		}
-		return lwt.SubmitULTDeadline(sub, r.Context(), deadline, body)
+		return lwt.DoULT(sub, r.Context(), body, lwt.Req{Deadline: deadline})
 	}
 	if key != "" {
-		return lwt.TrySubmitULTKeyedDeadline(sub, key, deadline, body)
+		return lwt.DoULT(sub, nil, body, lwt.Req{Key: key, Deadline: deadline, NonBlocking: true})
 	}
-	return lwt.TrySubmitULTDeadline(sub, deadline, body)
+	return lwt.DoULT(sub, nil, body, lwt.Req{Deadline: deadline, NonBlocking: true})
 }
 
 // fib computes fib(n) with a ULT per left branch below the cutoff.
@@ -422,7 +465,16 @@ func main() {
 	if _, err := lwt.RouterByName(*router); err != nil {
 		log.Fatalf("lwtserved: %v", err)
 	}
-	g := &registry{servers: map[string]*lwt.Server{}, omps: map[string]*ompWorker{}}
+	layout, err := resolveTopo(*topoMode)
+	if err != nil {
+		log.Fatalf("lwtserved: %v", err)
+	}
+	if layout != nil {
+		sh, th := serve.TopoLayout(*layout)
+		log.Printf("lwtserved: topology (%s): %s -> %d shards x %d executors per backend",
+			*topoMode, layout, sh, th)
+	}
+	g := &registry{servers: map[string]*lwt.Server{}, omps: map[string]*ompWorker{}, topo: layout}
 
 	mux := http.NewServeMux()
 

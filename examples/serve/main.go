@@ -50,9 +50,9 @@ func main() {
 					if i%10 == 0 {
 						// A ULT-shaped request: fib(16) as a spawn/join
 						// tree on the serving runtime.
-						f, err := lwt.SubmitULT(sub, context.Background(), func(c lwt.Ctx) (uint64, error) {
+						f, err := lwt.DoULT(sub, context.Background(), func(c lwt.Ctx) (uint64, error) {
 							return fibULT(c, 16), nil
-						})
+						}, lwt.Req{})
 						if err != nil {
 							log.Fatalf("%s: SubmitULT: %v", backend, err)
 						}
@@ -65,12 +65,12 @@ func main() {
 						// A keyed request: producer p's "session" always
 						// lands on the same shard, keeping that runtime's
 						// local state warm.
-						f, err := lwt.SubmitKeyed(sub, context.Background(), fmt.Sprintf("session-%d", p), func() (float32, error) {
+						f, err := lwt.Do(sub, context.Background(), func() (float32, error) {
 							v := make([]float32, 256)
 							blas.Fill(v, 4)
 							blas.Sscal(v, 0.25)
 							return blas.Sasum(v), nil
-						})
+						}, lwt.Req{Key: fmt.Sprintf("session-%d", p)})
 						if err != nil {
 							log.Fatalf("%s: SubmitKeyed: %v", backend, err)
 						}
@@ -81,12 +81,12 @@ func main() {
 					}
 					// A tasklet-shaped request: scale a vector, return
 					// its checksum.
-					f, err := lwt.Submit(sub, context.Background(), func() (float32, error) {
+					f, err := lwt.Do(sub, context.Background(), func() (float32, error) {
 						v := make([]float32, 512)
 						blas.Fill(v, 2)
 						blas.Sscal(v, 0.5)
 						return blas.Sasum(v), nil
-					})
+					}, lwt.Req{})
 					if err != nil {
 						log.Fatalf("%s: Submit: %v", backend, err)
 					}
@@ -101,13 +101,13 @@ func main() {
 		// Overrun the queue on purpose: fire non-blocking submissions
 		// against a gated server until admission control pushes back.
 		gate := make(chan struct{})
-		blocked, _ := lwt.Submit(sub, context.Background(), func() (int, error) {
+		blocked, _ := lwt.Do(sub, context.Background(), func() (int, error) {
 			<-gate
 			return 0, nil
-		})
+		}, lwt.Req{})
 		saturated := 0
 		for i := 0; i < 10_000; i++ {
-			if _, err := lwt.TrySubmit(sub, func() (int, error) { return i, nil }); errors.Is(err, lwt.ErrSaturated) {
+			if _, err := lwt.Do(sub, nil, func() (int, error) { return i, nil }, lwt.Req{NonBlocking: true}); errors.Is(err, lwt.ErrSaturated) {
 				saturated++
 				break
 			}

@@ -29,10 +29,9 @@ func TestServeDeadlineEveryBackend(t *testing.T) {
 
 			// Running-handler cancellation: the Sleep must end in
 			// ErrCanceled long before its nominal duration.
-			f, err := serve.SubmitULTDeadline(sub, context.Background(), time.Now().Add(30*time.Millisecond),
-				func(c core.Ctx) (bool, error) {
-					return core.Sleep(c, 30*time.Second) == core.ErrCanceled, nil
-				})
+			f, err := serve.DoULT(sub, context.Background(), func(c core.Ctx) (bool, error) {
+				return core.Sleep(c, 30*time.Second) == core.ErrCanceled, nil
+			}, serve.Req{Deadline: time.Now().Add(30 * time.Millisecond)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -55,15 +54,15 @@ func TestServeDeadlineEveryBackend(t *testing.T) {
 			sub2 := s2.Submitter()
 			started := make(chan struct{})
 			release := make(chan struct{})
-			if _, err := serve.Submit(sub2, context.Background(), func() (int, error) {
+			if _, err := serve.Do(sub2, context.Background(), func() (int, error) {
 				close(started)
 				<-release
 				return 0, nil
-			}); err != nil {
+			}, serve.Req{}); err != nil {
 				t.Fatal(err)
 			}
 			<-started
-			ef, err := serve.TrySubmitDeadline(sub2, time.Now().Add(10*time.Millisecond), func() (int, error) { return 1, nil })
+			ef, err := serve.Do(sub2, nil, func() (int, error) { return 1, nil }, serve.Req{Deadline: time.Now().Add(10 * time.Millisecond), NonBlocking: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,22 +109,20 @@ func TestServeDeadlineHammerEveryBackend(t *testing.T) {
 						switch i % 4 {
 						case 0:
 							// Tight budget a queued request may miss.
-							f, err = serve.TrySubmitDeadline(sub, time.Now().Add(time.Duration(i%3)*time.Millisecond),
-								func() (int, error) { return i, nil })
+							f, err = serve.Do(sub, nil, func() (int, error) { return i, nil }, serve.Req{Deadline: time.Now().Add(time.Duration(i%3) * time.Millisecond), NonBlocking: true})
 						case 1:
 							// ULT whose budget cancels its park mid-run.
-							f, err = serve.SubmitULTDeadline(sub, context.Background(), time.Now().Add(5*time.Millisecond),
-								func(c core.Ctx) (int, error) {
-									_ = core.Sleep(c, time.Duration(i%4)*time.Millisecond)
-									return i, nil
-								})
+							f, err = serve.DoULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+								_ = core.Sleep(c, time.Duration(i%4)*time.Millisecond)
+								return i, nil
+							}, serve.Req{Deadline: time.Now().Add(5 * time.Millisecond)})
 						case 2:
 							// Submission context cancelled while in flight.
 							ctx, cancel := context.WithCancel(context.Background())
-							f, err = serve.Submit(sub, ctx, func() (int, error) { return i, nil })
+							f, err = serve.Do(sub, ctx, func() (int, error) { return i, nil }, serve.Req{})
 							cancel()
 						default:
-							f, err = serve.Submit(sub, context.Background(), func() (int, error) { return i, nil })
+							f, err = serve.Do(sub, context.Background(), func() (int, error) { return i, nil }, serve.Req{})
 						}
 						if errors.Is(err, serve.ErrSaturated) || errors.Is(err, serve.ErrExpired) {
 							continue

@@ -40,12 +40,12 @@ func TestServeEveryBackend(t *testing.T) {
 						if i%5 == 0 {
 							// ULT-shaped: spawn and join a child on the
 							// serving runtime.
-							f, err := serve.SubmitULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+							f, err := serve.DoULT(sub, context.Background(), func(c core.Ctx) (int, error) {
 								var child int
 								h := c.ULTCreate(func(core.Ctx) { child = i })
 								c.Join(h)
 								return child, nil
-							})
+							}, serve.Req{})
 							if err != nil {
 								t.Errorf("SubmitULT: %v", err)
 								return
@@ -55,10 +55,10 @@ func TestServeEveryBackend(t *testing.T) {
 								return
 							}
 						} else {
-							f, err := serve.Submit(sub, context.Background(), func() (int, error) {
+							f, err := serve.Do(sub, context.Background(), func() (int, error) {
 								sum.Add(1)
 								return p*per + i, nil
-							})
+							}, serve.Req{})
 							if err != nil {
 								t.Errorf("Submit: %v", err)
 								return
@@ -74,7 +74,7 @@ func TestServeEveryBackend(t *testing.T) {
 			wg.Wait()
 
 			// Panic capture must hold on every backend's executors.
-			f, err := serve.Submit(sub, context.Background(), func() (int, error) { panic(backend) })
+			f, err := serve.Do(sub, context.Background(), func() (int, error) { panic(backend) }, serve.Req{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,12 +136,12 @@ func TestServeShardedEveryBackend(t *testing.T) {
 						case 0:
 							// ULT-shaped: spawn and join a child on the
 							// shard this request routed to.
-							f, err := serve.SubmitULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+							f, err := serve.DoULT(sub, context.Background(), func(c core.Ctx) (int, error) {
 								var child int
 								h := c.ULTCreate(func(core.Ctx) { child = i })
 								c.Join(h)
 								return child, nil
-							})
+							}, serve.Req{})
 							if err != nil {
 								t.Errorf("SubmitULT: %v", err)
 								return
@@ -156,7 +156,7 @@ func TestServeShardedEveryBackend(t *testing.T) {
 							keyedMu.Lock()
 							keyed[s.ShardOf(key)]++
 							keyedMu.Unlock()
-							f, err := serve.SubmitKeyed(sub, context.Background(), key, func() (int, error) { return p, nil })
+							f, err := serve.Do(sub, context.Background(), func() (int, error) { return p, nil }, serve.Req{Key: key})
 							if err != nil {
 								t.Errorf("SubmitKeyed: %v", err)
 								return
@@ -166,7 +166,7 @@ func TestServeShardedEveryBackend(t *testing.T) {
 								return
 							}
 						default:
-							f, err := serve.Submit(sub, context.Background(), func() (int, error) { return p*per + i, nil })
+							f, err := serve.Do(sub, context.Background(), func() (int, error) { return p*per + i, nil }, serve.Req{})
 							if err != nil {
 								t.Errorf("Submit: %v", err)
 								return
@@ -240,11 +240,11 @@ func TestServeShardedDrainUnderLoad(t *testing.T) {
 						var err error
 						switch i % 3 {
 						case 0:
-							f, err = serve.TrySubmit(sub, func() (int, error) { return i, nil })
+							f, err = serve.Do(sub, nil, func() (int, error) { return i, nil }, serve.Req{NonBlocking: true})
 						case 1:
-							f, err = serve.Submit(sub, context.Background(), func() (int, error) { return i, nil })
+							f, err = serve.Do(sub, context.Background(), func() (int, error) { return i, nil }, serve.Req{})
 						default:
-							f, err = serve.SubmitKeyed(sub, context.Background(), "drain-session", func() (int, error) { return i, nil })
+							f, err = serve.Do(sub, context.Background(), func() (int, error) { return i, nil }, serve.Req{Key: "drain-session"})
 						}
 						if errors.Is(err, serve.ErrClosed) {
 							return // the drain shut the door: expected exit
@@ -315,33 +315,33 @@ func TestServeSaturationEveryBackend(t *testing.T) {
 			release := make(chan struct{})
 			defer s.Close()
 			sub := s.Submitter()
-			if _, err := serve.Submit(sub, context.Background(), func() (int, error) {
+			if _, err := serve.Do(sub, context.Background(), func() (int, error) {
 				close(started)
 				<-release
 				return 0, nil
-			}); err != nil {
+			}, serve.Req{}); err != nil {
 				t.Fatal(err)
 			}
 			<-started // occupies the only in-flight slot until released
 			// Fill the depth-2 queue: one plain request plus one whose
 			// context will die while it waits.
-			if _, err := serve.TrySubmit(sub, func() (int, error) { return 1, nil }); err != nil {
+			if _, err := serve.Do(sub, nil, func() (int, error) { return 1, nil }, serve.Req{NonBlocking: true}); err != nil {
 				t.Fatalf("fill: %v", err)
 			}
 			qctx, qcancel := context.WithCancel(context.Background())
-			f, err := serve.Submit(sub, qctx, func() (int, error) { return 9, nil })
+			f, err := serve.Do(sub, qctx, func() (int, error) { return 9, nil }, serve.Req{})
 			if err != nil {
 				t.Fatalf("queued-cancel candidate: %v", err)
 			}
 			// Saturation must fast-reject, not block or deadlock.
-			if _, err := serve.TrySubmit(sub, func() (int, error) { return 0, nil }); !errors.Is(err, serve.ErrSaturated) {
+			if _, err := serve.Do(sub, nil, func() (int, error) { return 0, nil }, serve.Req{NonBlocking: true}); !errors.Is(err, serve.ErrSaturated) {
 				t.Fatalf("TrySubmit on full queue = %v, want ErrSaturated", err)
 			}
 			// A blocking Submit stuck on the full queue honors its
 			// context.
 			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 			defer cancel()
-			if _, err := serve.Submit(sub, ctx, func() (int, error) { return 0, nil }); !errors.Is(err, context.DeadlineExceeded) {
+			if _, err := serve.Do(sub, ctx, func() (int, error) { return 0, nil }, serve.Req{}); !errors.Is(err, context.DeadlineExceeded) {
 				t.Fatalf("blocked Submit = %v, want DeadlineExceeded", err)
 			}
 			// A queued request whose context dies before launch resolves

@@ -104,11 +104,11 @@ func TestAnomalyWatchdogFires(t *testing.T) {
 	// growing the Saturated counter continuously across watchdog samples.
 	release := make(chan struct{})
 	started := make(chan struct{})
-	_, err := TrySubmit(s.Submitter(), func() (int, error) {
+	_, err := Do(s.Submitter(), nil, func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	})
+	}, Req{NonBlocking: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestAnomalyWatchdogFires(t *testing.T) {
 		default:
 			// Keep the rejection counter growing; the first submission
 			// or two may still fit the depth-1 queue, the rest saturate.
-			_, _ = TrySubmit(s.Submitter(), func() (int, error) { return 0, nil })
+			_, _ = Do(s.Submitter(), nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true})
 			time.Sleep(200 * time.Microsecond)
 		}
 	}

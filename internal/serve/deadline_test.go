@@ -18,19 +18,19 @@ import (
 func TestDeadlineShedsQueuedRequest(t *testing.T) {
 	s, sub, started, release := gated(t)
 	defer s.Close()
-	if _, err := Submit(sub, context.Background(), func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	var ran atomic.Bool
-	f, err := TrySubmitDeadline(sub, time.Now().Add(20*time.Millisecond), func() (int, error) {
+	f, err := Do(sub, nil, func() (int, error) {
 		ran.Store(true)
 		return 7, nil
-	})
+	}, Req{Deadline: time.Now().Add(20 * time.Millisecond), NonBlocking: true})
 	if err != nil {
 		t.Fatal(err) // queue has room: accepted, but cannot launch yet
 	}
@@ -52,7 +52,7 @@ func TestDeadlineShedsQueuedRequest(t *testing.T) {
 func TestDeadlineFutureStillLaunches(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 1, Shards: 1})
 	defer s.Close()
-	f, err := TrySubmitDeadline(s.Submitter(), time.Now().Add(time.Minute), func() (int, error) { return 9, nil })
+	f, err := Do(s.Submitter(), nil, func() (int, error) { return 9, nil }, Req{Deadline: time.Now().Add(time.Minute), NonBlocking: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +71,13 @@ func TestDeadlineFutureStillLaunches(t *testing.T) {
 func TestRunningHandlerSleepCancels(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 1, Shards: 1})
 	defer s.Close()
-	f, err := SubmitULTDeadline(s.Submitter(), context.Background(), time.Now().Add(30*time.Millisecond),
-		func(c core.Ctx) (time.Duration, error) {
-			t0 := time.Now()
-			if err := core.Sleep(c, 30*time.Second); err != core.ErrCanceled {
-				return 0, errors.New("Sleep returned without cancellation")
-			}
-			return time.Since(t0), nil
-		})
+	f, err := DoULT(s.Submitter(), context.Background(), func(c core.Ctx) (time.Duration, error) {
+		t0 := time.Now()
+		if err := core.Sleep(c, 30*time.Second); err != core.ErrCanceled {
+			return 0, errors.New("Sleep returned without cancellation")
+		}
+		return time.Since(t0), nil
+	}, Req{Deadline: time.Now().Add(30 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +98,13 @@ func TestRunningHandlerCtxCancelWakesAwait(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	started := make(chan struct{})
 	never := make(chan struct{})
-	f, err := SubmitULT(s.Submitter(), ctx, func(c core.Ctx) (int, error) {
+	f, err := DoULT(s.Submitter(), ctx, func(c core.Ctx) (int, error) {
 		close(started)
 		if err := core.AwaitIO(c, never); err != core.ErrCanceled {
 			return 0, errors.New("AwaitIO returned without cancellation")
 		}
 		return 1, nil
-	})
+	}, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,19 +121,18 @@ func TestRunningHandlerCtxCancelWakesAwait(t *testing.T) {
 func TestCanceledHelperVisible(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 1, Shards: 1})
 	defer s.Close()
-	f, err := SubmitULTDeadline(s.Submitter(), context.Background(), time.Now().Add(20*time.Millisecond),
-		func(c core.Ctx) (bool, error) {
-			ch := core.Canceled(c)
-			if ch == nil {
-				return false, errors.New("Canceled(c) = nil on a deadlined request")
-			}
-			select {
-			case <-ch:
-				return true, nil
-			case <-time.After(30 * time.Second):
-				return false, nil
-			}
-		})
+	f, err := DoULT(s.Submitter(), context.Background(), func(c core.Ctx) (bool, error) {
+		ch := core.Canceled(c)
+		if ch == nil {
+			return false, errors.New("Canceled(c) = nil on a deadlined request")
+		}
+		select {
+		case <-ch:
+			return true, nil
+		case <-time.After(30 * time.Second):
+			return false, nil
+		}
+	}, Req{Deadline: time.Now().Add(20 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +157,11 @@ func TestDrainIdentityWithExpiry(t *testing.T) {
 	sub := s.Submitter()
 	started := make(chan struct{})
 	release := make(chan struct{})
-	if _, err := Submit(sub, context.Background(), func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started
@@ -172,9 +170,9 @@ func TestDrainIdentityWithExpiry(t *testing.T) {
 		var f *Future[int]
 		var err error
 		if i%2 == 0 {
-			f, err = TrySubmitDeadline(sub, time.Now().Add(10*time.Millisecond), func() (int, error) { return i, nil })
+			f, err = Do(sub, nil, func() (int, error) { return i, nil }, Req{Deadline: time.Now().Add(10 * time.Millisecond), NonBlocking: true})
 		} else {
-			f, err = TrySubmit(sub, func() (int, error) { return i, nil })
+			f, err = Do(sub, nil, func() (int, error) { return i, nil }, Req{NonBlocking: true})
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -216,10 +214,10 @@ func TestAbandonedWaitLateCompletion(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			release := make(chan struct{})
-			f, err := Submit(sub, context.Background(), func() (int, error) {
+			f, err := Do(sub, context.Background(), func() (int, error) {
 				<-release
 				return i, nil
-			})
+			}, Req{})
 			if err != nil {
 				t.Error(err)
 				return

@@ -7,16 +7,19 @@
 // outrun the runtime.
 //
 // The engine is a pool of shards. Each shard is an independent backend
-// runtime behind its own bounded multi-producer queue and pump goroutine
-// (the backend's main thread); a pluggable Router spreads unkeyed
-// submissions across shards, and keyed submissions pin to one shard by
-// hash so backend-local state stays warm:
+// runtime behind its own bounded multi-producer queues and pump
+// goroutine (the backend's main thread); a pluggable Router spreads
+// unkeyed submissions across shards, and keyed submissions pin to one
+// shard by hash so backend-local state stays warm. All submissions
+// enter through Do (tasklet bodies) and DoULT (stackful bodies), with
+// the per-request options — affinity key, deadline, non-blocking
+// admission — carried in a Req:
 //
 //	producers (any goroutine)
-//	  Submit / TrySubmit ──Router──▶ shard 0: queue ──▶ pump ──▶ runtime 0
-//	  SubmitKeyed(key)   ──FNV-1a──▶ shard 1: queue ──▶ pump ──▶ runtime 1
-//	        │                        …
-//	        ▼                        shard N-1: queue ─▶ pump ──▶ runtime N-1
+//	  Do / DoULT          ──Router──▶ shard 0: queues ──▶ pump ──▶ runtime 0
+//	  Do{Req.Key}         ──FNV-1a──▶ shard 1: queues ──▶ pump ──▶ runtime 1
+//	        │                         …
+//	        ▼                         shard N-1: queues ─▶ pump ──▶ runtime N-1
 //	   Future[T]  ◀── complete(value, err, panic) ◀── any shard's executor
 //
 // Every runtime interaction — creation, yielding, finalization — happens
@@ -24,17 +27,52 @@
 // drive its own scheduler (Converse's return mode, §VIII-B1) serve
 // traffic exactly like preemptive ones. Admission control is two-level:
 // a full shard re-routes one submission once (to the least-loaded shard)
-// before TrySubmit surfaces ErrSaturated, blocking Submit parks on the
-// least-loaded shard, and Close is a graceful drain — admission stops,
-// every shard runs down its queue (bounded by Options.DrainTimeout),
-// and every accepted Future resolves.
+// before a non-blocking Do surfaces ErrSaturated, a blocking Do parks on
+// the least-loaded shard, and Close is a graceful drain — admission
+// stops, every shard runs down its queues (bounded by
+// Options.DrainTimeout), and every accepted Future resolves.
+//
+// # Adaptive pool
+//
+// The pool reshapes itself around the offered load; three independent
+// mechanisms, all off by default:
+//
+//   - Work stealing (Options.Steal): a shard whose own queues are empty
+//     and whose executors have spare capacity takes queued unkeyed
+//     requests from the shard with the deepest unkeyed backlog and runs
+//     them itself. Stealing never moves keyed work: each shard buffers
+//     keyed and unkeyed requests separately, and only the owning pump
+//     ever receives from the keyed queue, so the affinity contract —
+//     same key, same runtime, for the server's lifetime — holds by
+//     construction, not by policy. A stolen request stays Submitted on
+//     the shard that accepted it and becomes Completed (and Steals) on
+//     the thief, so per-shard Submitted/Completed drift under stealing
+//     while every aggregate identity below holds exactly.
+//   - Autoscaling (Options.Scale): a controller samples the aggregate
+//     Metrics and grows the routing set by one shard after sustained
+//     saturation (queue depth at the in-flight cap, ErrSaturated growth,
+//     or P99 over its EWMA baseline), up to AutoScale.MaxShards; a pool
+//     that stays cold longer shrinks by one. Keyed submissions hash over
+//     the base Options.Shards only, so scaling never remaps a key; the
+//     dynamic shards carry unkeyed traffic. Scale-down drains before
+//     removal: the shard leaves the routing set first (no new traffic),
+//     its pump runs down everything it had accepted, and the shard then
+//     parks warm — still owning its queues, so a submission that raced
+//     the scale-down is served, not stranded — until a later grow
+//     revives it or Close finalizes it.
+//   - Topology-aware layout (Options.Topo): the pool shape defaults to
+//     one shard per physical core with one executor per hardware thread
+//     (internal/topo), the way Qthreads binds one Shepherd per core
+//     (§III-D). See Server.Layout.
 //
 // # Observability
 //
 // Server.Metrics returns one Metrics snapshot per shard plus an
 // aggregate. The counters (Submitted, Completed, Saturated, Canceled,
-// Rejected, Failed, Panicked) are monotonic over the Server's lifetime;
-// the gauges (QueueDepth, InFlight, IOParked) are instantaneous.
+// Rejected, Failed, Panicked, Steals, ScaleUps/ScaleDowns) are monotonic
+// over the Server's lifetime — a shard scaled out of the routing set
+// keeps reporting, so the per-shard slice never loses history; the
+// gauges (QueueDepth, InFlight, IOParked) are instantaneous.
 // Invariants the fields keep:
 //
 //   - Admission accounting: InFlight counts requests that were accepted
@@ -50,7 +88,10 @@
 //     Completed + Canceled + Failed + Panicked + the ErrClosed
 //     remainder.
 //   - Deadline accounting: every accepted request resolves exactly once
-//     — Submitted == Completed + Rejected + Expired after drain.
+//     — Submitted == Completed + Rejected + Expired after drain, summed
+//     across shards. With stealing on, the identity holds in the
+//     aggregate only: Submitted counts at the accepting shard, the
+//     resolution counts at the shard that ran (or shed) the request.
 //     Expired counts requests shed at launch because their deadline
 //     passed (or their context was cancelled) while queued; the handler
 //     body never ran. Canceled counts blocking Submits that gave up

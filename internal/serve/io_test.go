@@ -25,10 +25,10 @@ func TestIOParkedDiscountsAdmission(t *testing.T) {
 	start := time.Now()
 	futs := make([]*Future[int], n)
 	for i := range futs {
-		f, err := SubmitULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+		f, err := DoULT(sub, context.Background(), func(c core.Ctx) (int, error) {
 			core.Sleep(c, wait)
 			return 1, nil
-		})
+		}, Req{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,10 +67,10 @@ func TestDrainWaitsForParkedHandlers(t *testing.T) {
 		QueueDepth: 8, MaxInFlight: 4, Batch: 4,
 	})
 	sub := s.Submitter()
-	f, err := SubmitULT(sub, context.Background(), func(c core.Ctx) (int, error) {
+	f, err := DoULT(sub, context.Background(), func(c core.Ctx) (int, error) {
 		core.Sleep(c, 50*time.Millisecond)
 		return 7, nil
-	})
+	}, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,6 +38,7 @@ type metrics struct {
 	rejected  atomic.Uint64 // failed with ErrClosed at shutdown
 	failed    atomic.Uint64 // bodies that returned an error
 	panicked  atomic.Uint64 // bodies that panicked
+	steals    atomic.Uint64 // unkeyed requests this shard stole from another shard's queue
 
 	// hist counts completed requests per latency bucket (non-cumulative
 	// here; Metrics.Hist exposes the Prometheus-style cumulative form).
@@ -111,7 +112,10 @@ type Metrics struct {
 	// Shard is the shard index this snapshot covers, or -1 for the
 	// whole-server aggregate.
 	Shard int
-	// Shards is the server's shard count.
+	// Shards is the routing set's current size — base shards plus live
+	// dynamic shards. With autoscaling armed it moves between
+	// Options.Shards and AutoScale.MaxShards; the per-shard slice from
+	// ShardMetrics may be longer (scaled-down shards keep reporting).
 	Shards int
 	// Router is the name of the router spreading unkeyed submissions.
 	Router string
@@ -138,6 +142,17 @@ type Metrics struct {
 	Failed uint64
 	// Panicked counts bodies whose panic was captured into the Future.
 	Panicked uint64
+	// Steals counts unkeyed queued requests this shard took from
+	// another shard's queue and ran itself (Options.Steal). Thief-side:
+	// a stolen request stays Submitted on the shard that accepted it
+	// and becomes Completed here, so per-shard Submitted and Completed
+	// drift apart under stealing while the aggregate drain identity
+	// holds exactly.
+	Steals uint64
+	// ScaleUps and ScaleDowns count autoscaler routing-set changes over
+	// the server's lifetime (aggregate view only; zero per shard).
+	ScaleUps   uint64
+	ScaleDowns uint64
 	// QueueDepth is the number of requests waiting in the submission
 	// queue right now.
 	QueueDepth int

@@ -36,6 +36,18 @@ func WriteProm(w io.Writer, views ...View) (int64, error) {
 		pw.Sample("lwt_serve_uptime_seconds", v.Aggregate.Uptime.Seconds(),
 			"backend", v.Aggregate.Backend)
 	}
+	pw.Family("lwt_serve_shards", "Shards currently in the routing set (autoscaling moves it).", prom.Gauge)
+	for _, v := range views {
+		pw.Sample("lwt_serve_shards", float64(v.Aggregate.Shards),
+			"backend", v.Aggregate.Backend)
+	}
+	pw.Family("lwt_serve_scale_events_total", "Autoscaler routing-set changes, by direction.", prom.Counter)
+	for _, v := range views {
+		pw.Sample("lwt_serve_scale_events_total", float64(v.Aggregate.ScaleUps),
+			"backend", v.Aggregate.Backend, "direction", "up")
+		pw.Sample("lwt_serve_scale_events_total", float64(v.Aggregate.ScaleDowns),
+			"backend", v.Aggregate.Backend, "direction", "down")
+	}
 
 	counters := []struct {
 		name, help string
@@ -49,6 +61,7 @@ func WriteProm(w io.Writer, views ...View) (int64, error) {
 		{"lwt_serve_rejected_total", "Queued requests failed with ErrClosed at shutdown.", func(m Metrics) uint64 { return m.Rejected }},
 		{"lwt_serve_failed_total", "Request bodies that returned an error.", func(m Metrics) uint64 { return m.Failed }},
 		{"lwt_serve_panicked_total", "Request bodies whose panic was captured.", func(m Metrics) uint64 { return m.Panicked }},
+		{"lwt_serve_steals_total", "Unkeyed queued requests this shard stole from another shard and ran.", func(m Metrics) uint64 { return m.Steals }},
 	}
 	gauges := []struct {
 		name, help string

@@ -18,7 +18,7 @@ func TestWritePromExposition(t *testing.T) {
 	defer s.Close()
 	const n = 10
 	for i := 0; i < n; i++ {
-		f, err := Submit(s.Submitter(), context.Background(), func() (int, error) { return i, nil })
+		f, err := Do(s.Submitter(), context.Background(), func() (int, error) { return i, nil }, Req{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +40,9 @@ func TestWritePromExposition(t *testing.T) {
 	// Families the scrape must carry.
 	for _, fam := range []string{
 		"lwt_serve_info", "lwt_serve_uptime_seconds",
+		"lwt_serve_shards", "lwt_serve_scale_events_total",
 		"lwt_serve_submitted_total", "lwt_serve_completed_total",
+		"lwt_serve_steals_total",
 		"lwt_serve_queue_depth", "lwt_serve_inflight", "lwt_serve_ioparked",
 		"lwt_serve_latency_seconds", "lwt_sched_pushes_total", "lwt_sched_steals_total",
 		"lwt_serve_expired_total",

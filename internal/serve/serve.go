@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/microbench"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,9 @@ const (
 	// DefaultTraceSample is the request-trace sampling interval: one
 	// request in every DefaultTraceSample emits its KindUser interval.
 	DefaultTraceSample = 8
+	// DefaultStealInterval is how often an idle shard re-scans the pool
+	// for a steal victim while parked (Options.Steal).
+	DefaultStealInterval = time.Millisecond
 	// slowTraceCutoff bypasses sampling: any request at least this slow
 	// is always traced, so the flight recorder never misses a tail-
 	// latency outlier between samples.
@@ -60,22 +64,28 @@ type Options struct {
 	// Threads is the executor count per shard; <= 0 means
 	// runtime.NumCPU() divided by the shard count (at least 1), so a
 	// zero-value Options keeps the pool's total executor budget at one
-	// per CPU rather than multiplying shards by CPUs.
+	// per CPU rather than multiplying shards by CPUs. With Topo set,
+	// <= 0 means the topology's hardware threads per core instead.
 	Threads int
 	// Scheduler names the backend's ready-pool policy (core.Config.
 	// Scheduler); empty means the backend default. Requests the backend
 	// cannot honor degrade per the unified API's negotiation rules.
 	Scheduler string
 	// Shards is the number of independent backend runtimes the server
-	// runs, each behind its own queue and pump; <= 0 means
-	// runtime.NumCPU(). One shard reproduces the unsharded engine.
+	// starts, each behind its own queue and pump; <= 0 means
+	// runtime.NumCPU(), or the topology's physical core count when Topo
+	// is set. One shard reproduces the unsharded engine. This is also
+	// the keyed-affinity domain and the autoscaler's floor: keyed
+	// submissions hash over these base shards only, so growing or
+	// shrinking the pool never remaps a key.
 	Shards int
 	// Router spreads unkeyed submissions across shards; nil means
 	// power-of-two-choices on shard depth (P2C). See RouterByName.
 	Router Router
 	// QueueDepth bounds each shard's submission queue; <= 0 means
 	// DefaultQueueDepth. With every candidate shard's queue full,
-	// TrySubmit fast-rejects with ErrSaturated and Submit blocks.
+	// a non-blocking Do fast-rejects with ErrSaturated and a blocking
+	// Do parks.
 	QueueDepth int
 	// Batch caps the number of requests launched per pump wakeup —
 	// queued requests are turned into work units in groups, amortizing
@@ -96,6 +106,29 @@ type Options struct {
 	// Futures with ErrClosed instead of running. Zero means drain
 	// without a deadline.
 	DrainTimeout time.Duration
+	// Steal enables idle-shard work stealing: a shard whose own queues
+	// are empty and whose executors have spare capacity takes unkeyed
+	// queued requests from the most-loaded shard and runs them itself.
+	// Keyed requests are never stolen — they sit in a queue only their
+	// pinned shard's pump drains — so the affinity contract holds
+	// verbatim. Stolen requests count as Submitted on the shard that
+	// accepted them and Completed on the shard that ran them; the
+	// aggregate drain identity is unaffected.
+	Steal bool
+	// StealInterval is how often an idle shard wakes from its park to
+	// re-scan for steal victims; <= 0 means DefaultStealInterval.
+	// Ignored without Steal.
+	StealInterval time.Duration
+	// Scale arms the shard autoscaler when Scale.MaxShards exceeds
+	// Shards; see AutoScale.
+	Scale AutoScale
+	// Topo, when set, derives the pool layout from the machine
+	// topology: Shards defaults to the physical core count and Threads
+	// to the hardware threads per core, so one shard's queue, pump and
+	// executors align with one core the way Qthreads binds one Shepherd
+	// per core (§III-D). Explicit Shards/Threads override it field by
+	// field. See Server.Layout.
+	Topo *topo.Topology
 	// Tracer records one KindUser interval per request (submission to
 	// completion, Unit = request id) into a per-shard flight-recorder
 	// lane (Exec = -(shard+1): the work ran on some backend executor,
@@ -121,12 +154,37 @@ type Options struct {
 	AnomalyInterval time.Duration
 }
 
+// Req carries the per-submission options of one Do/DoULT call — the
+// attributes the legacy Submit* permutations encoded in their names.
+// The zero value is a plain submission: unkeyed, no deadline, blocking.
+type Req struct {
+	// Key, when non-empty, pins the request to one base shard by
+	// FNV-1a hash: every submission carrying the same key lands on the
+	// same backend runtime for the server's whole lifetime, keeping
+	// shard-local state warm. Keyed requests never re-route, never
+	// autoscale onto dynamic shards, and are never stolen.
+	Key string
+	// Deadline is the request's end-to-end completion budget (zero:
+	// none). A request still queued when it passes is shed before
+	// launch (Future resolves ErrExpired); a launched handler sees it
+	// through its cooperative cancellation signal. A blocking
+	// submission gives up at the deadline with ErrExpired. When ctx
+	// also carries a deadline the earlier one wins.
+	Deadline time.Time
+	// NonBlocking selects fast-reject admission: with the routed
+	// shard's queue full (and, for unkeyed requests, one re-route
+	// exhausted) Do returns ErrSaturated immediately instead of
+	// parking.
+	NonBlocking bool
+}
+
 // request is one queued submission.
 type request struct {
 	id    uint64
-	shard *shard          // owning shard, set before enqueue
+	shard *shard          // shard accountable for the request; thief overwrites at steal
 	ctx   context.Context // submission context; nil means background
 	ult   bool            // needs a stackful ULT (body takes a Ctx)
+	keyed bool            // pinned by affinity key: never re-routed, never stolen
 	enq   time.Time
 	// deadline is the request's completion budget (zero: none). The
 	// pump sheds queued requests whose deadline has passed (one time
@@ -170,11 +228,22 @@ func (r *request) cancelSignal() <-chan struct{} {
 }
 
 // shard is one independent serving lane: a backend runtime, its bounded
-// queue, its pump goroutine, and its slice of the metrics.
+// queues, its pump goroutine, and its slice of the metrics.
+//
+// Admission is a token semaphore over two channels: slots caps the
+// shard's total accepted-but-unlaunched requests at QueueDepth, and a
+// holder of a token pushes into keyed or unkeyed, each sized to the
+// full depth so the post-token send can never block. The split is what
+// makes stealing safe by construction — Go channels are MPMC, so any
+// idle pump may receive from another shard's unkeyed channel, while
+// the keyed channel has exactly one consumer: the owning pump.
 type shard struct {
-	s        *Server
-	id       int
-	reqs     chan *request
+	s       *Server
+	id      int
+	keyed   chan *request // drained only by the owning pump — affinity
+	unkeyed chan *request // drained by the owner and by stealing pumps
+	slots   chan struct{} // admission tokens; cap = QueueDepth over both queues
+
 	inflight atomic.Int64 // launched-but-unfinished work units
 	// ioparked counts the subset of inflight currently parked on the
 	// async-I/O reactor (lwt.Sleep, ReadIO, ...): launched and
@@ -184,7 +253,7 @@ type shard struct {
 	// concurrency; the drain loop keeps watching total inflight, because
 	// a parked handler still owes a completion.
 	ioparked atomic.Int64
-	queued   atomic.Int64 // accepted-but-unlaunched requests
+	queued   atomic.Int64 // accepted-but-unlaunched requests, both queues
 	m        metrics
 	done     chan struct{} // pump exited, runtime finalized
 	// ring is the shard's request lane in the flight recorder. It is
@@ -202,24 +271,43 @@ func (sh *shard) load() int {
 	return int(sh.queued.Load() + sh.inflight.Load())
 }
 
-// commit settles the admission accounting for a request that just
-// entered this shard's queue — the single place the accepted-submission
-// counters are bumped, shared by the non-blocking and parked paths.
-func (sh *shard) commit() {
+// queueFor picks the request's admission channel by affinity.
+func (sh *shard) queueFor(r *request) chan *request {
+	if r.keyed {
+		return sh.keyed
+	}
+	return sh.unkeyed
+}
+
+// push settles the admission accounting and buffers one request whose
+// token the caller already holds — the single place the accepted-
+// submission counters are bumped, shared by the non-blocking and
+// parked paths. The channel send cannot block: each queue's capacity
+// matches the token count.
+func (sh *shard) push(r *request) {
+	r.shard = sh
 	sh.queued.Add(1)
 	sh.m.submitted.Add(1)
+	sh.queueFor(r) <- r
+}
+
+// pop settles the dequeue side: one queued-counter decrement and one
+// token release per request received from either channel, whether by
+// the owning pump or a stealing one.
+func (sh *shard) pop() {
+	sh.queued.Add(-1)
+	<-sh.slots
 }
 
 // tryEnqueue is the non-blocking admission step onto this shard.
 func (sh *shard) tryEnqueue(r *request) bool {
-	r.shard = sh
 	select {
-	case sh.reqs <- r:
-		sh.commit()
-		return true
+	case sh.slots <- struct{}{}:
 	default:
 		return false
 	}
+	sh.push(r)
+	return true
 }
 
 // Server is a request-serving engine over a pool of backend runtimes.
@@ -227,9 +315,34 @@ func (sh *shard) tryEnqueue(r *request) bool {
 type Server struct {
 	opts   Options
 	router Router
-	shards []*shard
-	quit   chan struct{}
+	// base is the configured shard count: the keyed-affinity hash
+	// domain and the autoscaler's floor. Base shards are never removed
+	// from the routing set.
+	base int
+	// set is the routing set — the shards unkeyed submissions may land
+	// on, read lock-free on the submit fast path and swapped whole by
+	// the autoscaler under scaleMu. Base shards are always members;
+	// dynamic shards come and go.
+	set atomic.Pointer[[]*shard]
+	// all is every shard ever started, base and dynamic, in id order —
+	// the metrics domain. A scaled-down shard leaves the routing set
+	// but stays here: its counters remain visible (and monotonic) and
+	// its parked pump still owns its queues, so a submission that raced
+	// the scale-down is served, not stranded. Guarded by scaleMu.
+	all     []*shard
+	scaleMu sync.Mutex
+	// baseShards is the immutable prefix of all — the shards New
+	// created, the keyed-affinity domain. Never appended to after New,
+	// so keyed admission reads it without scaleMu.
+	baseShards []*shard
+	rec        *trace.Recorder
+	// scaleRing is the autoscaler's trace lane: one KindUser instant
+	// per scale event, Unit = the new routing-set size.
+	scaleRing            *trace.Ring
+	scaleUps, scaleDowns atomic.Uint64
+	layout               string // topology-derived layout, "" without Topo
 
+	quit   chan struct{}
 	closed atomic.Bool
 	active atomic.Int64 // producers currently inside a submit call
 	nextID atomic.Uint64
@@ -243,6 +356,22 @@ type Server struct {
 	traceMask uint64
 }
 
+// TopoLayout maps a machine topology onto a shard-pool layout: one
+// shard per physical core — each core's queue, pump and executors stay
+// local, the way Qthreads binds one Shepherd per core — with one
+// executor per hardware thread of that core.
+func TopoLayout(t topo.Topology) (shards, threads int) {
+	shards = t.Count(topo.LevelCore)
+	threads = t.PUsPerCore
+	if shards < 1 {
+		shards = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return shards, threads
+}
+
 // New starts a server: it spawns one pump goroutine per shard, each
 // initializing its own instance of the named backend, and returns once
 // every shard is serving (or any initialization failed, in which case
@@ -250,6 +379,17 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	if opts.Backend == "" {
 		opts.Backend = "go"
+	}
+	layout := ""
+	if opts.Topo != nil {
+		ts, tt := TopoLayout(*opts.Topo)
+		if opts.Shards <= 0 {
+			opts.Shards = ts
+		}
+		if opts.Threads <= 0 {
+			opts.Threads = tt
+		}
+		layout = fmt.Sprintf("%s -> %d shards x %d executors", opts.Topo, opts.Shards, opts.Threads)
 	}
 	if opts.Shards <= 0 {
 		opts.Shards = runtime.NumCPU()
@@ -277,6 +417,15 @@ func New(opts Options) (*Server, error) {
 	if opts.TraceSample <= 0 {
 		opts.TraceSample = DefaultTraceSample
 	}
+	if opts.StealInterval <= 0 {
+		opts.StealInterval = DefaultStealInterval
+	}
+	if opts.Scale.MaxShards < opts.Shards {
+		opts.Scale.MaxShards = opts.Shards // autoscaling off
+	}
+	if opts.Scale.Interval <= 0 {
+		opts.Scale.Interval = DefaultScaleInterval
+	}
 	router := opts.Router
 	if router == nil {
 		router = P2C{}
@@ -284,34 +433,35 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:   opts,
 		router: router,
-		shards: make([]*shard, opts.Shards),
+		base:   opts.Shards,
 		quit:   make(chan struct{}),
 		start:  time.Now(),
+		layout: layout,
 	}
 	mask := uint64(1)
 	for int(mask) < opts.TraceSample {
 		mask <<= 1
 	}
 	s.traceMask = mask - 1
-	rec := opts.Tracer
-	if rec == nil {
-		rec = trace.Default()
+	s.rec = opts.Tracer
+	if s.rec == nil {
+		s.rec = trace.Default()
 	}
+	s.all = make([]*shard, opts.Shards)
+	for i := range s.all {
+		s.all[i] = s.newShard(i)
+	}
+	// Publish the routing set before any pump starts: an idle stealing
+	// pump scans it immediately.
+	s.baseShards = s.all
+	set := append([]*shard(nil), s.all...)
+	s.set.Store(&set)
 	ready := make(chan error, opts.Shards)
-	for i := range s.shards {
-		sh := &shard{
-			s:    s,
-			id:   i,
-			reqs: make(chan *request, opts.QueueDepth),
-			done: make(chan struct{}),
-			ring: rec.SharedRing(fmt.Sprintf("serve/%s/shard%d", opts.Backend, i), -(i + 1)),
-		}
-		sh.m.lats = make([]time.Duration, opts.LatencyWindow)
-		s.shards[i] = sh
+	for _, sh := range s.all {
 		go sh.pump(ready)
 	}
 	var firstErr error
-	for range s.shards {
+	for range s.all {
 		if err := <-ready; err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -320,15 +470,36 @@ func New(opts Options) (*Server, error) {
 		// Tear down the shards that did start.
 		s.closed.Store(true)
 		close(s.quit)
-		for _, sh := range s.shards {
+		for _, sh := range s.all {
 			<-sh.done
 		}
 		return nil, fmt.Errorf("serve: start %q: %w", opts.Backend, firstErr)
+	}
+	if opts.Scale.MaxShards > opts.Shards {
+		s.scaleRing = s.rec.SharedRing(fmt.Sprintf("serve/%s/scale", opts.Backend), scaleLaneExec)
+		go s.watchScale()
 	}
 	if opts.OnAnomaly != nil {
 		go s.watchAnomalies()
 	}
 	return s, nil
+}
+
+// newShard builds one shard's queues, token pool and trace lane; the
+// caller starts its pump. Used by New for the base shards and by the
+// autoscaler for dynamic ones.
+func (s *Server) newShard(id int) *shard {
+	sh := &shard{
+		s:       s,
+		id:      id,
+		keyed:   make(chan *request, s.opts.QueueDepth),
+		unkeyed: make(chan *request, s.opts.QueueDepth),
+		slots:   make(chan struct{}, s.opts.QueueDepth),
+		done:    make(chan struct{}),
+		ring:    s.rec.SharedRing(fmt.Sprintf("serve/%s/shard%d", s.opts.Backend, id), -(id + 1)),
+	}
+	sh.m.lats = make([]time.Duration, s.opts.LatencyWindow)
+	return sh
 }
 
 // MustNew is New for known-good options; it panics on error.
@@ -343,27 +514,34 @@ func MustNew(opts Options) *Server {
 // Backend reports the serving backend's name.
 func (s *Server) Backend() string { return s.opts.Backend }
 
-// NumShards reports the shard count.
-func (s *Server) NumShards() int { return len(s.shards) }
+// NumShards reports the routing set's current size: base shards plus
+// live dynamic shards. It changes over time when autoscaling is armed.
+func (s *Server) NumShards() int { return len(*s.set.Load()) }
 
 // Router reports the router spreading unkeyed submissions.
 func (s *Server) Router() Router { return s.router }
 
+// Layout reports the topology-derived pool layout ("" when Options.Topo
+// was not set), e.g. "1 sockets x 4 cores x 2 PUs (8 PUs) -> 4 shards x
+// 2 executors".
+func (s *Server) Layout() string { return s.layout }
+
 // ShardOf reports the shard index keyed submissions with this affinity
-// key pin to — stable for the server's whole lifetime.
-func (s *Server) ShardOf(key string) int { return keyShard(key, len(s.shards)) }
+// key pin to — stable for the server's whole lifetime. Keys hash over
+// the base shard count only, so autoscaling never remaps them.
+func (s *Server) ShardOf(key string) int { return keyShard(key, s.base) }
 
-// loadOf is the Router's load probe.
-func (s *Server) loadOf(i int) int { return s.shards[i].load() }
+// shards returns the current routing set, one atomic load.
+func (s *Server) shards() []*shard { return *s.set.Load() }
 
-// leastLoaded scans for the shard with the smallest depth — the
-// re-route target and the blocking submit's parking spot. The scan is
-// O(shards) of atomic loads, off the fast path (it runs only after the
-// router's pick saturated).
-func (s *Server) leastLoaded() *shard {
-	best := s.shards[0]
+// leastLoaded scans the routing set for the shard with the smallest
+// depth — the re-route target and the blocking submit's parking spot.
+// The scan is O(shards) of atomic loads, off the fast path (it runs
+// only after the router's pick saturated).
+func leastLoaded(set []*shard) *shard {
+	best := set[0]
 	bestLoad := best.load()
-	for _, sh := range s.shards[1:] {
+	for _, sh := range set[1:] {
 		if l := sh.load(); l < bestLoad {
 			best, bestLoad = sh, l
 		}
@@ -381,9 +559,9 @@ func (s *Server) Submitter() *Submitter { return &Submitter{s: s} }
 // Close to completion (bounded by Options.DrainTimeout — past the
 // deadline, still-queued requests resolve to ErrClosed instead of
 // running), requests racing with Close resolve to ErrClosed, and each
-// shard's backend is finalized once its pump has drained. No accepted
-// Future is left unresolved. Close blocks until every pump has exited
-// and is idempotent.
+// shard's backend is finalized once its pump has drained — scaled-down
+// shards included. No accepted Future is left unresolved. Close blocks
+// until every pump has exited and is idempotent.
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		if s.opts.DrainTimeout > 0 {
@@ -393,13 +571,17 @@ func (s *Server) Close() {
 		}
 		close(s.quit)
 	}
-	for _, sh := range s.shards {
+	s.scaleMu.Lock()
+	all := append([]*shard(nil), s.all...)
+	s.scaleMu.Unlock()
+	for _, sh := range all {
 		<-sh.done
 	}
 }
 
 // pump is one shard's backend main thread: it owns that shard's runtime
-// end to end and is the only goroutine that touches it.
+// end to end and is the only goroutine that touches it (stealing moves
+// queued requests, never runtime access).
 func (sh *shard) pump(ready chan<- error) {
 	s := sh.s
 	rt, err := core.Open(core.Config{
@@ -416,32 +598,11 @@ func (sh *shard) pump(ready chan<- error) {
 	sh.rt.Store(rt)
 	ready <- nil
 	batch := make([]*request, 0, s.opts.Batch)
+	// wake re-arms before each idle park when stealing is on, so a
+	// parked shard periodically re-scans the pool for backlog to steal.
+	var wake *time.Timer
 	for {
 		batch = batch[:0]
-		if sh.inflight.Load() == 0 {
-			// Fully idle: park until traffic or shutdown arrives.
-			select {
-			case r := <-sh.reqs:
-				sh.queued.Add(-1)
-				batch = append(batch, r)
-			case <-s.quit:
-				sh.shutdown(rt)
-				return
-			}
-		} else {
-			// Work in flight: drive the backend's scheduler. For
-			// cooperative masters this is load-bearing — Converse's
-			// processor 0 and the adopted primaries of Argobots and
-			// MassiveThreads execute their local queues only inside
-			// the main thread's Yield, so the pump cannot park on a
-			// completion signal without stalling those backends; it
-			// polls instead. For autonomous backends (go, qthreads)
-			// Yield degrades to runtime.Gosched, which donates the
-			// processor to the executors rather than spinning past
-			// them; the pump still parks fully whenever inflight
-			// drops to zero (the branch above).
-			rt.Yield()
-		}
 		// Batch drain: group up to Batch queued requests into work
 		// units per wakeup, so one scheduler step admits many requests.
 		// The MaxInFlight cap leaves the excess queued, which is what
@@ -449,16 +610,75 @@ func (sh *shard) pump(ready chan<- error) {
 		// The gate meters executor occupancy, not liveness: work units
 		// parked on the async-I/O reactor hold no executor, so they are
 		// discounted and the shard keeps admitting while they wait.
+		// Keyed requests drain first — only this pump can serve them,
+		// while queued unkeyed work may still be rescued by a thief.
 		for len(batch) < s.opts.Batch && int(sh.inflight.Load()-sh.ioparked.Load())+len(batch) < s.opts.MaxInFlight {
 			select {
-			case r := <-sh.reqs:
-				sh.queued.Add(-1)
+			case r := <-sh.keyed:
+				sh.pop()
 				batch = append(batch, r)
 			default:
-				goto collected
+				select {
+				case r := <-sh.unkeyed:
+					sh.pop()
+					batch = append(batch, r)
+				default:
+					goto collected
+				}
 			}
 		}
 	collected:
+		if len(batch) == 0 && s.opts.Steal {
+			// Own queues empty (or occupancy at cap — the steal helper
+			// rechecks capacity): be a thief before being idle.
+			sh.stealInto(&batch)
+		}
+		if len(batch) == 0 {
+			if sh.inflight.Load() > 0 {
+				// Work in flight: drive the backend's scheduler. For
+				// cooperative masters this is load-bearing — Converse's
+				// processor 0 and the adopted primaries of Argobots and
+				// MassiveThreads execute their local queues only inside
+				// the main thread's Yield, so the pump cannot park on a
+				// completion signal without stalling those backends; it
+				// polls instead. For autonomous backends (go, qthreads)
+				// Yield degrades to runtime.Gosched, which donates the
+				// processor to the executors rather than spinning past
+				// them; the pump still parks fully whenever inflight
+				// drops to zero (the branch below).
+				rt.Yield()
+			} else {
+				// Fully idle: park until traffic or shutdown arrives —
+				// or, with stealing on, until the next victim scan.
+				var wakeC <-chan time.Time
+				if s.opts.Steal {
+					if wake == nil {
+						wake = time.NewTimer(s.opts.StealInterval)
+					} else {
+						wake.Reset(s.opts.StealInterval)
+					}
+					wakeC = wake.C
+				}
+				select {
+				case r := <-sh.keyed:
+					sh.pop()
+					batch = append(batch, r)
+				case r := <-sh.unkeyed:
+					sh.pop()
+					batch = append(batch, r)
+				case <-wakeC:
+				case <-s.quit:
+					sh.shutdown(rt)
+					return
+				}
+				if wake != nil && !wake.Stop() {
+					select {
+					case <-wake.C:
+					default:
+					}
+				}
+			}
+		}
 		for _, r := range batch {
 			sh.launch(rt, r)
 		}
@@ -467,6 +687,54 @@ func (sh *shard) pump(ready chan<- error) {
 			sh.shutdown(rt)
 			return
 		default:
+		}
+	}
+}
+
+// stealInto is the idle-shard steal: scan the routing set for the shard
+// with the deepest unkeyed backlog and take up to half of it (bounded
+// by Batch and this shard's spare executor capacity). Only unkeyed
+// requests are reachable — the keyed channel has no consumer but its
+// owner — so affinity survives by construction. A shard that has been
+// scaled out of the routing set neither steals nor is stolen from.
+func (sh *shard) stealInto(batch *[]*request) {
+	s := sh.s
+	room := s.opts.MaxInFlight - int(sh.inflight.Load()-sh.ioparked.Load()) - len(*batch)
+	if room <= 0 {
+		return
+	}
+	set := s.shards()
+	var victim *shard
+	best, member := 0, false
+	for _, v := range set {
+		if v == sh {
+			member = true
+			continue
+		}
+		if n := len(v.unkeyed); n > best {
+			victim, best = v, n
+		}
+	}
+	if victim == nil || !member {
+		return
+	}
+	max := (best + 1) / 2
+	if max > room {
+		max = room
+	}
+	if max > s.opts.Batch-len(*batch) {
+		max = s.opts.Batch - len(*batch)
+	}
+	for i := 0; i < max; i++ {
+		select {
+		case r := <-victim.unkeyed:
+			victim.pop()
+			r.shard = sh
+			sh.m.steals.Add(1)
+			sh.ring.Instant(trace.KindSteal, r.id)
+			*batch = append(*batch, r)
+		default:
+			return
 		}
 	}
 }
@@ -512,6 +780,11 @@ func (sh *shard) shutdown(rt *core.Runtime) {
 	expired := func() bool {
 		return deadline != 0 && time.Now().UnixNano() >= deadline
 	}
+	reject := func(r *request) {
+		sh.pop()
+		sh.m.rejected.Add(1)
+		r.fail(ErrClosed)
+	}
 	// Run everything accepted before Close, paced at MaxInFlight so the
 	// drain cannot overload the backend. Past the deadline, requests
 	// still queued resolve to ErrClosed instead of running.
@@ -520,10 +793,11 @@ drain:
 		if expired() {
 			for {
 				select {
-				case r := <-sh.reqs:
-					sh.queued.Add(-1)
-					sh.m.rejected.Add(1)
-					r.fail(ErrClosed)
+				case r := <-sh.keyed:
+					reject(r)
+					continue
+				case r := <-sh.unkeyed:
+					reject(r)
 					continue
 				default:
 				}
@@ -536,8 +810,11 @@ drain:
 			continue
 		}
 		select {
-		case r := <-sh.reqs:
-			sh.queued.Add(-1)
+		case r := <-sh.keyed:
+			sh.pop()
+			sh.launch(rt, r)
+		case r := <-sh.unkeyed:
+			sh.pop()
 			sh.launch(rt, r)
 		default:
 			break drain
@@ -554,13 +831,13 @@ drain:
 	// are counted in active; drain-reject until they are gone so no
 	// Future is left unresolved and no producer is left blocked. The
 	// counter is server-wide (a straggler may target any shard), so
-	// every shard holds its queue open until the last producer exits.
+	// every shard holds its queues open until the last producer exits.
 	for s.active.Load() > 0 {
 		select {
-		case r := <-sh.reqs:
-			sh.queued.Add(-1)
-			sh.m.rejected.Add(1)
-			r.fail(ErrClosed)
+		case r := <-sh.keyed:
+			reject(r)
+		case r := <-sh.unkeyed:
+			reject(r)
 		default:
 			runtime.Gosched()
 		}
@@ -570,10 +847,11 @@ drain:
 	// already buffered; one final sweep resolves it.
 	for {
 		select {
-		case r := <-sh.reqs:
-			sh.queued.Add(-1)
-			sh.m.rejected.Add(1)
-			r.fail(ErrClosed)
+		case r := <-sh.keyed:
+			reject(r)
+			continue
+		case r := <-sh.unkeyed:
+			reject(r)
 			continue
 		default:
 		}
@@ -662,7 +940,7 @@ func (sub *Submitter) Server() *Server { return sub.s }
 
 // makeRequest builds the queue entry and Future for one submission.
 // The latency clock (enq) starts here, before admission: for a blocking
-// Submit the time spent waiting on a full queue is part of the request's
+// Do the time spent waiting on a full queue is part of the request's
 // end-to-end latency. That is deliberate — measuring from intended
 // arrival rather than from admission is what keeps open-loop percentiles
 // honest under backpressure (no coordinated omission).
@@ -706,36 +984,78 @@ func makeRequest[T any](s *Server, ctx context.Context, deadline time.Time, ult 
 	return r, f
 }
 
+// Do submits fn as a tasklet-shaped request (stackless body, no
+// cooperative context) with the options in req — the single entry
+// point the legacy Submit*/TrySubmit* permutations collapse into.
+//
+// With the zero Req, Do blocks while the queues are full until space
+// frees, ctx is cancelled, or the server closes; a deadline on ctx is
+// adopted as the request's completion budget. Req.Key pins the request
+// to its key's base shard, Req.Deadline sets an explicit budget, and
+// Req.NonBlocking turns a full queue into an immediate ErrSaturated.
+func Do[T any](sub *Submitter, ctx context.Context, fn func() (T, error), req Req) (*Future[T], error) {
+	return do(sub, ctx, false, func(core.Ctx) (T, error) { return fn() }, req)
+}
+
+// DoULT is Do for stackful request bodies: fn receives the cooperative
+// context, so it can spawn and join child work units (nested
+// parallelism on the serving runtime) and issue cancelable aio waits.
+func DoULT[T any](sub *Submitter, ctx context.Context, fn func(core.Ctx) (T, error), req Req) (*Future[T], error) {
+	return do(sub, ctx, true, fn, req)
+}
+
+// do resolves Req into the admission path: key to pin, NonBlocking to
+// fast-reject versus park.
+func do[T any](sub *Submitter, ctx context.Context, ult bool, fn func(core.Ctx) (T, error), req Req) (*Future[T], error) {
+	pin := -1
+	if req.Key != "" {
+		pin = sub.s.ShardOf(req.Key)
+	}
+	if req.NonBlocking {
+		return trySubmit(sub, ctx, req.Deadline, pin, ult, fn)
+	}
+	return submit(sub, ctx, req.Deadline, pin, ult, fn)
+}
+
 // trySubmit is the non-blocking admission path with two-level admission:
 // the router's pick is tried first; if that shard's queue is full the
 // request is re-routed once to the least-loaded shard before
 // ErrSaturated surfaces. pin >= 0 bypasses the router and disables the
 // re-route (keyed affinity).
-func trySubmit[T any](sub *Submitter, deadline time.Time, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
+func trySubmit[T any](sub *Submitter, ctx context.Context, deadline time.Time, pin int, ult bool, fn func(core.Ctx) (T, error)) (*Future[T], error) {
 	s := sub.s
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	r, f := makeRequest(s, nil, deadline, ult, fn)
+	r, f := makeRequest(s, ctx, deadline, ult, fn)
 	if pin >= 0 {
-		sh := s.shards[pin%len(s.shards)]
+		r.keyed = true
+		sh := s.keyedShard(pin)
 		if sh.tryEnqueue(r) {
 			return f, nil
 		}
 		sh.m.saturated.Add(1)
 		return nil, ErrSaturated
 	}
-	sh := s.shards[s.router.Pick(len(s.shards), s.loadOf)]
+	set := s.shards()
+	sh := set[s.router.Pick(len(set), func(i int) int { return set[i].load() })]
 	if sh.tryEnqueue(r) {
 		return f, nil
 	}
-	if alt := s.leastLoaded(); alt != sh && alt.tryEnqueue(r) {
+	if alt := leastLoaded(set); alt != sh && alt.tryEnqueue(r) {
 		return f, nil
 	}
 	sh.m.saturated.Add(1)
 	return nil, ErrSaturated
+}
+
+// keyedShard resolves a keyed pin onto its base shard. baseShards is
+// immutable after New (the autoscaler appends to all, never here), so
+// the read needs no lock.
+func (s *Server) keyedShard(pin int) *shard {
+	return s.baseShards[pin%s.base]
 }
 
 // submit is the blocking admission path with context cancellation: it
@@ -761,15 +1081,17 @@ func submit[T any](sub *Submitter, ctx context.Context, deadline time.Time, pin 
 	r, f := makeRequest(s, ctx, deadline, ult, fn)
 	var sh *shard
 	if pin >= 0 {
-		sh = s.shards[pin%len(s.shards)]
+		r.keyed = true
+		sh = s.keyedShard(pin)
 	} else {
-		sh = s.shards[s.router.Pick(len(s.shards), s.loadOf)]
+		set := s.shards()
+		sh = set[s.router.Pick(len(set), func(i int) int { return set[i].load() })]
 	}
 	if sh.tryEnqueue(r) {
 		return f, nil
 	}
 	if pin < 0 {
-		sh = s.leastLoaded()
+		sh = leastLoaded(s.shards())
 	}
 	var cancel <-chan struct{}
 	if ctx != nil {
@@ -788,10 +1110,9 @@ func submit[T any](sub *Submitter, ctx context.Context, deadline time.Time, pin 
 		defer tm.Stop()
 		expire = tm.C
 	}
-	r.shard = sh
 	select {
-	case sh.reqs <- r:
-		sh.commit()
+	case sh.slots <- struct{}{}:
+		sh.push(r)
 		return f, nil
 	case <-cancel:
 		sh.m.canceled.Add(1)
@@ -809,135 +1130,35 @@ func submit[T any](sub *Submitter, ctx context.Context, deadline time.Time, pin 
 	}
 }
 
-// Submit queues fn as a tasklet-shaped request (stackless body, no
-// cooperative context), blocking while the queues are full until space
-// frees, ctx is cancelled, or the server closes. A deadline on ctx is
-// adopted as the request's completion budget (see SubmitDeadline).
-func Submit[T any](sub *Submitter, ctx context.Context, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, time.Time{}, -1, false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// SubmitDeadline is Submit with an explicit completion budget: a
-// request still queued when deadline passes is shed before launch
-// (its Future resolves to ErrExpired, counted in Metrics.Expired), a
-// blocked submission gives up at the deadline, and a launched handler
-// sees the budget through its context's cancellation signal
-// (core.Canceled; parked aio waits wake early with ErrCanceled). When
-// ctx also carries a deadline the earlier one wins.
-func SubmitDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, deadline, -1, false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// TrySubmit is Submit without blocking: with the routed shard full and
-// one re-route exhausted it returns ErrSaturated immediately — the
-// admission-control fast path.
-func TrySubmit[T any](sub *Submitter, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, time.Time{}, -1, false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// TrySubmitDeadline is TrySubmit carrying a completion budget (the
-// non-blocking half of SubmitDeadline's contract).
-func TrySubmitDeadline[T any](sub *Submitter, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, deadline, -1, false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// SubmitULT queues fn as a stackful ULT whose body receives the
-// cooperative context — for requests that spawn and join child work
-// units (nested parallelism on the serving runtime).
-func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, time.Time{}, -1, true, fn)
-}
-
-// SubmitULTDeadline is SubmitULT with an explicit completion budget;
-// see SubmitDeadline for the budget's semantics.
-func SubmitULTDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, deadline, -1, true, fn)
-}
-
-// TrySubmitULT is SubmitULT with ErrSaturated fast-reject.
-func TrySubmitULT[T any](sub *Submitter, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, time.Time{}, -1, true, fn)
-}
-
-// TrySubmitULTDeadline is TrySubmitULT carrying a completion budget.
-func TrySubmitULTDeadline[T any](sub *Submitter, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, deadline, -1, true, fn)
-}
-
-// SubmitKeyed is Submit with shard affinity: every submission carrying
-// the same key lands on the same shard (FNV-1a of the key), so a
-// session's requests keep hitting one backend runtime and its warm
-// local state — FEBs, placement hints, pool caches. A blocked keyed
-// submission parks on its pinned shard (affinity is never traded for
-// an emptier queue).
-func SubmitKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, time.Time{}, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// TrySubmitKeyed is SubmitKeyed without blocking: a full pinned shard
-// returns ErrSaturated directly — no re-route, affinity is the
-// contract.
-func TrySubmitKeyed[T any](sub *Submitter, key string, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, time.Time{}, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// TrySubmitKeyedDeadline is TrySubmitKeyed carrying a completion
-// budget.
-func TrySubmitKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return trySubmit(sub, deadline, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// SubmitKeyedDeadline is SubmitKeyed carrying a completion budget.
-func SubmitKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, deadline, sub.s.ShardOf(key), false, func(core.Ctx) (T, error) { return fn() })
-}
-
-// SubmitULTKeyed is SubmitKeyed for stackful request bodies that spawn
-// and join children on the pinned shard's runtime.
-func SubmitULTKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, time.Time{}, sub.s.ShardOf(key), true, fn)
-}
-
-// TrySubmitULTKeyed is SubmitULTKeyed with ErrSaturated fast-reject on
-// the pinned shard.
-func TrySubmitULTKeyed[T any](sub *Submitter, key string, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, time.Time{}, sub.s.ShardOf(key), true, fn)
-}
-
-// TrySubmitULTKeyedDeadline is TrySubmitULTKeyed carrying a completion
-// budget.
-func TrySubmitULTKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return trySubmit(sub, deadline, sub.s.ShardOf(key), true, fn)
-}
-
-// SubmitULTKeyedDeadline is SubmitULTKeyed carrying a completion
-// budget.
-func SubmitULTKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func(core.Ctx) (T, error)) (*Future[T], error) {
-	return submit(sub, ctx, deadline, sub.s.ShardOf(key), true, fn)
-}
-
 // Snapshot reads the server's counters and latency windows once and
 // returns both views: the cross-shard aggregate (Metrics.Shard == -1)
-// and the per-shard breakdown (entry i is shard i). Each shard's
-// latency ring is locked and copied a single time, shared by both
-// views — the form a metrics scrape that wants aggregate and
-// breakdown together should use.
+// and the per-shard breakdown (entry i is shard i, including shards
+// currently scaled out of the routing set — their counters stay
+// visible and monotonic). Each shard's latency ring is locked and
+// copied a single time, shared by both views — the form a metrics
+// scrape that wants aggregate and breakdown together should use.
 func (s *Server) Snapshot() (Metrics, []Metrics) {
 	up := time.Since(s.start)
+	s.scaleMu.Lock()
+	all := append([]*shard(nil), s.all...)
+	s.scaleMu.Unlock()
+	shards := s.NumShards()
 	agg := Metrics{
-		Backend: s.opts.Backend,
-		Shard:   -1,
-		Shards:  len(s.shards),
-		Router:  s.router.Name(),
-		Uptime:  up,
+		Backend:    s.opts.Backend,
+		Shard:      -1,
+		Shards:     shards,
+		Router:     s.router.Name(),
+		Uptime:     up,
+		ScaleUps:   s.scaleUps.Load(),
+		ScaleDowns: s.scaleDowns.Load(),
 	}
-	per := make([]Metrics, len(s.shards))
+	per := make([]Metrics, len(all))
 	var window []time.Duration
-	for i, sh := range s.shards {
+	for i, sh := range all {
 		mt := Metrics{
 			Backend:    s.opts.Backend,
-			Shard:      i,
-			Shards:     len(s.shards),
+			Shard:      sh.id,
+			Shards:     shards,
 			Router:     s.router.Name(),
 			Submitted:  sh.m.submitted.Load(),
 			Completed:  sh.m.completed.Load(),
@@ -947,12 +1168,16 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 			Rejected:   sh.m.rejected.Load(),
 			Failed:     sh.m.failed.Load(),
 			Panicked:   sh.m.panicked.Load(),
-			QueueDepth: len(sh.reqs),
+			Steals:     sh.m.steals.Load(),
+			QueueDepth: int(sh.queued.Load()),
 			InFlight:   int(sh.inflight.Load()),
 			IOParked:   int(sh.ioparked.Load()),
 			Uptime:     up,
 			Hist:       sh.m.histSnapshot(),
 			LatencySum: time.Duration(sh.m.latSum.Load()),
+		}
+		if mt.QueueDepth < 0 {
+			mt.QueueDepth = 0 // transient: pop decrements before a racing push's increment lands
 		}
 		if rt := sh.rt.Load(); rt != nil {
 			mt.Sched = rt.SchedStats()
@@ -974,6 +1199,7 @@ func (s *Server) Snapshot() (Metrics, []Metrics) {
 		agg.Rejected += mt.Rejected
 		agg.Failed += mt.Failed
 		agg.Panicked += mt.Panicked
+		agg.Steals += mt.Steals
 		agg.QueueDepth += mt.QueueDepth
 		agg.InFlight += mt.InFlight
 		agg.IOParked += mt.IOParked

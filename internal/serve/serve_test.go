@@ -34,7 +34,7 @@ func gated(t *testing.T) (*Server, *Submitter, chan struct{}, chan struct{}) {
 func TestSubmitReturnsValue(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 2})
 	defer s.Close()
-	f, err := Submit(s.Submitter(), context.Background(), func() (int, error) { return 41 + 1, nil })
+	f, err := Do(s.Submitter(), context.Background(), func() (int, error) { return 41 + 1, nil }, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestSubmitPropagatesError(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 2})
 	defer s.Close()
 	boom := errors.New("boom")
-	f, err := Submit(s.Submitter(), context.Background(), func() (int, error) { return 0, boom })
+	f, err := Do(s.Submitter(), context.Background(), func() (int, error) { return 0, boom }, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestSubmitPropagatesError(t *testing.T) {
 func TestSubmitCapturesPanic(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 2})
 	defer s.Close()
-	f, err := Submit(s.Submitter(), context.Background(), func() (int, error) { panic("kaboom") })
+	f, err := Do(s.Submitter(), context.Background(), func() (int, error) { panic("kaboom") }, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSubmitCapturesPanic(t *testing.T) {
 		t.Fatalf("Panicked = %d, want 1", got)
 	}
 	// The server must keep serving after a panic.
-	f2, err := Submit(s.Submitter(), context.Background(), func() (string, error) { return "alive", nil })
+	f2, err := Do(s.Submitter(), context.Background(), func() (string, error) { return "alive", nil }, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,22 +95,22 @@ func TestTrySubmitSaturates(t *testing.T) {
 	s, sub, started, release := gated(t)
 	defer func() { close(release); s.Close() }()
 	// Occupy the single in-flight slot.
-	if _, err := Submit(sub, context.Background(), func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started // pump has launched it; nothing else will launch now
 	// Fill the depth-2 queue.
 	for i := 0; i < 2; i++ {
-		if _, err := TrySubmit(sub, func() (int, error) { return i, nil }); err != nil {
+		if _, err := Do(sub, nil, func() (int, error) { return i, nil }, Req{NonBlocking: true}); err != nil {
 			t.Fatalf("fill %d: %v", i, err)
 		}
 	}
 	// Saturation must fast-reject, not block or deadlock.
-	if _, err := TrySubmit(sub, func() (int, error) { return 0, nil }); !errors.Is(err, ErrSaturated) {
+	if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true}); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("TrySubmit on full queue = %v, want ErrSaturated", err)
 	}
 	if got := s.Metrics().Saturated; got == 0 {
@@ -121,22 +121,22 @@ func TestTrySubmitSaturates(t *testing.T) {
 func TestBlockingSubmitHonorsContext(t *testing.T) {
 	s, sub, started, release := gated(t)
 	defer func() { close(release); s.Close() }()
-	if _, err := Submit(sub, context.Background(), func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	for i := 0; i < 2; i++ {
-		if _, err := TrySubmit(sub, func() (int, error) { return 0, nil }); err != nil {
+		if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	if _, err := Submit(sub, ctx, func() (int, error) { return 0, nil }); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := Do(sub, ctx, func() (int, error) { return 0, nil }, Req{}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("blocked Submit = %v, want DeadlineExceeded", err)
 	}
 }
@@ -144,16 +144,16 @@ func TestBlockingSubmitHonorsContext(t *testing.T) {
 func TestQueuedRequestCancelled(t *testing.T) {
 	s, sub, started, release := gated(t)
 	defer s.Close()
-	if _, err := Submit(sub, context.Background(), func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
-	f, err := Submit(sub, ctx, func() (int, error) { return 7, nil })
+	f, err := Do(sub, ctx, func() (int, error) { return 7, nil }, Req{})
 	if err != nil {
 		t.Fatal(err) // queue has room: accepted, but cannot launch yet
 	}
@@ -167,13 +167,13 @@ func TestQueuedRequestCancelled(t *testing.T) {
 func TestSubmitULTSpawnsChildren(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 2})
 	defer s.Close()
-	f, err := SubmitULT(s.Submitter(), context.Background(), func(c core.Ctx) (int, error) {
+	f, err := DoULT(s.Submitter(), context.Background(), func(c core.Ctx) (int, error) {
 		var left, right int
 		h := c.ULTCreate(func(core.Ctx) { left = 20 })
 		right = 22
 		c.Join(h)
 		return left + right, nil
-	})
+	}, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +187,10 @@ func TestCloseRunsAcceptedWork(t *testing.T) {
 	var ran atomic.Int64
 	futs := make([]*Future[int], 50)
 	for i := range futs {
-		f, err := Submit(s.Submitter(), context.Background(), func() (int, error) {
+		f, err := Do(s.Submitter(), context.Background(), func() (int, error) {
 			ran.Add(1)
 			return i, nil
-		})
+		}, Req{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,10 +206,10 @@ func TestCloseRunsAcceptedWork(t *testing.T) {
 		t.Fatalf("ran = %d, want 50", ran.Load())
 	}
 	// Closed server rejects immediately.
-	if _, err := Submit(s.Submitter(), context.Background(), func() (int, error) { return 0, nil }); !errors.Is(err, ErrClosed) {
+	if _, err := Do(s.Submitter(), context.Background(), func() (int, error) { return 0, nil }, Req{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
-	if _, err := TrySubmit(s.Submitter(), func() (int, error) { return 0, nil }); !errors.Is(err, ErrClosed) {
+	if _, err := Do(s.Submitter(), nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("TrySubmit after Close = %v, want ErrClosed", err)
 	}
 	s.Close() // idempotent
@@ -227,10 +227,10 @@ func TestConcurrentProducers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				f, err := Submit(sub, context.Background(), func() (int, error) {
+				f, err := Do(sub, context.Background(), func() (int, error) {
 					sum.Add(1)
 					return i, nil
-				})
+				}, Req{})
 				if err != nil {
 					t.Errorf("submit: %v", err)
 					return
@@ -263,7 +263,7 @@ func TestTracerRecordsRequestIntervals(t *testing.T) {
 	// TraceSample 1 defeats the request sampler: every interval emits.
 	s := MustNew(Options{Backend: "go", Threads: 2, Tracer: rec, TraceSample: 1})
 	for i := 0; i < 5; i++ {
-		f, err := Submit(s.Submitter(), context.Background(), func() (int, error) { return i, nil })
+		f, err := Do(s.Submitter(), context.Background(), func() (int, error) { return i, nil }, Req{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func TestUnknownBackendFailsFast(t *testing.T) {
 func TestMetricsString(t *testing.T) {
 	s := MustNew(Options{Backend: "go", Threads: 1})
 	defer s.Close()
-	f, _ := Submit(s.Submitter(), context.Background(), func() (int, error) { return 1, nil })
+	f, _ := Do(s.Submitter(), context.Background(), func() (int, error) { return 1, nil }, Req{})
 	f.MustWait()
 	m := s.Metrics()
 	if m.Backend != "go" || m.Submitted != 1 || m.Completed != 1 {

@@ -25,7 +25,7 @@ func TestShardedServerSpreadsRoundRobin(t *testing.T) {
 	const n = 100
 	futs := make([]*Future[int], 0, n)
 	for i := 0; i < n; i++ {
-		f, err := Submit(sub, context.Background(), func() (int, error) { return i, nil })
+		f, err := Do(sub, context.Background(), func() (int, error) { return i, nil }, Req{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,11 +71,11 @@ func TestAggregateSumsShards(t *testing.T) {
 		var err error
 		switch i % 3 {
 		case 0:
-			f, err = Submit(sub, context.Background(), func() (int, error) { return i, nil })
+			f, err = Do(sub, context.Background(), func() (int, error) { return i, nil }, Req{})
 		case 1:
-			f, err = Submit(sub, context.Background(), func() (int, error) { return 0, boom })
+			f, err = Do(sub, context.Background(), func() (int, error) { return 0, boom }, Req{})
 		default:
-			f, err = Submit(sub, context.Background(), func() (int, error) { panic("pow") })
+			f, err = Do(sub, context.Background(), func() (int, error) { panic("pow") }, Req{})
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -116,7 +116,7 @@ func TestKeyedAffinityStable(t *testing.T) {
 	for i := 0; i < total; i++ {
 		key := keys[i%len(keys)]
 		want[s.ShardOf(key)]++
-		f, err := SubmitKeyed(sub, context.Background(), key, func() (int, error) { return i, nil })
+		f, err := Do(sub, context.Background(), func() (int, error) { return i, nil }, Req{Key: key})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,19 +149,19 @@ func TestReRouteOnSaturation(t *testing.T) {
 	release := make(chan struct{})
 	defer func() { s.Close() }()
 	// Occupy shard 0's in-flight slot, then its single queue slot.
-	if _, err := Submit(sub, context.Background(), func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	if _, err := TrySubmit(sub, func() (int, error) { return 0, nil }); err != nil {
+	if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true}); err != nil {
 		t.Fatalf("fill shard 0 queue: %v", err)
 	}
 	// Shard 0 is saturated; the re-route must land this one on shard 1.
-	f, err := TrySubmit(sub, func() (int, error) { return 42, nil })
+	f, err := Do(sub, nil, func() (int, error) { return 42, nil }, Req{NonBlocking: true})
 	if err != nil {
 		t.Fatalf("TrySubmit with shard 0 full = %v, want re-route to shard 1", err)
 	}
@@ -183,25 +183,25 @@ func TestReRouteOnSaturation(t *testing.T) {
 	if pinned == "" {
 		t.Fatal("no test key hashes to shard 0")
 	}
-	if _, err := TrySubmitKeyed(sub, pinned, func() (int, error) { return 0, nil }); !errors.Is(err, ErrSaturated) {
+	if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{Key: pinned, NonBlocking: true}); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("keyed TrySubmit on full pinned shard = %v, want ErrSaturated", err)
 	}
 	// Saturate shard 1 as well: now the re-route is exhausted too.
 	occupied := make(chan struct{})
 	release2 := make(chan struct{})
 	defer close(release2)
-	if _, err := TrySubmit(sub, func() (int, error) {
+	if _, err := Do(sub, nil, func() (int, error) {
 		close(occupied)
 		<-release2
 		return 0, nil
-	}); err != nil {
+	}, Req{NonBlocking: true}); err != nil {
 		t.Fatalf("occupy shard 1: %v", err)
 	}
 	<-occupied
-	if _, err := TrySubmit(sub, func() (int, error) { return 0, nil }); err != nil {
+	if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true}); err != nil {
 		t.Fatalf("fill shard 1 queue: %v", err)
 	}
-	if _, err := TrySubmit(sub, func() (int, error) { return 0, nil }); !errors.Is(err, ErrSaturated) {
+	if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{NonBlocking: true}); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("TrySubmit with every shard full = %v, want ErrSaturated", err)
 	}
 	if s.Metrics().Saturated == 0 {
@@ -239,11 +239,11 @@ func TestCloseVsSubmitRace(t *testing.T) {
 					var err error
 					switch i % 3 {
 					case 0:
-						f, err = TrySubmit(sub, func() (int, error) { return i, nil })
+						f, err = Do(sub, nil, func() (int, error) { return i, nil }, Req{NonBlocking: true})
 					case 1:
-						f, err = Submit(sub, context.Background(), func() (int, error) { return i, nil })
+						f, err = Do(sub, context.Background(), func() (int, error) { return i, nil }, Req{})
 					default:
-						f, err = SubmitKeyed(sub, context.Background(), "key", func() (int, error) { return i, nil })
+						f, err = Do(sub, context.Background(), func() (int, error) { return i, nil }, Req{Key: "key"})
 					}
 					if err != nil {
 						if errors.Is(err, ErrClosed) {
@@ -293,11 +293,11 @@ func TestDrainTimeout(t *testing.T) {
 	sub := s.Submitter()
 	started := make(chan struct{})
 	release := make(chan struct{})
-	running, err := Submit(sub, context.Background(), func() (int, error) {
+	running, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 7, nil
-	})
+	}, Req{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestDrainTimeout(t *testing.T) {
 	// These five sit in the queue behind the blocked in-flight slot.
 	queued := make([]*Future[int], 5)
 	for i := range queued {
-		f, err := TrySubmit(sub, func() (int, error) { return i, nil })
+		f, err := Do(sub, nil, func() (int, error) { return i, nil }, Req{NonBlocking: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,22 +356,22 @@ func TestKeyedBlockingParksOnPinnedShard(t *testing.T) {
 	}
 	started := make(chan struct{})
 	release := make(chan struct{})
-	if _, err := SubmitKeyed(sub, context.Background(), key, func() (int, error) {
+	if _, err := Do(sub, context.Background(), func() (int, error) {
 		close(started)
 		<-release
 		return 0, nil
-	}); err != nil {
+	}, Req{Key: key}); err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	if _, err := TrySubmitKeyed(sub, key, func() (int, error) { return 0, nil }); err != nil {
+	if _, err := Do(sub, nil, func() (int, error) { return 0, nil }, Req{Key: key, NonBlocking: true}); err != nil {
 		t.Fatalf("fill pinned queue: %v", err)
 	}
 	// Blocking keyed submit must park (shard 1 is empty and must not be
 	// used) until the pinned shard drains.
 	done := make(chan *Future[int], 1)
 	go func() {
-		f, err := SubmitKeyed(sub, context.Background(), key, func() (int, error) { return 5, nil })
+		f, err := Do(sub, context.Background(), func() (int, error) { return 5, nil }, Req{Key: key})
 		if err != nil {
 			t.Errorf("blocking keyed submit: %v", err)
 			done <- nil

@@ -77,20 +77,31 @@
 // work into any backend. ServeOptions.Shards independent backend
 // runtimes sit behind one Server, each with its own bounded queue and
 // pump goroutine; a pluggable Router (power-of-two-choices by default,
-// see RouterByName) spreads unkeyed submissions, SubmitKeyed pins a
+// see RouterByName) spreads unkeyed submissions, Req.Key pins a
 // session's requests to one shard by key hash, admission control is
 // two-level (a full shard re-routes once before ErrSaturated
 // surfaces), and Close drains gracefully — every accepted Future
-// resolves. cmd/lwtserved serves HTTP compute traffic through it on
-// every backend.
+// resolves. The pool is adaptive: idle shards steal unkeyed backlog
+// from loaded ones (ServeOptions.Steal — keyed work never moves), the
+// routing set grows and shrinks under ServeOptions.Scale, and
+// ServeOptions.Topo lays shards out over the machine topology.
+// cmd/lwtserved serves HTTP compute traffic through it on every
+// backend.
+//
+// All submissions go through two generic entry points, Do (tasklet
+// bodies) and DoULT (stackful bodies), with the per-request options —
+// affinity key, deadline, non-blocking admission — in a Req struct:
 //
 //	srv := lwt.MustNewServer(lwt.ServeOptions{Backend: "argobots", Shards: 4})
 //	defer srv.Close()
-//	f, err := lwt.Submit(srv.Submitter(), ctx, func() (int, error) {
+//	f, err := lwt.Do(srv.Submitter(), ctx, func() (int, error) {
 //		return compute(), nil
-//	})
+//	}, lwt.Req{})
 //	v, err := f.Wait(ctx)
-//	g, err := lwt.SubmitKeyed(srv.Submitter(), ctx, sessionID, handle)
+//	g, err := lwt.Do(srv.Submitter(), ctx, handle, lwt.Req{Key: sessionID})
+//
+// The sixteen Submit*/TrySubmit* functions of earlier revisions remain
+// as deprecated wrappers; each is a one-line delegation to Do or DoULT.
 package lwt
 
 import (
@@ -243,8 +254,13 @@ type Server = serve.Server
 
 // ServeOptions configures a Server (backend, executors per shard,
 // scheduler policy, shard count, router, queue depth, in-flight cap,
-// batch size, drain timeout, tracer).
+// batch size, drain timeout, tracer, work stealing, autoscaling,
+// topology-aware layout).
 type ServeOptions = serve.Options
+
+// AutoScale configures the shard autoscaler (ServeOptions.Scale); the
+// zero value leaves it off.
+type AutoScale = serve.AutoScale
 
 // Router picks the shard for each unkeyed submission; see RouterByName
 // for the built-in policies.
@@ -281,99 +297,154 @@ func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
 // MustNewServer is NewServer for known-good options; it panics on error.
 func MustNewServer(opts ServeOptions) *Server { return serve.MustNew(opts) }
 
+// Req carries the per-submission options of one Do or DoULT call:
+// affinity key, end-to-end deadline, non-blocking admission. The zero
+// value is a plain submission — unkeyed, no deadline, blocking.
+type Req = serve.Req
+
+// Do queues fn as a tasklet-shaped request with the options in req —
+// the single submission entry point the legacy Submit*/TrySubmit*
+// permutations collapse into. With the zero Req, Do blocks on a full
+// queue until space frees, ctx is cancelled, or the server closes; a
+// deadline on ctx is adopted as the request's completion budget.
+// Req.Key pins the request to its key's shard (FNV-1a hash), keeping
+// that shard's backend-local state warm for the session; Req.Deadline
+// sets an explicit budget — a request still queued when it passes is
+// shed before launch (Future resolves ErrExpired), and a launched
+// handler sees it through the cooperative cancellation signal
+// (Canceled, cancelable Sleep/AwaitIO); Req.NonBlocking turns a full
+// queue into an immediate ErrSaturated instead of parking.
+func Do[T any](sub *Submitter, ctx context.Context, fn func() (T, error), req Req) (*Future[T], error) {
+	return serve.Do(sub, ctx, fn, req)
+}
+
+// DoULT is Do for stackful request bodies: fn receives the cooperative
+// context, so it can spawn and join child work units (nested
+// parallelism on the serving runtime) and issue cancelable aio waits.
+func DoULT[T any](sub *Submitter, ctx context.Context, fn func(Ctx) (T, error), req Req) (*Future[T], error) {
+	return serve.DoULT(sub, ctx, fn, req)
+}
+
 // Submit queues fn as a tasklet-shaped request, blocking on a full
 // queue until space frees, ctx is cancelled, or the server closes.
+//
+// Deprecated: use Do with a zero Req.
 func Submit[T any](sub *Submitter, ctx context.Context, fn func() (T, error)) (*Future[T], error) {
-	return serve.Submit(sub, ctx, fn)
+	return Do(sub, ctx, fn, Req{})
 }
 
 // TrySubmit is Submit without blocking: a full queue returns
 // ErrSaturated immediately.
+//
+// Deprecated: use Do with Req{NonBlocking: true}.
 func TrySubmit[T any](sub *Submitter, fn func() (T, error)) (*Future[T], error) {
-	return serve.TrySubmit(sub, fn)
+	return Do(sub, nil, fn, Req{NonBlocking: true})
 }
 
 // SubmitULT queues fn as a stackful ULT whose body receives the
 // cooperative context, for requests that spawn and join children.
+//
+// Deprecated: use DoULT with a zero Req.
 func SubmitULT[T any](sub *Submitter, ctx context.Context, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.SubmitULT(sub, ctx, fn)
+	return DoULT(sub, ctx, fn, Req{})
 }
 
 // TrySubmitULT is SubmitULT with ErrSaturated fast-reject.
+//
+// Deprecated: use DoULT with Req{NonBlocking: true}.
 func TrySubmitULT[T any](sub *Submitter, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.TrySubmitULT(sub, fn)
+	return DoULT(sub, nil, fn, Req{NonBlocking: true})
 }
 
 // SubmitKeyed is Submit with shard affinity: every submission carrying
-// the same key runs on the same backend runtime shard (FNV-1a of the
-// key), keeping that shard's backend-local state warm for the session.
+// the same key runs on the same backend runtime shard.
+//
+// Deprecated: use Do with Req{Key: key}.
 func SubmitKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func() (T, error)) (*Future[T], error) {
-	return serve.SubmitKeyed(sub, ctx, key, fn)
+	return Do(sub, ctx, fn, Req{Key: key})
 }
 
 // TrySubmitKeyed is SubmitKeyed without blocking: a full pinned shard
 // returns ErrSaturated directly — affinity is never traded for an
 // emptier queue.
+//
+// Deprecated: use Do with Req{Key: key, NonBlocking: true}.
 func TrySubmitKeyed[T any](sub *Submitter, key string, fn func() (T, error)) (*Future[T], error) {
-	return serve.TrySubmitKeyed(sub, key, fn)
+	return Do(sub, nil, fn, Req{Key: key, NonBlocking: true})
 }
 
 // SubmitULTKeyed is SubmitKeyed for stackful request bodies that spawn
 // and join children on the pinned shard's runtime.
+//
+// Deprecated: use DoULT with Req{Key: key}.
 func SubmitULTKeyed[T any](sub *Submitter, ctx context.Context, key string, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.SubmitULTKeyed(sub, ctx, key, fn)
+	return DoULT(sub, ctx, fn, Req{Key: key})
 }
 
 // TrySubmitULTKeyed is SubmitULTKeyed with ErrSaturated fast-reject on
 // the pinned shard.
+//
+// Deprecated: use DoULT with Req{Key: key, NonBlocking: true}.
 func TrySubmitULTKeyed[T any](sub *Submitter, key string, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.TrySubmitULTKeyed(sub, key, fn)
+	return DoULT(sub, nil, fn, Req{Key: key, NonBlocking: true})
 }
 
-// SubmitDeadline is Submit with an end-to-end deadline: if the request
-// is still queued when the deadline passes it is shed before launch and
-// its Future resolves ErrExpired; once launched, the handler sees a
-// cooperative cancellation signal (Canceled, cancelable Sleep/AwaitIO).
-// A zero deadline means none; an earlier ctx deadline is adopted.
+// SubmitDeadline is Submit with an end-to-end deadline.
+//
+// Deprecated: use Do with Req{Deadline: deadline}.
 func SubmitDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return serve.SubmitDeadline(sub, ctx, deadline, fn)
+	return Do(sub, ctx, fn, Req{Deadline: deadline})
 }
 
 // SubmitULTDeadline is SubmitDeadline for stackful request bodies.
+//
+// Deprecated: use DoULT with Req{Deadline: deadline}.
 func SubmitULTDeadline[T any](sub *Submitter, ctx context.Context, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.SubmitULTDeadline(sub, ctx, deadline, fn)
+	return DoULT(sub, ctx, fn, Req{Deadline: deadline})
 }
 
 // TrySubmitDeadline is SubmitDeadline with ErrSaturated fast-reject.
+//
+// Deprecated: use Do with Req{Deadline: deadline, NonBlocking: true}.
 func TrySubmitDeadline[T any](sub *Submitter, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return serve.TrySubmitDeadline(sub, deadline, fn)
+	return Do(sub, nil, fn, Req{Deadline: deadline, NonBlocking: true})
 }
 
 // TrySubmitULTDeadline is SubmitULTDeadline with ErrSaturated
 // fast-reject.
+//
+// Deprecated: use DoULT with Req{Deadline: deadline, NonBlocking: true}.
 func TrySubmitULTDeadline[T any](sub *Submitter, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.TrySubmitULTDeadline(sub, deadline, fn)
+	return DoULT(sub, nil, fn, Req{Deadline: deadline, NonBlocking: true})
 }
 
 // TrySubmitKeyedDeadline is TrySubmitKeyed with an end-to-end deadline.
+//
+// Deprecated: use Do with Req{Key: key, Deadline: deadline, NonBlocking: true}.
 func TrySubmitKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return serve.TrySubmitKeyedDeadline(sub, key, deadline, fn)
+	return Do(sub, nil, fn, Req{Key: key, Deadline: deadline, NonBlocking: true})
 }
 
 // SubmitKeyedDeadline is SubmitKeyed with an end-to-end deadline.
+//
+// Deprecated: use Do with Req{Key: key, Deadline: deadline}.
 func SubmitKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func() (T, error)) (*Future[T], error) {
-	return serve.SubmitKeyedDeadline(sub, ctx, key, deadline, fn)
+	return Do(sub, ctx, fn, Req{Key: key, Deadline: deadline})
 }
 
 // SubmitULTKeyedDeadline is SubmitULTKeyed with an end-to-end deadline.
+//
+// Deprecated: use DoULT with Req{Key: key, Deadline: deadline}.
 func SubmitULTKeyedDeadline[T any](sub *Submitter, ctx context.Context, key string, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.SubmitULTKeyedDeadline(sub, ctx, key, deadline, fn)
+	return DoULT(sub, ctx, fn, Req{Key: key, Deadline: deadline})
 }
 
 // TrySubmitULTKeyedDeadline is TrySubmitULTKeyed with an end-to-end
 // deadline.
+//
+// Deprecated: use DoULT with Req{Key: key, Deadline: deadline, NonBlocking: true}.
 func TrySubmitULTKeyedDeadline[T any](sub *Submitter, key string, deadline time.Time, fn func(Ctx) (T, error)) (*Future[T], error) {
-	return serve.TrySubmitULTKeyedDeadline(sub, key, deadline, fn)
+	return DoULT(sub, nil, fn, Req{Key: key, Deadline: deadline, NonBlocking: true})
 }
 
 // RouterByName returns a fresh submission router: "p2c" (the default,

@@ -179,7 +179,7 @@ func TestPublicShardedServing(t *testing.T) {
 		t.Fatalf("NumShards = %d, want 2", srv.NumShards())
 	}
 	for i := 0; i < 20; i++ {
-		f, err := lwt.SubmitKeyed(sub, context.Background(), "sess", func() (int, error) { return i, nil })
+		f, err := lwt.Do(sub, context.Background(), func() (int, error) { return i, nil }, lwt.Req{Key: "sess"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,12 +193,12 @@ func TestPublicShardedServing(t *testing.T) {
 		t.Fatalf("keyed affinity split = %d/%d, want 20 on shard %d",
 			sm[0].Submitted, sm[1].Submitted, pinned)
 	}
-	f, err := lwt.SubmitULTKeyed(sub, context.Background(), "sess", func(c lwt.Ctx) (int, error) {
+	f, err := lwt.DoULT(sub, context.Background(), func(c lwt.Ctx) (int, error) {
 		var child int
 		h := c.ULTCreate(func(lwt.Ctx) { child = 9 })
 		c.Join(h)
 		return child, nil
-	})
+	}, lwt.Req{Key: "sess"})
 	if err != nil {
 		t.Fatal(err)
 	}
